@@ -1,0 +1,98 @@
+"""X4 (ablation) — TB vs ED interval split of the checking period.
+
+DESIGN.md calls out the paper's central design choice: for a fixed
+checking period, how many intervals should be TB (mask silently) vs ED
+(mask and flag)?  The paper argues the trade-off in Sec. 4:
+
+* eliminating the TB interval (k=2) recovers a larger margin (c/2 vs
+  c/3) but flags every single-stage error to the controller;
+* keeping one TB interval (k=3) recovers less margin but defers flags
+  to genuine multi-stage errors, so the controller intervenes far less.
+
+This ablation runs both variants (plus a 4-interval variant) on the same
+stressed pipeline and measures margin, flags, and controller activity.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.checking_period import CheckingPeriod
+from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.pipeline import PipelineSimulation
+from repro.pipeline.schemes import TimberFFPolicy
+from repro.pipeline.stage import PipelineStage
+from repro.variability import (
+    CompositeVariation,
+    LocalVariation,
+    VoltageDroopVariation,
+)
+
+PERIOD_PS = 1000
+PERCENT = 30.0
+NUM_STAGES = 5
+NUM_CYCLES = 12_000
+
+#: (label, num_intervals, num_tb)
+VARIANTS = (
+    ("2 ED (no TB, k=2)", 2, 0),
+    ("1 TB + 2 ED (k=3)", 3, 1),
+    ("2 TB + 2 ED (k=4)", 4, 2),
+)
+
+
+def _run():
+    stages = [
+        PipelineStage(name=f"ab{i}", critical_delay_ps=950,
+                      typical_delay_ps=700, sensitization_prob=0.05,
+                      seed=900 + i)
+        for i in range(NUM_STAGES)
+    ]
+    stress = CompositeVariation([
+        LocalVariation(sigma=0.015, max_factor=1.03, seed=31),
+        VoltageDroopVariation(event_probability=2e-3, amplitude=0.06,
+                              amplitude_jitter=0.0, seed=32),
+    ])
+    outcomes = []
+    for label, k, tb in VARIANTS:
+        cp = CheckingPeriod(PERIOD_PS, PERCENT, num_intervals=k, num_tb=tb)
+        controller = CentralErrorController(
+            period_ps=PERIOD_PS, consolidation_latency_ps=PERIOD_PS)
+        sim = PipelineSimulation(
+            stages, TimberFFPolicy(NUM_STAGES, cp), period_ps=PERIOD_PS,
+            controller=controller, variability=stress)
+        outcomes.append((label, cp, sim.run(NUM_CYCLES), controller))
+    return outcomes
+
+
+def test_ablation_tb_ed(benchmark, report):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = []
+    for label, cp, result, controller in outcomes:
+        rows.append([
+            label,
+            f"{cp.recovered_margin_ps}",
+            result.masked,
+            result.masked_flagged,
+            controller.flags_received,
+            result.slow_cycles,
+            result.failed,
+            f"{result.throughput_factor:.4f}",
+        ])
+    table = format_table(
+        ["variant", "margin (ps)", "masked", "masked+flagged",
+         "controller flags", "slow cycles", "failed", "throughput"],
+        rows)
+
+    no_tb = next(o for o in outcomes if o[1].num_tb == 0)
+    one_tb = next(o for o in outcomes
+                  if o[1].num_tb == 1 and o[1].num_intervals == 3)
+
+    # The paper's trade-off, measured: no-TB recovers a larger margin...
+    assert no_tb[1].recovered_margin_ps > one_tb[1].recovered_margin_ps
+    # ...but flags (and therefore disturbs the controller) far more.
+    assert no_tb[3].flags_received >= one_tb[3].flags_received
+    assert no_tb[2].masked_flagged >= one_tb[2].masked_flagged
+    # Neither variant lets a violation through.
+    for _label, _cp, result, _controller in outcomes:
+        assert result.failed == 0
+
+    report("x4_ablation_tb_vs_ed", table)

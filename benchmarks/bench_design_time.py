@@ -1,0 +1,110 @@
+"""X8 (extension) — design-time techniques vs TIMBER.
+
+Two design-time baselines the paper positions itself against:
+
+* **useful-skew scheduling** (ref. [2]): balances *static* slack before
+  tape-out.  Folding an optimal bounded-skew schedule into the synthetic
+  processor reshuffles endpoint criticality — but cannot react to
+  dynamic variability at runtime.
+* **soft-edge flip-flops** (ref. [3]): a fixed silent transparency
+  window.  Under fast droops they mask like a TIMBER latch; under a
+  *slow drift* that eventually exceeds the window they fail silently,
+  because nothing observes the window being consumed — whereas TIMBER
+  flags the drift and rides it out with the frequency controller.
+
+Shape checks: skew scheduling improves worst slack and lowers the
+minimum feasible period; under drift the soft-edge pipeline corrupts
+state silently while TIMBER reports zero failures.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.checking_period import CheckingPeriod
+from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.pipeline import PipelineSimulation
+from repro.pipeline.schemes import SoftEdgePolicy, TimberLatchPolicy
+from repro.pipeline.stage import PipelineStage
+from repro.processor.generator import generate_processor
+from repro.processor.perfpoints import MEDIUM_PERFORMANCE
+from repro.timing.skew import schedule_useful_skew, skewed_graph
+from repro.variability import TemperatureDriftVariation
+
+PERIOD = 1000
+NUM_STAGES = 5
+NUM_CYCLES = 8_000
+CHECKING = 30.0
+
+
+def _run_skew_study():
+    graph = generate_processor(MEDIUM_PERFORMANCE, num_stages=6,
+                               ffs_per_stage=60, fanin=4, seed=11)
+    schedule = schedule_useful_skew(
+        graph, max_skew_ps=int(0.05 * graph.period_ps))
+    folded = skewed_graph(graph, schedule)
+    return graph, schedule, folded
+
+
+def _run_drift_study():
+    # Slow thermal drift peaking at +9%: beyond the 10%-margin windows'
+    # single-interval coverage is fine, but past a 60 ps soft-edge
+    # window on the critical stage.
+    stages = [
+        PipelineStage(name=f"dt{i}", critical_delay_ps=970,
+                      typical_delay_ps=700, sensitization_prob=0.2,
+                      seed=70 + i)
+        for i in range(NUM_STAGES)
+    ]
+    drift = TemperatureDriftVariation(amplitude=0.09,
+                                      period_cycles=NUM_CYCLES)
+    cp = CheckingPeriod.with_tb(PERIOD, CHECKING)
+    results = {}
+    for name, policy in (
+        ("soft-edge", SoftEdgePolicy(NUM_STAGES, window_ps=60)),
+        ("timber-latch", TimberLatchPolicy(NUM_STAGES, cp)),
+    ):
+        controller = CentralErrorController(
+            period_ps=PERIOD, consolidation_latency_ps=PERIOD,
+            slowdown_factor=1.2, slowdown_cycles=256)
+        sim = PipelineSimulation(stages, policy, period_ps=PERIOD,
+                                 controller=controller,
+                                 variability=drift)
+        results[name] = (sim.run(NUM_CYCLES), controller)
+    return results
+
+
+def test_design_time(benchmark, report):
+    (graph, schedule, folded), drift_results = benchmark.pedantic(
+        lambda: (_run_skew_study(), _run_drift_study()),
+        rounds=1, iterations=1)
+
+    # -- useful skew: static improvement --------------------------------
+    assert schedule.improvement_ps >= 0
+    assert schedule.min_feasible_period_ps() <= graph.period_ps
+    endpoints_before = len(graph.critical_endpoints(10.0))
+    endpoints_after = len(folded.critical_endpoints(10.0))
+
+    # -- drift: observability matters -----------------------------------
+    soft, soft_ctrl = drift_results["soft-edge"]
+    timber, timber_ctrl = drift_results["timber-latch"]
+    assert soft.failed > 0          # silent corruption at drift peak
+    assert timber.failed == 0       # flagged + controller slowdown
+    assert timber_ctrl.flags_received > 0
+    assert soft_ctrl.flags_received == 0  # nothing to flag: no signal
+
+    rows = [
+        ["useful skew: worst slack before (ps)",
+         schedule.worst_slack_before_ps],
+        ["useful skew: worst slack after (ps)",
+         schedule.worst_slack_after_ps],
+        ["useful skew: min feasible period (ps)",
+         schedule.min_feasible_period_ps()],
+        ["top-10% endpoints before skew", endpoints_before],
+        ["top-10% endpoints after skew", endpoints_after],
+        ["drift: soft-edge silent failures", soft.failed],
+        ["drift: soft-edge masked", soft.masked],
+        ["drift: TIMBER-latch failures", timber.failed],
+        ["drift: TIMBER-latch masked", timber.masked],
+        ["drift: TIMBER controller flags", timber_ctrl.flags_received],
+        ["drift: TIMBER slow cycles", timber.slow_cycles],
+    ]
+    table = format_table(["quantity", "value"], rows)
+    report("x8_design_time_vs_online", table)

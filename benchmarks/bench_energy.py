@@ -1,0 +1,83 @@
+"""X5 (extension) — spending the recovered margin as energy.
+
+The paper frames margin recovery as "improving performance and/or power
+consumption".  This bench converts each scheme's recovered margin into a
+supply-voltage reduction (alpha-power law) and nets out the scheme's own
+power overhead on the medium-performance processor.
+
+Shape checks: TIMBER turns its c/3 margin into positive *net* savings;
+canary nets zero-minus-overhead (its guard band recovers nothing); the
+with-TB variant saves less gross energy than the without-TB variant of
+the same checking period (smaller margin), mirroring the Fig. 8 margin
+split.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.architecture import TimberDesign, TimberStyle
+from repro.power.voltage import margin_to_energy_savings
+from repro.processor.generator import generate_processor
+from repro.processor.perfpoints import MEDIUM_PERFORMANCE
+
+CHECKING = 30.0
+
+
+def _run():
+    graph = generate_processor(MEDIUM_PERFORMANCE)
+    rows = []
+    for style in (TimberStyle.FLIP_FLOP, TimberStyle.LATCH):
+        for with_tb in (True, False):
+            design = TimberDesign(graph=graph, style=style,
+                                  percent_checking=CHECKING,
+                                  with_tb_interval=with_tb)
+            overhead = design.overhead().power_overhead_percent
+            savings = margin_to_energy_savings(
+                design.recovered_margin_percent,
+                element_overhead_percent=overhead)
+            rows.append((style.value, with_tb, design, savings))
+    # Canary reference: zero margin, comparable element overhead.
+    canary = margin_to_energy_savings(0.0, element_overhead_percent=9.0)
+    return rows, canary
+
+
+def test_energy(benchmark, report):
+    rows, canary = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table_rows = []
+    for style, with_tb, design, savings in rows:
+        table_rows.append([
+            f"timber-{style}",
+            "with TB" if with_tb else "without TB",
+            f"{savings.margin_percent:.1f}",
+            f"{savings.scaled_vdd:.3f}",
+            f"{savings.gross_savings_percent:.1f}",
+            f"{savings.net_savings_percent:.1f}",
+        ])
+    table_rows.append([
+        "canary", "-", "0.0", "1.000",
+        f"{canary.gross_savings_percent:.1f}",
+        f"{canary.net_savings_percent:.1f}",
+    ])
+    table = format_table(
+        ["scheme", "variant", "margin (% of T)", "scaled Vdd",
+         "gross savings %", "net savings %"], table_rows)
+
+    by_key = {(style, with_tb): savings
+              for style, with_tb, _design, savings in rows}
+    # TIMBER nets positive savings in every configuration.
+    for savings in by_key.values():
+        assert savings.net_savings_percent > 0
+    # Larger margin (no TB interval) -> larger gross savings.
+    for style in ("ff", "latch"):
+        assert by_key[(style, False)].gross_savings_percent > \
+            by_key[(style, True)].gross_savings_percent
+    # The latch nets more than the flip-flop (same margin, lower
+    # overhead).
+    for with_tb in (True, False):
+        assert by_key[("latch", with_tb)].net_savings_percent > \
+            by_key[("ff", with_tb)].net_savings_percent
+    # Canary cannot save energy: no margin, only overhead.
+    assert canary.net_savings_percent < 0
+
+    report("x5_energy_savings", table)

@@ -1,0 +1,64 @@
+"""Fig. 1 — critical-path distribution between flip-flops.
+
+Regenerates the motivation chart: for each performance point (low /
+medium / high) and each criticality threshold (top 10/20/30/40%), the
+percentage of flip-flops at which critical paths terminate, and the
+shaded sub-bar of flip-flops that both start AND end critical paths.
+
+Shape checks (the paper's text anchors):
+* medium point, top-20%: ~50% of FFs terminate critical paths and ~70%
+  of those start none;
+* bars grow with the threshold and with the performance point;
+* the shaded (start+end) portion is a minority at operating thresholds.
+"""
+
+import pytest
+
+from repro.analysis.experiments import fig1_experiment
+from repro.analysis.tables import format_table
+
+#: Values read off the paper's Fig. 1 are not recoverable from the text
+#: (the OCR keeps only the medium/top-20% quote), so the paper column
+#: records the quoted anchor and the generator's calibrated targets.
+PAPER_ANCHORS = {
+    ("medium", 20.0): (50.0, 15.0),  # (% ending, % start+end)
+}
+
+
+def test_fig1(benchmark, report):
+    results = benchmark.pedantic(fig1_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("low", "medium", "high"):
+        for dist in results[name]:
+            anchor = PAPER_ANCHORS.get((name, dist.percent_threshold))
+            rows.append([
+                name,
+                f"top {dist.percent_threshold:.0f}%",
+                f"{dist.pct_ffs_ending:.1f}",
+                f"{dist.pct_ffs_through:.1f}",
+                f"{dist.pct_endpoints_single_stage_only:.0f}",
+                f"{anchor[0]:.0f} / {anchor[1]:.0f}" if anchor else "-",
+            ])
+    table = format_table(
+        ["point", "threshold", "% FFs ending", "% FFs start+end",
+         "% endpoints single-stage-only", "paper (end / start+end)"],
+        rows)
+
+    # -- shape assertions ---------------------------------------------
+    medium = {d.percent_threshold: d for d in results["medium"]}
+    assert medium[20.0].pct_ffs_ending == pytest.approx(50.0, abs=5.0)
+    assert medium[20.0].pct_endpoints_single_stage_only == pytest.approx(
+        70.0, abs=10.0)
+    for name in ("low", "medium", "high"):
+        ending = [d.pct_ffs_ending for d in results[name]]
+        assert ending == sorted(ending), "bars must grow with threshold"
+    for threshold_index in range(4):
+        across_points = [
+            results[name][threshold_index].pct_ffs_ending
+            for name in ("low", "medium", "high")
+        ]
+        assert across_points == sorted(across_points), \
+            "bars must grow with the performance point"
+
+    report("fig1_critical_path_distribution", table)

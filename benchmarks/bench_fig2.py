@@ -1,0 +1,73 @@
+"""Fig. 2 — anatomy of the checking period and the consolidation budget.
+
+Regenerates the timing diagram of Fig. 2 as a textual timeline for the
+1 TB + 2 ED configuration: interval classification, which violations are
+masked silently vs flagged, the falling-edge latch of the error signal,
+and the 1.5-cycle error-consolidation budget.
+"""
+
+import pytest
+
+from repro.core.checking_period import CheckingPeriod, IntervalKind
+from repro.pipeline.controller import CentralErrorController
+
+PERIOD_PS = 1000
+PERCENT = 30.0
+
+
+def _build_timeline() -> tuple[CheckingPeriod, str]:
+    cp = CheckingPeriod.with_tb(PERIOD_PS, PERCENT)
+    lines = [
+        f"clock period: {cp.period_ps} ps; checking period: "
+        f"{cp.checking_ps} ps ({cp.percent:.0f}%)",
+        f"intervals: {cp.num_intervals} x {cp.interval_ps} ps "
+        f"({cp.num_tb} TB + {cp.num_intervals - cp.num_tb} ED)",
+        "",
+        "time after clock edge | interval | kind | on a masked error",
+    ]
+    for index in range(1, cp.num_intervals + 1):
+        start = (index - 1) * cp.interval_ps
+        end = index * cp.interval_ps
+        kind = cp.interval_kind(index)
+        action = ("masked, NOT flagged" if kind is IntervalKind.TB
+                  else "masked, flagged to controller")
+        lines.append(
+            f"  {start:4d}..{end:4d} ps       |    {index}     | "
+            f"{kind.name}   | {action}")
+    lines += [
+        "",
+        f"error signal latched on the falling edge "
+        f"(+{cp.period_ps // 2} ps)",
+        f"cycles still masked after the first flag: "
+        f"{cp.stages_masked_after_flag}",
+        f"error-consolidation budget: {cp.consolidation_budget_ps()} ps "
+        f"= {cp.consolidation_budget_ps() / cp.period_ps:.1f} clock "
+        f"cycles",
+    ]
+    return cp, "\n".join(lines)
+
+
+def test_fig2(benchmark, report):
+    cp, timeline = benchmark(_build_timeline)
+
+    # The paper's Fig. 2 narrative, checked structurally:
+    # one TB interval masks without flagging...
+    assert cp.interval_kind(1) is IntervalKind.TB
+    assert not cp.flags_on_interval(1)
+    # ...the first ED interval masks AND flags...
+    assert cp.interval_kind(2) is IntervalKind.ED
+    assert cp.flags_on_interval(2)
+    # ...and the second ED interval guarantees one more masked cycle,
+    # yielding the 1.5-cycle consolidation budget.
+    assert cp.stages_masked_after_flag == 1
+    assert cp.consolidation_budget_ps() == 1500
+
+    # A controller with a realistic OR-tree latency fits the budget.
+    controller = CentralErrorController(
+        period_ps=PERIOD_PS, consolidation_latency_ps=1200)
+    assert controller.latency_fits(cp)
+    tight = CentralErrorController(
+        period_ps=PERIOD_PS, consolidation_latency_ps=1700)
+    assert not tight.latency_fits(cp)
+
+    report("fig2_checking_period", timeline)

@@ -1,0 +1,39 @@
+"""Fig. 5 — two-stage timing error in a TIMBER flip-flop design.
+
+Regenerates the paper's SPICE waveform experiment with the event-driven
+structural model: two TIMBER flip-flops on successive pipeline stages, a
+first violation masked silently by a TB interval, the error relay arming
+the second stage, and a two-stage violation masked by a TB + ED borrow
+and flagged on the falling clock edge.
+"""
+
+from repro.analysis.experiments import two_stage_waveform_experiment
+
+SIGNALS = ["clk", "d1", "q1", "err1", "d2", "q2", "err2"]
+
+
+def test_fig5(benchmark, report):
+    result = benchmark.pedantic(
+        two_stage_waveform_experiment, args=("ff",),
+        rounds=1, iterations=1)
+
+    # The Fig. 5 narrative: first error masked, not flagged; second
+    # (two-stage) error masked AND flagged; both outputs correct.
+    assert not result.stage1_flagged
+    assert result.stage2_flagged
+    assert result.q1_final == "1"
+    assert result.q2_final == "1"
+
+    # Err2 must latch on a falling clock edge (paper Sec. 4).
+    err2 = result.recorder["err2"]
+    rise_times = [e.time_ps for e in err2.edges() if str(e.new) == "1"]
+    assert rise_times, "err2 must assert"
+    falling_edges = result.recorder["clk"].falling_edges()
+    assert any(abs(rise_times[0] - fall) <= 50 for fall in falling_edges)
+
+    art = result.recorder.render_ascii(
+        end_ps=3 * result.period_ps + result.period_ps // 2,
+        step_ps=50, order=SIGNALS)
+    report("fig5_timber_ff_waveforms",
+           art + "\nlegend: '#' high, '_' low, '?' unknown; "
+                 "one column = 50 ps")

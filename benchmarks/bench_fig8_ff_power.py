@@ -1,0 +1,61 @@
+"""Fig. 8(ii) — TIMBER flip-flop power overhead vs recovered margin.
+
+Regenerates both panels: (a) without the TB interval (margin c/2,
+immediate flagging) and (b) with the TB interval (margin c/3, deferred
+flagging).  Each series plots total power overhead against the timing
+margin recovered, per performance point.
+
+Shape checks: overhead grows with the checking period; for the same
+checking period the with-TB variant recovers exactly 2/3 of the margin
+at the same power; overhead magnitudes sit in the paper's low-double-
+digit band (its chart tops out around ~13%).
+"""
+
+import pytest
+
+from repro.analysis.experiments import fig8_experiment
+from repro.analysis.tables import format_table
+
+
+def test_fig8_ff_power(benchmark, report):
+    rows = benchmark.pedantic(fig8_experiment, rounds=1, iterations=1)
+    ff_rows = [r for r in rows if r.style == "ff"]
+
+    table_rows = []
+    for row in sorted(ff_rows, key=lambda r: (r.point, r.checking_percent,
+                                              r.with_tb_interval)):
+        table_rows.append([
+            row.point,
+            f"{row.checking_percent:.0f}%",
+            "with TB" if row.with_tb_interval else "without TB",
+            f"{row.margin_percent:.1f}",
+            f"{row.power_overhead_percent:.2f}",
+        ])
+    table = format_table(
+        ["point", "checking period", "variant",
+         "margin recovered (% of T)", "power overhead %"],
+        table_rows)
+
+    by_key: dict[tuple, list] = {}
+    for row in ff_rows:
+        by_key.setdefault((row.point, row.with_tb_interval),
+                          []).append(row)
+    for (point, with_tb), series in by_key.items():
+        series.sort(key=lambda r: r.checking_percent)
+        overheads = [r.power_overhead_percent for r in series]
+        assert overheads == sorted(overheads)
+        assert all(0 < o < 30.0 for o in overheads)
+
+    # Same checking period -> same power, 2/3 margin with the TB interval.
+    for point in ("low", "medium", "high"):
+        for percent in (10.0, 20.0, 30.0, 40.0):
+            pair = [r for r in ff_rows
+                    if r.point == point and r.checking_percent == percent]
+            with_tb = next(r for r in pair if r.with_tb_interval)
+            without = next(r for r in pair if not r.with_tb_interval)
+            assert with_tb.power_overhead_percent == pytest.approx(
+                without.power_overhead_percent)
+            assert with_tb.margin_percent / without.margin_percent == \
+                pytest.approx(2.0 / 3.0)
+
+    report("fig8ii_ff_power_overhead", table)

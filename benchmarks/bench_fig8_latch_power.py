@@ -1,0 +1,55 @@
+"""Fig. 8(iii) — TIMBER latch power overhead vs recovered margin.
+
+Same sweep as Fig. 8(ii) for the latch-based design.  Shape checks: the
+latch design is strictly cheaper than the flip-flop design at every grid
+point (1.5x vs 2x element power and no relay network), overhead grows
+with the checking period, and the with/without-TB margin trade-off is
+identical to the flip-flop case.
+"""
+
+from repro.analysis.experiments import fig8_experiment
+from repro.analysis.tables import format_table
+
+
+def test_fig8_latch_power(benchmark, report):
+    rows = benchmark.pedantic(fig8_experiment, rounds=1, iterations=1)
+    latch_rows = [r for r in rows if r.style == "latch"]
+    ff_rows = {(r.point, r.checking_percent, r.with_tb_interval): r
+               for r in rows if r.style == "ff"}
+
+    table_rows = []
+    for row in sorted(latch_rows,
+                      key=lambda r: (r.point, r.checking_percent,
+                                     r.with_tb_interval)):
+        table_rows.append([
+            row.point,
+            f"{row.checking_percent:.0f}%",
+            "with TB" if row.with_tb_interval else "without TB",
+            f"{row.margin_percent:.1f}",
+            f"{row.power_overhead_percent:.2f}",
+        ])
+    table = format_table(
+        ["point", "checking period", "variant",
+         "margin recovered (% of T)", "power overhead %"],
+        table_rows)
+
+    for row in latch_rows:
+        # No relay network in the latch design.
+        assert row.relay_area_overhead_percent == 0.0
+        # Strictly cheaper than the flip-flop design at the same point.
+        counterpart = ff_rows[(row.point, row.checking_percent,
+                               row.with_tb_interval)]
+        assert row.power_overhead_percent < \
+            counterpart.power_overhead_percent
+
+    by_key: dict[tuple, list] = {}
+    for row in latch_rows:
+        by_key.setdefault((row.point, row.with_tb_interval),
+                          []).append(row)
+    for series in by_key.values():
+        series.sort(key=lambda r: r.checking_percent)
+        overheads = [r.power_overhead_percent for r in series]
+        assert overheads == sorted(overheads)
+        assert all(0 < o < 15.0 for o in overheads)
+
+    report("fig8iii_latch_power_overhead", table)

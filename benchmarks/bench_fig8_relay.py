@@ -1,0 +1,46 @@
+"""Fig. 8(i) — error-relay logic: (a) area overhead and (b) timing slack.
+
+Regenerates both panels over the full case-study grid: three processor
+performance points x four checking periods (10/20/30/40% of the clock
+period).  Shape checks: relay area overhead is small and grows with the
+checking period; relay slack stays large (the paper attributes this to
+the small number of flip-flops that are both start- and end-points of
+critical paths) and always meets the half-cycle budget.
+"""
+
+from repro.analysis.experiments import fig8_experiment
+from repro.analysis.tables import format_table
+
+
+def test_fig8_relay(benchmark, report):
+    rows = benchmark.pedantic(fig8_experiment, rounds=1, iterations=1)
+
+    relay_rows = [r for r in rows
+                  if r.style == "ff" and r.with_tb_interval]
+    table_rows = []
+    for row in relay_rows:
+        table_rows.append([
+            row.point,
+            f"{row.checking_percent:.0f}%",
+            row.ffs_replaced,
+            f"{row.relay_area_overhead_percent:.2f}",
+            f"{row.relay_slack_percent:.0f}",
+        ])
+    table = format_table(
+        ["point", "checking period", "FFs replaced",
+         "(a) relay area overhead %", "(b) relay timing slack %"],
+        table_rows)
+
+    by_point: dict[str, list] = {}
+    for row in relay_rows:
+        by_point.setdefault(row.point, []).append(row)
+    for point, series in by_point.items():
+        series.sort(key=lambda r: r.checking_percent)
+        areas = [r.relay_area_overhead_percent for r in series]
+        # (a) grows with the checking period and stays small.
+        assert areas == sorted(areas)
+        assert all(a < 20.0 for a in areas)
+        # (b) slack is large: relay needs well under half a cycle.
+        assert all(r.relay_slack_percent > 50.0 for r in series)
+
+    report("fig8i_relay_area_and_slack", table)

@@ -1,0 +1,58 @@
+"""X10 (robustness) — sensitivity of Fig.-8 overheads to cost assumptions.
+
+The one assumption shaping the Fig.-8 magnitudes is the fraction of
+baseline power drawn by the flip-flops.  This bench sweeps it from 10%
+to 40% of total power on the medium processor and reports how both
+deployment overheads move.
+
+Shape checks: overheads scale monotonically (near-linearly) with the
+fraction; the latch stays cheaper than the flip-flop at every point; at
+the default assumption the medium/30% flip-flop overhead is in the
+paper's legible ~13% band.
+"""
+
+import pytest
+
+from repro.analysis.sensitivity import overhead_sensitivity
+from repro.analysis.tables import format_table
+from repro.power.models import DesignCostModel
+from repro.processor.generator import generate_processor
+from repro.processor.perfpoints import MEDIUM_PERFORMANCE
+
+CHECKING = 30.0
+
+
+def _run():
+    graph = generate_processor(MEDIUM_PERFORMANCE)
+    default_fraction = DesignCostModel().sequential_power_fraction(graph)
+    result = overhead_sensitivity(graph, percent_checking=CHECKING)
+    return graph, default_fraction, result
+
+
+def test_sensitivity(benchmark, report):
+    graph, default_fraction, result = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+
+    rows = []
+    for point in result.points:
+        rows.append([
+            f"{point.sequential_power_fraction * 100:.0f}%",
+            f"{point.ff_power_overhead_percent:.2f}",
+            f"{point.latch_power_overhead_percent:.2f}",
+        ])
+    table = format_table(
+        ["FF share of baseline power", "TIMBER-FF overhead %",
+         "TIMBER-latch overhead %"], rows)
+
+    ff = [p.ff_power_overhead_percent for p in result.points]
+    latch = [p.latch_power_overhead_percent for p in result.points]
+    assert ff == sorted(ff)
+    assert latch == sorted(latch)
+    assert result.latch_always_cheaper()
+    # The default model sits inside the swept band, near 19%.
+    assert 0.10 < default_fraction < 0.40
+
+    header = (f"medium point, {CHECKING:.0f}% checking period; default "
+              f"model: FFs draw {default_fraction * 100:.1f}% of "
+              f"baseline power\n")
+    report("x10_cost_sensitivity", header + table)

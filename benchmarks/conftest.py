@@ -1,0 +1,38 @@
+"""Benchmark-harness fixtures and reporting helpers.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+computes the experiment (timed through pytest-benchmark), asserts the
+expected qualitative shape, and writes the rendered rows/series both to
+stdout and to ``benchmarks/out/<name>.txt`` so results survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer that records a rendered artefact to disk and stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def medium_graph():
+    from repro.processor.generator import generate_processor
+    from repro.processor.perfpoints import MEDIUM_PERFORMANCE
+
+    return generate_processor(MEDIUM_PERFORMANCE)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Voltage-droop resilience: TIMBER vs Razor vs canary vs unprotected.
+
+The scenario the paper's introduction motivates: a processor running
+with its dynamic-variability margin removed is hit by supply droops.
+We run the same five-stage pipeline under the same droop process with
+each resilience scheme at the capture boundaries and compare what
+happens to correctness and throughput.
+
+Run:  python examples/droop_resilience.py
+"""
+
+from repro.analysis.metrics import summarize_results
+from repro.analysis.tables import format_table
+from repro.core import CheckingPeriod
+from repro.pipeline import (
+    CanaryPolicy,
+    CentralErrorController,
+    PipelineSimulation,
+    PipelineStage,
+    PlainPolicy,
+    RazorPolicy,
+    TimberFFPolicy,
+    TimberLatchPolicy,
+)
+from repro.variability import (
+    CompositeVariation,
+    LocalVariation,
+    VoltageDroopVariation,
+)
+
+PERIOD_PS = 1000
+NUM_STAGES = 5
+NUM_CYCLES = 50_000
+CHECKING_PERCENT = 30.0
+
+
+def build_stages() -> list[PipelineStage]:
+    return [
+        PipelineStage(
+            name=f"ex{i}", critical_delay_ps=950, typical_delay_ps=700,
+            sensitization_prob=0.08, seed=500 + i,
+        )
+        for i in range(NUM_STAGES)
+    ]
+
+
+def build_stress() -> CompositeVariation:
+    return CompositeVariation([
+        LocalVariation(sigma=0.015, max_factor=1.03, seed=7),
+        VoltageDroopVariation(event_probability=3e-3, amplitude=0.08,
+                              amplitude_jitter=0.0, seed=8),
+    ])
+
+
+def main() -> None:
+    cp = CheckingPeriod.with_tb(PERIOD_PS, CHECKING_PERCENT)
+    policies = {
+        "unprotected": PlainPolicy(NUM_STAGES),
+        "timber-ff": TimberFFPolicy(NUM_STAGES, cp),
+        "timber-latch": TimberLatchPolicy(NUM_STAGES, cp),
+        "razor": RazorPolicy(NUM_STAGES, window_ps=cp.checking_ps,
+                             replay_penalty=5),
+        "canary": CanaryPolicy(NUM_STAGES, guard_ps=cp.checking_ps),
+    }
+
+    results = []
+    for name, policy in policies.items():
+        controller = CentralErrorController(
+            period_ps=PERIOD_PS, consolidation_latency_ps=PERIOD_PS)
+        simulation = PipelineSimulation(
+            build_stages(), policy, period_ps=PERIOD_PS,
+            controller=controller, variability=build_stress())
+        results.append(simulation.run(NUM_CYCLES))
+
+    summary = summarize_results(results)
+    rows = []
+    for scheme, metrics in summary.items():
+        rows.append([
+            scheme,
+            int(metrics["masked"]),
+            int(metrics["detected"]),
+            int(metrics["predicted"]),
+            int(metrics["failed"]),
+            f"{metrics['throughput_factor']:.4f}",
+        ])
+    print(f"{NUM_CYCLES} cycles, {NUM_STAGES} stages, 8% droops, "
+          f"{CHECKING_PERCENT:.0f}% checking period\n")
+    print(format_table(
+        ["scheme", "masked", "detected", "predicted", "failed (silent)",
+         "throughput"], rows))
+    print()
+    print("reading: the unprotected design silently corrupts state on "
+          "every droop;")
+    print("Razor catches the same errors but pays replay cycles; canary "
+          "predicts and")
+    print("slows down pre-emptively; TIMBER masks everything at ~full "
+          "throughput.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Margin-recovery payoff: overclocking past sign-off with each scheme.
+
+TIMBER's selling point is that the recovered dynamic margin can be spent
+— as higher frequency or lower voltage — without rollback hardware.
+This study shrinks the clock period past the sign-off point and measures
+the speedup each scheme actually delivers once its recovery costs
+(replay cycles, controller slowdowns, guard-band stalls) are charged.
+
+Run:  python examples/overclocking_study.py
+"""
+
+from repro.analysis.experiments import throughput_sweep
+from repro.analysis.tables import format_series, format_table
+
+OVERCLOCKS = (0.0, 3.0, 6.0, 9.0, 12.0)
+TECHNIQUES = ("timber-ff", "timber-latch", "razor", "canary")
+
+
+def main() -> None:
+    points = throughput_sweep(
+        techniques=TECHNIQUES,
+        overclock_percents=OVERCLOCKS,
+        num_cycles=30_000,
+    )
+
+    by_technique: dict[str, list] = {key: [] for key in TECHNIQUES}
+    for point in points:
+        by_technique[point.technique].append(point)
+
+    rows = []
+    for technique, series in by_technique.items():
+        row = [technique]
+        for point in sorted(series, key=lambda p: p.overclock_percent):
+            row.append(f"{point.effective_speedup:.3f}"
+                       f" ({point.result.failed} fail)")
+        rows.append(row)
+
+    headers = ["scheme"] + [f"+{oc:.0f}%" for oc in OVERCLOCKS]
+    print("effective speedup vs nominal (higher is better; 'fail' = "
+          "silent corruptions)\n")
+    print(format_table(headers, rows))
+    print()
+    for technique, series in by_technique.items():
+        ordered = sorted(series, key=lambda p: p.overclock_percent)
+        print(format_series(
+            technique,
+            [f"+{p.overclock_percent:.0f}%" for p in ordered],
+            [p.effective_speedup for p in ordered],
+            x_label="overclock", y_label="speedup", float_digits=3))
+    print()
+    print("reading: the masking schemes convert overclock into real "
+          "speedup until the")
+    print("violation rate saturates the checking period; Razor's replay "
+          "and canary's")
+    print("standing slowdowns eat progressively more of the gain.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The paper's Sec. 6 case study, end to end.
+
+Builds the synthetic industrial processor at all three performance
+points, deploys TIMBER flip-flops and TIMBER latches at every studied
+checking period (10/20/30/40% of the clock period), and prints the
+Fig.-8 panels: relay area/slack, power overheads with and without the
+TB interval, and the margin each configuration recovers.  Finishes by
+sizing the error-consolidation OR-tree against the 1.5-cycle budget.
+
+Run:  python examples/processor_case_study.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import (
+    CheckingPeriod,
+    TimberDesign,
+    TimberStyle,
+    build_or_tree,
+)
+from repro.processor import PERFORMANCE_POINTS, generate_processor
+
+CHECKING = (10.0, 20.0, 30.0, 40.0)
+
+
+def main() -> None:
+    graphs = {p.name: generate_processor(p) for p in PERFORMANCE_POINTS}
+
+    print("=== Fig. 8(i): error relay — area overhead and timing "
+          "slack ===")
+    rows = []
+    for point in PERFORMANCE_POINTS:
+        for percent in CHECKING:
+            design = TimberDesign(graph=graphs[point.name],
+                                  style=TimberStyle.FLIP_FLOP,
+                                  percent_checking=percent)
+            summary = design.summary()
+            rows.append([
+                point.name, f"{percent:.0f}%",
+                int(summary["ffs_replaced"]),
+                f"{summary['relay_area_overhead_percent']:.2f}",
+                f"{summary['relay_slack_percent']:.0f}",
+            ])
+    print(format_table(
+        ["point", "checking", "FFs replaced", "relay area %",
+         "relay slack %"], rows))
+
+    for style, title in ((TimberStyle.FLIP_FLOP,
+                          "Fig. 8(ii): TIMBER flip-flop"),
+                         (TimberStyle.LATCH,
+                          "Fig. 8(iii): TIMBER latch")):
+        print(f"\n=== {title}: power overhead vs recovered margin ===")
+        rows = []
+        for point in PERFORMANCE_POINTS:
+            for percent in CHECKING:
+                for with_tb in (False, True):
+                    design = TimberDesign(
+                        graph=graphs[point.name], style=style,
+                        percent_checking=percent,
+                        with_tb_interval=with_tb)
+                    summary = design.summary()
+                    rows.append([
+                        point.name, f"{percent:.0f}%",
+                        "1TB+2ED" if with_tb else "2ED",
+                        f"{summary['margin_percent']:.1f}",
+                        f"{summary['power_overhead_percent']:.2f}",
+                    ])
+        print(format_table(
+            ["point", "checking", "layout", "margin % of T",
+             "power overhead %"], rows))
+
+    print("\n=== error-consolidation OR-tree vs the 1.5-cycle budget "
+          "===")
+    rows = []
+    for point in PERFORMANCE_POINTS:
+        design = TimberDesign(graph=graphs[point.name],
+                              style=TimberStyle.FLIP_FLOP,
+                              percent_checking=30.0)
+        tree = build_or_tree(len(design.protected_ffs), fanin=4)
+        cp = CheckingPeriod.with_tb(point.period_ps, 30.0)
+        rows.append([
+            point.name, len(design.protected_ffs), tree.depth,
+            tree.latency_ps, cp.consolidation_budget_ps(),
+            "yes" if tree.fits_budget(cp, controller_decision_ps=120)
+            else "NO",
+        ])
+    print(format_table(
+        ["point", "error sources", "tree depth", "tree latency (ps)",
+         "budget (ps)", "fits?"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy TIMBER on a synthetic processor and price it.
+
+This is the 60-second tour of the library:
+
+1. generate the paper's "industrial processor" surrogate at the medium
+   performance point;
+2. look at the critical-path distribution that motivates TIMBER (Fig. 1);
+3. deploy TIMBER flip-flops with a 30% checking period and report the
+   recovered margin, the replaced flip-flops, and the power/area
+   overheads (Fig. 8);
+4. mask a real two-stage timing error in an event-driven simulation of
+   the structural TIMBER flip-flop (Fig. 5).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.experiments import two_stage_waveform_experiment
+from repro.analysis.tables import format_table
+from repro.core import CheckingPeriod, TimberDesign, TimberStyle
+from repro.processor import MEDIUM_PERFORMANCE, generate_processor
+from repro.timing import distribution_sweep
+
+
+def main() -> None:
+    # -- 1. The design under protection --------------------------------
+    graph = generate_processor(MEDIUM_PERFORMANCE)
+    print(f"synthetic processor: {graph.num_ffs} flip-flops, "
+          f"{graph.num_edges} register-to-register paths, "
+          f"clock period {graph.period_ps} ps\n")
+
+    # -- 2. Why time borrowing works (Fig. 1) ---------------------------
+    rows = []
+    for dist in distribution_sweep(graph):
+        rows.append([
+            f"top {dist.percent_threshold:.0f}%",
+            f"{dist.pct_ffs_ending:.1f}",
+            f"{dist.pct_ffs_through:.1f}",
+            f"{dist.pct_endpoints_single_stage_only:.0f}",
+        ])
+    print("critical-path distribution (medium performance point):")
+    print(format_table(
+        ["criticality", "% FFs ending", "% FFs start+end",
+         "% endpoints single-stage-only"], rows))
+    print()
+
+    # -- 3. Deploy TIMBER (Sec. 6 / Fig. 8) ------------------------------
+    cp = CheckingPeriod.with_tb(graph.period_ps, 30)
+    print(f"checking period: {cp.checking_ps} ps "
+          f"({cp.num_tb} TB + {cp.num_intervals - cp.num_tb} ED "
+          f"intervals of {cp.interval_ps} ps)")
+    print(f"recovered dynamic margin per stage: "
+          f"{cp.recovered_margin_ps} ps "
+          f"({cp.recovered_margin_percent:.1f}% of the period)")
+    print(f"controller consolidation budget: "
+          f"{cp.consolidation_budget_ps() / graph.period_ps:.1f} cycles\n")
+
+    for style in (TimberStyle.FLIP_FLOP, TimberStyle.LATCH):
+        design = TimberDesign(graph=graph, style=style,
+                              percent_checking=30.0)
+        summary = design.summary()
+        print(f"TIMBER {style.value}: replaces "
+              f"{summary['ffs_replaced']:.0f}/{summary['ffs_total']:.0f} "
+              f"FFs, power overhead {summary['power_overhead_percent']:.1f}%"
+              f", relay area overhead "
+              f"{summary['relay_area_overhead_percent']:.2f}%"
+              f", relay slack {summary['relay_slack_percent']:.0f}% "
+              f"of the half-cycle budget")
+    print()
+
+    # -- 4. Mask a two-stage timing error (Fig. 5) -----------------------
+    result = two_stage_waveform_experiment("ff")
+    print("two-stage error on structural TIMBER flip-flops:")
+    print(f"  stage 1: masked silently (flagged={result.stage1_flagged})")
+    print(f"  stage 2: masked and flagged "
+          f"(flagged={result.stage2_flagged})")
+    print(f"  final outputs q1={result.q1_final} q2={result.q2_final} "
+          f"(both correct: no rollback, no replay)")
+
+
+if __name__ == "__main__":
+    main()

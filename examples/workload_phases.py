@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Workload phases: violation pressure follows the program.
+
+Runs the whole-processor simulation under a phased workload trace
+(compute kernel -> memory stall -> branchy -> idle) combined with
+droops, and shows how masked-error activity tracks the phases — the
+reason the paper's dynamic margins are *workload*-dependent, and why an
+online technique beats a worst-case static margin.
+
+Run:  python examples/workload_phases.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.pipeline import CentralErrorController, GraphPipelineSimulation
+from repro.processor import MEDIUM_PERFORMANCE, generate_processor, \
+    synthetic_trace
+from repro.variability import VoltageDroopVariation
+
+NUM_CYCLES = 6_000
+CHECKING = 30.0
+
+
+def run(trace_kind: str | None):
+    graph = generate_processor(MEDIUM_PERFORMANCE, num_stages=6,
+                               ffs_per_stage=60, fanin=4, seed=21)
+    trace = synthetic_trace(trace_kind) if trace_kind else None
+    controller = CentralErrorController(
+        period_ps=graph.period_ps,
+        consolidation_latency_ps=graph.period_ps)
+    sim = GraphPipelineSimulation(
+        graph, scheme="timber-latch", percent_checking=CHECKING,
+        sensitization_prob=0.02,
+        variability=VoltageDroopVariation(event_probability=3e-3,
+                                          amplitude=0.07,
+                                          amplitude_jitter=0.0, seed=9),
+        controller=controller, trace=trace, seed=4,
+    )
+    return trace, sim.run(NUM_CYCLES), controller
+
+
+def main() -> None:
+    rows = []
+    for kind in (None, "compute", "memory", "mixed"):
+        trace, result, controller = run(kind)
+        label = kind or "stationary (scale 1.0)"
+        mean_scale = trace.mean_scale() if trace else 1.0
+        rows.append([
+            label,
+            f"{mean_scale:.2f}",
+            result.masked,
+            result.masked_flagged,
+            result.failed + result.failed_unprotected,
+            controller.flags_received,
+        ])
+    print(f"TIMBER-latch on the synthetic processor, {NUM_CYCLES} "
+          f"cycles, 7% droops, {CHECKING:.0f}% checking period\n")
+    print(format_table(
+        ["workload", "mean sens. scale", "masked", "flagged",
+         "failures", "controller flags"], rows))
+    print()
+    print("reading: compute-heavy phases exercise critical paths more, "
+          "so the same droop")
+    print("process produces more (masked) violations; memory-stall "
+          "phases are nearly quiet.")
+    print("A static worst-case margin would pay for the compute phase "
+          "all the time; TIMBER")
+    print("pays only when violations actually happen.")
+
+
+if __name__ == "__main__":
+    main()

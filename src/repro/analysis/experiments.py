@@ -1,0 +1,327 @@
+"""Shared experiment runners.
+
+Each function reproduces one of the paper's artefacts (or one of the
+extension studies documented in DESIGN.md) and returns structured data;
+the benchmark harness and the examples render and assert on these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.baselines.architectures import (
+    ARCHITECTURES,
+    TechniqueArchitecture,
+    architecture_by_key,
+)
+from repro.core.architecture import TimberDesign, TimberStyle
+from repro.core.structural import StructuralTimberFF, StructuralTimberLatch
+from repro.errors import ConfigurationError
+from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.pipeline import PipelineResult, PipelineSimulation
+from repro.pipeline.stage import PipelineStage
+from repro.processor.generator import generate_processor
+from repro.processor.perfpoints import PERFORMANCE_POINTS, PerformancePoint
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+from repro.sim.waveform import WaveformRecorder
+from repro.timing.distribution import (
+    CriticalPathDistribution,
+    distribution_sweep,
+)
+from repro.variability import (
+    CompositeVariation,
+    LocalVariation,
+    VoltageDroopVariation,
+)
+
+#: Checking periods studied in the case study (percent of clock period).
+CHECKING_PERCENTS = (10.0, 20.0, 30.0, 40.0)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — critical-path distribution
+# ---------------------------------------------------------------------------
+
+def fig1_experiment(
+    *,
+    points: tuple[PerformancePoint, ...] = PERFORMANCE_POINTS,
+    seed: int = 2010,
+) -> dict[str, list[CriticalPathDistribution]]:
+    """Critical-path distribution at every performance point (Fig. 1)."""
+    return {
+        point.name: distribution_sweep(generate_processor(point, seed=seed))
+        for point in points
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — case-study overheads
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Fig8Row:
+    """One bar of the Fig. 8 chart family."""
+
+    point: str
+    checking_percent: float
+    style: str
+    with_tb_interval: bool
+    margin_percent: float
+    ffs_replaced: int
+    ffs_total: int
+    power_overhead_percent: float
+    relay_area_overhead_percent: float
+    relay_slack_percent: float
+
+
+def fig8_experiment(
+    *,
+    points: tuple[PerformancePoint, ...] = PERFORMANCE_POINTS,
+    seed: int = 2010,
+) -> list[Fig8Row]:
+    """All Fig. 8 panels: overhead sweep over points x checking periods.
+
+    Covers (i) relay area/slack, (ii) flip-flop power with and without
+    the TB interval, and (iii) latch power with and without the TB
+    interval; each panel slices these rows differently.
+    """
+    rows: list[Fig8Row] = []
+    for point in points:
+        graph = generate_processor(point, seed=seed)
+        for percent in CHECKING_PERCENTS:
+            for style in (TimberStyle.FLIP_FLOP, TimberStyle.LATCH):
+                for with_tb in (False, True):
+                    design = TimberDesign(
+                        graph=graph, style=style,
+                        percent_checking=percent,
+                        with_tb_interval=with_tb,
+                    )
+                    summary = design.summary()
+                    rows.append(Fig8Row(
+                        point=point.name,
+                        checking_percent=percent,
+                        style=style.value,
+                        with_tb_interval=with_tb,
+                        margin_percent=summary["margin_percent"],
+                        ffs_replaced=int(summary["ffs_replaced"]),
+                        ffs_total=int(summary["ffs_total"]),
+                        power_overhead_percent=(
+                            summary["power_overhead_percent"]),
+                        relay_area_overhead_percent=(
+                            summary["relay_area_overhead_percent"]),
+                        relay_slack_percent=summary["relay_slack_percent"],
+                    ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figs. 5 and 7 — two-stage error waveforms
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class WaveformExperiment:
+    """Result of a two-stage error scenario on structural circuits."""
+
+    style: str
+    recorder: WaveformRecorder
+    period_ps: int
+    stage1_flagged: bool
+    stage2_flagged: bool
+    q1_final: str
+    q2_final: str
+
+
+def two_stage_waveform_experiment(
+    style: str,
+    *,
+    period_ps: int = 1000,
+    interval_ps: int = 100,
+    first_lateness_ps: int = 60,
+    extra_lateness_ps: int = 60,
+) -> WaveformExperiment:
+    """Reproduce the Fig. 5 / Fig. 7 two-stage error scenario.
+
+    A first violation of ``first_lateness_ps`` hits stage 1 (masked in
+    the TB interval, not flagged); the borrowed time plus a second
+    violation of ``extra_lateness_ps`` hits stage 2 on the next cycle
+    (masked with an ED interval, flagged).
+    """
+    if style not in ("ff", "latch"):
+        raise ConfigurationError("style must be 'ff' or 'latch'")
+    sim = Simulator()
+    ClockGenerator(sim, "clk", period_ps)
+    sim.set_initial("d1", 0)
+    sim.set_initial("d2", 0)
+    checking_ps = 3 * interval_ps
+    if style == "ff":
+        f1 = StructuralTimberFF(sim, name="f1", d="d1", clk="clk", q="q1",
+                                err="err1", interval_ps=interval_ps)
+        f2 = StructuralTimberFF(sim, name="f2", d="d2", clk="clk", q="q2",
+                                err="err2", interval_ps=interval_ps)
+
+        def relay(_sim: Simulator) -> None:
+            f2.set_select(f1.select_out)
+
+        # Relay reads f1's select_out after the falling edge of the cycle
+        # with the first error and configures f2 before the next edge.
+        sim.at(period_ps + period_ps // 2 + 100, relay, label="relay")
+    else:
+        StructuralTimberLatch(sim, name="l1", d="d1", clk="clk", q="q1",
+                              err="err1", tb_ps=interval_ps,
+                              checking_ps=checking_ps)
+        StructuralTimberLatch(sim, name="l2", d="d2", clk="clk", q="q2",
+                              err="err2", tb_ps=interval_ps,
+                              checking_ps=checking_ps)
+
+    recorder = WaveformRecorder(
+        ["clk", "d1", "q1", "err1", "d2", "q2", "err2"])
+    recorder.attach(sim)
+    # First error: D1 arrives late after the edge at t=period.
+    sim.drive("d1", 1, period_ps + first_lateness_ps)
+    # Two-stage error: stage 2's data inherits the borrowed time (a full
+    # interval for the discrete flip-flop, the exact lateness for the
+    # continuous latch) and adds its own violation after the edge at
+    # t = 2*period.
+    inherited = interval_ps if style == "ff" else first_lateness_ps
+    second_lateness = inherited + extra_lateness_ps
+    sim.drive("d2", 1, 2 * period_ps + second_lateness)
+    sim.run(3 * period_ps + period_ps // 2)
+
+    err1 = recorder["err1"].final_value()
+    err2 = recorder["err2"].final_value()
+    return WaveformExperiment(
+        style=style,
+        recorder=recorder,
+        period_ps=period_ps,
+        stage1_flagged=str(err1) == "1",
+        stage2_flagged=str(err2) == "1",
+        q1_final=str(recorder["q1"].final_value()),
+        q2_final=str(recorder["q2"].final_value()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension studies: resilience and throughput sweeps
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ResiliencePoint:
+    """One (technique, stress-level) cell of the resilience sweep."""
+
+    technique: str
+    droop_amplitude: float
+    result: PipelineResult
+
+
+def _build_stages(num_stages: int, period_ps: int, *,
+                  criticality: float = 0.95,
+                  sensitization_prob: float = 0.05,
+                  seed: int = 11) -> list[PipelineStage]:
+    critical = int(period_ps * criticality)
+    typical = int(period_ps * 0.70)
+    return [
+        PipelineStage(
+            name=f"stage{i}", critical_delay_ps=critical,
+            typical_delay_ps=typical,
+            sensitization_prob=sensitization_prob, seed=seed + i,
+        )
+        for i in range(num_stages)
+    ]
+
+
+def resilience_sweep(
+    *,
+    techniques: tuple[str, ...] = ("plain", "timber-ff", "timber-latch",
+                                   "razor", "canary"),
+    droop_amplitudes: tuple[float, ...] = (0.0, 0.04, 0.08, 0.12),
+    num_stages: int = 5,
+    period_ps: int = 1000,
+    checking_percent: float = 30.0,
+    num_cycles: int = 20_000,
+    seed: int = 11,
+) -> list[ResiliencePoint]:
+    """Masked/detected/failed outcomes vs droop stress per technique."""
+    points: list[ResiliencePoint] = []
+    for amplitude in droop_amplitudes:
+        variability = CompositeVariation([
+            LocalVariation(sigma=0.015, max_factor=1.04, seed=seed),
+            VoltageDroopVariation(event_probability=2e-3,
+                                  amplitude=amplitude,
+                                  amplitude_jitter=0.0, seed=seed + 1),
+        ])
+        for key in techniques:
+            architecture = architecture_by_key(key)
+            policy = architecture.build_policy(num_stages, period_ps,
+                                               checking_percent)
+            controller = CentralErrorController(
+                period_ps=period_ps, consolidation_latency_ps=period_ps,
+            )
+            stages = _build_stages(num_stages, period_ps, seed=seed)
+            simulation = PipelineSimulation(
+                stages, policy, period_ps=period_ps,
+                controller=controller, variability=variability,
+            )
+            points.append(ResiliencePoint(
+                technique=key, droop_amplitude=amplitude,
+                result=simulation.run(num_cycles),
+            ))
+    return points
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputPoint:
+    """Throughput of one technique at one overclocking step."""
+
+    technique: str
+    overclock_percent: float
+    result: PipelineResult
+
+    @property
+    def effective_speedup(self) -> float:
+        """Achieved speedup vs the nominal-frequency error-free design."""
+        overclock = 1.0 + self.overclock_percent / 100.0
+        return overclock * self.result.throughput_factor
+
+
+def throughput_sweep(
+    *,
+    techniques: tuple[str, ...] = ("timber-ff", "timber-latch", "razor",
+                                   "canary"),
+    overclock_percents: tuple[float, ...] = (0.0, 4.0, 8.0, 12.0),
+    num_stages: int = 5,
+    period_ps: int = 1000,
+    checking_percent: float = 30.0,
+    num_cycles: int = 20_000,
+    seed: int = 23,
+) -> list[ThroughputPoint]:
+    """Margin-recovery payoff: run faster than sign-off and measure the
+    achieved speedup after each scheme's recovery costs."""
+    points: list[ThroughputPoint] = []
+    for overclock in overclock_percents:
+        shrunk_period = int(round(period_ps / (1.0 + overclock / 100.0)))
+        variability = LocalVariation(sigma=0.015, max_factor=1.04,
+                                      seed=seed)
+        for key in techniques:
+            architecture = architecture_by_key(key)
+            policy = architecture.build_policy(num_stages, shrunk_period,
+                                               checking_percent)
+            controller = CentralErrorController(
+                period_ps=shrunk_period,
+                consolidation_latency_ps=shrunk_period,
+            )
+            stages = _build_stages(num_stages, period_ps, seed=seed)
+            simulation = PipelineSimulation(
+                stages, policy, period_ps=shrunk_period,
+                controller=controller, variability=variability,
+            )
+            points.append(ThroughputPoint(
+                technique=key, overclock_percent=overclock,
+                result=simulation.run(num_cycles),
+            ))
+    return points
+
+
+def all_architectures() -> tuple[TechniqueArchitecture, ...]:
+    """All modelled architectures (re-export for the harness)."""
+    return ARCHITECTURES

@@ -1,0 +1,83 @@
+"""Derived metrics over pipeline simulation results."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+from repro.pipeline.pipeline import PipelineResult
+from repro.power.models import DesignCostModel
+
+
+def masked_fraction(result: PipelineResult) -> float:
+    """Fraction of violations the scheme masked (vs detected/failed)."""
+    violations = result.masked + result.detected + result.failed
+    if violations == 0:
+        return 1.0
+    return result.masked / violations
+
+
+def failures_per_billion_cycles(result: PipelineResult) -> float:
+    """Silent/unrecoverable corruption rate, normalised per 1e9 cycles."""
+    if result.cycles == 0:
+        raise AnalysisError("empty result")
+    return result.failed * 1e9 / result.cycles
+
+
+def energy_per_work(
+    result: PipelineResult,
+    *,
+    element_cell: str,
+    comb_energy_per_stage: float = 60.0,
+    cost_model: DesignCostModel | None = None,
+    num_boundaries: int | None = None,
+) -> float:
+    """Energy per *useful* capture, in abstract units.
+
+    Charges, per simulated cycle (including replay/stall cycles, which
+    burn energy without producing work):
+
+    * one capture element per boundary at the scheme's cell energy, and
+    * ``comb_energy_per_stage`` of combinational switching per stage —
+
+    then divides by the number of useful (non-failed) captures.  Lets
+    the comparison studies report an energy/operation figure of merit
+    where replay cycles and guard-band slowdowns show up as real cost.
+    """
+    model = cost_model or DesignCostModel()
+    boundaries = num_boundaries or _boundaries_of(result)
+    element = model.sequential_costs(element_cell, boundaries)
+    per_cycle = element.total_power + comb_energy_per_stage * boundaries
+    total_cycles = result.cycles + result.replay_cycles
+    useful = result.captures - result.failed
+    if useful <= 0:
+        raise AnalysisError("no useful work performed")
+    return per_cycle * total_cycles / useful
+
+
+def _boundaries_of(result: PipelineResult) -> int:
+    if result.cycles == 0 or result.captures % result.cycles != 0:
+        raise AnalysisError(
+            "cannot infer boundary count; pass num_boundaries")
+    return result.captures // result.cycles
+
+
+def summarize_results(results: Sequence[PipelineResult],
+                      ) -> dict[str, dict[str, float]]:
+    """Key metrics per scheme, for quick side-by-side comparison."""
+    summary: dict[str, dict[str, float]] = {}
+    for result in results:
+        summary[result.scheme] = {
+            "cycles": float(result.cycles),
+            "masked": float(result.masked),
+            "masked_flagged": float(result.masked_flagged),
+            "detected": float(result.detected),
+            "predicted": float(result.predicted),
+            "failed": float(result.failed),
+            "slow_cycles": float(result.slow_cycles),
+            "replay_cycles": float(result.replay_cycles),
+            "throughput_factor": result.throughput_factor,
+            "masked_fraction": masked_fraction(result),
+            "failures_per_1e9": failures_per_billion_cycles(result),
+        }
+    return summary

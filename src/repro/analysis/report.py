@@ -1,0 +1,106 @@
+"""Assembling a reproduction report from benchmark artefacts.
+
+The benchmark harness writes every regenerated table/figure to
+``benchmarks/out/*.txt``.  :func:`generate_report` stitches them into a
+single markdown document (with the experiment index from DESIGN.md's
+naming scheme), so ``repro-timber report`` can produce a shareable
+summary after a benchmark run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+from repro.errors import AnalysisError
+
+#: Presentation order and titles for known artefacts.
+ARTEFACT_TITLES: tuple[tuple[str, str], ...] = (
+    ("table1_comparison", "Table 1 — technique comparison"),
+    ("fig1_critical_path_distribution",
+     "Fig. 1 — critical-path distribution between flip-flops"),
+    ("fig2_checking_period",
+     "Fig. 2 — checking-period anatomy and consolidation budget"),
+    ("fig5_timber_ff_waveforms",
+     "Fig. 5 — two-stage error, TIMBER flip-flop"),
+    ("fig7_timber_latch_waveforms",
+     "Fig. 7 — two-stage error, TIMBER latch"),
+    ("fig8i_relay_area_and_slack",
+     "Fig. 8(i) — relay area overhead and timing slack"),
+    ("fig8ii_ff_power_overhead",
+     "Fig. 8(ii) — TIMBER flip-flop power overhead"),
+    ("fig8iii_latch_power_overhead",
+     "Fig. 8(iii) — TIMBER latch power overhead"),
+    ("x1_resilience_sweep", "X1 — resilience under voltage droop"),
+    ("x2_multistage_error_rate", "X2 — multi-stage error probability"),
+    ("x3_throughput_payoff", "X3 — throughput payoff of the margin"),
+    ("x4_ablation_tb_vs_ed", "X4 — TB vs ED interval ablation"),
+    ("x5_energy_savings", "X5 — spending the margin as energy"),
+    ("x6_processor_masking", "X6 — whole-processor masking"),
+    ("x7_coverage_vs_budget", "X7 — partial protection coverage"),
+    ("x8_design_time_vs_online", "X8 — design-time vs online"),
+    ("x9_shootout", "X9 — full technique shoot-out"),
+    ("x10_cost_sensitivity", "X10 — cost-assumption sensitivity"),
+    ("x11_closed_loop_dvs", "X11 — closed-loop dynamic voltage scaling"),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportSection:
+    """One artefact included in the report."""
+
+    key: str
+    title: str
+    body: str
+
+
+def collect_sections(out_dir: str | pathlib.Path) -> list[ReportSection]:
+    """Load every known artefact present in ``out_dir``.
+
+    Unknown ``*.txt`` files are appended after the known ones so custom
+    experiments are not dropped silently.
+    """
+    directory = pathlib.Path(out_dir)
+    if not directory.is_dir():
+        raise AnalysisError(
+            f"{directory} does not exist; run "
+            f"`pytest benchmarks/ --benchmark-only` first"
+        )
+    sections: list[ReportSection] = []
+    seen: set[str] = set()
+    for key, title in ARTEFACT_TITLES:
+        path = directory / f"{key}.txt"
+        if path.is_file():
+            sections.append(ReportSection(
+                key=key, title=title,
+                body=path.read_text(encoding="utf-8").rstrip()))
+            seen.add(key)
+    for path in sorted(directory.glob("*.txt")):
+        if path.stem not in seen:
+            sections.append(ReportSection(
+                key=path.stem, title=path.stem.replace("_", " "),
+                body=path.read_text(encoding="utf-8").rstrip()))
+    return sections
+
+
+def generate_report(out_dir: str | pathlib.Path,
+                    *, title: str = "TIMBER reproduction report") -> str:
+    """Render the artefacts in ``out_dir`` as one markdown document."""
+    sections = collect_sections(out_dir)
+    if not sections:
+        raise AnalysisError(
+            f"no artefacts in {out_dir}; run the benchmarks first")
+    lines = [f"# {title}", ""]
+    lines.append(f"{len(sections)} artefacts regenerated.  Every table "
+                 f"and figure below was produced by the benchmark "
+                 f"harness (`pytest benchmarks/ --benchmark-only`); "
+                 f"shape assertions ran before rendering.")
+    lines.append("")
+    for section in sections:
+        lines.append(f"## {section.title}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(section.body)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Sensitivity of the overhead results to the cost-model assumptions.
+
+Every absolute number in Fig. 8 is a ratio against a parametric
+baseline, and one assumption dominates: *what fraction of the design's
+power the flip-flops draw* (set by the combinational-per-FF parameters
+of :class:`~repro.power.models.DesignCostModel`).  This module sweeps
+that assumption and reports how the headline overheads move — so a
+reader can judge the robustness of the reproduction instead of trusting
+a single default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.architecture import TimberDesign, TimberStyle
+from repro.errors import AnalysisError
+from repro.power.models import DesignCostModel
+from repro.timing.graph import TimingGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityPoint:
+    """Overheads under one sequential-power-fraction assumption."""
+
+    sequential_power_fraction: float
+    ff_power_overhead_percent: float
+    latch_power_overhead_percent: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityResult:
+    """Outcome of :func:`overhead_sensitivity`."""
+
+    percent_checking: float
+    points: tuple[SensitivityPoint, ...]
+
+    @property
+    def ff_overhead_range(self) -> tuple[float, float]:
+        values = [p.ff_power_overhead_percent for p in self.points]
+        return min(values), max(values)
+
+    @property
+    def latch_overhead_range(self) -> tuple[float, float]:
+        values = [p.latch_power_overhead_percent for p in self.points]
+        return min(values), max(values)
+
+    def latch_always_cheaper(self) -> bool:
+        return all(
+            p.latch_power_overhead_percent < p.ff_power_overhead_percent
+            for p in self.points
+        )
+
+
+def _model_for_fraction(graph: TimingGraph, target_fraction: float,
+                        base: DesignCostModel) -> DesignCostModel:
+    """Scale the combinational costs so the flip-flops draw
+    ``target_fraction`` of baseline power."""
+    if not 0 < target_fraction < 1:
+        raise AnalysisError("fraction must be in (0, 1)")
+    seq_power = base.sequential_costs("DFF", graph.num_ffs).total_power
+    comb_power_needed = seq_power * (1 - target_fraction) / target_fraction
+    per_ff = comb_power_needed / graph.num_ffs
+    current_per_ff = base.comb_leakage_per_ff + base.comb_energy_per_ff
+    scale = per_ff / current_per_ff
+    return dataclasses.replace(
+        base,
+        comb_area_per_ff=base.comb_area_per_ff * scale,
+        comb_leakage_per_ff=base.comb_leakage_per_ff * scale,
+        comb_energy_per_ff=base.comb_energy_per_ff * scale,
+    )
+
+
+def overhead_sensitivity(
+    graph: TimingGraph,
+    *,
+    percent_checking: float = 30.0,
+    fractions: tuple[float, ...] = (0.10, 0.15, 0.20, 0.30, 0.40),
+    base_model: DesignCostModel | None = None,
+) -> SensitivityResult:
+    """Sweep the sequential-power-fraction assumption.
+
+    For each target fraction, rebuild the cost model so flip-flops draw
+    exactly that share of the baseline and recompute both deployment
+    overheads.  To first order the overhead is
+    ``fraction * replaced_share * (element_ratio - 1)``, so the sweep
+    should be near-linear — verified by the tests.
+    """
+    base = base_model or DesignCostModel()
+    points = []
+    for fraction in fractions:
+        model = _model_for_fraction(graph, fraction, base)
+        measured = model.sequential_power_fraction(graph)
+        if abs(measured - fraction) > 0.01:
+            raise AnalysisError(
+                f"model calibration failed: wanted {fraction}, "
+                f"got {measured}"
+            )
+        ff = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                          percent_checking=percent_checking,
+                          cost_model=model)
+        latch = TimberDesign(graph=graph, style=TimberStyle.LATCH,
+                             percent_checking=percent_checking,
+                             cost_model=model)
+        points.append(SensitivityPoint(
+            sequential_power_fraction=fraction,
+            ff_power_overhead_percent=(
+                ff.overhead().power_overhead_percent),
+            latch_power_overhead_percent=(
+                latch.overhead().power_overhead_percent),
+        ))
+    return SensitivityResult(percent_checking=percent_checking,
+                             points=tuple(points))

@@ -1,0 +1,69 @@
+"""Plain-text table and series rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_digits: int = 2,
+    max_col_width: int = 36,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted with ``float_digits`` decimals; long cells are
+    truncated with an ellipsis at ``max_col_width``.
+    """
+    if not headers:
+        raise ConfigurationError("need at least one header")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            text = f"{value:.{float_digits}f}"
+        else:
+            text = str(value)
+        if len(text) > max_col_width:
+            text = text[: max_col_width - 1] + "…"
+        return text
+
+    table = [[fmt(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        table.append([fmt(cell) for cell in row])
+    widths = [
+        max(len(line[col]) for line in table) for col in range(len(headers))
+    ]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(
+            cell.ljust(width) for cell, width in zip(line, widths)
+        ).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    float_digits: int = 2,
+) -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must have equal length")
+    pairs = ", ".join(
+        f"{x}={y:.{float_digits}f}" for x, y in zip(xs, ys)
+    )
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"

@@ -1,0 +1,162 @@
+"""Architecture-level models of each resilience technique.
+
+A :class:`TechniqueArchitecture` bundles everything the comparison
+experiments need to treat a technique uniformly: a capture-policy
+factory for the pipeline simulator, the sequential cell that prices the
+deployment, whether an error relay is required, and how much
+dynamic-variability margin the technique can actually recover.
+
+The margin-recovery semantics mirror Table 1:
+
+* detection (Razor) and temporal masking (TIMBER, DCF) recover the full
+  checking window — they act *after* the clock edge;
+* prediction (canary) recovers nothing: the guard band must stay ahead
+  of the edge permanently, so the margin is spent whether or not
+  variability shows up;
+* an unprotected design recovers nothing and fails on any violation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.checking_period import CheckingPeriod
+from repro.errors import ConfigurationError
+from repro.pipeline.schemes import (
+    CanaryPolicy,
+    ClockStallPolicy,
+    CapturePolicy,
+    LogicalMaskingPolicy,
+    DcfPolicy,
+    PlainPolicy,
+    RazorPolicy,
+    TimberFFPolicy,
+    TimberLatchPolicy,
+)
+
+#: Factory signature: (num_boundaries, period_ps, checking_percent).
+PolicyFactory = typing.Callable[[int, int, float], CapturePolicy]
+
+
+@dataclasses.dataclass(frozen=True)
+class TechniqueArchitecture:
+    """Uniform handle on one technique for comparison experiments."""
+
+    key: str
+    display_name: str
+    element_cell: str
+    needs_relay: bool
+    recovers_margin: bool
+    corrupts_state_on_error: bool
+    policy_factory: PolicyFactory
+
+    def build_policy(self, num_boundaries: int, period_ps: int,
+                     checking_percent: float) -> CapturePolicy:
+        if num_boundaries < 1:
+            raise ConfigurationError("need at least one boundary")
+        return self.policy_factory(num_boundaries, period_ps,
+                                   checking_percent)
+
+    def margin_recovered_percent(self, checking_percent: float,
+                                 with_tb_interval: bool = True) -> float:
+        """Dynamic margin recovered, as % of the clock period."""
+        if not self.recovers_margin:
+            return 0.0
+        if self.key in ("timber-ff", "timber-latch"):
+            intervals = 3 if with_tb_interval else 2
+            return checking_percent / intervals
+        # Razor/DCF tolerate the full window but only one stage deep.
+        return checking_percent
+
+
+def _timber_ff(n: int, period_ps: int, percent: float) -> CapturePolicy:
+    return TimberFFPolicy(n, CheckingPeriod.with_tb(period_ps, percent))
+
+
+def _timber_latch(n: int, period_ps: int, percent: float) -> CapturePolicy:
+    return TimberLatchPolicy(n, CheckingPeriod.with_tb(period_ps, percent))
+
+
+def _razor(n: int, period_ps: int, percent: float) -> CapturePolicy:
+    window = CheckingPeriod.with_tb(period_ps, percent).checking_ps
+    return RazorPolicy(n, window_ps=window, replay_penalty=5)
+
+
+def _canary(n: int, period_ps: int, percent: float) -> CapturePolicy:
+    guard = CheckingPeriod.with_tb(period_ps, percent).checking_ps
+    return CanaryPolicy(n, guard_ps=guard)
+
+
+def _dcf(n: int, period_ps: int, percent: float) -> CapturePolicy:
+    window = CheckingPeriod.with_tb(period_ps, percent).checking_ps
+    return DcfPolicy(n, detect_window_ps=window // 2,
+                     resample_delay_ps=window)
+
+
+def _stall(n: int, period_ps: int, percent: float) -> CapturePolicy:
+    window = CheckingPeriod.with_tb(period_ps, percent).checking_ps
+    return ClockStallPolicy(n, window_ps=window)
+
+
+def _logical(n: int, period_ps: int, percent: float) -> CapturePolicy:
+    # Redundant covers are synthesised for ~80% of the critical cones
+    # (full coverage is rarely affordable combinationally).
+    return LogicalMaskingPolicy(n, coverage=0.8)
+
+
+def _plain(n: int, period_ps: int, percent: float) -> CapturePolicy:
+    return PlainPolicy(n)
+
+
+ARCHITECTURES: tuple[TechniqueArchitecture, ...] = (
+    TechniqueArchitecture(
+        key="plain", display_name="Unprotected (worst-case margin)",
+        element_cell="DFF", needs_relay=False, recovers_margin=False,
+        corrupts_state_on_error=True, policy_factory=_plain,
+    ),
+    TechniqueArchitecture(
+        key="timber-ff", display_name="TIMBER flip-flop",
+        element_cell="TIMBER_FF", needs_relay=True, recovers_margin=True,
+        corrupts_state_on_error=False, policy_factory=_timber_ff,
+    ),
+    TechniqueArchitecture(
+        key="timber-latch", display_name="TIMBER latch",
+        element_cell="TIMBER_LATCH", needs_relay=False,
+        recovers_margin=True, corrupts_state_on_error=False,
+        policy_factory=_timber_latch,
+    ),
+    TechniqueArchitecture(
+        key="razor", display_name="Razor (detect + replay)",
+        element_cell="RAZOR_FF", needs_relay=False, recovers_margin=True,
+        corrupts_state_on_error=True, policy_factory=_razor,
+    ),
+    TechniqueArchitecture(
+        key="canary", display_name="Canary (predict + guard band)",
+        element_cell="CANARY_FF", needs_relay=False, recovers_margin=False,
+        corrupts_state_on_error=False, policy_factory=_canary,
+    ),
+    TechniqueArchitecture(
+        key="logical", display_name="Logical masking (redundant logic)",
+        element_cell="DFF", needs_relay=False, recovers_margin=True,
+        corrupts_state_on_error=False, policy_factory=_logical,
+    ),
+    TechniqueArchitecture(
+        key="clock-stall", display_name="Clock-stall masking",
+        element_cell="RAZOR_FF", needs_relay=False, recovers_margin=True,
+        corrupts_state_on_error=False, policy_factory=_stall,
+    ),
+    TechniqueArchitecture(
+        key="dcf", display_name="Delay-compensation FF",
+        element_cell="DFF", needs_relay=False, recovers_margin=True,
+        corrupts_state_on_error=False, policy_factory=_dcf,
+    ),
+)
+
+
+def architecture_by_key(key: str) -> TechniqueArchitecture:
+    for architecture in ARCHITECTURES:
+        if architecture.key == key:
+            return architecture
+    raise KeyError(f"unknown architecture {key!r}; known: "
+                   f"{[a.key for a in ARCHITECTURES]}")

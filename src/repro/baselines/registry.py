@@ -1,0 +1,146 @@
+"""Technique taxonomy and comparison attributes (paper Table 1).
+
+The paper's Table 1 compares four families of online timing-error
+resilience techniques along qualitative axes.  This registry encodes
+those attributes so the comparison table can be regenerated (and so the
+architecture models can be checked against their claimed properties).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class TechniqueCategory(enum.Enum):
+    """The four columns of Table 1."""
+
+    ERROR_DETECTION = "Error detection"
+    ERROR_PREDICTION = "Error prediction"
+    LOGICAL_MASKING = "Logical error masking"
+    TEMPORAL_MASKING = "Temporal error masking"
+
+
+@dataclasses.dataclass(frozen=True)
+class CategoryAttributes:
+    """One column of Table 1."""
+
+    category: TechniqueCategory
+    detection_mechanism: str
+    when_relative_to_clock_edge: str
+    error_recovery_mechanism: str
+    clock_tree_loading: bool
+    short_path_padding: bool
+    sequential_overhead: str
+    combinational_overhead: str
+    timing_margin_recovery: str
+    variability_source_targeted: str
+    example_techniques: tuple[str, ...]
+
+
+TABLE1_CATEGORIES: tuple[CategoryAttributes, ...] = (
+    CategoryAttributes(
+        category=TechniqueCategory.ERROR_DETECTION,
+        detection_mechanism="Duplicate latch/FFs, transition detectors",
+        when_relative_to_clock_edge="After",
+        error_recovery_mechanism="Rollback or instruction replay",
+        clock_tree_loading=True,
+        short_path_padding=True,
+        sequential_overhead="Large",
+        combinational_overhead="Small",
+        timing_margin_recovery="Full",
+        variability_source_targeted="All dynamic",
+        example_techniques=("Razor", "TDTB and DSTB", "Sense amplifier"),
+    ),
+    CategoryAttributes(
+        category=TechniqueCategory.ERROR_PREDICTION,
+        detection_mechanism="Duplicate latch/FFs, sensors, duplicate paths",
+        when_relative_to_clock_edge="Before",
+        error_recovery_mechanism="No error (state never corrupted)",
+        clock_tree_loading=True,
+        short_path_padding=True,
+        sequential_overhead="Large",
+        combinational_overhead="None",
+        timing_margin_recovery="Partial",
+        variability_source_targeted="Gradual dynamic",
+        example_techniques=("Canary FFs", "Aging sensors", "DTC"),
+    ),
+    CategoryAttributes(
+        category=TechniqueCategory.LOGICAL_MASKING,
+        detection_mechanism="Redundant logic",
+        when_relative_to_clock_edge="After",
+        error_recovery_mechanism="No error (masked combinationally)",
+        clock_tree_loading=False,
+        short_path_padding=False,
+        sequential_overhead="None",
+        combinational_overhead="Moderate",
+        timing_margin_recovery="Full",
+        variability_source_targeted="All dynamic",
+        example_techniques=("Approximate circuits",),
+    ),
+    CategoryAttributes(
+        category=TechniqueCategory.TEMPORAL_MASKING,
+        detection_mechanism="Duplicate latch/FFs, edge detectors",
+        when_relative_to_clock_edge="After",
+        error_recovery_mechanism="No error (time borrowing)",
+        clock_tree_loading=True,
+        short_path_padding=True,
+        sequential_overhead="Large",
+        combinational_overhead="Small",
+        timing_margin_recovery="Full",
+        variability_source_targeted="All dynamic",
+        example_techniques=("PAFF", "DCFF", "TIMBER"),
+    ),
+)
+
+
+#: Rows of Table 1, in presentation order: (feature label, attribute).
+TABLE1_FEATURES: tuple[tuple[str, str], ...] = (
+    ("Error detection mechanism", "detection_mechanism"),
+    ("When? (relative to clock edge)", "when_relative_to_clock_edge"),
+    ("Error recovery mechanism", "error_recovery_mechanism"),
+    ("Clock-tree loading", "clock_tree_loading"),
+    ("Short-path padding", "short_path_padding"),
+    ("Sequential overhead", "sequential_overhead"),
+    ("Combinational overhead", "combinational_overhead"),
+    ("Timing margin recovery", "timing_margin_recovery"),
+    ("Variability source targeted", "variability_source_targeted"),
+    ("Techniques", "example_techniques"),
+)
+
+
+def table1_rows() -> list[list[str]]:
+    """Render Table 1 as rows of strings (first column = feature)."""
+    rows: list[list[str]] = []
+    for label, attribute in TABLE1_FEATURES:
+        row = [label]
+        for column in TABLE1_CATEGORIES:
+            value = getattr(column, attribute)
+            if isinstance(value, bool):
+                row.append("Yes" if value else "No")
+            elif isinstance(value, tuple):
+                row.append(", ".join(value))
+            else:
+                row.append(str(value))
+        rows.append(row)
+    return rows
+
+
+def category_of(technique_key: str) -> TechniqueCategory:
+    """Category of one of the modelled techniques."""
+    mapping = {
+        "plain": TechniqueCategory.ERROR_DETECTION,  # degenerate baseline
+        "razor": TechniqueCategory.ERROR_DETECTION,
+        "canary": TechniqueCategory.ERROR_PREDICTION,
+        "dcf": TechniqueCategory.TEMPORAL_MASKING,
+        "clock-stall": TechniqueCategory.TEMPORAL_MASKING,
+        "logical": TechniqueCategory.LOGICAL_MASKING,
+        "soft-edge": TechniqueCategory.TEMPORAL_MASKING,
+        "timber-ff": TechniqueCategory.TEMPORAL_MASKING,
+        "timber-latch": TechniqueCategory.TEMPORAL_MASKING,
+    }
+    try:
+        return mapping[technique_key]
+    except KeyError:
+        raise KeyError(f"unknown technique {technique_key!r}; "
+                       f"known: {sorted(mapping)}") from None

@@ -1,0 +1,27 @@
+"""Gate-level circuit substrate: logic values, cells, netlists, generators."""
+
+from repro.circuit.logic import Logic, resolve_unknown
+from repro.circuit.cells import Cell, CellLibrary, default_library
+from repro.circuit.netlist import Gate, Net, Netlist
+from repro.circuit.verilog import to_verilog, write_verilog
+from repro.circuit.evaluate import (
+    check_equivalence,
+    evaluate,
+    random_vectors,
+)
+
+__all__ = [
+    "Logic",
+    "resolve_unknown",
+    "Cell",
+    "CellLibrary",
+    "default_library",
+    "Gate",
+    "Net",
+    "Netlist",
+    "to_verilog",
+    "write_verilog",
+    "check_equivalence",
+    "evaluate",
+    "random_vectors",
+]

@@ -1,0 +1,91 @@
+"""Pure combinational evaluation and equivalence checking.
+
+The event-driven simulator answers *when*; this module answers *what*:
+settle a netlist on a single input vector by one topological pass, and
+check two netlists functionally equivalent by random-vector simulation.
+Used to verify that structural transformations — hold-buffer insertion,
+capture retargeting — preserve logic function.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+
+from repro.circuit.logic import Logic
+from repro.circuit.netlist import Netlist
+from repro.errors import ConfigurationError
+
+
+def evaluate(netlist: Netlist,
+             inputs: Mapping[str, int | Logic]) -> dict[str, Logic]:
+    """Settled value of every net for one input vector.
+
+    Args:
+        netlist: Design to evaluate (validated by the caller or here).
+        inputs: Value per primary input; missing inputs default to X.
+    """
+    values: dict[str, Logic] = {}
+    for net in netlist.primary_inputs:
+        provided = inputs.get(net, Logic.X)
+        values[net] = Logic.from_value(provided)
+    unknown = set(inputs) - set(netlist.primary_inputs)
+    if unknown:
+        raise ConfigurationError(
+            f"not primary inputs: {sorted(unknown)}")
+    for gate in netlist.topological_gates():
+        values[gate.output] = gate.cell.output(
+            [values[net] for net in gate.inputs])
+    return values
+
+
+def random_vectors(input_names: list[str], count: int, seed: int = 0,
+                   ) -> list[dict[str, Logic]]:
+    """Deterministic random binary vectors over ``input_names``."""
+    if count < 1:
+        raise ConfigurationError("need at least one vector")
+    rng = random.Random(seed)
+    return [
+        {name: Logic(rng.getrandbits(1)) for name in input_names}
+        for _ in range(count)
+    ]
+
+
+def check_equivalence(
+    left: Netlist,
+    right: Netlist,
+    *,
+    vectors: int = 256,
+    seed: int = 0,
+    output_map: Mapping[str, str] | None = None,
+) -> tuple[bool, dict[str, Logic] | None]:
+    """Random-vector equivalence check between two netlists.
+
+    Args:
+        left: Reference design.
+        right: Design under check; must share ``left``'s primary inputs.
+        vectors: Number of random binary vectors to simulate.
+        seed: Vector RNG seed.
+        output_map: Maps each of ``left``'s primary outputs to the
+            corresponding net in ``right`` (identity by default) —
+            needed after transformations that rename capture nets.
+
+    Returns:
+        ``(True, None)`` if all vectors agree, else ``(False, vector)``
+        with the first failing input vector.
+    """
+    if set(left.primary_inputs) != set(right.primary_inputs):
+        raise ConfigurationError(
+            "designs have different primary inputs: "
+            f"{sorted(set(left.primary_inputs) ^ set(right.primary_inputs))}"
+        )
+    mapping = dict(output_map or {})
+    for output in left.primary_outputs:
+        mapping.setdefault(output, output)
+    for vector in random_vectors(left.primary_inputs, vectors, seed):
+        left_values = evaluate(left, vector)
+        right_values = evaluate(right, vector)
+        for left_net, right_net in mapping.items():
+            if left_values[left_net] is not right_values[right_net]:
+                return False, vector
+    return True, None

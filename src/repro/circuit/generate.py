@@ -1,0 +1,135 @@
+"""Synthetic combinational-stage generators.
+
+These builders produce netlists with controllable depth/width so that the
+timing analyses and the event-driven simulator can be exercised on
+realistic structures without an industrial netlist (see DESIGN.md,
+substitution table).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.cells import CellLibrary, default_library
+from repro.circuit.netlist import Netlist
+from repro.errors import ConfigurationError
+
+#: Cells eligible for random combinational logic (2-input, invertible mix).
+_RANDOM_CELLS = ("NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2")
+
+
+def inverter_chain(
+    length: int,
+    *,
+    name: str = "chain",
+    library: CellLibrary | None = None,
+) -> Netlist:
+    """A registered inverter chain of ``length`` stages.
+
+    Useful as a precise delay line: the total combinational delay is
+    ``length * INV.delay_ps``.
+    """
+    if length < 1:
+        raise ConfigurationError(f"chain length must be >=1, got {length}")
+    lib = library or default_library()
+    netlist = Netlist(name, lib)
+    current = netlist.add_input("in", registered=True)
+    for index in range(length):
+        gate = netlist.add_gate(f"inv{index}", "INV", [current],
+                                f"n{index}")
+        current = gate.output
+    netlist.add_output(current, registered=True)
+    netlist.validate()
+    return netlist
+
+
+def random_stage(
+    *,
+    num_inputs: int,
+    num_outputs: int,
+    depth: int,
+    width: int,
+    seed: int,
+    name: str = "stage",
+    library: CellLibrary | None = None,
+) -> Netlist:
+    """A random layered combinational stage.
+
+    The netlist has ``depth`` layers of ``width`` two-input gates; each
+    gate draws its inputs from the previous layer (or the primary inputs
+    for layer 0), guaranteeing a loop-free, fully-driven structure whose
+    longest path has exactly ``depth`` gate levels.
+
+    Args:
+        num_inputs: Number of registered primary inputs.
+        num_outputs: Number of registered primary outputs (taken from the
+            last layer; must not exceed ``width``).
+        depth: Number of gate layers (logic depth).
+        width: Gates per layer.
+        seed: RNG seed for reproducible structure.
+        name: Netlist name.
+        library: Cell library (default: :func:`default_library`).
+    """
+    if num_inputs < 2:
+        raise ConfigurationError("need at least 2 primary inputs")
+    if depth < 1 or width < 1:
+        raise ConfigurationError("depth and width must be >=1")
+    if num_outputs < 1 or num_outputs > width:
+        raise ConfigurationError(
+            f"num_outputs must be in [1, width]; got {num_outputs} "
+            f"with width {width}"
+        )
+    rng = random.Random(seed)
+    lib = library or default_library()
+    netlist = Netlist(name, lib)
+
+    previous = [
+        netlist.add_input(f"pi{i}", registered=True) for i in range(num_inputs)
+    ]
+    for layer in range(depth):
+        current: list[str] = []
+        for column in range(width):
+            cell = rng.choice(_RANDOM_CELLS)
+            a, b = rng.sample(previous, 2) if len(previous) >= 2 else (
+                previous[0], previous[0])
+            gate = netlist.add_gate(
+                f"g{layer}_{column}", cell, [a, b], f"w{layer}_{column}",
+            )
+            current.append(gate.output)
+        previous = current
+    for index in range(num_outputs):
+        netlist.add_output(previous[index], registered=True)
+    netlist.validate()
+    return netlist
+
+
+def padded_short_path(
+    *,
+    padding_cells: int,
+    name: str = "padded",
+    library: CellLibrary | None = None,
+) -> Netlist:
+    """A single short path padded with DLY4 delay buffers.
+
+    Models the paper's hold-fix requirement: short paths must be padded so
+    their delay exceeds hold time + checking period.  The returned
+    netlist has exactly ``padding_cells`` DLY4 buffers between a launch
+    and a capture register.
+    """
+    if padding_cells < 0:
+        raise ConfigurationError("padding_cells must be >=0")
+    lib = library or default_library()
+    netlist = Netlist(name, lib)
+    current = netlist.add_input("in", registered=True)
+    for index in range(padding_cells):
+        gate = netlist.add_gate(f"pad{index}", "DLY4", [current],
+                                f"p{index}")
+        current = gate.output
+    if padding_cells == 0:
+        # A zero-delay feedthrough still needs a buffer so the net is
+        # distinguishable from its source for the simulator.
+        gate = netlist.add_gate("feed", "BUF", [current], "p_out")
+        current = gate.output
+    netlist.add_output(current, registered=True)
+    netlist.validate()
+    return netlist

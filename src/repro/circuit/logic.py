@@ -1,0 +1,107 @@
+"""Three-valued logic used by the event-driven simulator.
+
+The simulator models digital values as ``0``, ``1``, or ``X`` (unknown).
+``X`` propagates pessimistically through gates unless the gate output is
+fully determined by its controlling inputs (e.g. a NAND with any input at
+``0`` outputs ``1`` regardless of the others).  Metastability and
+uninitialised state both surface as ``X``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+
+class Logic(enum.IntEnum):
+    """A three-valued digital logic level."""
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+
+    def __invert__(self) -> "Logic":
+        if self is Logic.ZERO:
+            return Logic.ONE
+        if self is Logic.ONE:
+            return Logic.ZERO
+        return Logic.X
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return {Logic.ZERO: "0", Logic.ONE: "1", Logic.X: "X"}[self]
+
+    @classmethod
+    def from_value(cls, value: "int | bool | Logic | str") -> "Logic":
+        """Coerce common representations (0/1/True/False/'X') to Logic."""
+        if isinstance(value, Logic):
+            return value
+        if isinstance(value, bool):
+            return cls.ONE if value else cls.ZERO
+        if isinstance(value, int):
+            if value in (0, 1):
+                return cls(value)
+            raise ValueError(f"cannot coerce integer {value} to Logic")
+        if isinstance(value, str):
+            table = {"0": cls.ZERO, "1": cls.ONE, "x": cls.X, "X": cls.X}
+            if value in table:
+                return table[value]
+            raise ValueError(f"cannot coerce string {value!r} to Logic")
+        raise TypeError(f"cannot coerce {type(value).__name__} to Logic")
+
+
+def logic_and(inputs: Iterable[Logic]) -> Logic:
+    """Three-valued AND: 0 dominates, X otherwise taints."""
+    saw_x = False
+    for value in inputs:
+        if value is Logic.ZERO:
+            return Logic.ZERO
+        if value is Logic.X:
+            saw_x = True
+    return Logic.X if saw_x else Logic.ONE
+
+
+def logic_or(inputs: Iterable[Logic]) -> Logic:
+    """Three-valued OR: 1 dominates, X otherwise taints."""
+    saw_x = False
+    for value in inputs:
+        if value is Logic.ONE:
+            return Logic.ONE
+        if value is Logic.X:
+            saw_x = True
+    return Logic.X if saw_x else Logic.ZERO
+
+
+def logic_xor(inputs: Iterable[Logic]) -> Logic:
+    """Three-valued XOR: any X makes the result X."""
+    acc = 0
+    for value in inputs:
+        if value is Logic.X:
+            return Logic.X
+        acc ^= int(value)
+    return Logic(acc)
+
+
+def logic_not(value: Logic) -> Logic:
+    return ~value
+
+
+def logic_mux(select: Logic, when_zero: Logic, when_one: Logic) -> Logic:
+    """Three-valued 2:1 mux.
+
+    An ``X`` select still yields a defined output when both data inputs
+    agree — this mirrors real transmission-gate muxes and matters for the
+    TIMBER slave latch, which must not go unknown when both masters hold
+    the same value.
+    """
+    if select is Logic.ZERO:
+        return when_zero
+    if select is Logic.ONE:
+        return when_one
+    if when_zero is when_one and when_zero is not Logic.X:
+        return when_zero
+    return Logic.X
+
+
+def resolve_unknown(preferred: Logic, fallback: Logic) -> Logic:
+    """Return ``preferred`` unless it is X, in which case ``fallback``."""
+    return fallback if preferred is Logic.X else preferred

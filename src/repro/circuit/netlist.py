@@ -1,0 +1,247 @@
+"""Gate-level netlist representation.
+
+A :class:`Netlist` is a directed graph of :class:`Gate` instances connected
+by named :class:`Net` objects.  Sequential boundaries are marked by
+*register ports*: a net can be declared a register output (launch point) or
+a register input (capture point).  Static timing analysis
+(:mod:`repro.timing.sta`) and the event-driven simulator
+(:mod:`repro.sim.engine`) both operate on this structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Iterator
+
+from repro.circuit.cells import Cell, CellLibrary
+from repro.errors import NetlistError
+
+
+@dataclasses.dataclass
+class Net:
+    """A named wire.
+
+    Attributes:
+        name: Unique net name within the netlist.
+        driver: Name of the driving gate, or ``None`` for primary inputs
+            and register outputs.
+        sinks: Names of gates whose inputs this net feeds.
+    """
+
+    name: str
+    driver: str | None = None
+    sinks: list[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class Gate:
+    """An instance of a library cell.
+
+    Attributes:
+        name: Unique instance name.
+        cell: The library cell implementing this gate.
+        inputs: Ordered input net names (arity must match the cell).
+        output: Output net name.
+        extra_delay_ps: Additional wire/derating delay for this instance.
+    """
+
+    name: str
+    cell: Cell
+    inputs: tuple[str, ...]
+    output: str
+    extra_delay_ps: int = 0
+
+    @property
+    def delay_ps(self) -> int:
+        return self.cell.delay_ps + self.extra_delay_ps
+
+
+class Netlist:
+    """A combinational netlist with registered boundaries."""
+
+    def __init__(self, name: str, library: CellLibrary) -> None:
+        self.name = name
+        self.library = library
+        self._gates: dict[str, Gate] = {}
+        self._nets: dict[str, Net] = {}
+        self._primary_inputs: list[str] = []
+        self._primary_outputs: list[str] = []
+        self._launch_nets: list[str] = []
+        self._capture_nets: list[str] = []
+
+    # -- construction ----------------------------------------------------
+    def add_input(self, net_name: str, *, registered: bool = False) -> str:
+        """Declare a primary input net (optionally a register output)."""
+        self._declare_net(net_name)
+        self._primary_inputs.append(net_name)
+        if registered:
+            self._launch_nets.append(net_name)
+        return net_name
+
+    def add_output(self, net_name: str, *, registered: bool = False) -> str:
+        """Declare an existing net as a primary output (optionally captured)."""
+        if net_name not in self._nets:
+            raise NetlistError(f"output {net_name!r} references unknown net")
+        self._primary_outputs.append(net_name)
+        if registered:
+            self._capture_nets.append(net_name)
+        return net_name
+
+    def add_gate(
+        self,
+        name: str,
+        cell_name: str,
+        inputs: Iterable[str],
+        output: str,
+        *,
+        extra_delay_ps: int = 0,
+    ) -> Gate:
+        """Instantiate ``cell_name`` as gate ``name``.
+
+        Input nets must already exist; the output net is created.
+        """
+        if name in self._gates:
+            raise NetlistError(f"duplicate gate {name!r}")
+        cell = self.library[cell_name]
+        input_names = tuple(inputs)
+        if len(input_names) != cell.num_inputs:
+            raise NetlistError(
+                f"gate {name!r}: cell {cell_name} expects {cell.num_inputs} "
+                f"inputs, got {len(input_names)}"
+            )
+        for net_name in input_names:
+            if net_name not in self._nets:
+                raise NetlistError(
+                    f"gate {name!r} input references unknown net {net_name!r}"
+                )
+        if extra_delay_ps < 0:
+            raise NetlistError(f"gate {name!r}: negative extra delay")
+        self._declare_net(output, driver=name)
+        gate = Gate(name, cell, input_names, output, extra_delay_ps)
+        self._gates[name] = gate
+        for net_name in input_names:
+            self._nets[net_name].sinks.append(name)
+        return gate
+
+    def _declare_net(self, name: str, driver: str | None = None) -> None:
+        if name in self._nets:
+            if driver is not None and self._nets[name].driver is not None:
+                raise NetlistError(f"net {name!r} has multiple drivers")
+            if driver is not None:
+                self._nets[name].driver = driver
+            return
+        self._nets[name] = Net(name, driver=driver)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def gates(self) -> dict[str, Gate]:
+        return dict(self._gates)
+
+    @property
+    def nets(self) -> dict[str, Net]:
+        return dict(self._nets)
+
+    @property
+    def primary_inputs(self) -> list[str]:
+        return list(self._primary_inputs)
+
+    @property
+    def primary_outputs(self) -> list[str]:
+        return list(self._primary_outputs)
+
+    @property
+    def launch_nets(self) -> list[str]:
+        """Nets driven by register outputs (path start points)."""
+        return list(self._launch_nets)
+
+    @property
+    def capture_nets(self) -> list[str]:
+        """Nets feeding register inputs (path end points)."""
+        return list(self._capture_nets)
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise NetlistError(f"unknown gate {name!r}") from None
+
+    def net(self, name: str) -> Net:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise NetlistError(f"unknown net {name!r}") from None
+
+    def fanout_gates(self, net_name: str) -> list[Gate]:
+        return [self._gates[g] for g in self.net(net_name).sinks]
+
+    def driver_gate(self, net_name: str) -> Gate | None:
+        driver = self.net(net_name).driver
+        return None if driver is None else self._gates[driver]
+
+    def retarget_capture(self, old_net: str, new_net: str) -> None:
+        """Move a register-input (capture) designation to another net.
+
+        Used by hold fixing: the register that used to sample ``old_net``
+        now samples ``new_net`` (the end of an inserted buffer chain).
+        """
+        if old_net not in self._capture_nets:
+            raise NetlistError(f"{old_net!r} is not a capture net")
+        if new_net not in self._nets:
+            raise NetlistError(f"unknown net {new_net!r}")
+        index = self._capture_nets.index(old_net)
+        self._capture_nets[index] = new_net
+        if old_net in self._primary_outputs:
+            self._primary_outputs[self._primary_outputs.index(old_net)] = (
+                new_net
+            )
+
+    # -- structure ---------------------------------------------------------
+    def topological_gates(self) -> list[Gate]:
+        """Gates in topological order; raises on combinational loops."""
+        indegree: dict[str, int] = {}
+        for gate in self._gates.values():
+            indegree[gate.name] = sum(
+                1 for net in gate.inputs if self._nets[net].driver is not None
+            )
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: list[Gate] = []
+        queue = list(ready)
+        while queue:
+            name = queue.pop()
+            gate = self._gates[name]
+            order.append(gate)
+            for sink_name in self._nets[gate.output].sinks:
+                indegree[sink_name] -= 1
+                if indegree[sink_name] == 0:
+                    queue.append(sink_name)
+        if len(order) != len(self._gates):
+            remaining = sorted(set(self._gates) - {g.name for g in order})
+            raise NetlistError(
+                f"combinational loop involving gates: {remaining[:8]}"
+            )
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`NetlistError`."""
+        for net in self._nets.values():
+            driven = net.driver is not None or net.name in self._primary_inputs
+            if not driven:
+                raise NetlistError(f"net {net.name!r} has no driver")
+        self.topological_gates()
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate area/leakage over all gate instances."""
+        area = sum(g.cell.area for g in self._gates.values())
+        leakage = sum(g.cell.leakage for g in self._gates.values())
+        return {
+            "gates": float(len(self._gates)),
+            "nets": float(len(self._nets)),
+            "area": area,
+            "leakage": leakage,
+        }
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates.values())
+
+    def __len__(self) -> int:
+        return len(self._gates)

@@ -1,0 +1,205 @@
+"""Command-line interface: ``repro-timber <command>``.
+
+Gives quick terminal access to the headline experiments:
+
+* ``fig1``       — critical-path distribution (motivation).
+* ``fig8``       — case-study overhead sweep.
+* ``waveforms``  — Figs. 5/7 two-stage error waveforms (ASCII or VCD).
+* ``table1``     — technique comparison table.
+* ``deploy``     — deploy TIMBER on a synthetic processor and summarise.
+* ``energy``     — margin-to-energy conversion per scheme.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import fig1_experiment
+    from repro.analysis.tables import format_table
+
+    results = fig1_experiment()
+    rows = []
+    for name in ("low", "medium", "high"):
+        for dist in results[name]:
+            rows.append([
+                name, f"top {dist.percent_threshold:.0f}%",
+                f"{dist.pct_ffs_ending:.1f}",
+                f"{dist.pct_ffs_through:.1f}",
+            ])
+    print(format_table(
+        ["point", "threshold", "% FFs ending", "% FFs start+end"], rows))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import fig8_experiment
+    from repro.analysis.tables import format_table
+
+    rows = fig8_experiment()
+    table_rows = [
+        [r.point, f"{r.checking_percent:.0f}%", r.style,
+         "TB" if r.with_tb_interval else "no-TB",
+         f"{r.margin_percent:.1f}", f"{r.power_overhead_percent:.2f}",
+         f"{r.relay_area_overhead_percent:.2f}",
+         f"{r.relay_slack_percent:.0f}"]
+        for r in rows
+    ]
+    print(format_table(
+        ["point", "checking", "style", "variant", "margin %",
+         "power ovh %", "relay area %", "relay slack %"], table_rows))
+    return 0
+
+
+def _cmd_waveforms(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import two_stage_waveform_experiment
+
+    result = two_stage_waveform_experiment(args.style)
+    if args.vcd:
+        from repro.sim.vcd import write_vcd
+
+        write_vcd(args.vcd, result.recorder,
+                  end_ps=3 * result.period_ps + result.period_ps // 2)
+        print(f"wrote {args.vcd}")
+    else:
+        print(result.recorder.render_ascii(
+            end_ps=3 * result.period_ps + result.period_ps // 2,
+            step_ps=50,
+            order=["clk", "d1", "q1", "err1", "d2", "q2", "err2"]))
+        print(f"stage1 flagged: {result.stage1_flagged}; "
+              f"stage2 flagged: {result.stage2_flagged}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.baselines.registry import TABLE1_CATEGORIES, table1_rows
+
+    headers = ["Feature"] + [c.category.value for c in TABLE1_CATEGORIES]
+    print(format_table(headers, table1_rows(), max_col_width=30))
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.core import TimberDesign, TimberStyle
+    from repro.processor import PERFORMANCE_POINTS, generate_processor
+
+    point = next((p for p in PERFORMANCE_POINTS if p.name == args.point),
+                 None)
+    if point is None:
+        print(f"unknown performance point {args.point!r}",
+              file=sys.stderr)
+        return 2
+    graph = generate_processor(point)
+    design = TimberDesign(
+        graph=graph,
+        style=(TimberStyle.FLIP_FLOP if args.style == "ff"
+               else TimberStyle.LATCH),
+        percent_checking=args.checking,
+        with_tb_interval=not args.no_tb,
+    )
+    for key, value in design.summary().items():
+        print(f"{key:32s} {value:.2f}")
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.baselines.architectures import ARCHITECTURES
+    from repro.power.voltage import margin_to_energy_savings
+
+    rows = []
+    for arch in ARCHITECTURES:
+        margin = arch.margin_recovered_percent(args.checking)
+        savings = margin_to_energy_savings(margin)
+        rows.append([
+            arch.display_name, f"{margin:.1f}",
+            f"{savings.scaled_vdd:.3f}",
+            f"{savings.gross_savings_percent:.1f}",
+        ])
+    print(format_table(
+        ["scheme", "margin (% of T)", "scaled Vdd",
+         "gross energy savings %"], rows))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    try:
+        text = generate_report(args.out_dir)
+    except Exception as error:  # surfaced as exit status for scripts
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-timber`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-timber",
+        description="TIMBER (DATE 2010) reproduction experiments",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="critical-path distribution") \
+        .set_defaults(func=_cmd_fig1)
+    sub.add_parser("fig8", help="case-study overhead sweep") \
+        .set_defaults(func=_cmd_fig8)
+
+    wave = sub.add_parser("waveforms",
+                          help="two-stage error waveforms (Figs. 5/7)")
+    wave.add_argument("--style", choices=("ff", "latch"), default="ff")
+    wave.add_argument("--vcd", metavar="PATH",
+                      help="write a VCD file instead of ASCII art")
+    wave.set_defaults(func=_cmd_waveforms)
+
+    sub.add_parser("table1", help="technique comparison table") \
+        .set_defaults(func=_cmd_table1)
+
+    deploy = sub.add_parser("deploy",
+                            help="deploy TIMBER on a synthetic processor")
+    deploy.add_argument("--point", default="medium",
+                        choices=("low", "medium", "high"))
+    deploy.add_argument("--style", choices=("ff", "latch"), default="ff")
+    deploy.add_argument("--checking", type=float, default=30.0,
+                        help="checking period, %% of the clock period")
+    deploy.add_argument("--no-tb", action="store_true",
+                        help="use the 2-ED (no TB interval) layout")
+    deploy.set_defaults(func=_cmd_deploy)
+
+    energy = sub.add_parser("energy",
+                            help="margin-to-energy conversion per scheme")
+    energy.add_argument("--checking", type=float, default=30.0)
+    energy.set_defaults(func=_cmd_energy)
+
+    rep = sub.add_parser("report",
+                         help="assemble benchmark artefacts into markdown")
+    rep.add_argument("--out-dir", default="benchmarks/out")
+    rep.add_argument("--output", metavar="PATH",
+                     help="write the report to a file instead of stdout")
+    rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""TIMBER core: the paper's primary contribution.
+
+* :mod:`repro.core.checking_period` — TB/ED interval arithmetic.
+* :mod:`repro.core.masking` — capture-outcome semantics for every scheme.
+* :mod:`repro.core.relay` — error-relay behaviour and cost model.
+* :mod:`repro.core.architecture` — applying TIMBER to a design.
+* :mod:`repro.core.structural` — gate/latch-level TIMBER circuits.
+"""
+
+from repro.core.checking_period import CheckingPeriod, IntervalKind
+from repro.core.masking import (
+    CaptureOutcome,
+    canary_capture,
+    clock_stall_capture,
+    plain_ff_capture,
+    razor_capture,
+    soft_edge_capture,
+    timber_ff_capture,
+    timber_latch_capture,
+)
+from repro.core.relay import ErrorRelay, RelayCost, relay_cost
+from repro.core.architecture import TimberDesign, TimberStyle
+from repro.core.ortree import OrTree, build_or_tree, consolidation_latency_ps
+from repro.core.testbench import TimberTestbench, build_timber_testbench
+from repro.core.selector import (
+    SelectionResult,
+    coverage_curve,
+    endpoint_weights,
+    select_all_critical,
+    select_budgeted,
+)
+
+__all__ = [
+    "CheckingPeriod",
+    "IntervalKind",
+    "CaptureOutcome",
+    "timber_ff_capture",
+    "timber_latch_capture",
+    "plain_ff_capture",
+    "razor_capture",
+    "canary_capture",
+    "soft_edge_capture",
+    "clock_stall_capture",
+    "ErrorRelay",
+    "RelayCost",
+    "relay_cost",
+    "TimberDesign",
+    "TimberStyle",
+    "OrTree",
+    "build_or_tree",
+    "consolidation_latency_ps",
+    "SelectionResult",
+    "coverage_curve",
+    "endpoint_weights",
+    "select_all_critical",
+    "select_budgeted",
+    "TimberTestbench",
+    "build_timber_testbench",
+]

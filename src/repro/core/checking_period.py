@@ -1,0 +1,162 @@
+"""Checking-period arithmetic (paper Secs. 3-4).
+
+The checking period ``c`` — a fixed fraction of the clock period — is
+divided into ``k`` equal intervals of duration ``t`` (``c = k*t``).  The
+first ``num_tb`` intervals are *time-borrowing* (TB: mask silently), the
+remaining ``k - num_tb`` are *error-detection* (ED: mask and flag).  The
+recovered timing margin is ``t``: the largest single-stage dynamic
+violation the scheme absorbs per stage.
+
+Two configurations matter for the paper's results:
+
+* **without a TB interval** (``k = 2, num_tb = 0``): margin ``c/2``, every
+  masked error is flagged immediately;
+* **with one TB interval** (``k = 3, num_tb = 1``): margin ``c/3``,
+  single-stage errors are masked silently and only multi-stage errors
+  reach the central controller.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ConfigurationError
+from repro.units import percent_of
+
+
+class IntervalKind(enum.Enum):
+    """Classification of a checking-period interval."""
+
+    TB = "time-borrowing"
+    ED = "error-detection"
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckingPeriod:
+    """A fully resolved checking-period configuration.
+
+    Attributes:
+        period_ps: Clock period.
+        percent: Checking period as a percentage of the clock period.
+        num_intervals: ``k`` — total intervals in the checking period.
+        num_tb: ``k0`` — leading TB intervals (``0 <= num_tb < k``).
+    """
+
+    period_ps: int
+    percent: float
+    num_intervals: int = 3
+    num_tb: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period_ps <= 0:
+            raise ConfigurationError("clock period must be > 0")
+        if not 0 < self.percent <= 50:
+            raise ConfigurationError(
+                "checking period must be in (0, 50]% of the clock period: "
+                "the error flag is latched on the falling edge, so the "
+                "checking period cannot extend past it"
+            )
+        if self.num_intervals < 1:
+            raise ConfigurationError("need at least one interval")
+        if not 0 <= self.num_tb < self.num_intervals:
+            raise ConfigurationError(
+                "num_tb must leave at least one ED interval "
+                f"(got num_tb={self.num_tb}, k={self.num_intervals})"
+            )
+        if self.interval_ps <= 0:
+            raise ConfigurationError(
+                f"{self.percent}% of {self.period_ps} ps split into "
+                f"{self.num_intervals} intervals leaves a zero-width "
+                f"interval"
+            )
+
+    # -- durations -----------------------------------------------------------
+    @property
+    def checking_ps(self) -> int:
+        """Total checking-period duration ``c``."""
+        return percent_of(self.period_ps, self.percent)
+
+    @property
+    def interval_ps(self) -> int:
+        """Single interval duration ``t = c / k``."""
+        return self.checking_ps // self.num_intervals
+
+    @property
+    def tb_ps(self) -> int:
+        """Duration of the TB portion (``num_tb * t``)."""
+        return self.num_tb * self.interval_ps
+
+    @property
+    def ed_ps(self) -> int:
+        """Duration of the ED portion."""
+        return (self.num_intervals - self.num_tb) * self.interval_ps
+
+    @property
+    def recovered_margin_ps(self) -> int:
+        """The dynamic-variability margin recovered per stage (``t``)."""
+        return self.interval_ps
+
+    @property
+    def recovered_margin_percent(self) -> float:
+        """Recovered margin as a percentage of the clock period.
+
+        ``c/2``% without a TB interval (k=2), ``c/3``% with one (k=3).
+        """
+        return self.percent / self.num_intervals
+
+    # -- classification --------------------------------------------------------
+    def interval_kind(self, index: int) -> IntervalKind:
+        """Kind of the 1-based ``index``-th interval."""
+        if not 1 <= index <= self.num_intervals:
+            raise ConfigurationError(
+                f"interval index {index} outside [1, {self.num_intervals}]"
+            )
+        return IntervalKind.TB if index <= self.num_tb else IntervalKind.ED
+
+    def flags_on_interval(self, index: int) -> bool:
+        """Whether borrowing the 1-based ``index``-th interval flags."""
+        return self.interval_kind(index) is IntervalKind.ED
+
+    @property
+    def max_maskable_stages(self) -> int:
+        """Longest multi-stage error the checking period can absorb."""
+        return self.num_intervals
+
+    @property
+    def stages_masked_after_flag(self) -> int:
+        """Cycles guaranteed error-free after the first flag (Sec. 4):
+        the ED intervals beyond the first keep masking while the
+        controller consolidates and reacts."""
+        return self.num_intervals - self.num_tb - 1
+
+    def consolidation_budget_ps(self) -> int:
+        """Time available to the OR-tree/controller before state loss.
+
+        The error latches on the falling edge (half a period after the
+        capture edge) and ``stages_masked_after_flag`` further cycles stay
+        masked, giving ``(stages_masked_after_flag + 0.5)`` periods — the
+        paper's "1.5 clock cycles" for the 1 TB + 2 ED configuration.
+        """
+        return (self.stages_masked_after_flag * self.period_ps
+                + self.period_ps // 2)
+
+    # -- constraints -------------------------------------------------------------
+    def min_short_path_delay_ps(self, hold_ps: int) -> int:
+        """Hold constraint: short paths must exceed hold + checking."""
+        if hold_ps < 0:
+            raise ConfigurationError("hold must be >= 0")
+        return hold_ps + self.checking_ps
+
+    # -- convenience constructors -------------------------------------------------
+    @classmethod
+    def without_tb(cls, period_ps: int, percent: float) -> "CheckingPeriod":
+        """The paper's 'without ED... interval' case: 2 ED intervals,
+        margin c/2, single-stage errors flagged immediately."""
+        return cls(period_ps, percent, num_intervals=2, num_tb=0)
+
+    @classmethod
+    def with_tb(cls, period_ps: int, percent: float) -> "CheckingPeriod":
+        """The paper's deferred-flagging case: 1 TB + 2 ED intervals,
+        margin c/3, single-stage errors masked silently."""
+        return cls(period_ps, percent, num_intervals=3, num_tb=1)

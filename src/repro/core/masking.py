@@ -1,0 +1,228 @@
+"""Capture-outcome semantics for every resilience scheme.
+
+These pure functions are the analytic counterparts of the behavioural
+elements in :mod:`repro.sequential`: given how *late* the data arrived at
+a capture element (relative to the clock edge), they report what happens —
+masked / detected / flagged / failed — and how much time the element
+borrowed from the next stage.  The cycle-level pipeline simulator and the
+architecture-level comparisons are built on them.
+
+Lateness convention: ``lateness_ps <= 0`` means the data met setup;
+``lateness_ps > 0`` is a timing violation of that size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.checking_period import CheckingPeriod
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureOutcome:
+    """What happened at a capture element on one clock edge.
+
+    Attributes:
+        correct_state: The architecturally visible state is correct after
+            this capture (True for masking/prediction schemes and clean
+            captures; False when detection fired after corruption or when
+            the capture failed outright).
+        masked: A violation occurred and was absorbed by time borrowing.
+        detected: An error-detection mechanism observed the violation
+            (after the fact — Razor style).
+        predicted: A warning fired before any violation (canary style).
+        flagged: The element raised its error output to the central
+            controller.
+        failed: The violation exceeded what the scheme tolerates; state
+            is silently or fatally corrupt.
+        borrowed_ps: Time by which the element's output (and therefore
+            the next stage's launch) is delayed.
+        borrowed_intervals: Discrete intervals borrowed (TIMBER FF only).
+    """
+
+    correct_state: bool
+    masked: bool = False
+    detected: bool = False
+    predicted: bool = False
+    flagged: bool = False
+    failed: bool = False
+    borrowed_ps: int = 0
+    borrowed_intervals: int = 0
+
+
+#: A clean capture shared by every scheme.
+CLEAN = CaptureOutcome(correct_state=True)
+
+
+def timber_ff_capture(
+    lateness_ps: int,
+    select_in: int,
+    cp: CheckingPeriod,
+) -> CaptureOutcome:
+    """TIMBER flip-flop capture (discrete borrowing, paper Sec. 5.1).
+
+    M1 samples ``delta = (select_in + 1) * t`` after the edge.  A
+    violation within ``delta`` is masked by borrowing exactly ``delta``
+    (discrete units — the edge-sampling property is preserved, at the
+    price of rounding the borrow up to a full interval).  A violation
+    beyond ``delta`` means M1 *also* sampled the stale value: the error
+    is silently missed — the architecture must keep ``select_in`` large
+    enough (via the error relay) for this never to happen.
+    """
+    if select_in < 0:
+        raise ConfigurationError("select_in must be >= 0")
+    effective_select = min(select_in, cp.num_intervals - 1)
+    if lateness_ps <= 0:
+        return CLEAN
+    delta_ps = (effective_select + 1) * cp.interval_ps
+    if lateness_ps <= delta_ps:
+        borrowed = effective_select + 1
+        return CaptureOutcome(
+            correct_state=True,
+            masked=True,
+            flagged=cp.flags_on_interval(borrowed),
+            borrowed_ps=delta_ps,
+            borrowed_intervals=borrowed,
+        )
+    # M1 sampled before the late transition arrived: silent corruption.
+    return CaptureOutcome(correct_state=False, failed=True)
+
+
+def timber_latch_capture(
+    lateness_ps: int,
+    cp: CheckingPeriod,
+) -> CaptureOutcome:
+    """TIMBER latch capture (continuous borrowing, paper Sec. 5.2).
+
+    The slave is transparent for the whole checking period, so any
+    arrival within it is masked, borrowing exactly the lateness (no
+    rounding, no relay).  The error is flagged when the arrival falls in
+    the ED portion (master and slave disagree on the falling edge).
+    """
+    if lateness_ps <= 0:
+        return CLEAN
+    if lateness_ps <= cp.checking_ps:
+        return CaptureOutcome(
+            correct_state=True,
+            masked=True,
+            flagged=lateness_ps > cp.tb_ps,
+            borrowed_ps=lateness_ps,
+        )
+    # Arrived after the slave closed: missed, and nothing compared
+    # differently on the falling edge only if it also missed the master -
+    # the master closed even earlier, so this *is* detected as a flag,
+    # but the state is corrupt.
+    return CaptureOutcome(correct_state=False, failed=True, flagged=True)
+
+
+def plain_ff_capture(lateness_ps: int) -> CaptureOutcome:
+    """A conventional flip-flop: any violation is silent corruption."""
+    if lateness_ps <= 0:
+        return CLEAN
+    return CaptureOutcome(correct_state=False, failed=True)
+
+
+def razor_capture(lateness_ps: int, window_ps: int) -> CaptureOutcome:
+    """Razor flip-flop: detect after the fact, recover by replay.
+
+    A violation within the shadow window is detected; the architectural
+    state was corrupted for part of a cycle, so ``correct_state`` is
+    False and the architecture model charges a rollback/replay penalty.
+    Beyond the window even Razor misses it.
+    """
+    if window_ps <= 0:
+        raise ConfigurationError("razor window must be > 0")
+    if lateness_ps <= 0:
+        return CLEAN
+    if lateness_ps <= window_ps:
+        return CaptureOutcome(
+            correct_state=False, detected=True, flagged=True,
+        )
+    return CaptureOutcome(correct_state=False, failed=True)
+
+
+def canary_capture(lateness_ps: int, guard_ps: int) -> CaptureOutcome:
+    """Canary flip-flop: predict inside the guard band, never borrow.
+
+    An arrival inside the guard band *before* the edge raises a
+    prediction (state still correct).  An actual violation means the
+    prediction mechanism was too slow to save the system — failure.
+    """
+    if guard_ps <= 0:
+        raise ConfigurationError("canary guard band must be > 0")
+    if lateness_ps > 0:
+        return CaptureOutcome(correct_state=False, failed=True)
+    if lateness_ps > -guard_ps:
+        return CaptureOutcome(
+            correct_state=True, predicted=True, flagged=True,
+        )
+    return CLEAN
+
+
+def clock_stall_capture(lateness_ps: int, window_ps: int,
+                        consolidation_fits: bool) -> CaptureOutcome:
+    """Clock-stall temporal masking (Sec. 2's ref. [16] style).
+
+    A detector sees the late transition inside ``window_ps`` and stalls
+    the clock for one cycle so the state is never consumed corrupted.
+    The paper's criticism is the precondition: stalling must happen
+    *before the next edge*, which requires consolidating error signals
+    from every flip-flop within one cycle — hard at high frequency.
+    ``consolidation_fits`` models that feasibility check: when it does
+    not fit, the late capture corrupts state before the stall lands.
+    """
+    if window_ps <= 0:
+        raise ConfigurationError("stall detection window must be > 0")
+    if lateness_ps <= 0:
+        return CLEAN
+    if lateness_ps <= window_ps:
+        if consolidation_fits:
+            # Stalled in time: masked at the cost of one dead cycle
+            # (charged by the policy as a stall penalty).
+            return CaptureOutcome(
+                correct_state=True, masked=True, detected=True,
+                flagged=True,
+            )
+        return CaptureOutcome(
+            correct_state=False, detected=True, flagged=True,
+            failed=True,
+        )
+    return CaptureOutcome(correct_state=False, failed=True)
+
+
+def soft_edge_capture(lateness_ps: int, window_ps: int) -> CaptureOutcome:
+    """Soft-edge flip-flop: static window, silent borrowing, no flag.
+
+    Masks any violation within the fixed transparency window — but never
+    detects, never flags, never relays.  A violation beyond the window
+    is silent corruption, and nothing upstream ever learns the window
+    was being eaten by drift (the observability gap vs. TIMBER)."""
+    if window_ps <= 0:
+        raise ConfigurationError("soft-edge window must be > 0")
+    if lateness_ps <= 0:
+        return CLEAN
+    if lateness_ps <= window_ps:
+        return CaptureOutcome(
+            correct_state=True, masked=True, borrowed_ps=lateness_ps,
+        )
+    return CaptureOutcome(correct_state=False, failed=True)
+
+
+def dcf_capture(lateness_ps: int, detect_window_ps: int,
+                resample_delay_ps: int) -> CaptureOutcome:
+    """Delay-compensation FF: resample once, borrow a fixed delay.
+
+    Masks violations up to ``resample_delay_ps`` but has no relay — a
+    second consecutive-stage violation on top of the borrowed time is
+    invisible to it (the paper's criticism)."""
+    if detect_window_ps <= 0 or resample_delay_ps <= 0:
+        raise ConfigurationError("dcf windows must be > 0")
+    if lateness_ps <= 0:
+        return CLEAN
+    if lateness_ps <= resample_delay_ps and lateness_ps <= detect_window_ps:
+        return CaptureOutcome(
+            correct_state=True, masked=True,
+            borrowed_ps=resample_delay_ps,
+        )
+    return CaptureOutcome(correct_state=False, failed=True)

@@ -1,0 +1,126 @@
+"""Error-consolidation OR-tree (paper Sec. 4).
+
+The error outputs of all TIMBER elements are consolidated by an OR-tree
+whose root feeds the central error-control unit.  The paper attributes
+the error-consolidation latency "mainly to the latency of the OR-tree"
+and budgets 1.5 clock cycles for it; this module models the tree
+explicitly — depth, delay, area, leakage — so the budget check is
+grounded in structure instead of a free parameter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.circuit.cells import CellLibrary, default_library
+from repro.core.checking_period import CheckingPeriod
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class OrTree:
+    """A balanced OR-tree over ``num_inputs`` error signals.
+
+    Attributes:
+        num_inputs: Error sources consolidated (one per TIMBER element).
+        fanin: OR-gate fanin used at every level.
+        num_gates: Total OR gates in the tree.
+        depth: Gate levels from any leaf to the root.
+        gate_delay_ps: Per-level propagation delay.
+        wire_delay_per_level_ps: Repeater/wire delay added per level —
+            the tree spans the whole die, so wire delay dominates for
+            large designs.
+    """
+
+    num_inputs: int
+    fanin: int
+    num_gates: int
+    depth: int
+    gate_delay_ps: int
+    wire_delay_per_level_ps: int
+    gate_area: float
+    gate_leakage: float
+
+    @property
+    def latency_ps(self) -> int:
+        """Leaf-to-root consolidation latency."""
+        return self.depth * (self.gate_delay_ps
+                             + self.wire_delay_per_level_ps)
+
+    @property
+    def area(self) -> float:
+        return self.num_gates * self.gate_area
+
+    @property
+    def leakage(self) -> float:
+        """The tree's inputs are all-zero in error-free operation, so
+        its power contribution is essentially static."""
+        return self.num_gates * self.gate_leakage
+
+    def fits_budget(self, cp: CheckingPeriod,
+                    controller_decision_ps: int = 0) -> bool:
+        """Whether tree latency + controller decision time fits the
+        checking period's consolidation budget."""
+        if controller_decision_ps < 0:
+            raise ConfigurationError("decision time must be >= 0")
+        total = self.latency_ps + controller_decision_ps
+        return total <= cp.consolidation_budget_ps()
+
+
+def build_or_tree(
+    num_inputs: int,
+    *,
+    fanin: int = 4,
+    library: CellLibrary | None = None,
+    wire_delay_per_level_ps: int = 60,
+) -> OrTree:
+    """Construct a balanced OR-tree over ``num_inputs`` error signals.
+
+    Uses NOR/NAND-style OR gates priced from the library's ``OR2`` cell
+    scaled to the requested fanin (area and delay grow roughly linearly
+    with fanin within a level).
+    """
+    if num_inputs < 1:
+        raise ConfigurationError("need at least one error source")
+    if fanin < 2:
+        raise ConfigurationError("fanin must be >= 2")
+    lib = library or default_library()
+    or2 = lib["OR2"]
+    scale = fanin / 2.0
+
+    num_gates = 0
+    width = num_inputs
+    depth = 0
+    while width > 1:
+        level_gates = math.ceil(width / fanin)
+        num_gates += level_gates
+        width = level_gates
+        depth += 1
+    return OrTree(
+        num_inputs=num_inputs,
+        fanin=fanin,
+        num_gates=num_gates,
+        depth=depth,
+        gate_delay_ps=int(round(or2.delay_ps * scale)),
+        wire_delay_per_level_ps=wire_delay_per_level_ps,
+        gate_area=or2.area * scale,
+        gate_leakage=or2.leakage * scale,
+    )
+
+
+def consolidation_latency_ps(
+    num_elements: int,
+    *,
+    fanin: int = 4,
+    wire_delay_per_level_ps: int = 60,
+    controller_decision_ps: int = 120,
+) -> int:
+    """End-to-end consolidation latency for ``num_elements`` sources.
+
+    Convenience wrapper: OR-tree latency plus the control unit's
+    decision time — the number the paper bounds by 1.5 clock cycles.
+    """
+    tree = build_or_tree(num_elements, fanin=fanin,
+                         wire_delay_per_level_ps=wire_delay_per_level_ps)
+    return tree.latency_ps + controller_decision_ps

@@ -1,0 +1,143 @@
+"""Endpoint-selection policies for TIMBER deployment.
+
+The paper's rule is simple: for a checking period of ``c``% of the clock
+period, replace every flip-flop terminating a top-``c``% critical path.
+Real deployments often face a budget instead — "spend at most X% extra
+power" — so this module adds budgeted greedy selection and a coverage
+metric to quantify what partial protection buys.
+
+Coverage here is *violation-weighted*: each endpoint contributes the
+amount of near-critical path delay mass terminating at it, which is
+proportional to how often dynamic variability will push it past the
+edge under the linear-in-criticality sensitization model of
+:mod:`repro.processor.workload`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.power.models import DesignCostModel
+from repro.timing.graph import TimingGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of an endpoint-selection policy."""
+
+    policy: str
+    percent_checking: float
+    selected: frozenset[str]
+    coverage: float
+    power_overhead_percent: float
+
+    @property
+    def num_selected(self) -> int:
+        return len(self.selected)
+
+
+def endpoint_weights(graph: TimingGraph,
+                     percent_checking: float) -> dict[str, float]:
+    """Violation-weighted importance of each critical endpoint.
+
+    Weight = sum over critical in-edges of the edge's *exposure*: how
+    far its delay sits into the checking window, normalised by the
+    window width.  An endpoint fed by paths right at the clock edge
+    weighs ~1 per path; one barely inside the window weighs ~0.
+    """
+    threshold = graph.critical_threshold_ps(percent_checking)
+    window = graph.period_ps - threshold
+    if window <= 0:
+        raise ConfigurationError("empty criticality window")
+    weights: dict[str, float] = {}
+    for edge in graph.critical_edges(percent_checking):
+        exposure = (edge.delay_ps - threshold) / window
+        weights[edge.dst] = weights.get(edge.dst, 0.0) + exposure
+    return weights
+
+
+def _overhead_for(graph: TimingGraph, count: int, element_cell: str,
+                  model: DesignCostModel) -> float:
+    baseline = model.baseline_costs(graph).total_power
+    delta = model.sequential_delta("DFF", element_cell, count).total_power
+    return 100.0 * delta / baseline
+
+
+def select_all_critical(
+    graph: TimingGraph,
+    percent_checking: float,
+    *,
+    element_cell: str = "TIMBER_FF",
+    cost_model: DesignCostModel | None = None,
+) -> SelectionResult:
+    """The paper's policy: protect every critical endpoint."""
+    model = cost_model or DesignCostModel()
+    weights = endpoint_weights(graph, percent_checking)
+    selected = frozenset(weights)
+    return SelectionResult(
+        policy="all-critical",
+        percent_checking=percent_checking,
+        selected=selected,
+        coverage=1.0 if weights else 0.0,
+        power_overhead_percent=_overhead_for(
+            graph, len(selected), element_cell, model),
+    )
+
+
+def select_budgeted(
+    graph: TimingGraph,
+    percent_checking: float,
+    *,
+    power_budget_percent: float,
+    element_cell: str = "TIMBER_FF",
+    cost_model: DesignCostModel | None = None,
+) -> SelectionResult:
+    """Greedy selection under a power budget.
+
+    Endpoints are taken in decreasing violation weight until the next
+    element would exceed ``power_budget_percent`` extra power.  Since
+    every element costs the same, greedy-by-weight is optimal for this
+    knapsack.
+    """
+    if power_budget_percent < 0:
+        raise ConfigurationError("budget must be >= 0")
+    model = cost_model or DesignCostModel()
+    weights = endpoint_weights(graph, percent_checking)
+    total_weight = sum(weights.values())
+    baseline = model.baseline_costs(graph).total_power
+    per_element = model.sequential_delta(
+        "DFF", element_cell, 1).total_power
+    max_count = (
+        int(power_budget_percent / 100.0 * baseline / per_element)
+        if per_element > 0 else len(weights)
+    )
+    ranked = sorted(weights, key=lambda ff: -weights[ff])
+    chosen = ranked[:max_count]
+    covered = sum(weights[ff] for ff in chosen)
+    return SelectionResult(
+        policy="budgeted-greedy",
+        percent_checking=percent_checking,
+        selected=frozenset(chosen),
+        coverage=covered / total_weight if total_weight else 0.0,
+        power_overhead_percent=_overhead_for(
+            graph, len(chosen), element_cell, model),
+    )
+
+
+def coverage_curve(
+    graph: TimingGraph,
+    percent_checking: float,
+    budgets: tuple[float, ...],
+    *,
+    element_cell: str = "TIMBER_FF",
+    cost_model: DesignCostModel | None = None,
+) -> list[SelectionResult]:
+    """Coverage-vs-budget sweep (ablation for partial protection)."""
+    return [
+        select_budgeted(graph, percent_checking,
+                        power_budget_percent=budget,
+                        element_cell=element_cell,
+                        cost_model=cost_model)
+        for budget in budgets
+    ]

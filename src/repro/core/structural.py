@@ -1,0 +1,235 @@
+"""Structural (latch-level) TIMBER circuits — paper Figs. 3 and 6.
+
+These models assemble TIMBER elements from the same primitives the
+paper's schematics use — level-sensitive latches, transmission-gate
+muxing, and derived clocks — and run on the event-driven simulator.
+They stand in for the paper's SPICE validation: the waveform experiments
+(Figs. 5 and 7) are produced by driving these circuits, and integration
+tests check they agree with the behavioural models in
+:mod:`repro.sequential`.
+
+Signal naming: every internal signal is prefixed with the element name,
+e.g. ``f1.m0q`` for flip-flop ``f1``'s M0 master-latch output.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.logic import Logic, logic_mux
+from repro.errors import ConfigurationError
+from repro.sequential.latch import DLatch, PulseGatedLatch
+from repro.sim.engine import Simulator
+
+#: Mux (transmission gate pair) propagation delay.
+_MUX_DELAY_PS = 10
+#: XOR comparator delay for the error flag.
+_XOR_DELAY_PS = 30
+
+
+class StructuralTimberFF:
+    """Latch-level TIMBER flip-flop (paper Fig. 3).
+
+    Structure:
+
+    * master latch **M0** — transparent while CLK is low, so it samples D
+      on the rising edge of CLK;
+    * master latch **M1** — transparent while CLKD (= CLK delayed by
+      ``delta = (select+1) * interval``) is low, so it samples D on the
+      rising edge of CLKD;
+    * transmission gates **P0/P1** — M0 drives the slave from the rising
+      edge of CLK until the rising edge of CLKD, then M1 takes over
+      (modelled as a mux selected by ``CLK AND CLKD``);
+    * common **slave latch** — transparent while CLK is high;
+    * **error flag** — XOR of the master outputs, latched on the falling
+      edge of CLK when the borrowed interval is ED-type;
+    * **select logic** — ``select_out = select_in + 1`` on error, else 0.
+
+    Setting ``enabled=False`` freezes CLKD onto CLK so the element
+    degenerates into a conventional master-slave flip-flop (the EN gate
+    of Fig. 3(b)).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        err: str,
+        interval_ps: int,
+        num_intervals: int = 3,
+        num_tb_intervals: int = 1,
+        enabled: bool = True,
+    ) -> None:
+        if interval_ps <= 0:
+            raise ConfigurationError(f"{name}: interval must be > 0")
+        if not 0 <= num_tb_intervals < num_intervals:
+            raise ConfigurationError(
+                f"{name}: need 0 <= num_tb < num_intervals"
+            )
+        self.simulator = simulator
+        self.name = name
+        self.d = d
+        self.clk = clk
+        self.q = q
+        self.err = err
+        self.interval_ps = interval_ps
+        self.num_intervals = num_intervals
+        self.num_tb_intervals = num_tb_intervals
+        self.enabled = enabled
+        self.select_in = 0
+        self.select_out = 0
+
+        self.clkd = f"{name}.clkd"
+        self.m0q = f"{name}.m0q"
+        self.m1q = f"{name}.m1q"
+        self._slave_d = f"{name}.slaved"
+
+        simulator.set_initial(self.clkd, simulator.value(clk))
+        simulator.set_initial(err, Logic.ZERO)
+        # Master latches: transparent while their clock is LOW.
+        self.m0 = DLatch(simulator, name=f"{name}.m0", d=d, clk=clk,
+                         q=self.m0q, transparent_level=Logic.ZERO,
+                         d_to_q_ps=5)
+        self.m1 = DLatch(simulator, name=f"{name}.m1", d=d, clk=self.clkd,
+                         q=self.m1q, transparent_level=Logic.ZERO,
+                         d_to_q_ps=5)
+        # Slave: transparent while CLK is HIGH, driven by the P0/P1 mux.
+        self.slave = DLatch(simulator, name=f"{name}.slave",
+                            d=self._slave_d, clk=clk, q=q,
+                            transparent_level=Logic.ONE, d_to_q_ps=5)
+        # Mux select follows CLK AND CLKD (P1 conducts only once both are
+        # high, i.e. after the delayed rising edge).
+        for signal in (clk, self.clkd, self.m0q, self.m1q):
+            simulator.on_change(signal, self._update_mux)
+        simulator.on_change(clk, self._clock_control)
+
+    # -- wiring ------------------------------------------------------------
+    def _mux_select(self) -> Logic:
+        clk = self.simulator.value(self.clk)
+        clkd = self.simulator.value(self.clkd)
+        if clk is Logic.ONE and clkd is Logic.ONE:
+            return Logic.ONE
+        if clk is Logic.X or clkd is Logic.X:
+            return Logic.X
+        return Logic.ZERO
+
+    def _update_mux(self, sim: Simulator, _signal: str, _value: Logic,
+                    time_ps: int) -> None:
+        value = logic_mux(self._mux_select(), sim.value(self.m0q),
+                          sim.value(self.m1q))
+        sim.drive(self._slave_d, value, time_ps + _MUX_DELAY_PS,
+                  label=f"{self.name}.mux")
+
+    def _clock_control(self, sim: Simulator, _signal: str, value: Logic,
+                       time_ps: int) -> None:
+        if value is Logic.ONE:
+            # Generate this cycle's delayed rising edge for M1/P1.
+            delta = self._delta_ps()
+            sim.drive(self.clkd, Logic.ONE, time_ps + delta,
+                      label=f"{self.name}.clkd^")
+        elif value is Logic.ZERO:
+            delta = self._delta_ps()
+            sim.drive(self.clkd, Logic.ZERO, time_ps + delta,
+                      label=f"{self.name}.clkdv")
+            # Evaluate the error comparison on the falling edge; by now
+            # both masters hold their sampled values.
+            self._evaluate_error(sim, time_ps)
+
+    def _delta_ps(self) -> int:
+        if not self.enabled:
+            return 0
+        return (min(self.select_in, self.num_intervals - 1) + 1) \
+            * self.interval_ps
+
+    def _evaluate_error(self, sim: Simulator, time_ps: int) -> None:
+        m0 = sim.value(self.m0q)
+        m1 = sim.value(self.m1q)
+        mismatch = m0 is not m1
+        borrowed = min(self.select_in, self.num_intervals - 1) + 1
+        self.select_out = borrowed if mismatch else 0
+        if mismatch and borrowed > self.num_tb_intervals:
+            sim.drive(self.err, Logic.ONE, time_ps + _XOR_DELAY_PS,
+                      label=f"{self.name}.err")
+
+    # -- external control -----------------------------------------------
+    def set_select(self, select: int) -> None:
+        if select < 0:
+            raise ConfigurationError(f"{self.name}: negative select")
+        self.select_in = min(select, self.num_intervals - 1)
+
+    def clear_error(self, time_ps: int | None = None) -> None:
+        when = self.simulator.now if time_ps is None else time_ps
+        self.simulator.drive(self.err, Logic.ZERO, when,
+                             label=f"{self.name}.err.clear")
+
+
+class StructuralTimberLatch:
+    """Latch-level TIMBER latch (paper Fig. 6).
+
+    Structure:
+
+    * pulse-gated **master** latch — transparent for the TB interval
+      after each rising clock edge;
+    * pulse-gated **slave** latch — transparent for the whole checking
+      period, driving Q (continuous time borrowing, glitches included);
+    * **error flag** — master XOR slave, latched on the falling edge.
+
+    With ``enabled=False`` the windows collapse to a conventional
+    master-slave hand-off (the F transmission gate of Fig. 6(a)).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        err: str,
+        tb_ps: int,
+        checking_ps: int,
+        enabled: bool = True,
+    ) -> None:
+        if tb_ps <= 0 or checking_ps < tb_ps:
+            raise ConfigurationError(
+                f"{name}: need 0 < tb_ps <= checking_ps"
+            )
+        self.simulator = simulator
+        self.name = name
+        self.d = d
+        self.clk = clk
+        self.q = q
+        self.err = err
+        self.tb_ps = tb_ps
+        self.checking_ps = checking_ps
+        self.enabled = enabled
+
+        self.masterq = f"{name}.masterq"
+        simulator.set_initial(err, Logic.ZERO)
+        self.master = PulseGatedLatch(simulator, name=f"{name}.master",
+                                      d=d, q=self.masterq, d_to_q_ps=5)
+        self.slave = PulseGatedLatch(simulator, name=f"{name}.slave",
+                                     d=d, q=q, d_to_q_ps=5)
+        simulator.on_change(clk, self._clock_control)
+
+    def _clock_control(self, sim: Simulator, _signal: str, value: Logic,
+                       time_ps: int) -> None:
+        if value is Logic.ONE:
+            tb = self.tb_ps if self.enabled else 1
+            check = self.checking_ps if self.enabled else 1
+            self.master.open_window(time_ps, time_ps + tb)
+            self.slave.open_window(time_ps, time_ps + check)
+        elif value is Logic.ZERO:
+            master = self.master.value()
+            slave = self.slave.value()
+            if master is not slave:
+                sim.drive(self.err, Logic.ONE, time_ps + _XOR_DELAY_PS,
+                          label=f"{self.name}.err")
+
+    def clear_error(self, time_ps: int | None = None) -> None:
+        when = self.simulator.now if time_ps is None else time_ps
+        self.simulator.drive(self.err, Logic.ZERO, when,
+                             label=f"{self.name}.err.clear")

@@ -1,0 +1,231 @@
+"""Event-driven TIMBER testbench over a real netlist.
+
+Everything else in :mod:`repro.core` reasons about TIMBER analytically;
+this module *builds the circuit*: it takes a combinational netlist,
+instantiates launch registers at its inputs and TIMBER elements (or
+conventional flip-flops) at its capture points, wires the error relay
+from the netlist's actual fanin cones, and drives it all on the
+event-driven simulator — the closest thing to taping out a TIMBER
+design this library offers.
+
+Typical use (see ``tests/integration/test_testbench.py``)::
+
+    bench = build_timber_testbench(netlist, cp, style="ff")
+    bench.apply_stimulus({"a": 1, "b": 0}, at_cycle=3)
+    bench.run_cycles(6)
+    assert bench.flagged_elements() == set()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.circuit.netlist import Netlist
+from repro.core.checking_period import CheckingPeriod
+from repro.core.relay import ErrorRelay
+from repro.errors import ConfigurationError
+from repro.sequential.timber_ff import TimberFlipFlop
+from repro.sequential.timber_latch import TimberLatch
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+from repro.sim.waveform import WaveformRecorder
+from repro.timing.constraints import apply_hold_padding, hold_padding_plan
+from repro.timing.sta import register_to_register_delays
+
+
+@dataclasses.dataclass
+class TimberTestbench:
+    """A built testbench (returned by :func:`build_timber_testbench`)."""
+
+    simulator: Simulator
+    netlist: Netlist
+    cp: CheckingPeriod
+    style: str
+    clock: ClockGenerator
+    elements: dict[str, TimberFlipFlop | TimberLatch]
+    relay: ErrorRelay | None
+    recorder: WaveformRecorder
+    launch_nets: list[str]
+    _cycles_run: int = 0
+
+    # -- stimulus ----------------------------------------------------------
+    def apply_stimulus(self, values: dict[str, int | Logic],
+                       at_cycle: int, *, skew_ps: int = 5) -> None:
+        """Drive launch nets shortly after the ``at_cycle`` rising edge.
+
+        ``skew_ps`` models the launching registers' clk-to-Q.
+        """
+        when = at_cycle * self.cp.period_ps + skew_ps
+        for net, value in values.items():
+            if net not in self.launch_nets:
+                raise ConfigurationError(f"{net!r} is not a launch net")
+            self.simulator.drive(net, Logic.from_value(value), when,
+                                 label=f"stim:{net}")
+
+    def inject_late_stimulus(self, net: str, value: int | Logic,
+                             at_cycle: int, lateness_ps: int) -> None:
+        """Drive a launch net *late* relative to a capture edge.
+
+        The transition lands ``lateness_ps`` minus the net's downstream
+        combinational delay before the edge closing ``at_cycle`` —
+        i.e. the capture element sees it ``lateness_ps`` after its
+        sampling edge.  Used to provoke controlled timing errors.
+        """
+        delays = register_to_register_delays(self.netlist, clk_to_q_ps=0)
+        downstream = [d for (launch, _cap), d in delays.items()
+                      if launch == net]
+        if not downstream:
+            raise ConfigurationError(
+                f"{net!r} reaches no capture point")
+        path_delay = max(downstream)
+        edge = (at_cycle + 1) * self.cp.period_ps
+        when = edge + lateness_ps - path_delay
+        self.simulator.drive(net, Logic.from_value(value), when,
+                             label=f"late:{net}")
+
+    # -- execution ----------------------------------------------------------
+    def run_cycles(self, cycles: int) -> None:
+        if cycles < 1:
+            raise ConfigurationError("run at least one cycle")
+        self._cycles_run += cycles
+        self.simulator.run(self._cycles_run * self.cp.period_ps
+                           + self.cp.period_ps // 2)
+
+    def clear_statistics(self) -> None:
+        """Discard masking/flag records (used after the settle cycle:
+        X-initialisation transients register as masked events)."""
+        for element in self.elements.values():
+            if isinstance(element, TimberFlipFlop):
+                element.events.clear()
+                element.select_out = 0
+            else:
+                element.records.clear()
+            element.clear_error()
+
+    # -- observation --------------------------------------------------------
+    def output_value(self, capture_net: str) -> Logic:
+        return self.simulator.value(f"q:{capture_net}")
+
+    def flagged_elements(self) -> set[str]:
+        """Capture nets whose error output is currently asserted."""
+        return {
+            net for net, element in self.elements.items()
+            if self.simulator.value(element.err) is Logic.ONE
+        }
+
+    def masked_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for net, element in self.elements.items():
+            if isinstance(element, TimberFlipFlop):
+                counts[net] = element.masked_count
+            else:
+                counts[net] = len(element.borrow_events)
+        return counts
+
+
+def build_timber_testbench(
+    netlist: Netlist,
+    cp: CheckingPeriod,
+    *,
+    style: str = "ff",
+    relay_delay_ps: int = 100,
+    record_signals: bool = True,
+    auto_hold_fix: bool = True,
+    launch_skew_ps: int = 5,
+    settle_cycles: int = 1,
+) -> TimberTestbench:
+    """Instantiate TIMBER elements on every capture point of ``netlist``.
+
+    Args:
+        netlist: Combinational design (validated; launch/capture marked).
+            Modified in place when hold fixing inserts buffers.
+        cp: Checking period; ``cp.period_ps`` sets the clock.
+        style: ``"ff"`` (with error relay wired from real fanin cones)
+            or ``"latch"``.
+        relay_delay_ps: Relay logic settling time after the falling edge.
+        record_signals: Attach a waveform recorder to clk/outputs/errors.
+        auto_hold_fix: Apply the paper's short-path rule before building:
+            every path into a protected capture is padded past
+            ``hold + checking period``, otherwise newly launched data
+            races into the *previous* edge's still-open checking window.
+        launch_skew_ps: Modelled clk-to-Q of the launching registers
+            (stimulus lands this long after the edge).
+        settle_cycles: Cycles simulated (and statistics discarded)
+            before the bench is handed over — X-initialisation
+            transients otherwise register as masked events.
+    """
+    if style not in ("ff", "latch"):
+        raise ConfigurationError("style must be 'ff' or 'latch'")
+    netlist.validate()
+    if not netlist.capture_nets:
+        raise ConfigurationError("netlist has no capture points")
+    if auto_hold_fix:
+        plan = hold_padding_plan(
+            netlist, hold_ps=10, checking_ps=cp.checking_ps,
+            clk_to_q_ps=launch_skew_ps,
+        )
+        apply_hold_padding(netlist, plan)
+
+    sim = Simulator()
+    clock = ClockGenerator(sim, "clk", cp.period_ps)
+    for net in netlist.launch_nets:
+        sim.set_initial(net, Logic.ZERO)
+    sim.add_netlist(netlist)
+
+    elements: dict[str, TimberFlipFlop | TimberLatch] = {}
+    for capture in netlist.capture_nets:
+        if style == "ff":
+            elements[capture] = TimberFlipFlop(
+                sim, name=f"tff:{capture}", d=capture, clk="clk",
+                q=f"q:{capture}", err=f"err:{capture}",
+                interval_ps=cp.interval_ps,
+                num_intervals=cp.num_intervals,
+                num_tb_intervals=cp.num_tb,
+            )
+        else:
+            elements[capture] = TimberLatch(
+                sim, name=f"tl:{capture}", d=capture, clk="clk",
+                q=f"q:{capture}", err=f"err:{capture}",
+                tb_ps=cp.tb_ps, checking_ps=cp.checking_ps,
+            )
+
+    relay: ErrorRelay | None = None
+    if style == "ff":
+        # Wire the relay from the netlist's actual register-to-register
+        # connectivity: element at capture c listens to the elements
+        # whose launch nets reach c.  In a closed pipeline the launch
+        # registers *are* the capture elements of the previous stage;
+        # in this open testbench we conservatively relay from every
+        # capture element that shares a fanin cone.
+        delays = register_to_register_delays(netlist, clk_to_q_ps=0)
+        reachable: dict[str, set[str]] = {}
+        for (launch, capture) in delays:
+            reachable.setdefault(capture, set()).add(launch)
+        connections: dict[TimberFlipFlop, list[TimberFlipFlop]] = {}
+        for capture, element in elements.items():
+            sources = [
+                elements[other] for other in elements
+                if other != capture
+                and reachable.get(capture, set())
+                & reachable.get(other, set())
+            ]
+            connections[element] = sources  # type: ignore[index]
+        relay = ErrorRelay(sim, "clk", connections,
+                           relay_delay_ps=relay_delay_ps)
+
+    signals = ["clk"]
+    signals += [f"q:{c}" for c in netlist.capture_nets]
+    signals += [f"err:{c}" for c in netlist.capture_nets]
+    recorder = WaveformRecorder(signals if record_signals else [])
+    recorder.attach(sim)
+
+    bench = TimberTestbench(
+        simulator=sim, netlist=netlist, cp=cp, style=style, clock=clock,
+        elements=elements, relay=relay, recorder=recorder,
+        launch_nets=netlist.launch_nets,
+    )
+    if settle_cycles:
+        bench.run_cycles(settle_cycles)
+        bench.clear_statistics()
+    return bench

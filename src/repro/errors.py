@@ -1,0 +1,33 @@
+"""Exception hierarchy for the TIMBER reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The event-driven or cycle-level simulation reached an invalid state."""
+
+
+class TimingViolationError(SimulationError):
+    """An unmaskable timing violation corrupted architectural state.
+
+    Raised by the pipeline simulator when a data signal arrives later than
+    the end of the checking period (or later than the clock edge, for
+    designs without any resilience scheme) and the configured policy is to
+    treat state corruption as fatal.
+    """
+
+
+class NetlistError(ReproError):
+    """A netlist is malformed (dangling nets, combinational loops, ...)."""
+
+
+class AnalysisError(ReproError):
+    """A timing/power analysis could not be completed."""

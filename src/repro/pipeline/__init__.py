@@ -1,0 +1,51 @@
+"""Cycle-level pipeline timing simulation.
+
+This package turns the capture semantics of :mod:`repro.core.masking`
+into an end-to-end architecture study: a linear pipeline of stages with
+per-cycle variability-perturbed delays, capture elements at each boundary
+(plain / TIMBER FF / TIMBER latch / Razor / canary), the error relay, and
+the central error-control unit that reduces the clock frequency after a
+flagged error.
+"""
+
+from repro.pipeline.stage import PipelineStage
+from repro.pipeline.schemes import (
+    CanaryPolicy,
+    ClockStallPolicy,
+    CapturePolicy,
+    DcfPolicy,
+    LogicalMaskingPolicy,
+    PlainPolicy,
+    RazorPolicy,
+    SoftEdgePolicy,
+    TimberFFPolicy,
+    TimberLatchPolicy,
+)
+from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.pipeline import PipelineResult, PipelineSimulation
+from repro.pipeline.dvfs import AdaptiveVoltageScaler, VddStep
+from repro.pipeline.graph_sim import (
+    GraphPipelineResult,
+    GraphPipelineSimulation,
+)
+
+__all__ = [
+    "PipelineStage",
+    "CapturePolicy",
+    "PlainPolicy",
+    "TimberFFPolicy",
+    "TimberLatchPolicy",
+    "RazorPolicy",
+    "CanaryPolicy",
+    "DcfPolicy",
+    "SoftEdgePolicy",
+    "ClockStallPolicy",
+    "LogicalMaskingPolicy",
+    "CentralErrorController",
+    "PipelineResult",
+    "PipelineSimulation",
+    "AdaptiveVoltageScaler",
+    "VddStep",
+    "GraphPipelineResult",
+    "GraphPipelineSimulation",
+]

@@ -1,0 +1,117 @@
+"""Central error-control unit (paper Sec. 4).
+
+Error signals from all TIMBER elements are consolidated through an
+OR-tree; after the consolidation latency the unit *temporarily reduces
+the clock frequency* to bring the timing-error rate down, then restores
+nominal speed.  The checking period guarantees
+``stages_masked_after_flag`` further error-free cycles after the first
+flag (plus the half-cycle from latching on the falling edge), so the
+consolidation latency must fit inside that budget — the paper's "error
+consolidation latency must be less than 1.5 clock cycles" for the
+1 TB + 2 ED configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.core.checking_period import CheckingPeriod
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SlowdownWindow:
+    """One temporary frequency-reduction episode."""
+
+    trigger_cycle: int
+    start_cycle: int
+    end_cycle: int  # exclusive
+
+
+class CentralErrorController:
+    """Consolidates error flags and manages temporary slowdown.
+
+    Attributes:
+        consolidation_latency_ps: OR-tree + decision latency.
+        slowdown_factor: Period multiplier during a slowdown window.
+        slowdown_cycles: Length of each window in (slow) cycles.
+    """
+
+    def __init__(
+        self,
+        *,
+        period_ps: int,
+        consolidation_latency_ps: int,
+        slowdown_factor: float = 1.25,
+        slowdown_cycles: int = 32,
+    ) -> None:
+        if period_ps <= 0:
+            raise ConfigurationError("period must be > 0")
+        if consolidation_latency_ps < 0:
+            raise ConfigurationError("latency must be >= 0")
+        if slowdown_factor < 1.0:
+            raise ConfigurationError("slowdown factor must be >= 1.0")
+        if slowdown_cycles < 1:
+            raise ConfigurationError("slowdown must last >= 1 cycle")
+        self.period_ps = period_ps
+        self.consolidation_latency_ps = consolidation_latency_ps
+        self.slowdown_factor = slowdown_factor
+        self.slowdown_cycles = slowdown_cycles
+        self.windows: list[SlowdownWindow] = []
+        self.flags_received = 0
+
+    # -- budget check ----------------------------------------------------
+    def latency_fits(self, cp: CheckingPeriod) -> bool:
+        """Whether consolidation completes inside the masked window the
+        checking period guarantees after the first flag."""
+        return self.consolidation_latency_ps <= cp.consolidation_budget_ps()
+
+    @property
+    def reaction_delay_cycles(self) -> int:
+        """Cycles between a flag and the slowdown taking effect.
+
+        The flag is latched on the falling edge (half a cycle in), then
+        the OR-tree latency elapses, then the frequency change applies
+        from the next cycle boundary."""
+        raw = 0.5 + self.consolidation_latency_ps / self.period_ps
+        return max(1, math.ceil(raw))
+
+    # -- runtime -------------------------------------------------------------
+    def notify_flag(self, cycle: int) -> None:
+        """An error flag reached the OR-tree during ``cycle``."""
+        self.flags_received += 1
+        start = cycle + self.reaction_delay_cycles
+        if self.windows and self.windows[-1].end_cycle >= start:
+            # Extend the active/adjacent window instead of stacking.
+            last = self.windows[-1]
+            self.windows[-1] = SlowdownWindow(
+                trigger_cycle=last.trigger_cycle,
+                start_cycle=last.start_cycle,
+                end_cycle=max(last.end_cycle,
+                              start + self.slowdown_cycles),
+            )
+            return
+        self.windows.append(SlowdownWindow(
+            trigger_cycle=cycle,
+            start_cycle=start,
+            end_cycle=start + self.slowdown_cycles,
+        ))
+
+    def period_factor(self, cycle: int) -> float:
+        """Clock-period multiplier in effect on ``cycle``."""
+        for window in reversed(self.windows):
+            if window.start_cycle <= cycle < window.end_cycle:
+                return self.slowdown_factor
+            if window.end_cycle <= cycle:
+                break
+        return 1.0
+
+    def period_at(self, cycle: int) -> int:
+        """Absolute clock period (ps) in effect on ``cycle``."""
+        return int(round(self.period_ps * self.period_factor(cycle)))
+
+    @property
+    def slow_cycles_total(self) -> int:
+        """Total cycles covered by all slowdown windows so far."""
+        return sum(w.end_cycle - w.start_cycle for w in self.windows)

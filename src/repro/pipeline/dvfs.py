@@ -1,0 +1,127 @@
+"""Closed-loop adaptive voltage scaling (the margin's classic payoff).
+
+The paper motivates margin recovery with Razor's application: *runtime
+voltage/frequency tuning* — lower the supply until the error-resilience
+mechanism starts reporting activity, then hold at the edge.  This module
+implements that control loop for any scheme that flags errors:
+
+* the scaler is a :class:`~repro.variability.base.VariabilityModel`:
+  its delay factor at any cycle follows the supply voltage through the
+  alpha-power law;
+* it is also a controller in the
+  :class:`~repro.pipeline.pipeline.PipelineSimulation` sense: it
+  receives ``notify_flag`` and keeps the clock period fixed (voltage,
+  not frequency, is the knob);
+* every ``window_cycles`` it evaluates the flag count: zero flags →
+  step the supply down; more than ``flag_budget`` → step back up.
+
+The figure of merit is :meth:`mean_power_factor`: average dynamic+static
+power relative to nominal over the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.power.voltage import VoltageModel
+
+
+@dataclasses.dataclass(frozen=True)
+class VddStep:
+    """One supply-voltage change in the trajectory."""
+
+    cycle: int
+    vdd: float
+
+
+class AdaptiveVoltageScaler:
+    """Flag-driven supply scaling at a fixed clock frequency."""
+
+    def __init__(
+        self,
+        *,
+        period_ps: int,
+        model: VoltageModel | None = None,
+        window_cycles: int = 256,
+        vdd_step: float = 0.01,
+        flag_budget: int = 2,
+        leakage_fraction: float = 0.3,
+    ) -> None:
+        if period_ps <= 0:
+            raise ConfigurationError("period must be > 0")
+        if window_cycles < 1:
+            raise ConfigurationError("window must be >= 1 cycle")
+        if vdd_step <= 0:
+            raise ConfigurationError("vdd step must be > 0")
+        if flag_budget < 0:
+            raise ConfigurationError("flag budget must be >= 0")
+        self.period_ps = period_ps
+        self.model = model or VoltageModel()
+        self.window_cycles = window_cycles
+        self.vdd_step = vdd_step
+        self.flag_budget = flag_budget
+        self.leakage_fraction = leakage_fraction
+        self.vdd = self.model.nominal_vdd
+        self.trajectory: list[VddStep] = [VddStep(0, self.vdd)]
+        self.flags_received = 0
+        self._window_flags = 0
+        self._window_end = window_cycles
+        self._power_accum = 0.0
+        self._cycles_seen = 0
+
+    # -- controller interface (PipelineSimulation) ------------------------
+    def notify_flag(self, cycle: int) -> None:
+        self._advance_to(cycle)
+        self.flags_received += 1
+        self._window_flags += 1
+
+    def period_at(self, cycle: int) -> int:
+        """Voltage scaling keeps the frequency fixed."""
+        self._advance_to(cycle)
+        return self.period_ps
+
+    # -- variability interface ------------------------------------------------
+    def factor(self, cycle: int, path_id: str) -> float:
+        self._advance_to(cycle)
+        return self.model.delay_factor(self.vdd)
+
+    # -- control law ------------------------------------------------------
+    def _advance_to(self, cycle: int) -> None:
+        while cycle >= self._window_end:
+            self._close_window(self._window_end)
+
+    def _close_window(self, at_cycle: int) -> None:
+        self._power_accum += (
+            self.model.total_power_factor(self.vdd,
+                                          self.leakage_fraction)
+            * self.window_cycles
+        )
+        self._cycles_seen += self.window_cycles
+        if self._window_flags == 0:
+            new_vdd = max(self.model.min_vdd, self.vdd - self.vdd_step)
+        elif self._window_flags > self.flag_budget:
+            new_vdd = min(self.model.nominal_vdd,
+                          self.vdd + 2 * self.vdd_step)
+        else:
+            new_vdd = self.vdd  # at the edge: hold
+        if new_vdd != self.vdd:
+            self.vdd = new_vdd
+            self.trajectory.append(VddStep(at_cycle, new_vdd))
+        self._window_flags = 0
+        self._window_end += self.window_cycles
+
+    # -- figures of merit -------------------------------------------------
+    def mean_power_factor(self) -> float:
+        """Average total-power multiplier over the closed windows."""
+        if self._cycles_seen == 0:
+            return self.model.total_power_factor(
+                self.vdd, self.leakage_fraction)
+        return self._power_accum / self._cycles_seen
+
+    def energy_savings_percent(self) -> float:
+        return 100.0 * (1.0 - self.mean_power_factor())
+
+    @property
+    def settled_vdd(self) -> float:
+        return self.vdd

@@ -1,0 +1,246 @@
+"""Cycle-level simulation of a whole timing graph under TIMBER.
+
+The linear :class:`~repro.pipeline.pipeline.PipelineSimulation` studies
+one pipe; this simulator runs the *entire* flip-flop graph of a design —
+the synthetic processor, or any :class:`~repro.timing.graph.TimingGraph`
+— cycle by cycle:
+
+* every register-to-register path is (stochastically) sensitized and
+  perturbed by the dynamic-variability model;
+* each flip-flop captures with its deployed element (TIMBER at protected
+  endpoints, conventional elsewhere) using the analytic capture
+  semantics of :mod:`repro.core.masking`;
+* the error relay carries selects along the graph's critical edges;
+* flags feed the central controller, whose temporary slowdown feeds
+  back into the next cycles.
+
+For tractability, only *candidate* edges — those that could possibly
+arrive late given the worst borrow plus the variability headroom — are
+evaluated per cycle; the rest provably never violate and are skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.checking_period import CheckingPeriod
+from repro.core.masking import (
+    CaptureOutcome,
+    plain_ff_capture,
+    timber_ff_capture,
+    timber_latch_capture,
+)
+from repro.errors import ConfigurationError
+from repro.pipeline.controller import CentralErrorController
+from repro.timing.graph import TimingEdge, TimingGraph
+from repro.variability.base import (
+    ConstantVariation,
+    VariabilityModel,
+    stable_hash,
+)
+
+
+class WorkloadTraceLike(typing.Protocol):
+    """Anything exposing a per-cycle sensitization scale."""
+
+    def scale_at(self, cycle: int) -> float:
+        ...  # pragma: no cover - protocol
+
+
+@dataclasses.dataclass
+class GraphPipelineResult:
+    """Aggregated outcome of a whole-graph simulation run."""
+
+    scheme: str
+    cycles: int
+    num_ffs: int
+    num_protected: int
+    candidate_edges: int
+    clean_captures: int = 0
+    masked: int = 0
+    masked_flagged: int = 0
+    failed: int = 0
+    failed_unprotected: int = 0
+    slow_cycles: int = 0
+    max_borrow_ps: int = 0
+    flags_per_ff: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def violations(self) -> int:
+        return self.masked + self.failed + self.failed_unprotected
+
+    @property
+    def masked_fraction(self) -> float:
+        if self.violations == 0:
+            return 1.0
+        return self.masked / self.violations
+
+
+class GraphPipelineSimulation:
+    """Simulate TIMBER (or nothing) deployed on a timing graph."""
+
+    def __init__(
+        self,
+        graph: TimingGraph,
+        *,
+        scheme: str,
+        percent_checking: float,
+        with_tb_interval: bool = True,
+        sensitization_prob: float = 0.01,
+        variability: VariabilityModel | None = None,
+        max_variability_factor: float = 1.15,
+        controller: CentralErrorController | None = None,
+        trace: "WorkloadTraceLike | None" = None,
+        seed: int = 0,
+    ) -> None:
+        if scheme not in ("plain", "timber-ff", "timber-latch"):
+            raise ConfigurationError(
+                f"scheme must be plain/timber-ff/timber-latch, "
+                f"got {scheme!r}"
+            )
+        if not 0 <= sensitization_prob <= 1:
+            raise ConfigurationError("sensitization_prob in [0, 1]")
+        if max_variability_factor < 1.0:
+            raise ConfigurationError("max variability factor >= 1")
+        self.graph = graph
+        self.scheme = scheme
+        self.seed = seed
+        self.sensitization_prob = sensitization_prob
+        self.variability = variability or ConstantVariation(1.0)
+        self.controller = controller
+        #: Optional workload trace scaling the sensitization per cycle.
+        self.trace = trace
+        if with_tb_interval:
+            self.cp = CheckingPeriod.with_tb(graph.period_ps,
+                                             percent_checking)
+        else:
+            self.cp = CheckingPeriod.without_tb(graph.period_ps,
+                                                percent_checking)
+        self.protected = (
+            set() if scheme == "plain"
+            else graph.critical_endpoints(percent_checking)
+        )
+        # Critical-fanin adjacency for the relay (FF style only).
+        threshold = graph.critical_threshold_ps(percent_checking)
+        self._relay_srcs: dict[str, list[str]] = {
+            ff: sorted({
+                e.src for e in graph.in_edges(ff)
+                if e.delay_ps >= threshold and e.src in self.protected
+            })
+            for ff in self.protected
+        }
+        # Candidate edges: could the arrival ever exceed the period?
+        # worst case = max borrow carried in + delay * max variability.
+        max_borrow = self.cp.checking_ps if self.protected else 0
+        self._candidates: dict[str, list[TimingEdge]] = {}
+        for ff in graph.ffs:
+            edges = [
+                e for e in graph.in_edges(ff)
+                if max_borrow + e.delay_ps * max_variability_factor
+                > graph.period_ps
+            ]
+            if edges:
+                self._candidates[ff] = edges
+        # Hot-loop precomputation: stable per-edge keys and an integer
+        # sensitization threshold so the per-(cycle, edge) draw is a
+        # single hash compare instead of an RNG construction.
+        self._edge_key: dict[TimingEdge, str] = {
+            e: f"{e.src}->{e.dst}#{e.delay_ps}"
+            for edges in self._candidates.values() for e in edges
+        }
+        self._sens_threshold = int(self.sensitization_prob * 2**32)
+
+    # -- per-cycle machinery -----------------------------------------------
+    def _sensitized(self, cycle: int, edge: TimingEdge) -> bool:
+        threshold = self._sens_threshold
+        if self.trace is not None:
+            probability = min(
+                1.0, self.sensitization_prob * self.trace.scale_at(cycle))
+            threshold = int(probability * 2**32)
+        elif self.sensitization_prob >= 1.0:
+            return True
+        key = self._edge_key.get(edge)
+        if key is None:
+            key = f"{edge.src}->{edge.dst}#{edge.delay_ps}"
+        digest = stable_hash(self.seed, cycle, key)
+        return digest < threshold
+
+    def _capture(self, lateness: int, select_in: int) -> CaptureOutcome:
+        if self.scheme == "timber-ff":
+            return timber_ff_capture(lateness, select_in, self.cp)
+        if self.scheme == "timber-latch":
+            return timber_latch_capture(lateness, self.cp)
+        return plain_ff_capture(lateness)
+
+    def run(self, num_cycles: int) -> GraphPipelineResult:
+        if num_cycles < 1:
+            raise ConfigurationError("need at least one cycle")
+        result = GraphPipelineResult(
+            scheme=self.scheme,
+            cycles=num_cycles,
+            num_ffs=self.graph.num_ffs,
+            num_protected=len(self.protected),
+            candidate_edges=sum(len(e) for e in self._candidates.values()),
+        )
+        borrow: dict[str, int] = {}
+        select_out: dict[str, int] = {}
+        for cycle in range(num_cycles):
+            period = (self.controller.period_at(cycle)
+                      if self.controller is not None
+                      else self.graph.period_ps)
+            if period > self.graph.period_ps:
+                result.slow_cycles += 1
+            new_borrow: dict[str, int] = {}
+            new_select_out: dict[str, int] = {}
+            cycle_flagged = False
+            for ff, edges in self._candidates.items():
+                lateness = None
+                for edge in edges:
+                    launch_offset = borrow.get(edge.src, 0)
+                    if launch_offset == 0 and not self._sensitized(
+                            cycle, edge):
+                        continue
+                    factor = self.variability.factor(
+                        cycle, f"{edge.src}->{edge.dst}")
+                    arrival = launch_offset + int(
+                        round(edge.delay_ps * factor))
+                    late = arrival - period
+                    if lateness is None or late > lateness:
+                        lateness = late
+                if lateness is None or lateness <= 0:
+                    continue
+                if ff in self.protected:
+                    select_in = max(
+                        (select_out.get(src, 0)
+                         for src in self._relay_srcs.get(ff, ())),
+                        default=0,
+                    )
+                    outcome = self._capture(lateness, select_in)
+                else:
+                    outcome = plain_ff_capture(lateness)
+                if outcome.masked:
+                    result.masked += 1
+                    new_borrow[ff] = outcome.borrowed_ps
+                    result.max_borrow_ps = max(result.max_borrow_ps,
+                                               outcome.borrowed_ps)
+                    if outcome.borrowed_intervals:
+                        new_select_out[ff] = outcome.borrowed_intervals
+                    if outcome.flagged:
+                        result.masked_flagged += 1
+                        cycle_flagged = True
+                        result.flags_per_ff[ff] = (
+                            result.flags_per_ff.get(ff, 0) + 1)
+                elif outcome.failed:
+                    if ff in self.protected:
+                        result.failed += 1
+                    else:
+                        result.failed_unprotected += 1
+            if cycle_flagged and self.controller is not None:
+                self.controller.notify_flag(cycle)
+            borrow = new_borrow
+            select_out = new_select_out
+        # Captures that saw no (evaluated) violation were clean.
+        result.clean_captures = (
+            num_cycles * self.graph.num_ffs - result.violations)
+        return result

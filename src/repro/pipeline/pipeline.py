@@ -1,0 +1,175 @@
+"""Cycle-accurate linear-pipeline timing simulation.
+
+The simulation advances cycle by cycle.  On cycle ``n`` the data launched
+at boundary ``i-1`` (possibly delayed by time borrowed there) traverses
+stage ``i`` and is captured at boundary ``i``:
+
+    ``lateness = borrow[i-1] + stage_delay(n) - period(n)``
+
+The capture policy decides the outcome (clean / masked / detected /
+predicted / failed), time borrowed at ``i`` becomes next cycle's launch
+offset, flags feed the central error controller, and the controller's
+temporary frequency reduction feeds back into ``period(n)`` — the full
+TIMBER control loop of the paper's Sec. 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.masking import CaptureOutcome
+from repro.errors import ConfigurationError, TimingViolationError
+from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.schemes import CapturePolicy
+from repro.pipeline.stage import PipelineStage
+from repro.variability.base import ConstantVariation, VariabilityModel
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Aggregated outcome of one pipeline simulation run."""
+
+    scheme: str
+    cycles: int
+    period_ps: int
+    clean: int = 0
+    masked: int = 0
+    masked_flagged: int = 0
+    detected: int = 0
+    predicted: int = 0
+    failed: int = 0
+    replay_cycles: int = 0
+    slow_cycles: int = 0
+    total_time_ps: int = 0
+    max_borrow_ps: int = 0
+    borrow_chain_max: int = 0
+
+    @property
+    def captures(self) -> int:
+        return (self.clean + self.masked + self.detected + self.predicted
+                + self.failed)
+
+    @property
+    def error_rate(self) -> float:
+        """Violations (masked + detected + failed) per capture."""
+        if self.captures == 0:
+            return 0.0
+        return (self.masked + self.detected + self.failed) / self.captures
+
+    @property
+    def nominal_time_ps(self) -> int:
+        return self.cycles * self.period_ps
+
+    @property
+    def throughput_factor(self) -> float:
+        """Achieved throughput relative to an error-free nominal run.
+
+        1.0 means no cycles or time were lost to recovery or slowdown."""
+        if self.total_time_ps == 0:
+            return 1.0
+        return self.nominal_time_ps / self.total_time_ps
+
+    @property
+    def ipc_loss_percent(self) -> float:
+        return 100.0 * (1.0 - self.throughput_factor)
+
+
+class PipelineSimulation:
+    """A linear pipeline with one capture policy at every boundary."""
+
+    def __init__(
+        self,
+        stages: list[PipelineStage],
+        policy: CapturePolicy,
+        *,
+        period_ps: int,
+        controller: CentralErrorController | None = None,
+        variability: VariabilityModel | None = None,
+        fail_fast: bool = False,
+    ) -> None:
+        if not stages:
+            raise ConfigurationError("need at least one stage")
+        if policy.num_boundaries != len(stages):
+            raise ConfigurationError(
+                f"policy covers {policy.num_boundaries} boundaries but the "
+                f"pipeline has {len(stages)} stages"
+            )
+        if period_ps <= 0:
+            raise ConfigurationError("period must be > 0")
+        self.stages = stages
+        self.policy = policy
+        self.period_ps = period_ps
+        self.controller = controller
+        self.variability = variability or ConstantVariation(1.0)
+        self.fail_fast = fail_fast
+        #: Launch offset (time borrowed) at each boundary, carried across
+        #: cycles: boundary i's borrow delays the data it launches into
+        #: stage i+1 next cycle.
+        self._borrow = [0] * len(stages)
+
+    def run(self, num_cycles: int) -> PipelineResult:
+        """Simulate ``num_cycles`` and aggregate the outcomes."""
+        if num_cycles < 1:
+            raise ConfigurationError("need at least one cycle")
+        result = PipelineResult(
+            scheme=self.policy.name, cycles=num_cycles,
+            period_ps=self.period_ps,
+        )
+        chain_length = 0
+        for cycle in range(num_cycles):
+            period = (self.controller.period_at(cycle)
+                      if self.controller is not None else self.period_ps)
+            slow = period > self.period_ps
+            if slow:
+                result.slow_cycles += 1
+            outcomes: list[CaptureOutcome] = []
+            new_borrow = [0] * len(self.stages)
+            cycle_flagged = False
+            cycle_masked = False
+            for index, stage in enumerate(self.stages):
+                upstream = (index - 1) % len(self.stages)
+                delay = stage.delay_ps(cycle, self.variability)
+                lateness = self._borrow[upstream] + delay - period
+                outcome = self.policy.capture(index, lateness)
+                outcomes.append(outcome)
+                self._account(result, outcome)
+                if outcome.masked:
+                    cycle_masked = True
+                    new_borrow[index] = outcome.borrowed_ps
+                    result.max_borrow_ps = max(result.max_borrow_ps,
+                                               outcome.borrowed_ps)
+                if outcome.flagged:
+                    cycle_flagged = True
+                if outcome.failed and self.fail_fast:
+                    raise TimingViolationError(
+                        f"unmaskable violation at boundary {index} "
+                        f"(stage {stage.name!r}) on cycle {cycle}: "
+                        f"lateness {lateness} ps"
+                    )
+                if outcome.detected:
+                    result.replay_cycles += self.policy.replay_penalty_cycles
+            chain_length = chain_length + 1 if cycle_masked else 0
+            result.borrow_chain_max = max(result.borrow_chain_max,
+                                          chain_length)
+            if cycle_flagged and self.controller is not None:
+                self.controller.notify_flag(cycle)
+            self.policy.end_of_cycle(outcomes)
+            self._borrow = new_borrow
+            result.total_time_ps += period
+        result.total_time_ps += result.replay_cycles * self.period_ps
+        return result
+
+    @staticmethod
+    def _account(result: PipelineResult, outcome: CaptureOutcome) -> None:
+        if outcome.failed:
+            result.failed += 1
+        elif outcome.masked:
+            result.masked += 1
+            if outcome.flagged:
+                result.masked_flagged += 1
+        elif outcome.detected:
+            result.detected += 1
+        elif outcome.predicted:
+            result.predicted += 1
+        else:
+            result.clean += 1

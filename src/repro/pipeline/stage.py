@@ -1,0 +1,63 @@
+"""Pipeline stage delay model."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.errors import ConfigurationError
+from repro.variability.base import VariabilityModel, stable_hash
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineStage:
+    """One stage of combinational logic between register boundaries.
+
+    Per cycle, the stage either sensitizes its critical path (probability
+    ``sensitization_prob``) or exercises a typical shorter path.  The
+    chosen nominal delay is then scaled by the dynamic-variability model.
+
+    Attributes:
+        name: Stage label (also the variability path id).
+        critical_delay_ps: Sign-off worst-case delay.
+        typical_delay_ps: Delay of the typically exercised logic.
+        sensitization_prob: Per-cycle probability the critical path is
+            exercised (paper Sec. 3: ~1e-3 for top paths; pipeline-level
+            studies often use larger values to reach statistical
+            significance in short runs).
+        seed: Sensitization RNG seed.
+    """
+
+    name: str
+    critical_delay_ps: int
+    typical_delay_ps: int
+    sensitization_prob: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.critical_delay_ps <= 0:
+            raise ConfigurationError(f"{self.name}: critical delay must be > 0")
+        if not 0 < self.typical_delay_ps <= self.critical_delay_ps:
+            raise ConfigurationError(
+                f"{self.name}: typical delay must be in "
+                f"(0, critical_delay_ps]"
+            )
+        if not 0 <= self.sensitization_prob <= 1:
+            raise ConfigurationError(
+                f"{self.name}: sensitization probability must be in [0, 1]"
+            )
+
+    def sensitized(self, cycle: int) -> bool:
+        """Whether the critical path is exercised on ``cycle``."""
+        if self.sensitization_prob >= 1.0:
+            return True
+        if self.sensitization_prob <= 0.0:
+            return False
+        rng = random.Random(stable_hash(self.seed, "sens", self.name, cycle))
+        return rng.random() < self.sensitization_prob
+
+    def delay_ps(self, cycle: int, variability: VariabilityModel) -> int:
+        """Actual stage delay on ``cycle`` under ``variability``."""
+        nominal = (self.critical_delay_ps if self.sensitized(cycle)
+                   else self.typical_delay_ps)
+        return int(round(nominal * variability.factor(cycle, self.name)))

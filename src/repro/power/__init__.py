@@ -1,0 +1,19 @@
+"""Power and area models and design-level overhead computation."""
+
+from repro.power.models import DesignCostModel, DesignCosts
+from repro.power.overhead import DeploymentOverhead, deployment_overhead
+from repro.power.voltage import (
+    EnergySavings,
+    VoltageModel,
+    margin_to_energy_savings,
+)
+
+__all__ = [
+    "DesignCostModel",
+    "DesignCosts",
+    "DeploymentOverhead",
+    "deployment_overhead",
+    "EnergySavings",
+    "VoltageModel",
+    "margin_to_energy_savings",
+]

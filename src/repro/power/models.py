@@ -1,0 +1,122 @@
+"""Design-level cost model.
+
+A :class:`DesignCostModel` turns a flip-flop-level
+:class:`~repro.timing.graph.TimingGraph` into absolute area/power numbers
+by attributing a parametric amount of combinational logic to each
+flip-flop and pricing sequential elements from the cell library.  All of
+the paper's overhead results are ratios against the baseline produced
+here, so the absolute scale cancels; the *split* between sequential and
+combinational power is the one assumption that shapes the results, and it
+is an explicit, documented parameter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.cells import CellLibrary, default_library
+from repro.errors import ConfigurationError
+from repro.timing.graph import TimingGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignCosts:
+    """Absolute costs of one design configuration (abstract units)."""
+
+    area: float
+    leakage: float
+    dynamic_per_cycle: float
+
+    @property
+    def total_power(self) -> float:
+        """Leakage + per-cycle dynamic energy.
+
+        With the clock frequency fixed across compared configurations,
+        energy-per-cycle is proportional to dynamic power, so this sum is
+        a consistent total-power figure of merit.
+        """
+        return self.leakage + self.dynamic_per_cycle
+
+    def scaled(self, factor: float) -> "DesignCosts":
+        return DesignCosts(
+            area=self.area * factor,
+            leakage=self.leakage * factor,
+            dynamic_per_cycle=self.dynamic_per_cycle * factor,
+        )
+
+    def plus(self, other: "DesignCosts") -> "DesignCosts":
+        return DesignCosts(
+            area=self.area + other.area,
+            leakage=self.leakage + other.leakage,
+            dynamic_per_cycle=self.dynamic_per_cycle + other.dynamic_per_cycle,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignCostModel:
+    """Parametric cost model for a flip-flop-level design.
+
+    Attributes:
+        library: Cell library providing sequential element costs.
+        comb_area_per_ff: Combinational gate area attributed to each FF
+            (gate-equivalents; ~30 two-input gates of average size).
+        comb_leakage_per_ff: Combinational leakage per FF.
+        comb_energy_per_ff: Combinational dynamic energy per FF per cycle
+            at nominal switching activity.
+        ff_activity: Fraction of cycles a flip-flop output toggles,
+            scaling its dynamic energy.
+    """
+
+    library: CellLibrary = dataclasses.field(default_factory=default_library)
+    comb_area_per_ff: float = 54.0
+    comb_leakage_per_ff: float = 42.0
+    comb_energy_per_ff: float = 18.0
+    ff_activity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ff_activity <= 1:
+            raise ConfigurationError("ff_activity must be in (0, 1]")
+        if min(self.comb_area_per_ff, self.comb_leakage_per_ff,
+               self.comb_energy_per_ff) < 0:
+            raise ConfigurationError("combinational costs must be >= 0")
+
+    # -- per-element costs ---------------------------------------------
+    def sequential_costs(self, cell_name: str, count: int = 1) -> DesignCosts:
+        """Area/power of ``count`` instances of a sequential cell."""
+        cell = self.library.sequential(cell_name)
+        return DesignCosts(
+            area=cell.area * count,
+            leakage=cell.leakage * count,
+            dynamic_per_cycle=cell.energy_per_cycle * self.ff_activity * count,
+        )
+
+    def sequential_delta(self, from_cell: str, to_cell: str,
+                         count: int = 1) -> DesignCosts:
+        """Cost increase of swapping ``count`` cells from one type to
+        another (may be negative component-wise if downgrading)."""
+        before = self.sequential_costs(from_cell, count)
+        after = self.sequential_costs(to_cell, count)
+        return DesignCosts(
+            area=after.area - before.area,
+            leakage=after.leakage - before.leakage,
+            dynamic_per_cycle=(after.dynamic_per_cycle
+                               - before.dynamic_per_cycle),
+        )
+
+    # -- whole-design costs -----------------------------------------------
+    def baseline_costs(self, graph: TimingGraph,
+                       ff_cell: str = "DFF") -> DesignCosts:
+        """Costs of the unprotected design: every FF conventional."""
+        sequential = self.sequential_costs(ff_cell, graph.num_ffs)
+        combinational = DesignCosts(
+            area=self.comb_area_per_ff * graph.num_ffs,
+            leakage=self.comb_leakage_per_ff * graph.num_ffs,
+            dynamic_per_cycle=self.comb_energy_per_ff * graph.num_ffs,
+        )
+        return sequential.plus(combinational)
+
+    def sequential_power_fraction(self, graph: TimingGraph) -> float:
+        """Fraction of baseline power drawn by the flip-flops."""
+        base = self.baseline_costs(graph)
+        seq = self.sequential_costs("DFF", graph.num_ffs)
+        return seq.total_power / base.total_power

@@ -1,0 +1,128 @@
+"""Design-level overhead computation (paper Fig. 8).
+
+For a deployment — a timing graph, a checking period, and a TIMBER
+element style — :func:`deployment_overhead` prices:
+
+* the sequential-element swap (DFF → TIMBER FF at 2x power, or DFF →
+  TIMBER latch at 1.5x power) for every flip-flop terminating a
+  top-``c``% critical path;
+* the error-relay network (TIMBER-FF style only; the latch needs none);
+* optionally, the hold-fix delay buffers implied by the checking period.
+
+All results are reported as percentages of the unprotected baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.relay import RelayCost, relay_cost
+from repro.errors import ConfigurationError
+from repro.power.models import DesignCostModel, DesignCosts
+from repro.timing.graph import TimingGraph
+from repro.units import as_percent
+
+#: Area/leakage/energy of one hold-fix delay buffer (DLY4-class cell).
+_HOLD_BUFFER_AREA = 2.0
+_HOLD_BUFFER_LEAKAGE = 1.4
+_HOLD_BUFFER_ENERGY = 0.9
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentOverhead:
+    """Overheads of one TIMBER deployment, relative to the baseline."""
+
+    style: str
+    percent_checking: float
+    num_ffs: int
+    num_replaced: int
+    baseline: DesignCosts
+    element_delta: DesignCosts
+    relay: RelayCost | None
+    hold_buffers: int
+    hold_delta: DesignCosts
+
+    @property
+    def replaced_fraction(self) -> float:
+        return self.num_replaced / self.num_ffs if self.num_ffs else 0.0
+
+    @property
+    def extra_power(self) -> float:
+        relay_leak = self.relay.leakage if self.relay is not None else 0.0
+        return (self.element_delta.total_power + relay_leak
+                + self.hold_delta.total_power)
+
+    @property
+    def extra_area(self) -> float:
+        relay_area = self.relay.area if self.relay is not None else 0.0
+        return self.element_delta.area + relay_area + self.hold_delta.area
+
+    @property
+    def power_overhead_percent(self) -> float:
+        return as_percent(self.extra_power, self.baseline.total_power)
+
+    @property
+    def area_overhead_percent(self) -> float:
+        return as_percent(self.extra_area, self.baseline.area)
+
+    @property
+    def relay_area_overhead_percent(self) -> float:
+        """Relay-only area overhead (Fig. 8(i-a))."""
+        if self.relay is None:
+            return 0.0
+        return as_percent(self.relay.area, self.baseline.area)
+
+
+def deployment_overhead(
+    graph: TimingGraph,
+    *,
+    percent_checking: float,
+    style: str,
+    cost_model: DesignCostModel | None = None,
+    include_hold_buffers: bool = False,
+    hold_buffers_per_replaced_ff: float = 2.0,
+) -> DeploymentOverhead:
+    """Price a TIMBER deployment on ``graph``.
+
+    Args:
+        graph: Flip-flop-level timing graph of the design.
+        percent_checking: Checking period as % of the clock period; all
+            flip-flops terminating top-``percent_checking``% critical
+            paths are replaced (paper Sec. 6).
+        style: ``"ff"`` (TIMBER flip-flop + relay) or ``"latch"``.
+        cost_model: Cost model (defaults to :class:`DesignCostModel`).
+        include_hold_buffers: Add the short-path padding cost.  The paper
+            reports element+relay overhead; padding is listed as a design
+            requirement (Table 1) but not priced, so this defaults off.
+        hold_buffers_per_replaced_ff: Average DLY4 buffers per protected
+            endpoint when padding is priced.
+    """
+    if style not in ("ff", "latch"):
+        raise ConfigurationError(f"style must be 'ff' or 'latch', got {style}")
+    model = cost_model or DesignCostModel()
+    replaced = len(graph.critical_endpoints(percent_checking))
+    element_cell = "TIMBER_FF" if style == "ff" else "TIMBER_LATCH"
+    element_delta = model.sequential_delta("DFF", element_cell, replaced)
+    relay = relay_cost(graph, percent_checking) if style == "ff" else None
+
+    hold_buffers = 0
+    hold_delta = DesignCosts(0.0, 0.0, 0.0)
+    if include_hold_buffers:
+        hold_buffers = int(round(replaced * hold_buffers_per_replaced_ff))
+        hold_delta = DesignCosts(
+            area=hold_buffers * _HOLD_BUFFER_AREA,
+            leakage=hold_buffers * _HOLD_BUFFER_LEAKAGE,
+            dynamic_per_cycle=hold_buffers * _HOLD_BUFFER_ENERGY,
+        )
+
+    return DeploymentOverhead(
+        style=style,
+        percent_checking=percent_checking,
+        num_ffs=graph.num_ffs,
+        num_replaced=replaced,
+        baseline=model.baseline_costs(graph),
+        element_delta=element_delta,
+        relay=relay,
+        hold_buffers=hold_buffers,
+        hold_delta=hold_delta,
+    )

@@ -1,0 +1,140 @@
+"""Spending the recovered margin as voltage (energy) instead of speed.
+
+The paper frames online resilience as recovering the dynamic-variability
+margin "improving performance and/or power consumption".  This module
+converts a recovered timing margin into a supply-voltage reduction via
+the alpha-power delay model and prices the resulting energy savings:
+
+* gate delay ~ Vdd / (Vdd - Vth)^alpha  (alpha-power law),
+* dynamic energy ~ Vdd^2,
+* leakage ~ Vdd^3 (empirical short-channel fit).
+
+A scheme that recovers ``m``% of the clock period can slow every path by
+``m``% at constant frequency, i.e. scale Vdd down until delays grow by
+that factor — this is exactly Razor's sub-critical operation argument,
+available to TIMBER *without* replay hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class VoltageModel:
+    """Alpha-power-law voltage/delay/energy model."""
+
+    nominal_vdd: float = 1.0
+    threshold_v: float = 0.30
+    alpha: float = 1.5
+    min_vdd: float = 0.55
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold_v < self.nominal_vdd:
+            raise ConfigurationError("need 0 < Vth < Vdd")
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be > 0")
+        if not self.threshold_v < self.min_vdd <= self.nominal_vdd:
+            raise ConfigurationError("need Vth < min_vdd <= nominal_vdd")
+
+    # -- delay ----------------------------------------------------------
+    def delay_factor(self, vdd: float) -> float:
+        """Gate-delay multiplier at ``vdd`` relative to nominal."""
+        self._check_vdd(vdd)
+        nominal = self.nominal_vdd / (
+            (self.nominal_vdd - self.threshold_v) ** self.alpha)
+        scaled = vdd / ((vdd - self.threshold_v) ** self.alpha)
+        return scaled / nominal
+
+    def vdd_for_delay_factor(self, factor: float,
+                             tolerance: float = 1e-6) -> float:
+        """Lowest Vdd at which delays grow by at most ``factor``.
+
+        ``factor`` >= 1; bisection on the monotone delay curve, clamped
+        at ``min_vdd``.
+        """
+        if factor < 1.0:
+            raise ConfigurationError("delay factor must be >= 1")
+        lo, hi = self.min_vdd, self.nominal_vdd
+        if self.delay_factor(lo) <= factor:
+            return lo
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2.0
+            if self.delay_factor(mid) <= factor:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    # -- energy ------------------------------------------------------------
+    def dynamic_energy_factor(self, vdd: float) -> float:
+        self._check_vdd(vdd)
+        return (vdd / self.nominal_vdd) ** 2
+
+    def leakage_factor(self, vdd: float) -> float:
+        self._check_vdd(vdd)
+        return (vdd / self.nominal_vdd) ** 3
+
+    def total_power_factor(self, vdd: float,
+                           leakage_fraction: float = 0.3) -> float:
+        """Total-power multiplier at ``vdd`` for a design whose nominal
+        power is ``leakage_fraction`` static."""
+        if not 0 <= leakage_fraction <= 1:
+            raise ConfigurationError("leakage fraction in [0, 1]")
+        return ((1 - leakage_fraction) * self.dynamic_energy_factor(vdd)
+                + leakage_fraction * self.leakage_factor(vdd))
+
+    def _check_vdd(self, vdd: float) -> None:
+        if vdd <= self.threshold_v:
+            raise ConfigurationError(
+                f"Vdd {vdd} must exceed Vth {self.threshold_v}")
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergySavings:
+    """Outcome of spending a recovered margin as voltage."""
+
+    margin_percent: float
+    scaled_vdd: float
+    power_factor: float
+    element_overhead_percent: float
+
+    @property
+    def gross_savings_percent(self) -> float:
+        return 100.0 * (1.0 - self.power_factor)
+
+    @property
+    def net_savings_percent(self) -> float:
+        """Savings after paying the scheme's own power overhead."""
+        effective = (self.power_factor
+                     * (1.0 + self.element_overhead_percent / 100.0))
+        return 100.0 * (1.0 - effective)
+
+
+def margin_to_energy_savings(
+    margin_percent: float,
+    *,
+    element_overhead_percent: float = 0.0,
+    model: VoltageModel | None = None,
+    leakage_fraction: float = 0.3,
+) -> EnergySavings:
+    """Convert a recovered timing margin into net energy savings.
+
+    A margin of ``m``% of the clock period allows every path to slow by
+    a factor ``1 / (1 - m/100)`` at the same frequency; the supply is
+    scaled down to that delay point and the resulting power compared
+    against nominal, charging the scheme's own overhead.
+    """
+    if not 0 <= margin_percent < 100:
+        raise ConfigurationError("margin must be in [0, 100)%")
+    vm = model or VoltageModel()
+    allowed_factor = 1.0 / (1.0 - margin_percent / 100.0)
+    vdd = vm.vdd_for_delay_factor(allowed_factor)
+    return EnergySavings(
+        margin_percent=margin_percent,
+        scaled_vdd=vdd,
+        power_factor=vm.total_power_factor(vdd, leakage_fraction),
+        element_overhead_percent=element_overhead_percent,
+    )

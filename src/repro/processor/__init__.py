@@ -1,0 +1,37 @@
+"""Synthetic industrial-processor surrogate.
+
+The paper's case study runs on an industrial ARM processor at three
+performance points.  This package generates flip-flop-level timing graphs
+whose critical-path start/end structure is calibrated to match the
+distribution the paper reports (Fig. 1), plus the workload-driven path
+sensitization model behind the multi-stage error-rate argument (Sec. 3).
+"""
+
+from repro.processor.perfpoints import (
+    HIGH_PERFORMANCE,
+    LOW_PERFORMANCE,
+    MEDIUM_PERFORMANCE,
+    PERFORMANCE_POINTS,
+    PerformancePoint,
+)
+from repro.processor.generator import generate_processor, calibrate_base
+from repro.processor.trace import Phase, WorkloadTrace, synthetic_trace
+from repro.processor.workload import (
+    SensitizationModel,
+    multi_stage_error_probability,
+)
+
+__all__ = [
+    "PerformancePoint",
+    "LOW_PERFORMANCE",
+    "MEDIUM_PERFORMANCE",
+    "HIGH_PERFORMANCE",
+    "PERFORMANCE_POINTS",
+    "generate_processor",
+    "calibrate_base",
+    "SensitizationModel",
+    "multi_stage_error_probability",
+    "Phase",
+    "WorkloadTrace",
+    "synthetic_trace",
+]

@@ -1,0 +1,102 @@
+"""Performance-point definitions for the synthetic processor.
+
+A :class:`PerformancePoint` fixes the clock period and the parameters of
+the path-delay construction used by
+:func:`repro.processor.generator.generate_processor`:
+
+* ``endpoint_fractions`` directly anchor the Fig.-1 bar heights: the
+  fraction of flip-flops whose worst input path lies within 10/20/30/40%
+  of the clock period.  Higher performance points run the same
+  microarchitecture at a tighter period, so these fractions grow.
+* ``rho`` correlates a flip-flop's end-criticality with its
+  start-criticality; together with ``hub_gamma`` (how concentrated
+  critical-path startpoints are on a few "hub" flip-flops) it controls
+  the shaded portion of Fig. 1 — the FFs that both start *and* end
+  critical paths.
+
+The medium point is anchored to the paper's quoted observation: ~50% of
+flip-flops terminate top-20% critical paths and ~70% of those start
+none.  The low/high points keep the same shape shifted down/up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class PerformancePoint:
+    """Delay-distribution parameters of one processor speed grade.
+
+    Attributes:
+        name: Point label ("low" / "medium" / "high").
+        period_ps: Sign-off clock period.
+        endpoint_fractions: Target fraction of FFs terminating top-c%
+            critical paths, for c = 10, 20, 30, 40 (monotone increasing).
+        rho: Gaussian-copula correlation between a FF's end- and
+            start-criticality latents.
+        hub_gamma: Exponent concentrating critical-path launches on
+            high-start-latent hub FFs (larger -> fewer startpoints).
+        gap_range: Uniform range (fractions of the period) by which
+            non-worst fanin paths fall short of the endpoint's worst
+            path.
+        wall_frac: Delay fraction of the most critical paths (just under
+            1.0 — the post-synthesis "timing wall").
+        floor_frac: Delay fraction of the least critical cones.
+    """
+
+    name: str
+    period_ps: int
+    endpoint_fractions: tuple[float, float, float, float]
+    rho: float = 0.7
+    hub_gamma: float = 16.0
+    gap_range: tuple[float, float] = (0.18, 0.60)
+    wall_frac: float = 0.999
+    floor_frac: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.period_ps <= 0:
+            raise ConfigurationError(f"{self.name}: period must be > 0")
+        if len(self.endpoint_fractions) != 4:
+            raise ConfigurationError(
+                f"{self.name}: need 4 endpoint fractions (10/20/30/40%)"
+            )
+        previous = 0.0
+        for fraction in self.endpoint_fractions:
+            if not 0 < fraction < 1 or fraction < previous:
+                raise ConfigurationError(
+                    f"{self.name}: endpoint fractions must be increasing "
+                    f"and in (0, 1), got {self.endpoint_fractions}"
+                )
+            previous = fraction
+        if not 0 <= self.rho <= 1:
+            raise ConfigurationError(f"{self.name}: rho must be in [0, 1]")
+        if self.hub_gamma < 0:
+            raise ConfigurationError(f"{self.name}: hub_gamma must be >= 0")
+        lo, hi = self.gap_range
+        if not 0 < lo < hi:
+            raise ConfigurationError(f"{self.name}: bad gap range")
+        if not 0 < self.floor_frac < self.wall_frac <= 1:
+            raise ConfigurationError(
+                f"{self.name}: need 0 < floor < wall <= 1"
+            )
+
+
+LOW_PERFORMANCE = PerformancePoint(
+    name="low", period_ps=1400,
+    endpoint_fractions=(0.10, 0.28, 0.40, 0.50),
+)
+MEDIUM_PERFORMANCE = PerformancePoint(
+    name="medium", period_ps=1100,
+    endpoint_fractions=(0.25, 0.50, 0.62, 0.70),
+)
+HIGH_PERFORMANCE = PerformancePoint(
+    name="high", period_ps=900,
+    endpoint_fractions=(0.38, 0.62, 0.73, 0.80),
+)
+
+PERFORMANCE_POINTS: tuple[PerformancePoint, ...] = (
+    LOW_PERFORMANCE, MEDIUM_PERFORMANCE, HIGH_PERFORMANCE,
+)

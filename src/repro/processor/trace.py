@@ -1,0 +1,126 @@
+"""Phased workload traces.
+
+Real workloads are not stationary: a program alternates compute-bound,
+memory-bound, and idle phases, and the *sensitization* of critical paths
+(ALU carry chains, bypass muxes) swings with them — which is exactly why
+the paper's dynamic-variability margins are workload-dependent.  A
+:class:`WorkloadTrace` is a repeating schedule of phases, each scaling
+the base per-path sensitization probability; the graph simulator
+consumes it to modulate violation pressure over time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class Phase:
+    """One program phase."""
+
+    name: str
+    cycles: int
+    sensitization_scale: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ConfigurationError(f"phase {self.name}: cycles >= 1")
+        if self.sensitization_scale < 0:
+            raise ConfigurationError(
+                f"phase {self.name}: scale must be >= 0")
+
+
+class WorkloadTrace:
+    """A repeating sequence of phases."""
+
+    def __init__(self, phases: list[Phase]) -> None:
+        if not phases:
+            raise ConfigurationError("need at least one phase")
+        self.phases = list(phases)
+        self.total_cycles = sum(p.cycles for p in phases)
+        self._starts: list[int] = []
+        start = 0
+        for phase in self.phases:
+            self._starts.append(start)
+            start += phase.cycles
+
+    def phase_at(self, cycle: int) -> Phase:
+        """The phase active on ``cycle`` (the trace repeats)."""
+        if cycle < 0:
+            raise ConfigurationError("cycle must be >= 0")
+        offset = cycle % self.total_cycles
+        # Linear scan is fine: traces have a handful of phases.
+        active = self.phases[0]
+        for start, phase in zip(self._starts, self.phases):
+            if offset >= start:
+                active = phase
+            else:
+                break
+        return active
+
+    def scale_at(self, cycle: int) -> float:
+        """Sensitization multiplier of the phase active on ``cycle``."""
+        return self.phase_at(cycle).sensitization_scale
+
+    def mean_scale(self) -> float:
+        """Cycle-weighted average sensitization scale."""
+        weighted = sum(p.cycles * p.sensitization_scale
+                       for p in self.phases)
+        return weighted / self.total_cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = "/".join(p.name for p in self.phases)
+        return f"WorkloadTrace({names}, {self.total_cycles} cycles)"
+
+
+#: Canonical phase mixes, loosely modelled on SPEC-style behaviour.
+_TRACE_RECIPES = {
+    "compute": [
+        ("warmup", 200, 0.6),
+        ("kernel", 2000, 1.6),
+        ("cooldown", 300, 0.5),
+    ],
+    "memory": [
+        ("burst", 400, 1.2),
+        ("stall", 1200, 0.2),
+        ("drain", 400, 0.8),
+    ],
+    "mixed": [
+        ("compute", 800, 1.5),
+        ("memory", 900, 0.3),
+        ("branchy", 600, 1.0),
+        ("idle", 400, 0.05),
+    ],
+}
+
+
+def synthetic_trace(kind: str = "mixed", *, seed: int | None = None,
+                    ) -> WorkloadTrace:
+    """Build a canonical trace, optionally jittering phase lengths.
+
+    Args:
+        kind: One of ``compute``, ``memory``, ``mixed``.
+        seed: If given, phase lengths are jittered by up to ±25% so
+            repeated experiments don't phase-lock with periodic
+            variability sources.
+    """
+    try:
+        recipe = _TRACE_RECIPES[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown trace kind {kind!r}; known: "
+            f"{sorted(_TRACE_RECIPES)}"
+        ) from None
+    rng = random.Random(seed)
+    phases = []
+    for name, cycles, scale in recipe:
+        if seed is not None:
+            cycles = max(1, int(round(
+                cycles * rng.uniform(0.75, 1.25))))
+        phases.append(Phase(name=name, cycles=cycles,
+                            sensitization_scale=scale))
+    return WorkloadTrace(phases)

@@ -1,0 +1,125 @@
+"""Workload-driven path sensitization (paper Sec. 3).
+
+A critical path only causes a timing error on a cycle where the workload
+actually *sensitizes* it.  The paper cites a sensitization probability of
+order 1e-3 for top critical paths and builds its multi-stage argument on
+it: a k-stage timing error needs k chained critical paths sensitized on k
+successive cycles, so its probability collapses geometrically.
+
+:class:`SensitizationModel` assigns per-path sensitization probabilities
+(more critical -> modelled as slightly more likely to be exercised, since
+critical paths tend to be common datapath routes);
+:func:`multi_stage_error_probability` gives the closed-form rate and
+:func:`sample_multi_stage_events` a Monte-Carlo cross-check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.errors import ConfigurationError
+from repro.timing.graph import TimingEdge, TimingGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitizationModel:
+    """Per-path sensitization probabilities.
+
+    Attributes:
+        base_probability: Sensitization probability of a top critical
+            path (the paper's ~1e-3).
+        period_ps: Clock period used to normalise criticality.
+    """
+
+    base_probability: float = 1e-3
+    period_ps: int = 1000
+
+    def __post_init__(self) -> None:
+        if not 0 < self.base_probability <= 1:
+            raise ConfigurationError("base probability must be in (0, 1]")
+        if self.period_ps <= 0:
+            raise ConfigurationError("period must be > 0")
+
+    def probability(self, edge: TimingEdge) -> float:
+        """Sensitization probability of one path.
+
+        Scales linearly with the path's delay fraction so near-critical
+        paths in the same cone share the critical path's order of
+        magnitude."""
+        frac = edge.delay_ps / self.period_ps
+        return min(1.0, self.base_probability * max(frac, 0.0) / 1.0)
+
+
+def multi_stage_error_probability(
+    sensitization: float,
+    violation_probability: float,
+    stages: int,
+) -> float:
+    """Closed-form probability of a ``stages``-stage timing error.
+
+    A k-stage error requires, on k successive cycles, a chained critical
+    path that is both sensitized and pushed past the edge by dynamic
+    variability.  With per-cycle, per-stage probability
+    ``p = sensitization * violation_probability``, the chain probability
+    is ``p**k`` (paper Sec. 3: "negligibly small" for k >= 2).
+    """
+    if stages < 1:
+        raise ConfigurationError("stages must be >= 1")
+    if not 0 <= sensitization <= 1 or not 0 <= violation_probability <= 1:
+        raise ConfigurationError("probabilities must be in [0, 1]")
+    per_stage = sensitization * violation_probability
+    return per_stage ** stages
+
+
+def sample_multi_stage_events(
+    graph: TimingGraph,
+    *,
+    percent_threshold: float,
+    model: SensitizationModel,
+    violation_probability: float,
+    num_cycles: int,
+    seed: int = 7,
+    max_chain: int = 4,
+) -> dict[int, int]:
+    """Monte-Carlo count of k-stage error events over ``num_cycles``.
+
+    On each cycle every critical path is independently sensitized+violated
+    with its model probability; a k-stage event at cycle ``n`` is a chain
+    ``p1 -> ... -> pk`` (end-to-start connected) violated on cycles
+    ``n-k+1 .. n``.  Returns ``{k: count}`` for ``k`` in 1..``max_chain``.
+    """
+    if not 0 <= violation_probability <= 1:
+        raise ConfigurationError("violation probability must be in [0, 1]")
+    rng = random.Random(seed)
+    critical = graph.critical_edges(percent_threshold)
+    out_by_src: dict[str, list[int]] = {}
+    for index, edge in enumerate(critical):
+        out_by_src.setdefault(edge.src, []).append(index)
+
+    probabilities = [
+        model.probability(edge) * violation_probability for edge in critical
+    ]
+    counts = {k: 0 for k in range(1, max_chain + 1)}
+    # history[k] = set of edge indices that on the previous cycle completed
+    # a (k)-stage violated chain.
+    history: dict[int, set[int]] = {k: set() for k in range(1, max_chain + 1)}
+    for _cycle in range(num_cycles):
+        violated = {
+            index for index, p in enumerate(probabilities)
+            if rng.random() < p
+        }
+        new_history: dict[int, set[int]] = {
+            k: set() for k in range(1, max_chain + 1)
+        }
+        new_history[1] = violated
+        counts[1] += len(violated)
+        for k in range(2, max_chain + 1):
+            for prev_index in history[k - 1]:
+                tail = critical[prev_index].dst
+                for next_index in out_by_src.get(tail, ()):  # chained
+                    if next_index in violated:
+                        new_history[k].add(next_index)
+                        counts[k] += 1
+        history = new_history
+    return counts

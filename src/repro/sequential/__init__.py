@@ -1,0 +1,32 @@
+"""Behavioural sequential elements for the event-driven simulator.
+
+Each element attaches to a :class:`~repro.sim.engine.Simulator`, watches a
+clock and a data signal, and drives an output (plus error signals where
+the element detects timing errors).  The TIMBER elements implement the
+paper's Sec. 5 semantics; Razor, canary, and delay-compensation flip-flops
+implement the baselines of Table 1.
+"""
+
+from repro.sequential.base import ClockedElement, TimingCheck
+from repro.sequential.flipflop import DFlipFlop
+from repro.sequential.latch import DLatch, PulseGatedLatch
+from repro.sequential.timber_ff import TimberFlipFlop
+from repro.sequential.timber_latch import TimberLatch
+from repro.sequential.razor import RazorFlipFlop
+from repro.sequential.canary import CanaryFlipFlop
+from repro.sequential.dcf import DelayCompensationFlipFlop
+from repro.sequential.softedge import SoftEdgeFlipFlop
+
+__all__ = [
+    "ClockedElement",
+    "TimingCheck",
+    "DFlipFlop",
+    "DLatch",
+    "PulseGatedLatch",
+    "TimberFlipFlop",
+    "TimberLatch",
+    "RazorFlipFlop",
+    "CanaryFlipFlop",
+    "DelayCompensationFlipFlop",
+    "SoftEdgeFlipFlop",
+]

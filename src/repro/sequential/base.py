@@ -1,0 +1,109 @@
+"""Shared plumbing for clocked behavioural elements."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingCheck:
+    """Setup/hold window parameters for a sampling element."""
+
+    setup_ps: int = 0
+    hold_ps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.setup_ps < 0 or self.hold_ps < 0:
+            raise ConfigurationError("setup/hold must be >= 0")
+
+    def violated(self, last_data_change_ps: int | None,
+                 sample_ps: int) -> bool:
+        """True if a data change falls inside the aperture around
+        ``sample_ps``.
+
+        Only *past* changes can be known at sampling time; hold-side
+        violations are checked by the caller re-testing after the hold
+        window (see :meth:`ClockedElement._sample_with_checks`).
+        """
+        if last_data_change_ps is None:
+            return False
+        return sample_ps - self.setup_ps < last_data_change_ps <= sample_ps
+
+
+class ClockedElement:
+    """Base class for clock-edge driven elements.
+
+    Subclasses override :meth:`on_rising` / :meth:`on_falling`.  The base
+    class tracks the data signal's last change time so elements can apply
+    setup checks, and offers :meth:`_sample_with_checks`, which returns
+    ``X`` (metastability) when the aperture is violated.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        clk_to_q_ps: int = 0,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        if clk_to_q_ps < 0:
+            raise ConfigurationError(f"{name}: clk_to_q must be >= 0")
+        self.simulator = simulator
+        self.name = name
+        self.d = d
+        self.clk = clk
+        self.q = q
+        self.clk_to_q_ps = clk_to_q_ps
+        self.timing = timing or TimingCheck()
+        self._last_d_change: int | None = None
+        simulator.on_change(d, self._track_data)
+        simulator.on_change(clk, self._track_clock)
+
+    # -- hooks ---------------------------------------------------------------
+    def on_rising(self, time_ps: int) -> None:
+        """Called at every rising clock edge."""
+
+    def on_falling(self, time_ps: int) -> None:
+        """Called at every falling clock edge."""
+
+    def on_data_change(self, time_ps: int, value: Logic) -> None:
+        """Called whenever the data input changes."""
+
+    # -- helpers -----------------------------------------------------------
+    def data_value(self) -> Logic:
+        return self.simulator.value(self.d)
+
+    def drive_q(self, value: Logic, time_ps: int) -> None:
+        self.simulator.drive(self.q, value, time_ps, label=f"{self.name}.q")
+
+    def _sample_with_checks(self, sample_ps: int) -> Logic:
+        """Sample D, returning X if the setup aperture was violated.
+
+        Hold violations (a change shortly *after* the edge) cannot be seen
+        at the sampling instant; subclasses that care (the conventional
+        flip-flop) schedule a re-check at ``sample_ps + hold_ps``.
+        """
+        if self.timing.violated(self._last_d_change, sample_ps):
+            return Logic.X
+        return self.data_value()
+
+    # -- internal listeners -------------------------------------------------
+    def _track_data(self, _sim: Simulator, _signal: str, value: Logic,
+                    time_ps: int) -> None:
+        self._last_d_change = time_ps
+        self.on_data_change(time_ps, value)
+
+    def _track_clock(self, _sim: Simulator, _signal: str, value: Logic,
+                     time_ps: int) -> None:
+        if value is Logic.ONE:
+            self.on_rising(time_ps)
+        elif value is Logic.ZERO:
+            self.on_falling(time_ps)

@@ -1,0 +1,100 @@
+"""Canary flip-flop baseline (error *prediction*; Sato et al., ISQED'07).
+
+A canary flip-flop samples the data path twice on the same clock edge: the
+main flip-flop samples ``D`` directly, while the canary flip-flop samples
+``D`` through a delay element of ``guard_ps``.  If the data transitioned
+within the guard band before the edge, the two samples disagree and a
+timing error is *predicted* — the state is still correct (the main sample
+made it), but the system must immediately back off (slow down / raise
+voltage) because the next violation would be real.
+
+Because the guard band must stay in front of the clock edge permanently,
+prediction can never recover the dynamic-variability margin — the key
+disadvantage in the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.base import ClockedElement, TimingCheck
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class CanaryWarning:
+    """Record of one canary prediction."""
+
+    cycle_edge_ps: int
+    main_value: Logic
+    canary_value: Logic
+
+
+class CanaryFlipFlop(ClockedElement):
+    """Main flip-flop + guard-band delayed canary flip-flop."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        warn: str,
+        guard_ps: int,
+        clk_to_q_ps: int = 45,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        if guard_ps <= 0:
+            raise ConfigurationError(f"{name}: guard band must be > 0 ps")
+        super().__init__(
+            simulator, name=name, d=d, clk=clk, q=q,
+            clk_to_q_ps=clk_to_q_ps,
+            timing=timing or TimingCheck(setup_ps=30, hold_ps=15),
+        )
+        self.warn = warn
+        self.guard_ps = guard_ps
+        self.warnings: list[CanaryWarning] = []
+        # History of D changes so the delayed (canary) view of the data
+        # path can be reconstructed at sampling time.  Seed with the
+        # current value so the delayed view is defined before the first
+        # recorded transition.
+        self._d_times: list[int] = [simulator.now - guard_ps]
+        self._d_values: list[Logic] = [simulator.value(d)]
+        simulator.set_initial(warn, Logic.ZERO)
+
+    def on_data_change(self, time_ps: int, value: Logic) -> None:
+        self._d_times.append(time_ps)
+        self._d_values.append(value)
+
+    def _d_value_at(self, time_ps: int) -> Logic:
+        index = bisect.bisect_right(self._d_times, time_ps) - 1
+        if index < 0:
+            return Logic.X
+        return self._d_values[index]
+
+    def on_rising(self, time_ps: int) -> None:
+        main = self._sample_with_checks(time_ps)
+        # The canary sees the data path through a guard_ps delay element,
+        # i.e. the value D held guard_ps ago.
+        canary = self._d_value_at(time_ps - self.guard_ps)
+        self.drive_q(main, time_ps + self.clk_to_q_ps)
+        if main is not canary:
+            self.warnings.append(CanaryWarning(
+                cycle_edge_ps=time_ps, main_value=main, canary_value=canary,
+            ))
+            self.simulator.drive(self.warn, Logic.ONE, time_ps,
+                                 label=f"{self.name}.warn")
+
+    def clear_warning(self, time_ps: int | None = None) -> None:
+        when = self.simulator.now if time_ps is None else time_ps
+        self.simulator.drive(self.warn, Logic.ZERO, when,
+                             label=f"{self.name}.warn.clear")
+
+    @property
+    def warning_count(self) -> int:
+        return len(self.warnings)

@@ -1,0 +1,104 @@
+"""Delay-compensation flip-flop baseline (Hirose et al., JJAP'08).
+
+An edge detector watches for data transitions in a window around the
+clock edge; when one is seen, the flip-flop resamples the data with a
+delayed clock, borrowing time from the next stage.  The paper (Sec. 2)
+criticises this scheme on two grounds that this model makes observable:
+
+* the borrowed time is assumed to be absorbed by a non-critical path in
+  the next stage — nothing enforces it (no relay, no multi-stage story);
+* the edge detector depends on accurate absolute delays, so process
+  variation forces extra margining.
+
+The model exposes ``borrow_events`` so architecture-level comparisons can
+check whether consecutive-stage borrowing went unaccounted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.base import ClockedElement, TimingCheck
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class BorrowEvent:
+    """Record of one delay-compensated (resampled) capture."""
+
+    cycle_edge_ps: int
+    resample_ps: int
+    original_value: Logic
+    resampled_value: Logic
+
+
+class DelayCompensationFlipFlop(ClockedElement):
+    """Edge-detector triggered resampling flip-flop."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        detect_window_ps: int,
+        resample_delay_ps: int,
+        clk_to_q_ps: int = 45,
+        mux_delay_ps: int = 10,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        if detect_window_ps <= 0 or resample_delay_ps <= 0:
+            raise ConfigurationError(
+                f"{name}: detector window and resample delay must be > 0"
+            )
+        super().__init__(
+            simulator, name=name, d=d, clk=clk, q=q,
+            clk_to_q_ps=clk_to_q_ps,
+            timing=timing or TimingCheck(setup_ps=30, hold_ps=15),
+        )
+        self.detect_window_ps = detect_window_ps
+        self.resample_delay_ps = resample_delay_ps
+        self.mux_delay_ps = mux_delay_ps
+        self.borrow_events: list[BorrowEvent] = []
+        self._edge_ps: int | None = None
+        self._main_value: Logic = Logic.X
+        self._resample_scheduled = False
+
+    def on_rising(self, time_ps: int) -> None:
+        self._edge_ps = time_ps
+        self._resample_scheduled = False
+        self._main_value = self._sample_with_checks(time_ps)
+        self.drive_q(self._main_value, time_ps + self.clk_to_q_ps)
+        # Detector half-window before the edge.
+        last = self._last_d_change
+        if last is not None and time_ps - self.detect_window_ps < last <= time_ps:
+            self._schedule_resample()
+
+    def on_data_change(self, time_ps: int, _value: Logic) -> None:
+        # Detector half-window after the edge.
+        if self._edge_ps is None or self._resample_scheduled:
+            return
+        if self._edge_ps < time_ps <= self._edge_ps + self.detect_window_ps:
+            self._schedule_resample()
+
+    def _schedule_resample(self) -> None:
+        assert self._edge_ps is not None
+        self._resample_scheduled = True
+        self.simulator.at(self._edge_ps + self.resample_delay_ps,
+                          self._resample, label=f"{self.name}.resample")
+
+    def _resample(self, sim: Simulator) -> None:
+        assert self._edge_ps is not None
+        value = self.data_value()
+        if value is not self._main_value:
+            self.drive_q(value, sim.now + self.mux_delay_ps)
+        self.borrow_events.append(BorrowEvent(
+            cycle_edge_ps=self._edge_ps,
+            resample_ps=sim.now,
+            original_value=self._main_value,
+            resampled_value=value,
+        ))

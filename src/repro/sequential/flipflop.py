@@ -1,0 +1,56 @@
+"""Conventional master-slave D flip-flop."""
+
+from __future__ import annotations
+
+from repro.circuit.logic import Logic
+from repro.sequential.base import ClockedElement, TimingCheck
+from repro.sim.engine import Simulator
+
+
+class DFlipFlop(ClockedElement):
+    """Edge-triggered D flip-flop with setup/hold metastability modelling.
+
+    Samples D on the rising clock edge.  If D changes within the setup
+    aperture before the edge, the sampled value is ``X``; if D changes
+    within the hold window after the edge, the already-driven output is
+    corrupted to ``X`` retroactively (scheduled at the violation instant),
+    which is the pessimistic digital abstraction of a master latch losing
+    its captured value.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        clk_to_q_ps: int = 45,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        super().__init__(
+            simulator, name=name, d=d, clk=clk, q=q,
+            clk_to_q_ps=clk_to_q_ps,
+            timing=timing or TimingCheck(setup_ps=30, hold_ps=15),
+        )
+        self.sample_history: list[tuple[int, Logic]] = []
+        self._hold_deadline: int | None = None
+
+    def on_rising(self, time_ps: int) -> None:
+        value = self._sample_with_checks(time_ps)
+        self.sample_history.append((time_ps, value))
+        self._hold_deadline = time_ps + self.timing.hold_ps
+        self.drive_q(value, time_ps + self.clk_to_q_ps)
+
+    def on_data_change(self, time_ps: int, _value: Logic) -> None:
+        deadline = self._hold_deadline
+        if deadline is not None and time_ps <= deadline:
+            edge_ps = deadline - self.timing.hold_ps
+            if time_ps > edge_ps:
+                # Hold violation: the master's captured value is suspect.
+                self.sample_history[-1] = (edge_ps, Logic.X)
+                self.drive_q(Logic.X, edge_ps + self.clk_to_q_ps)
+
+    def last_sample(self) -> Logic:
+        return self.sample_history[-1][1] if self.sample_history else Logic.X

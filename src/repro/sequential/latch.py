@@ -1,0 +1,108 @@
+"""Level-sensitive and pulse-gated latches."""
+
+from __future__ import annotations
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.base import ClockedElement, TimingCheck
+from repro.sim.engine import Simulator
+
+
+class DLatch(ClockedElement):
+    """Transparent-high (or low) level-sensitive latch.
+
+    While the enable (clock) level matches ``transparent_level``, Q
+    follows D after ``d_to_q_ps``; on the closing edge the current D value
+    is held (with a setup aperture producing ``X`` on violation).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        transparent_level: Logic = Logic.ONE,
+        d_to_q_ps: int = 35,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        if transparent_level not in (Logic.ZERO, Logic.ONE):
+            raise ConfigurationError("transparent_level must be 0 or 1")
+        super().__init__(
+            simulator, name=name, d=d, clk=clk, q=q, clk_to_q_ps=d_to_q_ps,
+            timing=timing or TimingCheck(setup_ps=20, hold_ps=10),
+        )
+        self.transparent_level = transparent_level
+        self.held_value: Logic = Logic.X
+
+    @property
+    def transparent(self) -> bool:
+        return self.simulator.value(self.clk) is self.transparent_level
+
+    def on_rising(self, time_ps: int) -> None:
+        if self.transparent_level is Logic.ONE:
+            self._open(time_ps)
+        else:
+            self._close(time_ps)
+
+    def on_falling(self, time_ps: int) -> None:
+        if self.transparent_level is Logic.ONE:
+            self._close(time_ps)
+        else:
+            self._open(time_ps)
+
+    def on_data_change(self, time_ps: int, value: Logic) -> None:
+        if self.transparent:
+            self.drive_q(value, time_ps + self.clk_to_q_ps)
+
+    def _open(self, time_ps: int) -> None:
+        self.drive_q(self.data_value(), time_ps + self.clk_to_q_ps)
+
+    def _close(self, time_ps: int) -> None:
+        self.held_value = self._sample_with_checks(time_ps)
+
+    def value(self) -> Logic:
+        """The latch's current content (follows D while transparent)."""
+        return self.data_value() if self.transparent else self.held_value
+
+
+class PulseGatedLatch(DLatch):
+    """A latch made transparent by an externally generated pulse window.
+
+    Instead of following the raw clock level, the latch is transparent in
+    explicit windows opened with :meth:`open_window`.  The TIMBER latch's
+    clock control (paper Fig. 6(b)) opens such windows: the master for the
+    TB interval, the slave for the entire checking period.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        q: str,
+        d_to_q_ps: int = 35,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        gate_signal = f"{name}.gate"
+        simulator.set_initial(gate_signal, Logic.ZERO)
+        super().__init__(
+            simulator, name=name, d=d, clk=gate_signal, q=q,
+            transparent_level=Logic.ONE, d_to_q_ps=d_to_q_ps, timing=timing,
+        )
+        self.gate_signal = gate_signal
+
+    def open_window(self, start_ps: int, end_ps: int) -> None:
+        """Make the latch transparent during [start_ps, end_ps)."""
+        if end_ps <= start_ps:
+            raise ConfigurationError(
+                f"{self.name}: empty transparency window "
+                f"[{start_ps}, {end_ps})"
+            )
+        self.simulator.drive(self.gate_signal, Logic.ONE, start_ps,
+                             label=f"{self.name}.open")
+        self.simulator.drive(self.gate_signal, Logic.ZERO, end_ps,
+                             label=f"{self.name}.close")

@@ -1,0 +1,96 @@
+"""Razor flip-flop baseline (error *detection*; Ernst et al., MICRO'03).
+
+A Razor flip-flop augments the main flip-flop with a shadow latch clocked
+``window_ps`` after the main edge.  If the shadow disagrees with the main
+sample, a timing error *occurred* — the architectural state is already
+corrupted, so the surrounding architecture must recover with a rollback or
+local instruction replay (modelled in
+:mod:`repro.baselines.razor_arch`).  The flip-flop itself restores the
+correct value into the pipeline from the shadow latch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.base import ClockedElement, TimingCheck
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class RazorDetection:
+    """Record of one Razor error detection."""
+
+    cycle_edge_ps: int
+    main_value: Logic
+    shadow_value: Logic
+
+
+class RazorFlipFlop(ClockedElement):
+    """Main flip-flop + shadow latch error detector."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        err: str,
+        window_ps: int,
+        clk_to_q_ps: int = 45,
+        mux_delay_ps: int = 10,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        if window_ps <= 0:
+            raise ConfigurationError(f"{name}: window must be > 0 ps")
+        super().__init__(
+            simulator, name=name, d=d, clk=clk, q=q,
+            clk_to_q_ps=clk_to_q_ps,
+            timing=timing or TimingCheck(setup_ps=30, hold_ps=15),
+        )
+        self.err = err
+        self.window_ps = window_ps
+        self.mux_delay_ps = mux_delay_ps
+        self.detections: list[RazorDetection] = []
+        self._main_value: Logic = Logic.X
+        self._edge_ps: int | None = None
+        simulator.set_initial(err, Logic.ZERO)
+
+    def clear_error(self, time_ps: int | None = None) -> None:
+        when = self.simulator.now if time_ps is None else time_ps
+        self.simulator.drive(self.err, Logic.ZERO, when,
+                             label=f"{self.name}.err.clear")
+
+    def on_rising(self, time_ps: int) -> None:
+        self._edge_ps = time_ps
+        # Unlike TIMBER, the main sample is architecturally consumed
+        # immediately; a late arrival means downstream logic already saw
+        # the wrong value for part of a cycle.
+        self._main_value = self._sample_with_checks(time_ps)
+        self.drive_q(self._main_value, time_ps + self.clk_to_q_ps)
+        self.simulator.at(time_ps + self.window_ps, self._shadow_sample,
+                          label=f"{self.name}.shadow")
+
+    def _shadow_sample(self, sim: Simulator) -> None:
+        assert self._edge_ps is not None
+        shadow = self.data_value()
+        if shadow is self._main_value:
+            return
+        self.detections.append(RazorDetection(
+            cycle_edge_ps=self._edge_ps,
+            main_value=self._main_value,
+            shadow_value=shadow,
+        ))
+        # Razor restores the correct value and raises the error signal at
+        # detection time — state was corrupted, so recovery (replay or
+        # rollback) is the architecture's job, not this cell's.
+        self.drive_q(shadow, sim.now + self.mux_delay_ps)
+        sim.drive(self.err, Logic.ONE, sim.now, label=f"{self.name}.err")
+
+    @property
+    def detection_count(self) -> int:
+        return len(self.detections)

@@ -1,0 +1,79 @@
+"""Soft-edge flip-flop baseline (design-time; Wieckowski et al., CICC'08).
+
+A soft-edge flip-flop keeps its master latch transparent for a small
+fixed window after the clock edge, providing *static* time borrowing:
+late data inside the window passes silently.  The paper cites this as a
+design-time technique for static variability — the crucial difference
+from TIMBER being **observability**: there is no comparison, no error
+signal, and therefore no way to notice that the window is being consumed
+by a slow drift (aging, temperature) until data finally misses the
+window and corrupts state silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.base import ClockedElement, TimingCheck
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class SoftEdgeCapture:
+    """Record of one soft-edge capture that used the window."""
+
+    cycle_edge_ps: int
+    borrowed_ps: int
+
+
+class SoftEdgeFlipFlop(ClockedElement):
+    """Flip-flop with a fixed post-edge transparency window."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        window_ps: int,
+        d_to_q_ps: int = 35,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        if window_ps <= 0:
+            raise ConfigurationError(f"{name}: window must be > 0 ps")
+        super().__init__(
+            simulator, name=name, d=d, clk=clk, q=q,
+            clk_to_q_ps=d_to_q_ps,
+            timing=timing or TimingCheck(setup_ps=0, hold_ps=0),
+        )
+        self.window_ps = window_ps
+        self.borrows: list[SoftEdgeCapture] = []
+        self._edge_ps: int | None = None
+
+    def on_rising(self, time_ps: int) -> None:
+        self._edge_ps = time_ps
+        self.drive_q(self.data_value(), time_ps + self.clk_to_q_ps)
+        self.simulator.at(time_ps + self.window_ps, self._close,
+                          label=f"{self.name}.close")
+
+    def on_data_change(self, time_ps: int, value: Logic) -> None:
+        edge = self._edge_ps
+        if edge is None:
+            return
+        if edge <= time_ps <= edge + self.window_ps:
+            # Transparent window: the late value flows through.  Nothing
+            # records that this was an error — that is the point.
+            self.drive_q(value, time_ps + self.clk_to_q_ps)
+            self.borrows.append(SoftEdgeCapture(
+                cycle_edge_ps=edge, borrowed_ps=time_ps - edge))
+
+    def _close(self, _sim: Simulator) -> None:
+        """Master closes; later arrivals are silently lost."""
+
+    @property
+    def borrow_count(self) -> int:
+        return len(self.borrows)

@@ -1,0 +1,177 @@
+"""Behavioural TIMBER flip-flop (paper Sec. 5.1).
+
+A TIMBER flip-flop has two master latches sharing one slave:
+
+* **M0** samples D on the rising edge of CLK and immediately drives Q —
+  identical to a conventional master-slave flip-flop.
+* **M1** samples D on the rising edge of a *delayed* clock, ``delta``
+  after the edge, where ``delta = (select + 1) * interval`` is set by the
+  2-bit select input S1S0.  After ``delta``, M1 drives the slave.
+
+If no timing error occurred, M0 and M1 sample the same value and the
+element behaves like a plain flip-flop.  If the data arrived late (but
+within ``delta``), M1 catches the corrected value and *masks* the error by
+borrowing ``delta`` from the next stage — in discrete interval units, so
+the edge-sampling property is preserved.
+
+Select bookkeeping implements the paper's error relay contract:
+
+* ``select_out = 0`` when no error occurred this cycle;
+* ``select_out = select_in + 1`` when an error was masked, so a
+  downstream TIMBER flip-flop can borrow one *additional* interval;
+* the error is **flagged** (latched on the falling clock edge) only when
+  the newly borrowed interval is an ED-type interval, i.e. when
+  ``select_in + 1 > num_tb_intervals``.
+
+The element also demonstrates the paper's metastability claim: a data
+transition violating M0's setup aperture makes M0 sample ``X``, but M1's
+delayed sample resolves the output to the correct value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError, SimulationError
+from repro.sequential.base import ClockedElement, TimingCheck
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class MaskingEvent:
+    """Record of one masked timing error at a TIMBER flip-flop."""
+
+    cycle_edge_ps: int
+    m0_value: Logic
+    m1_value: Logic
+    select_in: int
+    borrowed_intervals: int
+    borrowed_ps: int
+    flagged: bool
+
+
+class TimberFlipFlop(ClockedElement):
+    """Discrete-time-borrowing TIMBER flip-flop."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        err: str,
+        interval_ps: int,
+        num_intervals: int = 3,
+        num_tb_intervals: int = 1,
+        enabled: bool = True,
+        clk_to_q_ps: int = 50,
+        mux_delay_ps: int = 10,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        if interval_ps <= 0:
+            raise ConfigurationError(f"{name}: interval must be > 0 ps")
+        if num_intervals < 1:
+            raise ConfigurationError(f"{name}: need >= 1 interval")
+        if not 0 <= num_tb_intervals <= num_intervals:
+            raise ConfigurationError(
+                f"{name}: num_tb_intervals must be within "
+                f"[0, {num_intervals}]"
+            )
+        super().__init__(
+            simulator, name=name, d=d, clk=clk, q=q,
+            clk_to_q_ps=clk_to_q_ps,
+            timing=timing or TimingCheck(setup_ps=30, hold_ps=15),
+        )
+        self.err = err
+        self.interval_ps = interval_ps
+        self.num_intervals = num_intervals
+        self.num_tb_intervals = num_tb_intervals
+        self.enabled = enabled
+        self.mux_delay_ps = mux_delay_ps
+        self.select_in = 0
+        self.select_out = 0
+        self.events: list[MaskingEvent] = []
+        self._m0_value: Logic = Logic.X
+        self._edge_ps: int | None = None
+        self._flag_pending = False
+        simulator.set_initial(err, Logic.ZERO)
+
+    # -- external control -----------------------------------------------
+    def set_select(self, select: int) -> None:
+        """Set the select input (normally driven by the error relay).
+
+        Values are clamped to the encodable range ``[0, num_intervals-1]``
+        — the hardware select is a 2-bit field, so a relay requesting more
+        borrowing than the checking period allows saturates, exactly the
+        condition under which the system must already have flagged and be
+        slowing its clock.
+        """
+        if select < 0:
+            raise ConfigurationError(f"{self.name}: negative select")
+        self.select_in = min(select, self.num_intervals - 1)
+
+    def clear_error(self, time_ps: int | None = None) -> None:
+        """De-assert the latched error flag (central controller acks)."""
+        when = self.simulator.now if time_ps is None else time_ps
+        self.simulator.drive(self.err, Logic.ZERO, when,
+                             label=f"{self.name}.err.clear")
+
+    # -- clocked behaviour ----------------------------------------------
+    def on_rising(self, time_ps: int) -> None:
+        self._edge_ps = time_ps
+        self.select_out = 0
+        self._m0_value = self._sample_with_checks(time_ps)
+        self.drive_q(self._m0_value, time_ps + self.clk_to_q_ps)
+        if not self.enabled:
+            return
+        delta = (self.select_in + 1) * self.interval_ps
+        if self.select_in + 1 > self.num_intervals:
+            raise SimulationError(
+                f"{self.name}: select {self.select_in} exceeds the "
+                f"checking period ({self.num_intervals} intervals)"
+            )
+        self.simulator.at(time_ps + delta, self._m1_sample,
+                          label=f"{self.name}.m1")
+
+    def _m1_sample(self, sim: Simulator) -> None:
+        assert self._edge_ps is not None
+        m1_value = self.data_value()
+        if m1_value is self._m0_value:
+            self.select_out = 0
+            return
+        # Timing error: M1 masks it by driving the slave with the late
+        # (correct) value.  This also resolves an X (metastable) M0.
+        borrowed = self.select_in + 1
+        flagged = borrowed > self.num_tb_intervals
+        self.drive_q(m1_value, sim.now + self.mux_delay_ps)
+        self.select_out = borrowed
+        self._flag_pending = self._flag_pending or flagged
+        self.events.append(MaskingEvent(
+            cycle_edge_ps=self._edge_ps,
+            m0_value=self._m0_value,
+            m1_value=m1_value,
+            select_in=self.select_in,
+            borrowed_intervals=borrowed,
+            borrowed_ps=borrowed * self.interval_ps,
+            flagged=flagged,
+        ))
+
+    def on_falling(self, time_ps: int) -> None:
+        if self._flag_pending:
+            # The error signal is latched on the falling edge (paper
+            # Sec. 4), buying the OR-tree an extra half cycle.
+            self.simulator.drive(self.err, Logic.ONE, time_ps,
+                                 label=f"{self.name}.err")
+            self._flag_pending = False
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def masked_count(self) -> int:
+        return len(self.events)
+
+    @property
+    def flagged_count(self) -> int:
+        return sum(1 for event in self.events if event.flagged)

@@ -1,0 +1,151 @@
+"""Behavioural TIMBER latch (paper Sec. 5.2).
+
+The TIMBER latch replaces the flip-flop's discrete delayed sampling with
+*continuous* time borrowing:
+
+* the **slave** latch is transparent for the entire checking period, so
+  any transition arriving inside the checking period flows straight to Q
+  — borrowing exactly as much time as the data was late (and propagating
+  glitches, as the paper notes);
+* the **master** latch is transparent only for the TB interval;
+* on the falling clock edge the master and slave contents are compared:
+  a mismatch means the data arrived in the ED portion of the checking
+  period, and the error is flagged.  Arrivals inside the TB interval load
+  both latches identically, so single-stage errors are masked silently —
+  and, crucially, the element can never flag a *false* error.
+
+No error-relay logic is needed because borrowing is continuous: a
+two-stage error simply arrives later within the next stage's checking
+period.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.base import ClockedElement, TimingCheck
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class LatchCycleRecord:
+    """Per-cycle capture record for a TIMBER latch."""
+
+    cycle_edge_ps: int
+    master_value: Logic
+    slave_value: Logic
+    borrowed_ps: int
+    flagged: bool
+
+
+class TimberLatch(ClockedElement):
+    """Continuous-time-borrowing TIMBER latch."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        name: str,
+        d: str,
+        clk: str,
+        q: str,
+        err: str,
+        tb_ps: int,
+        checking_ps: int,
+        enabled: bool = True,
+        d_to_q_ps: int = 35,
+        timing: TimingCheck | None = None,
+    ) -> None:
+        if tb_ps <= 0:
+            raise ConfigurationError(f"{name}: TB interval must be > 0 ps")
+        if checking_ps < tb_ps:
+            raise ConfigurationError(
+                f"{name}: checking period ({checking_ps} ps) must be >= "
+                f"TB interval ({tb_ps} ps)"
+            )
+        super().__init__(
+            simulator, name=name, d=d, clk=clk, q=q, clk_to_q_ps=d_to_q_ps,
+            timing=timing or TimingCheck(setup_ps=0, hold_ps=0),
+        )
+        self.err = err
+        self.tb_ps = tb_ps
+        self.checking_ps = checking_ps
+        self.enabled = enabled
+        self.records: list[LatchCycleRecord] = []
+        self._edge_ps: int | None = None
+        self._master_value: Logic = Logic.X
+        self._slave_value: Logic = Logic.X
+        self._last_borrow_ps = 0
+        simulator.set_initial(err, Logic.ZERO)
+
+    # -- external control -----------------------------------------------
+    def clear_error(self, time_ps: int | None = None) -> None:
+        when = self.simulator.now if time_ps is None else time_ps
+        self.simulator.drive(self.err, Logic.ZERO, when,
+                             label=f"{self.name}.err.clear")
+
+    # -- transparency ----------------------------------------------------
+    def _in_checking_window(self, time_ps: int) -> bool:
+        if self._edge_ps is None:
+            return False
+        window = self.checking_ps if self.enabled else 0
+        return self._edge_ps <= time_ps <= self._edge_ps + window
+
+    def on_rising(self, time_ps: int) -> None:
+        self._edge_ps = time_ps
+        self._last_borrow_ps = 0
+        # The slave opens at the edge: Q takes the current D value.
+        self.drive_q(self.data_value(), time_ps + self.clk_to_q_ps)
+        if not self.enabled:
+            self._master_value = self.data_value()
+            self._slave_value = self._master_value
+            return
+        self.simulator.at(time_ps + self.tb_ps, self._close_master,
+                          label=f"{self.name}.master.close")
+        self.simulator.at(time_ps + self.checking_ps, self._close_slave,
+                          label=f"{self.name}.slave.close")
+
+    def on_data_change(self, time_ps: int, value: Logic) -> None:
+        # Continuous borrowing: while the slave is transparent, D flows to
+        # Q (including glitches — the paper accepts this as the cost of
+        # eliminating the relay logic).
+        if self._in_checking_window(time_ps):
+            self.drive_q(value, time_ps + self.clk_to_q_ps)
+            assert self._edge_ps is not None
+            self._last_borrow_ps = time_ps - self._edge_ps
+
+    def _close_master(self, _sim: Simulator) -> None:
+        self._master_value = self.data_value()
+
+    def _close_slave(self, _sim: Simulator) -> None:
+        self._slave_value = self.data_value()
+
+    def on_falling(self, time_ps: int) -> None:
+        if self._edge_ps is None or not self.enabled:
+            return
+        # Level-sensitive sampling means neither latch can go metastable
+        # on a late arrival; the comparison is of two settled values.
+        flagged = (
+            self._master_value is not self._slave_value
+        )
+        self.records.append(LatchCycleRecord(
+            cycle_edge_ps=self._edge_ps,
+            master_value=self._master_value,
+            slave_value=self._slave_value,
+            borrowed_ps=self._last_borrow_ps,
+            flagged=flagged,
+        ))
+        if flagged:
+            self.simulator.drive(self.err, Logic.ONE, time_ps,
+                                 label=f"{self.name}.err")
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def flagged_count(self) -> int:
+        return sum(1 for record in self.records if record.flagged)
+
+    @property
+    def borrow_events(self) -> list[LatchCycleRecord]:
+        return [r for r in self.records if r.borrowed_ps > 0]

@@ -1,0 +1,115 @@
+"""Clock generation for the event-driven simulator.
+
+:class:`ClockGenerator` drives a signal with a square wave whose period can
+be stepped at runtime — the mechanism the central error-control unit uses
+to *temporarily reduce the clock frequency* after a flagged timing error.
+:class:`DelayedClock` derives a fixed-offset copy of another clock, which
+is how the TIMBER flip-flop's M1 master latch receives ``clk + delta``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class ClockEdges:
+    """Convenience record of a generator's emitted edge times."""
+
+    rising: list[int] = dataclasses.field(default_factory=list)
+    falling: list[int] = dataclasses.field(default_factory=list)
+
+
+class ClockGenerator:
+    """Drives ``signal`` with a square wave from ``start_ps``.
+
+    The duty cycle is 50% unless ``high_ps`` is given.  Period changes
+    requested via :meth:`set_period` take effect at the next rising edge,
+    mirroring how a clock-management unit would retune a PLL/divider
+    without glitching the clock tree.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        signal: str,
+        period_ps: int,
+        *,
+        start_ps: int = 0,
+        high_ps: int | None = None,
+    ) -> None:
+        if period_ps <= 1:
+            raise ConfigurationError(f"period must be >1 ps, got {period_ps}")
+        if high_ps is not None and not 0 < high_ps < period_ps:
+            raise ConfigurationError(
+                f"high time {high_ps} must be within (0, {period_ps})"
+            )
+        self.simulator = simulator
+        self.signal = signal
+        self.period_ps = period_ps
+        self.high_ps = high_ps if high_ps is not None else period_ps // 2
+        self._explicit_high = high_ps is not None
+        self.edges = ClockEdges()
+        self._pending_period: int | None = None
+        simulator.set_initial(signal, Logic.ZERO)
+        simulator.at(start_ps, self._rise, label=f"clk-rise:{signal}")
+
+    def set_period(self, period_ps: int) -> None:
+        """Request a new period, applied from the next rising edge."""
+        if period_ps <= 1:
+            raise ConfigurationError(f"period must be >1 ps, got {period_ps}")
+        self._pending_period = period_ps
+
+    def _rise(self, sim: Simulator) -> None:
+        if self._pending_period is not None:
+            if not self._explicit_high:
+                self.high_ps = self._pending_period // 2
+            elif self.high_ps >= self._pending_period:
+                raise ConfigurationError(
+                    "explicit high time exceeds the new period"
+                )
+            self.period_ps = self._pending_period
+            self._pending_period = None
+        now = sim.now
+        self.edges.rising.append(now)
+        sim.drive(self.signal, Logic.ONE, now, label=f"{self.signal}=1")
+        sim.at(now + self.high_ps, self._fall, label=f"clk-fall:{self.signal}")
+        sim.at(now + self.period_ps, self._rise, label=f"clk-rise:{self.signal}")
+
+    def _fall(self, sim: Simulator) -> None:
+        self.edges.falling.append(sim.now)
+        sim.drive(self.signal, Logic.ZERO, sim.now, label=f"{self.signal}=0")
+
+
+class DelayedClock:
+    """Drives ``signal`` as ``source`` delayed by ``delay_ps``.
+
+    The delay may be changed between edges via :attr:`delay_ps` — the
+    TIMBER flip-flop's select inputs (S1 S0) reconfigure exactly this
+    delay for the M1 master latch, one checking-period interval at a time.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        source: str,
+        signal: str,
+        delay_ps: int,
+    ) -> None:
+        if delay_ps < 0:
+            raise ConfigurationError(f"delay must be >=0, got {delay_ps}")
+        self.simulator = simulator
+        self.source = source
+        self.signal = signal
+        self.delay_ps = delay_ps
+        simulator.set_initial(signal, simulator.value(source))
+        simulator.on_change(source, self._follow)
+
+    def _follow(self, sim: Simulator, _signal: str, value: Logic,
+                time_ps: int) -> None:
+        sim.drive(self.signal, value, time_ps + self.delay_ps,
+                  label=f"dly:{self.signal}")

@@ -1,0 +1,105 @@
+"""Events and the deterministic event queue.
+
+Events are ordered by ``(time, sequence)`` where the sequence number is a
+monotonically increasing insertion counter.  Two events scheduled for the
+same instant therefore fire in insertion order, which keeps simulations
+fully deterministic and makes same-delta races explicit in the code that
+schedules them rather than in heap internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import typing
+
+from repro.circuit.logic import Logic
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+#: A callback fired when its event is popped from the queue.
+Action = typing.Callable[["Simulator"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """A scheduled occurrence.
+
+    Exactly one of (``signal``, ``value``) or ``action`` is used: signal
+    events drive a named signal to a logic value; action events invoke a
+    callback (used for clock edges, sampling instants, and controller
+    timeouts).
+    """
+
+    time_ps: int
+    signal: str | None = None
+    value: Logic | None = None
+    action: Action | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time_ps < 0:
+            raise SimulationError(f"event time must be >=0, got {self.time_ps}")
+        has_signal = self.signal is not None
+        has_action = self.action is not None
+        if has_signal == has_action:
+            raise SimulationError(
+                "event must carry exactly one of signal-drive or action"
+            )
+        if has_signal and self.value is None:
+            raise SimulationError(f"signal event {self.signal!r} needs a value")
+
+
+class EventQueue:
+    """A cancellable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+        self._live = 0
+
+    def push(self, event: Event) -> int:
+        """Schedule ``event``; returns a handle usable with :meth:`cancel`."""
+        handle = next(self._counter)
+        heapq.heappush(self._heap, (event.time_ps, handle, event))
+        self._live += 1
+        return handle
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if handle in self._cancelled:
+            return
+        self._cancelled.add(handle)
+        self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            time_ps, handle, event = heapq.heappop(self._heap)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> int | None:
+        """Timestamp of the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            time_ps, handle, _event = self._heap[0]
+            if handle in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(handle)
+                continue
+            return time_ps
+        return None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

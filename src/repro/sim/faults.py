@@ -1,0 +1,124 @@
+"""Fault injection for the event-driven simulator.
+
+Supports the two fault classes the TIMBER-family literature cares about:
+
+* **delay faults** — a signal's transition is postponed by a chosen
+  amount (crosstalk, resistive defects, droop on one path);
+* **single-event upsets (SEUs)** — a transient pulse of bounded width
+  flips a signal and then releases it (particle strikes).
+
+Injection is scheduled, deterministic, and logged, so experiments can
+correlate injected faults with detection/masking outcomes.  A TIMBER
+latch, for example, flags an SEU that lands between its master and
+slave closing instants — the same mechanism that catches late
+transitions (cf. the sense-amplifier soft-error detector the paper
+cites as [9]).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectedFault:
+    """Log record of one injected fault."""
+
+    kind: str
+    signal: str
+    time_ps: int
+    detail: str
+
+
+class FaultInjector:
+    """Schedules faults on simulator signals and logs them."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self.log: list[InjectedFault] = []
+
+    # -- SEU ---------------------------------------------------------------
+    def inject_seu(self, signal: str, at_ps: int, width_ps: int) -> None:
+        """Flip ``signal`` at ``at_ps`` for ``width_ps`` picoseconds.
+
+        The pulse value is the inverse of whatever the signal holds when
+        the strike lands; the original value is restored afterwards
+        (unless the functional circuit drives it meanwhile — later
+        drives win, as in silicon).
+        """
+        if width_ps <= 0:
+            raise ConfigurationError("SEU width must be > 0")
+        if at_ps < self.simulator.now:
+            raise SimulationError("cannot inject in the past")
+
+        def strike(sim: Simulator) -> None:
+            original = sim.value(signal)
+            flipped = ~original if original is not Logic.X else Logic.ONE
+            sim.drive(signal, flipped, sim.now, label=f"seu:{signal}")
+            sim.drive(signal, original, sim.now + width_ps,
+                      label=f"seu-recover:{signal}")
+
+        self.simulator.at(at_ps, strike, label=f"seu@{signal}")
+        self.log.append(InjectedFault(
+            kind="seu", signal=signal, time_ps=at_ps,
+            detail=f"width={width_ps}ps"))
+
+    # -- delay fault -------------------------------------------------------
+    def inject_delay_fault(self, signal: str, from_ps: int,
+                           extra_delay_ps: int) -> None:
+        """Postpone every change of ``signal`` after ``from_ps``.
+
+        Implemented as a shadow signal: consumers should observe
+        ``delayed_name(signal)`` instead of ``signal``.  The original
+        signal is left untouched so the same stimulus can drive faulty
+        and fault-free observers in one simulation.
+        """
+        if extra_delay_ps <= 0:
+            raise ConfigurationError("extra delay must be > 0")
+        shadow = self.delayed_name(signal)
+        sim = self.simulator
+        sim.set_initial(shadow, sim.value(signal))
+
+        def follow(inner: Simulator, _name: str, value: Logic,
+                   time_ps: int) -> None:
+            delay = extra_delay_ps if time_ps >= from_ps else 0
+            inner.drive(shadow, value, time_ps + delay,
+                        label=f"delayfault:{signal}")
+
+        sim.on_change(signal, follow)
+        self.log.append(InjectedFault(
+            kind="delay", signal=signal, time_ps=from_ps,
+            detail=f"extra={extra_delay_ps}ps"))
+
+    @staticmethod
+    def delayed_name(signal: str) -> str:
+        """Name of the shadow signal carrying the delayed copy."""
+        return f"{signal}__delayfault"
+
+    # -- stuck-at ------------------------------------------------------------
+    def inject_stuck_at(self, signal: str, at_ps: int,
+                        value: Logic | int) -> None:
+        """Force ``signal`` to ``value`` from ``at_ps`` onward.
+
+        Any later functional drive is immediately overridden (the fault
+        keeps re-asserting), modelling a hard defect."""
+        level = Logic.from_value(value)
+        sim = self.simulator
+
+        def clamp(inner: Simulator, _name: str, new: Logic,
+                  time_ps: int) -> None:
+            if time_ps >= at_ps and new is not level:
+                inner.drive(signal, level, time_ps, label=f"sa:{signal}")
+
+        def engage(inner: Simulator) -> None:
+            inner.drive(signal, level, inner.now, label=f"sa:{signal}")
+            inner.on_change(signal, clamp)
+
+        sim.at(at_ps, engage, label=f"sa@{signal}")
+        self.log.append(InjectedFault(
+            kind="stuck-at", signal=signal, time_ps=at_ps,
+            detail=f"value={level}"))

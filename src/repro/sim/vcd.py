@@ -1,0 +1,93 @@
+"""VCD (Value Change Dump) export of recorded waveforms.
+
+Lets any waveform produced by this library be inspected in standard EDA
+viewers (GTKWave, Surfer, ...).  Only the small subset of IEEE 1364 VCD
+needed for scalar logic signals is emitted.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Mapping
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sim.waveform import Waveform, WaveformRecorder
+
+_VCD_VALUE = {Logic.ZERO: "0", Logic.ONE: "1", Logic.X: "x"}
+
+#: Printable identifier characters per the VCD grammar.
+_ID_ALPHABET = [chr(c) for c in range(33, 127)]
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier for the ``index``-th signal."""
+    chars = []
+    index += 1
+    while index > 0:
+        index, rem = divmod(index - 1, len(_ID_ALPHABET))
+        chars.append(_ID_ALPHABET[rem])
+    return "".join(reversed(chars))
+
+
+def dump_vcd(
+    waveforms: Mapping[str, Waveform] | WaveformRecorder,
+    *,
+    timescale: str = "1ps",
+    module: str = "repro",
+    end_ps: int | None = None,
+) -> str:
+    """Serialise waveforms to VCD text.
+
+    Args:
+        waveforms: Mapping of signal name to waveform, or a recorder.
+        timescale: VCD timescale declaration (ticks are picoseconds).
+        module: Scope name the signals are declared under.
+        end_ps: Optional final timestamp to emit (extends the dump).
+    """
+    if isinstance(waveforms, WaveformRecorder):
+        waveforms = waveforms.waveforms
+    if not waveforms:
+        raise ConfigurationError("nothing to dump")
+
+    out = io.StringIO()
+    out.write(f"$timescale {timescale} $end\n")
+    out.write(f"$scope module {module} $end\n")
+    identifiers: dict[str, str] = {}
+    for index, name in enumerate(sorted(waveforms)):
+        ident = _identifier(index)
+        identifiers[name] = ident
+        safe = name.replace(" ", "_")
+        out.write(f"$var wire 1 {ident} {safe} $end\n")
+    out.write("$upscope $end\n$enddefinitions $end\n")
+
+    # Initial values.
+    out.write("$dumpvars\n")
+    for name in sorted(waveforms):
+        out.write(f"{_VCD_VALUE[waveforms[name].initial]}"
+                  f"{identifiers[name]}\n")
+    out.write("$end\n")
+
+    # Merge change points across signals in time order.
+    changes: list[tuple[int, str, Logic]] = []
+    for name, waveform in waveforms.items():
+        for edge in waveform.edges():
+            changes.append((edge.time_ps, name, edge.new))
+    changes.sort(key=lambda item: (item[0], item[1]))
+
+    last_time: int | None = None
+    for time_ps, name, value in changes:
+        if time_ps != last_time:
+            out.write(f"#{time_ps}\n")
+            last_time = time_ps
+        out.write(f"{_VCD_VALUE[value]}{identifiers[name]}\n")
+    if end_ps is not None and (last_time is None or end_ps > last_time):
+        out.write(f"#{end_ps}\n")
+    return out.getvalue()
+
+
+def write_vcd(path: str, waveforms, **kwargs) -> None:
+    """Write :func:`dump_vcd` output to ``path``."""
+    text = dump_vcd(waveforms, **kwargs)
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(text)

@@ -1,0 +1,153 @@
+"""Waveform capture and queries.
+
+A :class:`Waveform` is the recorded history of one signal: an initial value
+plus a list of (time, value) change points.  :class:`WaveformRecorder`
+subscribes to a :class:`~repro.sim.engine.Simulator` and builds waveforms
+for a chosen set of signals; it can render them as ASCII timing diagrams,
+which is how the benchmark harness reproduces the paper's Figs. 5 and 7.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import typing
+
+from repro.circuit.logic import Logic
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class Edge:
+    """A recorded signal transition."""
+
+    time_ps: int
+    old: Logic
+    new: Logic
+
+    @property
+    def is_rising(self) -> bool:
+        return self.old is Logic.ZERO and self.new is Logic.ONE
+
+    @property
+    def is_falling(self) -> bool:
+        return self.old is Logic.ONE and self.new is Logic.ZERO
+
+
+class Waveform:
+    """Value history of a single signal."""
+
+    def __init__(self, signal: str, initial: Logic = Logic.X) -> None:
+        self.signal = signal
+        self.initial = initial
+        self._times: list[int] = []
+        self._values: list[Logic] = []
+
+    def record(self, time_ps: int, value: Logic) -> None:
+        """Append a change point (must be monotonically non-decreasing)."""
+        if self._times and time_ps < self._times[-1]:
+            raise ValueError(
+                f"waveform {self.signal}: time went backwards "
+                f"({time_ps} < {self._times[-1]})"
+            )
+        if self._times and time_ps == self._times[-1]:
+            # Same-instant overwrite: keep the latest value.
+            self._values[-1] = value
+            return
+        self._times.append(time_ps)
+        self._values.append(value)
+
+    def value_at(self, time_ps: int) -> Logic:
+        """Signal value at ``time_ps`` (change points take effect at t)."""
+        index = bisect.bisect_right(self._times, time_ps) - 1
+        if index < 0:
+            return self.initial
+        return self._values[index]
+
+    def edges(self) -> list[Edge]:
+        """All *changes* in value, with their previous values."""
+        result: list[Edge] = []
+        previous = self.initial
+        for time_ps, value in zip(self._times, self._values):
+            if value is not previous:
+                result.append(Edge(time_ps, previous, value))
+                previous = value
+        return result
+
+    def rising_edges(self) -> list[int]:
+        return [e.time_ps for e in self.edges() if e.is_rising]
+
+    def falling_edges(self) -> list[int]:
+        return [e.time_ps for e in self.edges() if e.is_falling]
+
+    def changes(self) -> list[tuple[int, Logic]]:
+        """Raw (time, value) change points, including redundant writes."""
+        return list(zip(self._times, self._values))
+
+    def final_value(self) -> Logic:
+        return self._values[-1] if self._values else self.initial
+
+    def time_of_last_change_before(self, time_ps: int) -> int | None:
+        """Timestamp of the last value *change* at or before ``time_ps``."""
+        last: int | None = None
+        for edge in self.edges():
+            if edge.time_ps > time_ps:
+                break
+            last = edge.time_ps
+        return last
+
+
+class WaveformRecorder:
+    """Collects :class:`Waveform` objects for selected signals."""
+
+    def __init__(self, signals: typing.Iterable[str]) -> None:
+        self.waveforms: dict[str, Waveform] = {
+            name: Waveform(name) for name in signals
+        }
+
+    def attach(self, simulator: "Simulator") -> None:
+        """Subscribe to the simulator and seed current values."""
+        for name, waveform in self.waveforms.items():
+            waveform.initial = simulator.value(name)
+            simulator.on_change(name, self._make_listener(waveform))
+
+    def _make_listener(self, waveform: Waveform):
+        def listener(_sim: "Simulator", _signal: str, value: Logic,
+                     time_ps: int) -> None:
+            waveform.record(time_ps, value)
+        return listener
+
+    def __getitem__(self, signal: str) -> Waveform:
+        return self.waveforms[signal]
+
+    def render_ascii(
+        self,
+        *,
+        start_ps: int = 0,
+        end_ps: int,
+        step_ps: int,
+        order: typing.Sequence[str] | None = None,
+    ) -> str:
+        """Render the recorded signals as an ASCII timing diagram.
+
+        Each column is one ``step_ps`` sample; rows are signals.  ``X`` is
+        shown as ``?``; 0/1 as ``_``/``#`` so pulse shapes read at a
+        glance.  This is the textual stand-in for the paper's SPICE
+        waveform figures.
+        """
+        names = list(order) if order is not None else sorted(self.waveforms)
+        width = max(len(n) for n in names) if names else 0
+        lines: list[str] = []
+        sample_times = range(start_ps, end_ps + 1, step_ps)
+        header = " " * (width + 2) + "".join(
+            "|" if (t // step_ps) % 10 == 0 else "." for t in sample_times
+        )
+        lines.append(header)
+        glyph = {Logic.ZERO: "_", Logic.ONE: "#", Logic.X: "?"}
+        for name in names:
+            waveform = self.waveforms[name]
+            row = "".join(glyph[waveform.value_at(t)] for t in sample_times)
+            lines.append(f"{name.ljust(width)}  {row}")
+        return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Hold-time constraints and short-path padding.
+
+TIMBER's checking period extends the window during which a capture
+element may still be looking at its data input, so every *short* path
+into a protected register must be padded such that::
+
+    min_path_delay  >  hold_time + checking_period
+
+(paper Sec. 4).  This module computes minimum delays per capture point,
+derives a padding plan, and can apply the plan by inserting delay-buffer
+chains into the netlist.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.netlist import Netlist
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass(frozen=True)
+class HoldFix:
+    """One endpoint's required padding."""
+
+    capture_net: str
+    min_delay_ps: int
+    required_ps: int
+    padding_ps: int
+    buffers: int
+
+
+@dataclasses.dataclass
+class HoldFixPlan:
+    """A set of hold fixes plus aggregate cost."""
+
+    fixes: list[HoldFix]
+    buffer_delay_ps: int
+    buffer_area: float
+
+    @property
+    def total_buffers(self) -> int:
+        return sum(fix.buffers for fix in self.fixes)
+
+    @property
+    def total_area(self) -> float:
+        return self.total_buffers * self.buffer_area
+
+    @property
+    def endpoints_fixed(self) -> int:
+        return sum(1 for fix in self.fixes if fix.buffers > 0)
+
+
+def min_delay_by_capture(
+    netlist: Netlist,
+    *,
+    clk_to_q_ps: int = 45,
+) -> dict[str, int]:
+    """Minimum register-to-register delay arriving at each capture net."""
+    order = netlist.topological_gates()
+    earliest: dict[str, int] = {
+        net: clk_to_q_ps for net in netlist.launch_nets
+    }
+    for gate in order:
+        arrivals = [earliest[n] for n in gate.inputs if n in earliest]
+        if arrivals:
+            candidate = min(arrivals) + gate.delay_ps
+            if earliest.get(gate.output, candidate + 1) > candidate:
+                earliest[gate.output] = candidate
+    return {
+        net: earliest[net]
+        for net in netlist.capture_nets
+        if net in earliest
+    }
+
+
+def hold_padding_plan(
+    netlist: Netlist,
+    *,
+    hold_ps: int,
+    checking_ps: int,
+    protected_captures: set[str] | None = None,
+    buffer_cell: str = "DLY4",
+    clk_to_q_ps: int = 45,
+) -> HoldFixPlan:
+    """Compute the padding needed at each protected capture point.
+
+    Args:
+        netlist: Design under analysis.
+        hold_ps: Register hold time.
+        checking_ps: TIMBER checking period (0 for an unprotected design).
+        protected_captures: Capture nets that get a TIMBER element; others
+            only need plain hold (``checking_ps`` treated as 0).  ``None``
+            protects everything.
+        buffer_cell: Library cell used for padding.
+        clk_to_q_ps: Launch clock-to-Q.
+    """
+    if hold_ps < 0 or checking_ps < 0:
+        raise AnalysisError("hold and checking period must be >= 0")
+    cell = netlist.library[buffer_cell]
+    if cell.delay_ps <= 0:
+        raise AnalysisError(f"buffer cell {buffer_cell} has zero delay")
+    minimums = min_delay_by_capture(netlist, clk_to_q_ps=clk_to_q_ps)
+    fixes: list[HoldFix] = []
+    for capture, min_delay in sorted(minimums.items()):
+        protected = protected_captures is None or capture in protected_captures
+        required = hold_ps + (checking_ps if protected else 0)
+        shortfall = max(0, required - min_delay)
+        buffers = -(-shortfall // cell.delay_ps) if shortfall else 0
+        fixes.append(HoldFix(
+            capture_net=capture,
+            min_delay_ps=min_delay,
+            required_ps=required,
+            padding_ps=buffers * cell.delay_ps,
+            buffers=buffers,
+        ))
+    return HoldFixPlan(fixes=fixes, buffer_delay_ps=cell.delay_ps,
+                       buffer_area=cell.area)
+
+
+def apply_hold_padding(
+    netlist: Netlist,
+    plan: HoldFixPlan,
+    *,
+    buffer_cell: str = "DLY4",
+) -> dict[str, str]:
+    """Insert the plan's buffer chains in front of each capture point.
+
+    Returns a mapping from the original capture net to the new (padded)
+    capture net.  The original net keeps its drivers and other sinks; the
+    register input is re-pointed at the end of the buffer chain, so only
+    the capture timing changes — exactly what a hold fix does.
+    """
+    renames: dict[str, str] = {}
+    for fix in plan.fixes:
+        if fix.buffers == 0:
+            renames[fix.capture_net] = fix.capture_net
+            continue
+        current = fix.capture_net
+        for index in range(fix.buffers):
+            gate = netlist.add_gate(
+                f"holdfix_{fix.capture_net}_{index}", buffer_cell,
+                [current], f"{fix.capture_net}__pad{index}",
+            )
+            current = gate.output
+        netlist.retarget_capture(fix.capture_net, current)
+        renames[fix.capture_net] = current
+    return renames

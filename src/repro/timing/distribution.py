@@ -1,0 +1,78 @@
+"""Critical-path distribution statistics (paper Fig. 1).
+
+For a :class:`~repro.timing.graph.TimingGraph` and a criticality
+threshold, these statistics answer the paper's motivating questions:
+
+* what fraction of flip-flops have a top-c% critical path *terminating*
+  at them (the height of each bar in Fig. 1), and
+* what fraction have critical paths both starting *and* terminating at
+  them (the shaded portion — the only FFs susceptible to multi-stage
+  timing errors).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.timing.graph import TimingGraph
+from repro.units import as_percent
+
+
+@dataclasses.dataclass(frozen=True)
+class CriticalPathDistribution:
+    """Fig. 1 statistics for one (graph, threshold) pair."""
+
+    percent_threshold: float
+    num_ffs: int
+    num_endpoints: int
+    num_startpoints: int
+    num_through: int
+
+    @property
+    def pct_ffs_ending(self) -> float:
+        """% of all FFs with a critical path terminating at them."""
+        return as_percent(self.num_endpoints, self.num_ffs)
+
+    @property
+    def pct_ffs_through(self) -> float:
+        """% of all FFs that both start and end critical paths."""
+        return as_percent(self.num_through, self.num_ffs)
+
+    @property
+    def pct_endpoints_single_stage_only(self) -> float:
+        """% of critical endpoints with *no* critical path starting at
+        them — FFs only ever hit by single-stage errors (the paper's
+        '70% of these flip-flops' observation)."""
+        return as_percent(self.num_endpoints - self.num_through,
+                          self.num_endpoints)
+
+    @property
+    def pct_endpoints_through(self) -> float:
+        """% of critical endpoints that are also critical startpoints."""
+        return as_percent(self.num_through, self.num_endpoints)
+
+
+def critical_path_distribution(
+    graph: TimingGraph,
+    percent_threshold: float,
+) -> CriticalPathDistribution:
+    """Compute Fig. 1 statistics at one criticality threshold."""
+    endpoints = graph.critical_endpoints(percent_threshold)
+    startpoints = graph.critical_startpoints(percent_threshold)
+    return CriticalPathDistribution(
+        percent_threshold=percent_threshold,
+        num_ffs=graph.num_ffs,
+        num_endpoints=len(endpoints),
+        num_startpoints=len(startpoints),
+        num_through=len(endpoints & startpoints),
+    )
+
+
+def distribution_sweep(
+    graph: TimingGraph,
+    thresholds: tuple[float, ...] = (10.0, 20.0, 30.0, 40.0),
+) -> list[CriticalPathDistribution]:
+    """Fig. 1's per-threshold sweep for one performance point."""
+    return [
+        critical_path_distribution(graph, percent) for percent in thresholds
+    ]

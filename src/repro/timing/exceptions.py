@@ -1,0 +1,128 @@
+"""Timing exceptions: false paths and multicycle paths.
+
+Industrial timing sign-off never treats every register-to-register path
+as single-cycle: constant-propagation-blocked *false paths* can never be
+sensitized, and *multicycle paths* have N clock periods to settle.
+Ignoring exceptions would make a TIMBER deployment over-protect — a
+false path's endpoint needs no TIMBER element no matter how long the
+path looks structurally.
+
+Exceptions are declared with shell-style patterns on launch/capture
+flip-flop names (as in SDC's ``set_false_path`` / ``set_multicycle_path``)
+and folded into a timing graph via :func:`apply_exceptions`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import fnmatch
+
+from repro.errors import ConfigurationError
+from repro.timing.graph import TimingEdge, TimingGraph
+
+
+class ExceptionKind(enum.Enum):
+    FALSE_PATH = "false-path"
+    MULTICYCLE = "multicycle"
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingException:
+    """One exception rule.
+
+    Attributes:
+        kind: False path or multicycle.
+        from_pattern: fnmatch pattern on the launch flip-flop name.
+        to_pattern: fnmatch pattern on the capture flip-flop name.
+        cycles: Capture budget in clock periods (multicycle only).
+    """
+
+    kind: ExceptionKind
+    from_pattern: str = "*"
+    to_pattern: str = "*"
+    cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind is ExceptionKind.MULTICYCLE and self.cycles < 2:
+            raise ConfigurationError(
+                "a multicycle exception needs cycles >= 2")
+        if self.kind is ExceptionKind.FALSE_PATH and self.cycles != 1:
+            raise ConfigurationError(
+                "false paths carry no cycle budget")
+
+    def matches(self, edge: TimingEdge) -> bool:
+        return (fnmatch.fnmatchcase(edge.src, self.from_pattern)
+                and fnmatch.fnmatchcase(edge.dst, self.to_pattern))
+
+
+def false_path(from_pattern: str = "*",
+               to_pattern: str = "*") -> TimingException:
+    """``set_false_path -from ... -to ...``"""
+    return TimingException(ExceptionKind.FALSE_PATH, from_pattern,
+                           to_pattern)
+
+
+def multicycle_path(cycles: int, from_pattern: str = "*",
+                    to_pattern: str = "*") -> TimingException:
+    """``set_multicycle_path N -from ... -to ...``"""
+    return TimingException(ExceptionKind.MULTICYCLE, from_pattern,
+                           to_pattern, cycles)
+
+
+class ExceptionSet:
+    """An ordered collection of exception rules.
+
+    Rule precedence follows SDC practice: a false path beats a
+    multicycle; among multicycles the *first* matching rule wins.
+    """
+
+    def __init__(self, rules: list[TimingException] | None = None) -> None:
+        self.rules = list(rules or ())
+
+    def add(self, rule: TimingException) -> "ExceptionSet":
+        self.rules.append(rule)
+        return self
+
+    def classify(self, edge: TimingEdge) -> tuple[ExceptionKind | None,
+                                                  int]:
+        """The governing exception for one path: (kind, cycle budget)."""
+        budget: int | None = None
+        for rule in self.rules:
+            if not rule.matches(edge):
+                continue
+            if rule.kind is ExceptionKind.FALSE_PATH:
+                return ExceptionKind.FALSE_PATH, 0
+            if budget is None:
+                budget = rule.cycles
+        if budget is not None:
+            return ExceptionKind.MULTICYCLE, budget
+        return None, 1
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+def apply_exceptions(graph: TimingGraph,
+                     exceptions: ExceptionSet) -> TimingGraph:
+    """Fold exceptions into *effective single-cycle* edge delays.
+
+    * false-path edges are removed entirely (never sensitized);
+    * a multicycle-N edge's per-cycle timing pressure is ``delay / N``
+      (it has N periods to settle, so the slack seen by criticality and
+      deployment analyses scales accordingly);
+    * normal edges pass through unchanged.
+    """
+    result = TimingGraph(f"{graph.name}+exceptions", graph.period_ps)
+    for ff in graph.ffs:
+        result.add_ff(ff, graph.stage_of(ff))
+    for edge in graph.edges():
+        kind, budget = exceptions.classify(edge)
+        if kind is ExceptionKind.FALSE_PATH:
+            continue
+        if kind is ExceptionKind.MULTICYCLE:
+            effective = -(-edge.delay_ps // budget)  # ceil division
+        else:
+            effective = edge.delay_ps
+        result.add_edge(edge.src, edge.dst, effective)
+    return result

@@ -1,0 +1,157 @@
+"""Path objects and enumeration.
+
+:class:`TimingPath` is a concrete gate-level path (launch net, gate list,
+capture net, delay); :func:`enumerate_paths` extracts the worst paths of a
+netlist; :class:`PathSet` offers the criticality queries the paper's
+analyses are phrased in ("top c% critical paths").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+
+from repro.circuit.netlist import Netlist
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingPath:
+    """A gate-level timing path."""
+
+    launch: str
+    capture: str
+    gates: tuple[str, ...]
+    delay_ps: int
+
+    def __post_init__(self) -> None:
+        if self.delay_ps < 0:
+            raise AnalysisError(
+                f"path {self.launch}->{self.capture}: negative delay"
+            )
+
+    @property
+    def depth(self) -> int:
+        return len(self.gates)
+
+
+class PathSet:
+    """A queryable collection of timing paths."""
+
+    def __init__(self, paths: list[TimingPath], period_ps: int) -> None:
+        if period_ps <= 0:
+            raise AnalysisError(f"period must be > 0, got {period_ps}")
+        self.paths = sorted(paths, key=lambda p: -p.delay_ps)
+        self.period_ps = period_ps
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self):
+        return iter(self.paths)
+
+    def critical_threshold_ps(self, percent: float) -> int:
+        """Delay bound for top-``percent``% criticality (slack within
+        ``percent``% of the period)."""
+        if not 0 < percent <= 100:
+            raise AnalysisError(f"percent must be in (0, 100], got {percent}")
+        return int(round(self.period_ps * (1.0 - percent / 100.0)))
+
+    def top_percent(self, percent: float) -> list[TimingPath]:
+        """Paths whose slack is within ``percent``% of the clock period."""
+        threshold = self.critical_threshold_ps(percent)
+        return [p for p in self.paths if p.delay_ps >= threshold]
+
+    def top_count(self, count: int) -> list[TimingPath]:
+        """The ``count`` longest paths."""
+        return self.paths[:count]
+
+    def endpoints(self, percent: float) -> set[str]:
+        return {p.capture for p in self.top_percent(percent)}
+
+    def startpoints(self, percent: float) -> set[str]:
+        return {p.launch for p in self.top_percent(percent)}
+
+
+def enumerate_paths(
+    netlist: Netlist,
+    period_ps: int,
+    *,
+    max_paths_per_endpoint: int = 16,
+    clk_to_q_ps: int = 45,
+) -> PathSet:
+    """Enumerate the worst register-to-register paths of ``netlist``.
+
+    For each capture net, a best-first backward search grows partial
+    paths from the endpoint towards the launch nets.  The search priority
+    for a partial path ending (backwards) at net ``n`` with accumulated
+    endpoint-side delay ``acc`` is ``prefix[n] + acc``, where
+    ``prefix[n]`` is the exact longest launch-to-``n`` delay — an exact
+    completion bound, so paths pop in non-increasing total delay order
+    and the first ``max_paths_per_endpoint`` pops per endpoint are the
+    true k worst paths.
+    """
+    order = netlist.topological_gates()
+
+    # prefix[net] = longest delay from any launch net to `net`,
+    # including the launching register's clk->q.
+    prefix: dict[str, int] = {
+        net: clk_to_q_ps for net in netlist.launch_nets
+    }
+    for gate in order:
+        arrivals = [
+            prefix[net] for net in gate.inputs if net in prefix
+        ]
+        if arrivals:
+            candidate = max(arrivals) + gate.delay_ps
+            if prefix.get(gate.output, -1) < candidate:
+                prefix[gate.output] = candidate
+
+    launch_set = set(netlist.launch_nets)
+    paths: list[TimingPath] = []
+    for capture in netlist.capture_nets:
+        paths.extend(_k_worst_to_endpoint(
+            netlist, prefix, launch_set, capture, max_paths_per_endpoint,
+        ))
+    return PathSet(paths, period_ps)
+
+
+def _k_worst_to_endpoint(
+    netlist: Netlist,
+    prefix: dict[str, int],
+    launch_set: set[str],
+    capture: str,
+    k: int,
+) -> list[TimingPath]:
+    if capture not in prefix:
+        return []  # endpoint unreachable from any register output
+    # Heap entries: (-bound, tiebreak, net, acc, gates_capture_side_first)
+    heap: list[tuple[int, int, str, int, tuple[str, ...]]] = [
+        (-prefix[capture], 0, capture, 0, ()),
+    ]
+    counter = 0
+    results: list[TimingPath] = []
+    while heap and len(results) < k:
+        neg_bound, _tie, net, acc, gates = heapq.heappop(heap)
+        if net in launch_set:
+            results.append(TimingPath(
+                launch=net,
+                capture=capture,
+                gates=tuple(reversed(gates)),
+                delay_ps=-neg_bound,
+            ))
+            continue
+        driver = netlist.driver_gate(net)
+        if driver is None:
+            continue  # unregistered primary input: not a reg-to-reg path
+        new_acc = acc + driver.delay_ps
+        new_gates = gates + (driver.name,)
+        for input_net in driver.inputs:
+            if input_net not in prefix:
+                continue  # not reachable from a register output
+            counter += 1
+            bound = prefix[input_net] + new_acc
+            heapq.heappush(
+                heap, (-bound, counter, input_net, new_acc, new_gates),
+            )
+    return results

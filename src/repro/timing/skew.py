@@ -1,0 +1,157 @@
+"""Useful-skew scheduling (design-time baseline; paper ref. [2]).
+
+Clock-skew scheduling shifts each flip-flop's clock arrival within a
+bounded window so slack is balanced across stages — a *design-time*
+technique for static variability, cited by the paper as complementary to
+(not a substitute for) online schemes like TIMBER: skew scheduling can
+move slack around, but it cannot react to workload-dependent dynamic
+variability.
+
+The scheduler here is the classic iterative slack-balancing relaxation:
+each flip-flop's skew moves toward equalising its worst input-side and
+output-side slacks, clipped to the allowed skew bound.  It converges to
+(a bounded version of) Fishburn's optimal clock-skew solution on graphs
+without critical cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import AnalysisError
+from repro.timing.graph import TimingGraph
+
+
+@dataclasses.dataclass
+class SkewSchedule:
+    """Result of useful-skew scheduling on a timing graph."""
+
+    graph_name: str
+    period_ps: int
+    max_skew_ps: int
+    offsets: dict[str, int]
+    worst_slack_before_ps: int
+    worst_slack_after_ps: int
+    iterations_used: int
+    #: max over edges of (delay + s_src - s_dst): the smallest period the
+    #: schedule supports before any setup time is charged.
+    critical_effective_delay_ps: int
+
+    @property
+    def improvement_ps(self) -> int:
+        return self.worst_slack_after_ps - self.worst_slack_before_ps
+
+    def min_feasible_period_ps(self, setup_ps: int = 0) -> int:
+        """Smallest period the schedule supports (all edges meet setup).
+
+        For edge ``src -> dst``: ``delay + s_src - s_dst + setup``.
+        """
+        return self.critical_effective_delay_ps + setup_ps
+
+    def edge_slack_ps(self, src: str, dst: str, delay_ps: int,
+                      setup_ps: int = 0) -> int:
+        """Setup slack of one path under the schedule."""
+        return (self.period_ps + self.offsets[dst]
+                - self.offsets[src] - delay_ps - setup_ps)
+
+
+def _worst_edge_slack(graph: TimingGraph, offsets: dict[str, int],
+                      setup_ps: int) -> int:
+    worst = None
+    for edge in graph.edges():
+        slack = (graph.period_ps + offsets[edge.dst]
+                 - offsets[edge.src] - edge.delay_ps - setup_ps)
+        if worst is None or slack < worst:
+            worst = slack
+    if worst is None:
+        raise AnalysisError("graph has no edges")
+    return worst
+
+
+def schedule_useful_skew(
+    graph: TimingGraph,
+    *,
+    max_skew_ps: int,
+    setup_ps: int = 0,
+    max_iterations: int = 100,
+    tolerance_ps: int = 1,
+) -> SkewSchedule:
+    """Balance slack by iterative per-FF skew relaxation.
+
+    Args:
+        graph: Register-to-register timing graph.
+        max_skew_ps: Bound on each flip-flop's clock offset (|s| <= bound).
+        setup_ps: Setup time charged on every capture.
+        max_iterations: Relaxation sweeps before giving up.
+        tolerance_ps: Stop when no offset moves by more than this.
+    """
+    if max_skew_ps < 0:
+        raise AnalysisError("max skew must be >= 0")
+    offsets = {ff: 0 for ff in graph.ffs}
+    before = _worst_edge_slack(graph, offsets, setup_ps)
+
+    iterations_used = 0
+    for iteration in range(max_iterations):
+        iterations_used = iteration + 1
+        max_move = 0
+        for ff in graph.ffs:
+            in_edges = graph.in_edges(ff)
+            out_edges = graph.out_edges(ff)
+            if not in_edges or not out_edges:
+                continue
+            min_in = min(
+                graph.period_ps + offsets[ff] - offsets[e.src]
+                - e.delay_ps - setup_ps
+                for e in in_edges
+            )
+            min_out = min(
+                graph.period_ps + offsets[e.dst] - offsets[ff]
+                - e.delay_ps - setup_ps
+                for e in out_edges
+            )
+            move = (min_out - min_in) // 2
+            if move == 0:
+                continue
+            new_offset = max(-max_skew_ps,
+                             min(max_skew_ps, offsets[ff] + move))
+            max_move = max(max_move, abs(new_offset - offsets[ff]))
+            offsets[ff] = new_offset
+        if max_move <= tolerance_ps:
+            break
+
+    after = _worst_edge_slack(graph, offsets, setup_ps)
+    critical = max(
+        edge.delay_ps + offsets[edge.src] - offsets[edge.dst]
+        for edge in graph.edges()
+    )
+    return SkewSchedule(
+        graph_name=graph.name,
+        period_ps=graph.period_ps,
+        max_skew_ps=max_skew_ps,
+        offsets=offsets,
+        worst_slack_before_ps=before,
+        worst_slack_after_ps=after,
+        iterations_used=iterations_used,
+        critical_effective_delay_ps=critical,
+    )
+
+
+def skewed_graph(graph: TimingGraph, schedule: SkewSchedule,
+                 ) -> TimingGraph:
+    """Fold a skew schedule into *effective* edge delays.
+
+    Produces a graph whose edge delays are
+    ``delay + s_src - s_dst`` (clamped at 0), so every downstream
+    analysis — criticality, TIMBER deployment, overhead — sees the
+    design as the skewed clock does.  Effective delays exceeding the
+    period indicate the schedule is infeasible at this period.
+    """
+    result = TimingGraph(f"{graph.name}+skew", graph.period_ps)
+    for ff in graph.ffs:
+        result.add_ff(ff, graph.stage_of(ff))
+    for edge in graph.edges():
+        effective = (edge.delay_ps + schedule.offsets[edge.src]
+                     - schedule.offsets[edge.dst])
+        result.add_edge(edge.src, edge.dst,
+                        max(0, min(effective, graph.period_ps)))
+    return result

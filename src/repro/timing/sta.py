@@ -1,0 +1,145 @@
+"""Static timing analysis over gate-level netlists.
+
+Computes max/min arrival times by topological propagation, slack against a
+clock period, and the register-to-register delay matrix needed to reduce a
+netlist to a :class:`~repro.timing.graph.TimingGraph`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.netlist import Netlist
+from repro.errors import AnalysisError
+from repro.timing.graph import TimingGraph
+
+
+@dataclasses.dataclass
+class StaResult:
+    """Output of :func:`run_sta`.
+
+    Attributes:
+        netlist_name: Name of the analysed netlist.
+        period_ps: Clock period used for slack.
+        max_arrival: Latest arrival time per net (ps from launch edge).
+        min_arrival: Earliest arrival time per net.
+        slack: Setup slack per capture net (``period - setup - arrival``).
+        launch_of_max: For every net, the launch net responsible for its
+            latest arrival (path backtrace support).
+    """
+
+    netlist_name: str
+    period_ps: int
+    setup_ps: int
+    max_arrival: dict[str, int]
+    min_arrival: dict[str, int]
+    slack: dict[str, int]
+    launch_of_max: dict[str, str]
+
+    @property
+    def worst_slack(self) -> int:
+        if not self.slack:
+            raise AnalysisError("no capture nets; cannot compute slack")
+        return min(self.slack.values())
+
+    @property
+    def critical_capture_net(self) -> str:
+        if not self.slack:
+            raise AnalysisError("no capture nets; cannot compute slack")
+        return min(self.slack, key=lambda net: self.slack[net])
+
+    def meets_timing(self) -> bool:
+        return self.worst_slack >= 0
+
+
+def run_sta(
+    netlist: Netlist,
+    period_ps: int,
+    *,
+    setup_ps: int = 30,
+    clk_to_q_ps: int = 45,
+) -> StaResult:
+    """Propagate arrival times through ``netlist``.
+
+    Launch nets start at ``clk_to_q_ps``; every gate adds its delay;
+    capture nets are checked against ``period_ps - setup_ps``.
+    """
+    max_arrival: dict[str, int] = {}
+    min_arrival: dict[str, int] = {}
+    launch_of_max: dict[str, str] = {}
+
+    for net in netlist.primary_inputs:
+        start = clk_to_q_ps if net in netlist.launch_nets else 0
+        max_arrival[net] = start
+        min_arrival[net] = start
+        launch_of_max[net] = net
+
+    for gate in netlist.topological_gates():
+        input_max = [
+            (max_arrival.get(net, 0), net) for net in gate.inputs
+        ]
+        input_min = [min_arrival.get(net, 0) for net in gate.inputs]
+        worst, worst_net = max(input_max)
+        max_arrival[gate.output] = worst + gate.delay_ps
+        min_arrival[gate.output] = min(input_min) + gate.delay_ps
+        launch_of_max[gate.output] = launch_of_max.get(worst_net, worst_net)
+
+    slack = {
+        net: period_ps - setup_ps - max_arrival.get(net, 0)
+        for net in netlist.capture_nets
+    }
+    return StaResult(
+        netlist_name=netlist.name,
+        period_ps=period_ps,
+        setup_ps=setup_ps,
+        max_arrival=max_arrival,
+        min_arrival=min_arrival,
+        slack=slack,
+        launch_of_max=launch_of_max,
+    )
+
+
+def register_to_register_delays(
+    netlist: Netlist,
+    *,
+    clk_to_q_ps: int = 45,
+) -> dict[tuple[str, str], int]:
+    """Max combinational delay from every launch net to every capture net.
+
+    Runs one forward propagation per launch net (exact per-pair maxima,
+    suitable for the modest netlists this library generates).
+    """
+    order = netlist.topological_gates()
+    result: dict[tuple[str, str], int] = {}
+    for launch in netlist.launch_nets:
+        arrival: dict[str, int] = {launch: clk_to_q_ps}
+        for gate in order:
+            reachable = [
+                arrival[net] for net in gate.inputs if net in arrival
+            ]
+            if reachable:
+                arrival[gate.output] = max(reachable) + gate.delay_ps
+        for capture in netlist.capture_nets:
+            if capture in arrival:
+                result[(launch, capture)] = arrival[capture]
+    return result
+
+
+def netlist_to_timing_graph(
+    netlist: Netlist,
+    period_ps: int,
+    *,
+    clk_to_q_ps: int = 45,
+) -> TimingGraph:
+    """Reduce a netlist to its register-to-register timing graph."""
+    graph = TimingGraph(netlist.name, period_ps)
+    for net in netlist.launch_nets:
+        graph.add_ff(f"L:{net}")
+    for net in netlist.capture_nets:
+        name = f"C:{net}"
+        if name not in graph.ffs:
+            graph.add_ff(name)
+    delays = register_to_register_delays(netlist, clk_to_q_ps=clk_to_q_ps)
+    for (launch, capture), delay in delays.items():
+        graph.add_edge(f"L:{launch}", f"C:{capture}", delay)
+    return graph

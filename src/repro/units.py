@@ -1,0 +1,58 @@
+"""Time and unit helpers.
+
+All timing in this library is expressed in **integer picoseconds** so that
+event ordering and interval arithmetic are exact.  Helper functions convert
+between picoseconds and the derived quantities the paper reasons about
+(fractions of a clock period, checking-period percentages, frequencies).
+"""
+
+from __future__ import annotations
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+
+#: Picoseconds in one second, used for frequency conversions.
+PS_PER_S = 1_000_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds (rounded to nearest)."""
+    return int(round(value * PS_PER_NS))
+
+
+def ps(value: float) -> int:
+    """Round a picosecond quantity to an integer tick."""
+    return int(round(value))
+
+
+def mhz_to_period_ps(freq_mhz: float) -> int:
+    """Clock period in picoseconds for a frequency in MHz."""
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz} MHz")
+    return int(round(PS_PER_S / (freq_mhz * 1_000_000)))
+
+
+def period_ps_to_mhz(period_ps: int) -> float:
+    """Clock frequency in MHz for a period in picoseconds."""
+    if period_ps <= 0:
+        raise ValueError(f"period must be positive, got {period_ps} ps")
+    return PS_PER_S / (period_ps * 1_000_000)
+
+
+def percent_of(period_ps: int, percent: float) -> int:
+    """``percent`` % of ``period_ps``, rounded to an integer picosecond.
+
+    The paper expresses checking periods as percentages of the clock
+    period (10%, 20%, 30%, 40%); this helper keeps that arithmetic in one
+    place.
+    """
+    if period_ps < 0:
+        raise ValueError(f"period must be non-negative, got {period_ps}")
+    return int(round(period_ps * percent / 100.0))
+
+
+def as_percent(part: float, whole: float) -> float:
+    """``part`` as a percentage of ``whole`` (0 if ``whole`` is 0)."""
+    if whole == 0:
+        return 0.0
+    return 100.0 * part / whole

@@ -1,0 +1,41 @@
+"""Dynamic and static variability models.
+
+A variability model maps ``(cycle, path_id)`` to a multiplicative delay
+factor.  The taxonomy follows the paper's Table 1:
+
+* **local dynamic** (:class:`LocalVariation`) — uncorrelated per-path
+  per-cycle jitter (crosstalk, local IR noise);
+* **fast global dynamic** (:class:`VoltageDroopVariation`) — chip-wide
+  voltage droop events lasting a few cycles;
+* **slow global dynamic** (:class:`TemperatureDriftVariation`,
+  :class:`AgingVariation`) — temperature cycles and wearout that change
+  over thousands of cycles or more;
+* **static** (:class:`ProcessVariation`) — per-path process spread fixed
+  at manufacturing (addressed by speed binning, not TIMBER, but needed
+  as context).
+"""
+
+from repro.variability.base import (
+    CompositeVariation,
+    ConstantVariation,
+    VariabilityModel,
+)
+from repro.variability.local import LocalVariation
+from repro.variability.global_fast import DroopEvent, VoltageDroopVariation
+from repro.variability.global_slow import (
+    AgingVariation,
+    TemperatureDriftVariation,
+)
+from repro.variability.process import ProcessVariation
+
+__all__ = [
+    "VariabilityModel",
+    "ConstantVariation",
+    "CompositeVariation",
+    "LocalVariation",
+    "DroopEvent",
+    "VoltageDroopVariation",
+    "TemperatureDriftVariation",
+    "AgingVariation",
+    "ProcessVariation",
+]

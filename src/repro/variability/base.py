@@ -1,0 +1,58 @@
+"""Variability model protocol and composition."""
+
+from __future__ import annotations
+
+import typing
+import zlib
+
+from repro.errors import ConfigurationError
+
+
+class VariabilityModel(typing.Protocol):
+    """Multiplicative delay-variation source.
+
+    ``factor(cycle, path_id)`` returns the delay multiplier contributed
+    by this source on the given cycle for the given path.  1.0 means no
+    effect; values must be positive.  Implementations must be
+    deterministic functions of their construction seed.
+    """
+
+    def factor(self, cycle: int, path_id: str) -> float:
+        ...  # pragma: no cover - protocol
+
+
+def stable_hash(*parts: object) -> int:
+    """Deterministic 32-bit hash (Python's ``hash`` is salted per run)."""
+    text = "\x1f".join(repr(part) for part in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class ConstantVariation:
+    """A fixed delay multiplier (useful for tests and what-if sweeps)."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value <= 0:
+            raise ConfigurationError("variation factor must be > 0")
+        self.value = value
+
+    def factor(self, cycle: int, path_id: str) -> float:
+        return self.value
+
+
+class CompositeVariation:
+    """Product of several variability sources.
+
+    Local, global-fast, and global-slow effects multiply — a droop slows
+    every path while local jitter scatters around it.
+    """
+
+    def __init__(self, models: typing.Sequence[VariabilityModel]) -> None:
+        if not models:
+            raise ConfigurationError("need at least one model")
+        self.models = list(models)
+
+    def factor(self, cycle: int, path_id: str) -> float:
+        result = 1.0
+        for model in self.models:
+            result *= model.factor(cycle, path_id)
+        return result

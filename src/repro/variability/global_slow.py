@@ -1,0 +1,68 @@
+"""Slow global dynamic variation: temperature drift and aging."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+class TemperatureDriftVariation:
+    """Sinusoidal chip-wide thermal cycle.
+
+    Temperature swings slow the whole chip over many thousands of cycles
+    — the "gradual dynamic" variability that error-prediction schemes
+    target (Table 1).  The factor is
+    ``1 + amplitude * (1 + sin(2*pi*cycle/period + phase)) / 2``,
+    i.e. it varies between 1.0 (coolest) and 1 + amplitude (hottest).
+    """
+
+    def __init__(
+        self,
+        *,
+        amplitude: float = 0.05,
+        period_cycles: int = 100_000,
+        phase: float = -math.pi / 2.0,
+    ) -> None:
+        if amplitude < 0:
+            raise ConfigurationError("amplitude must be >= 0")
+        if period_cycles < 2:
+            raise ConfigurationError("period must be >= 2 cycles")
+        self.amplitude = amplitude
+        self.period_cycles = period_cycles
+        self.phase = phase
+
+    def factor(self, cycle: int, path_id: str) -> float:
+        swing = math.sin(
+            2.0 * math.pi * cycle / self.period_cycles + self.phase
+        )
+        return 1.0 + self.amplitude * (1.0 + swing) / 2.0
+
+
+class AgingVariation:
+    """Monotonic wearout (NBTI-style) delay increase.
+
+    Delay grows with a sub-linear power law of elapsed cycles, saturating
+    at ``max_degradation`` — the classic NBTI shape (fast early shift,
+    slow long-term drift)."""
+
+    def __init__(
+        self,
+        *,
+        max_degradation: float = 0.10,
+        time_constant_cycles: float = 1e9,
+        exponent: float = 0.25,
+    ) -> None:
+        if max_degradation < 0:
+            raise ConfigurationError("max degradation must be >= 0")
+        if time_constant_cycles <= 0 or not 0 < exponent <= 1:
+            raise ConfigurationError("bad aging parameters")
+        self.max_degradation = max_degradation
+        self.time_constant_cycles = time_constant_cycles
+        self.exponent = exponent
+
+    def factor(self, cycle: int, path_id: str) -> float:
+        if cycle <= 0:
+            return 1.0
+        progress = (cycle / self.time_constant_cycles) ** self.exponent
+        return 1.0 + self.max_degradation * min(1.0, progress)

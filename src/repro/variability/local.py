@@ -1,0 +1,54 @@
+"""Local (per-path, per-cycle) dynamic variation."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.variability.base import stable_hash
+
+
+class LocalVariation:
+    """Uncorrelated per-path per-cycle delay jitter.
+
+    Models crosstalk, local supply noise, and data-dependent gate delay:
+    each (cycle, path) pair independently draws a Gaussian factor
+    ``N(mean, sigma)`` clipped at ``min_factor``.  Draws are deterministic
+    in (seed, cycle, path) — re-evaluating the same pair always returns
+    the same factor, so simulations are reproducible and models can be
+    queried out of order.
+    """
+
+    def __init__(
+        self,
+        *,
+        sigma: float,
+        mean: float = 1.0,
+        min_factor: float = 0.5,
+        max_factor: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if sigma < 0:
+            raise ConfigurationError("sigma must be >= 0")
+        if mean <= 0 or min_factor <= 0:
+            raise ConfigurationError("mean and min_factor must be > 0")
+        if max_factor is not None and max_factor < min_factor:
+            raise ConfigurationError("max_factor must be >= min_factor")
+        self.sigma = sigma
+        self.mean = mean
+        self.min_factor = min_factor
+        #: Optional upper clip.  Physical local variation is bounded
+        #: (data-dependent delay cannot grow without limit); bounding it
+        #: also lets deployments size the recovered margin to a true
+        #: worst case, as the paper assumes in Sec. 4.
+        self.max_factor = max_factor
+        self.seed = seed
+
+    def factor(self, cycle: int, path_id: str) -> float:
+        if self.sigma == 0:
+            return self.mean
+        rng = random.Random(stable_hash(self.seed, cycle, path_id))
+        value = max(self.min_factor, rng.gauss(self.mean, self.sigma))
+        if self.max_factor is not None:
+            value = min(value, self.max_factor)
+        return value

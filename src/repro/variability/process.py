@@ -1,0 +1,51 @@
+"""Static process variation (context for speed binning)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.variability.base import stable_hash
+
+
+class ProcessVariation:
+    """Per-path delay spread fixed at manufacturing time.
+
+    Static variation does not change with time or workload; it is
+    compensated by speed binning (assigning each chip its own V/F point),
+    not by TIMBER — but it must be present in end-to-end studies so the
+    dynamic margin sits on top of a realistic static spread.
+    """
+
+    def __init__(
+        self,
+        *,
+        sigma: float = 0.03,
+        chip_sigma: float = 0.02,
+        min_factor: float = 0.7,
+        seed: int = 0,
+    ) -> None:
+        if sigma < 0 or chip_sigma < 0:
+            raise ConfigurationError("sigmas must be >= 0")
+        if min_factor <= 0:
+            raise ConfigurationError("min_factor must be > 0")
+        self.sigma = sigma
+        self.min_factor = min_factor
+        self.seed = seed
+        chip_rng = random.Random(stable_hash(seed, "chip"))
+        #: Chip-wide (die-to-die) component, one draw per model instance.
+        self.chip_factor = max(min_factor,
+                               chip_rng.gauss(1.0, chip_sigma))
+        self._path_cache: dict[str, float] = {}
+
+    def path_factor(self, path_id: str) -> float:
+        """Within-die component for one path (time-invariant)."""
+        cached = self._path_cache.get(path_id)
+        if cached is None:
+            rng = random.Random(stable_hash(self.seed, "path", path_id))
+            cached = max(self.min_factor, rng.gauss(1.0, self.sigma))
+            self._path_cache[path_id] = cached
+        return cached
+
+    def factor(self, cycle: int, path_id: str) -> float:
+        return self.chip_factor * self.path_factor(path_id)

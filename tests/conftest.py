@@ -1,0 +1,51 @@
+"""Shared fixtures for the TIMBER reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.core.checking_period import CheckingPeriod
+from repro.processor.generator import generate_processor
+from repro.processor.perfpoints import MEDIUM_PERFORMANCE
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+#: Canonical clock period used across element-level tests.
+PERIOD_PS = 1000
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def clocked_sim():
+    """A simulator with a 1 ns clock on signal ``clk``."""
+    simulator = Simulator()
+    ClockGenerator(simulator, "clk", PERIOD_PS)
+    return simulator
+
+
+@pytest.fixture
+def cp_with_tb():
+    """1 TB + 2 ED checking period, 30% of a 1 ns clock."""
+    return CheckingPeriod.with_tb(PERIOD_PS, 30)
+
+
+@pytest.fixture
+def cp_without_tb():
+    """2 ED intervals, 30% of a 1 ns clock."""
+    return CheckingPeriod.without_tb(PERIOD_PS, 30)
+
+
+@pytest.fixture(scope="session")
+def medium_graph():
+    """The medium-performance synthetic processor (shared: ~12k edges)."""
+    return generate_processor(MEDIUM_PERFORMANCE)

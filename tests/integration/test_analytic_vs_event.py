@@ -1,0 +1,106 @@
+"""Integration: analytic capture semantics vs event-driven elements.
+
+The cycle-level studies trust the pure functions in
+:mod:`repro.core.masking`; the waveform studies trust the behavioural
+elements in :mod:`repro.sequential`.  This suite pins them together: for
+a sweep of latenesses and selects, the event-driven element must make
+exactly the decision the analytic function predicts (masked or not,
+flagged or not, correct output or stale).
+"""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.core.checking_period import CheckingPeriod
+from repro.core.masking import timber_ff_capture, timber_latch_capture
+from repro.sequential.timber_ff import TimberFlipFlop
+from repro.sequential.timber_latch import TimberLatch
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+PERIOD = 1000
+CP = CheckingPeriod.with_tb(PERIOD, 30)  # t = 100, 1 TB + 2 ED
+
+#: Latenesses probing each interval, both boundaries, and failure.
+LATENESSES = [-100, 40, 99, 101, 140, 201, 260, 299]
+#: Keep clear of sampling apertures where analog behaviour is undefined.
+APERTURE_PS = 12
+
+
+def run_event_ff(lateness: int, select: int):
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    ff = TimberFlipFlop(sim, name="f", d="d", clk="clk", q="q", err="e",
+                        interval_ps=CP.interval_ps,
+                        num_intervals=CP.num_intervals,
+                        num_tb_intervals=CP.num_tb)
+    ff.set_select(select)
+    sim.drive("d", 1, PERIOD + lateness)
+    sim.run(2 * PERIOD)
+    return ff, sim
+
+
+def run_event_latch(lateness: int):
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    latch = TimberLatch(sim, name="l", d="d", clk="clk", q="q", err="e",
+                        tb_ps=CP.tb_ps, checking_ps=CP.checking_ps)
+    sim.drive("d", 1, PERIOD + lateness)
+    sim.run(2 * PERIOD)
+    return latch, sim
+
+
+class TestTimberFFAgreement:
+    @pytest.mark.parametrize("lateness", LATENESSES)
+    @pytest.mark.parametrize("select", [0, 1, 2])
+    def test_decision_matches(self, lateness, select):
+        delta = (min(select, CP.num_intervals - 1) + 1) * CP.interval_ps
+        if abs(lateness - delta) <= APERTURE_PS or \
+                abs(lateness) <= APERTURE_PS:
+            pytest.skip("inside a sampling aperture")
+        analytic = timber_ff_capture(lateness, select, CP)
+        ff, sim = run_event_ff(lateness, select)
+
+        assert (ff.masked_count > 0) == analytic.masked
+        assert (sim.value("e") is Logic.ONE) == analytic.flagged
+        # Correct output iff the analytic model says state is correct
+        # (the stimulus always eventually drives D to 1, so a correct
+        # capture shows q == 1; a failed one holds the stale 0).
+        expected_q = Logic.ONE if analytic.correct_state or lateness <= 0 \
+            else Logic.ZERO
+        assert sim.value("q") is expected_q
+
+    @pytest.mark.parametrize("select", [0, 1, 2])
+    def test_borrow_amount_matches(self, select):
+        lateness = 40 + select * CP.interval_ps
+        analytic = timber_ff_capture(lateness, select, CP)
+        assert analytic.masked
+        ff, _sim = run_event_ff(lateness, select)
+        assert ff.events[0].borrowed_ps == analytic.borrowed_ps
+
+
+class TestTimberLatchAgreement:
+    @pytest.mark.parametrize("lateness", LATENESSES)
+    def test_decision_matches(self, lateness):
+        if min(abs(lateness - CP.tb_ps),
+               abs(lateness - CP.checking_ps),
+               abs(lateness)) <= APERTURE_PS:
+            pytest.skip("inside a latch closing aperture")
+        analytic = timber_latch_capture(lateness, CP)
+        latch, sim = run_event_latch(lateness)
+
+        borrowed = any(r.borrowed_ps > 0 for r in latch.records)
+        assert borrowed == (analytic.masked and lateness > 0)
+        assert (latch.flagged_count > 0) == analytic.flagged
+        expected_q = Logic.ONE if analytic.correct_state or lateness <= 0 \
+            else Logic.ZERO
+        assert sim.value("q") is expected_q
+
+    def test_borrow_is_exact_lateness(self):
+        lateness = 170
+        analytic = timber_latch_capture(lateness, CP)
+        latch, _sim = run_event_latch(lateness)
+        assert analytic.borrowed_ps == lateness
+        assert latch.borrow_events[0].borrowed_ps == lateness

@@ -1,0 +1,121 @@
+"""Integration: the Sec. 6 case study end-to-end.
+
+Generates the three synthetic processor performance points, deploys
+TIMBER at every checking period the paper studies, and checks the
+qualitative claims of Figs. 1 and 8 hold simultaneously.
+"""
+
+import pytest
+
+from repro.core.architecture import TimberDesign, TimberStyle
+from repro.processor.generator import generate_processor
+from repro.processor.perfpoints import PERFORMANCE_POINTS
+from repro.timing.distribution import distribution_sweep
+
+CHECKING = (10.0, 20.0, 30.0, 40.0)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {p.name: generate_processor(p) for p in PERFORMANCE_POINTS}
+
+
+class TestFig1Claims:
+    def test_endpoint_fraction_grows_with_performance(self, graphs):
+        for percent in CHECKING:
+            fractions = [
+                len(graphs[name].critical_endpoints(percent))
+                / graphs[name].num_ffs
+                for name in ("low", "medium", "high")
+            ]
+            assert fractions == sorted(fractions)
+
+    def test_through_ffs_always_minority_at_operating_thresholds(
+            self, graphs):
+        for name, graph in graphs.items():
+            for percent in (10.0, 20.0):
+                endpoints = graph.critical_endpoints(percent)
+                through = graph.critical_through_ffs(percent)
+                if endpoints:
+                    assert len(through) / len(endpoints) < 0.5
+
+
+class TestFig8Claims:
+    @pytest.fixture(scope="class")
+    def designs(self, graphs):
+        result = {}
+        for name, graph in graphs.items():
+            for percent in CHECKING:
+                for style in (TimberStyle.FLIP_FLOP, TimberStyle.LATCH):
+                    result[(name, percent, style)] = TimberDesign(
+                        graph=graph, style=style,
+                        percent_checking=percent)
+        return result
+
+    def test_relay_always_meets_half_cycle_budget(self, designs):
+        for design in designs.values():
+            assert design.relay_meets_timing()
+
+    def test_relay_slack_is_large(self, designs):
+        # Paper: "A large timing slack is available because error relay
+        # has to be performed only from a small number of TIMBER FFs."
+        for (name, percent, style), design in designs.items():
+            if style is TimberStyle.FLIP_FLOP:
+                cost = design.relay()
+                assert cost.timing_slack_percent(
+                    design.graph.period_ps) > 50.0
+
+    def test_relay_area_overhead_small(self, designs):
+        for (name, percent, style), design in designs.items():
+            if style is TimberStyle.FLIP_FLOP:
+                over = design.overhead()
+                assert over.relay_area_overhead_percent < 20.0
+
+    def test_power_overhead_monotone_in_checking_period(self, designs):
+        for name in ("low", "medium", "high"):
+            for style in (TimberStyle.FLIP_FLOP, TimberStyle.LATCH):
+                series = [
+                    designs[(name, percent, style)].overhead()
+                    .power_overhead_percent
+                    for percent in CHECKING
+                ]
+                assert series == sorted(series)
+
+    def test_latch_always_cheaper_than_ff(self, designs):
+        for name in ("low", "medium", "high"):
+            for percent in CHECKING:
+                ff = designs[(name, percent, TimberStyle.FLIP_FLOP)]
+                latch = designs[(name, percent, TimberStyle.LATCH)]
+                assert latch.overhead().power_overhead_percent < \
+                    ff.overhead().power_overhead_percent
+
+    def test_overheads_in_low_double_digit_percent_range(self, designs):
+        # The paper reports "very low overhead"; our absolute scale is
+        # parametric, but overheads must stay in a sane band.
+        for design in designs.values():
+            over = design.overhead()
+            assert 0 < over.power_overhead_percent < 35.0
+
+    def test_margin_trade_off_with_vs_without_tb(self, graphs):
+        for name, graph in graphs.items():
+            with_tb = TimberDesign(graph=graph,
+                                   style=TimberStyle.FLIP_FLOP,
+                                   percent_checking=30.0,
+                                   with_tb_interval=True)
+            without = TimberDesign(graph=graph,
+                                   style=TimberStyle.FLIP_FLOP,
+                                   percent_checking=30.0,
+                                   with_tb_interval=False)
+            # Same power (same replaced FFs), less margin with TB.
+            assert with_tb.overhead().power_overhead_percent == \
+                pytest.approx(without.overhead().power_overhead_percent)
+            assert with_tb.recovered_margin_percent < \
+                without.recovered_margin_percent
+
+
+class TestDistributionSweepIntegration:
+    def test_sweep_matches_direct_queries(self, graphs):
+        graph = graphs["medium"]
+        for dist in distribution_sweep(graph):
+            endpoints = graph.critical_endpoints(dist.percent_threshold)
+            assert dist.num_endpoints == len(endpoints)

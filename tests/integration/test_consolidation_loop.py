@@ -1,0 +1,77 @@
+"""Integration: OR-tree sizing drives the controller's real latency.
+
+Closes the consolidation loop end-to-end: size the error OR-tree for an
+actual TIMBER deployment, check it fits the checking period's budget,
+feed its latency into the central controller, and run the whole-graph
+simulation — the controller must still suppress every failure.
+"""
+
+import pytest
+
+from repro.core.architecture import TimberDesign, TimberStyle
+from repro.core.ortree import build_or_tree
+from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.graph_sim import GraphPipelineSimulation
+from repro.processor.generator import generate_processor
+from repro.processor.perfpoints import MEDIUM_PERFORMANCE
+from repro.variability import VoltageDroopVariation
+
+CHECKING = 30.0
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    graph = generate_processor(MEDIUM_PERFORMANCE, num_stages=6,
+                               ffs_per_stage=80, fanin=4, seed=5)
+    design = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                          percent_checking=CHECKING)
+    tree = build_or_tree(len(design.protected_ffs), fanin=4)
+    return graph, design, tree
+
+
+class TestBudget:
+    def test_tree_fits_checking_period_budget(self, deployment):
+        _graph, design, tree = deployment
+        assert tree.fits_budget(design.checking_period,
+                                controller_decision_ps=120)
+
+    def test_tree_latency_scales_with_protection(self, deployment):
+        _graph, design, tree = deployment
+        small_tree = build_or_tree(8, fanin=4)
+        assert tree.depth >= small_tree.depth
+        assert tree.num_inputs == len(design.protected_ffs)
+
+
+class TestClosedLoop:
+    def test_real_latency_controller_suppresses_failures(self, deployment):
+        graph, design, tree = deployment
+        latency = tree.latency_ps + 120
+        controller = CentralErrorController(
+            period_ps=graph.period_ps,
+            consolidation_latency_ps=latency,
+            slowdown_factor=1.25, slowdown_cycles=64)
+        assert controller.latency_fits(design.checking_period)
+        sim = GraphPipelineSimulation(
+            graph, scheme="timber-ff", percent_checking=CHECKING,
+            sensitization_prob=0.01,
+            variability=VoltageDroopVariation(
+                event_probability=2e-3, amplitude=0.07,
+                amplitude_jitter=0.0, seed=3),
+            controller=controller, seed=1,
+        )
+        result = sim.run(3000)
+        assert result.failed == 0
+        assert result.failed_unprotected == 0
+        assert result.masked > 0
+        # The controller actually reacted (flags arrived through ED
+        # borrows during droop chains).
+        assert controller.flags_received > 0
+
+    def test_reaction_delay_reflects_tree_latency(self, deployment):
+        graph, _design, tree = deployment
+        fast = CentralErrorController(
+            period_ps=graph.period_ps, consolidation_latency_ps=100)
+        slow = CentralErrorController(
+            period_ps=graph.period_ps,
+            consolidation_latency_ps=tree.latency_ps + 120)
+        assert slow.reaction_delay_cycles >= fast.reaction_delay_cycles

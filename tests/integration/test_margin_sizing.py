@@ -1,0 +1,94 @@
+"""Integration: empirical margin sizing with statistical STA.
+
+Closes the loop the paper assumes at design time: measure the dynamic
+violation distribution of a netlist (SSTA), size the checking period so
+the recovered margin covers it, deploy TIMBER, and verify in event-
+driven simulation that violations of the measured magnitude are masked.
+"""
+
+import pytest
+
+from repro.circuit.generate import inverter_chain
+from repro.core.checking_period import CheckingPeriod
+from repro.sequential.timber_latch import TimberLatch
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+from repro.timing.ssta import run_ssta
+from repro.variability import (
+    CompositeVariation,
+    LocalVariation,
+    VoltageDroopVariation,
+)
+
+
+class TestMarginSizing:
+    @pytest.fixture(scope="class")
+    def sized(self):
+        # A 20-inverter path: nominal arrival 20*12 + 45 = 285 ps.
+        chain = inverter_chain(20)
+        period = 320  # deadline 290: tight but meets nominal timing
+        # Chip-wide droops are what actually pushes a whole path past
+        # the edge; per-gate jitter averages out over a 20-gate cone.
+        variability = CompositeVariation([
+            LocalVariation(sigma=0.01, max_factor=1.03, seed=13),
+            VoltageDroopVariation(event_probability=0.05,
+                                  amplitude=0.06, amplitude_jitter=0.0,
+                                  duration_cycles=4, seed=14),
+        ])
+        ssta = run_ssta(chain, period, variability, trials=500)
+        required = ssta.required_margin_ps(coverage=1.0)
+        return chain, period, variability, ssta, required
+
+    def test_ssta_observes_violations(self, sized):
+        _chain, _period, _var, ssta, required = sized
+        assert ssta.any_violation_probability > 0
+        assert required > 0
+
+    def test_checking_period_sized_from_measurement(self, sized):
+        _chain, period, _var, _ssta, required = sized
+        # Choose the smallest studied checking period whose recovered
+        # margin covers the measured worst lateness.
+        for percent in (10.0, 20.0, 30.0, 40.0):
+            cp = CheckingPeriod.with_tb(period, percent)
+            if cp.recovered_margin_ps >= required:
+                break
+        else:
+            pytest.fail("no studied checking period covers the margin")
+        assert cp.recovered_margin_ps >= required
+
+    def test_deployed_latch_masks_measured_violations(self, sized):
+        chain, period, _var, ssta, required = sized
+        cp = next(
+            CheckingPeriod.with_tb(period, percent)
+            for percent in (10.0, 20.0, 30.0, 40.0)
+            if CheckingPeriod.with_tb(period, percent)
+            .recovered_margin_ps >= required
+        )
+        # Event-driven check: drive a transition that lands exactly at
+        # the worst measured lateness; the TIMBER latch must mask it.
+        sim = Simulator()
+        ClockGenerator(sim, "clk", period)
+        sim.set_initial("d", 0)
+        latch = TimberLatch(sim, name="l", d="d", clk="clk", q="q",
+                            err="err", tb_ps=cp.tb_ps,
+                            checking_ps=cp.checking_ps)
+        sim.drive("d", 1, period + required)
+        sim.run(2 * period)
+        assert str(sim.value("q")) == "1"
+        record = latch.records[-1]
+        assert record.borrowed_ps == required
+
+    def test_undersized_margin_would_fail(self, sized):
+        _chain, period, _var, _ssta, required = sized
+        tiny = CheckingPeriod.with_tb(period, 10.0)
+        if tiny.checking_ps >= required:
+            pytest.skip("10% checking already covers this design")
+        sim = Simulator()
+        ClockGenerator(sim, "clk", period)
+        sim.set_initial("d", 0)
+        latch = TimberLatch(sim, name="l", d="d", clk="clk", q="q",
+                            err="err", tb_ps=tiny.tb_ps,
+                            checking_ps=tiny.checking_ps)
+        sim.drive("d", 1, period + required)
+        sim.run(2 * period)
+        assert str(sim.value("q")) == "0"  # slave closed too early

@@ -1,0 +1,143 @@
+"""Integration: full pipeline + controller + variability control loop."""
+
+import pytest
+
+from repro.core.checking_period import CheckingPeriod
+from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.pipeline import PipelineSimulation
+from repro.pipeline.schemes import (
+    CanaryPolicy,
+    PlainPolicy,
+    RazorPolicy,
+    TimberFFPolicy,
+    TimberLatchPolicy,
+)
+from repro.pipeline.stage import PipelineStage
+from repro.variability import (
+    CompositeVariation,
+    LocalVariation,
+    TemperatureDriftVariation,
+    VoltageDroopVariation,
+)
+
+PERIOD = 1000
+NUM_STAGES = 5
+NUM_CYCLES = 15_000
+
+
+@pytest.fixture(scope="module")
+def stages():
+    return [
+        PipelineStage(name=f"st{i}", critical_delay_ps=950,
+                      typical_delay_ps=700, sensitization_prob=0.05,
+                      seed=100 + i)
+        for i in range(NUM_STAGES)
+    ]
+
+
+@pytest.fixture(scope="module")
+def stress():
+    """Local jitter + occasional 8% droops + slow thermal cycle.
+
+    The combined worst case (1.03 * 1.08 * 1.02 on a 950 ps stage) stays
+    inside the 10%-of-period margin a 30% checking period recovers per
+    stage — the sizing rule of paper Sec. 4.
+    """
+    return CompositeVariation([
+        LocalVariation(sigma=0.015, max_factor=1.03, seed=41),
+        VoltageDroopVariation(event_probability=2e-3, amplitude=0.08,
+                              amplitude_jitter=0.0, seed=42),
+        TemperatureDriftVariation(amplitude=0.02, period_cycles=8000),
+    ])
+
+
+def run(policy, stages, variability, latency_ps=PERIOD):
+    controller = CentralErrorController(
+        period_ps=PERIOD, consolidation_latency_ps=latency_ps)
+    sim = PipelineSimulation(stages, policy, period_ps=PERIOD,
+                             controller=controller,
+                             variability=variability)
+    return sim.run(NUM_CYCLES), controller
+
+
+class TestSchemeComparison:
+    def test_plain_fails_under_stress(self, stages, stress):
+        result, _ = run(PlainPolicy(NUM_STAGES), stages, stress)
+        assert result.failed > 0
+
+    def test_timber_ff_masks_everything(self, stages, stress):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        result, controller = run(TimberFFPolicy(NUM_STAGES, cp), stages,
+                                 stress)
+        assert result.failed == 0
+        assert result.masked > 0
+        # Single-stage errors are masked silently: only a fraction of
+        # masked events reached the controller.
+        assert result.masked_flagged < result.masked
+
+    def test_timber_latch_masks_everything(self, stages, stress):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        result, _ = run(TimberLatchPolicy(NUM_STAGES, cp), stages, stress)
+        assert result.failed == 0
+        assert result.masked > 0
+
+    def test_timber_throughput_near_unity(self, stages, stress):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        result, _ = run(TimberFFPolicy(NUM_STAGES, cp), stages, stress)
+        assert result.throughput_factor > 0.99
+
+    def test_razor_pays_replay(self, stages, stress):
+        result, _ = run(
+            RazorPolicy(NUM_STAGES, window_ps=300, replay_penalty=5),
+            stages, stress)
+        assert result.detected > 0
+        assert result.replay_cycles > 0
+        assert result.throughput_factor < 1.0
+
+    def test_canary_predicts_but_recovers_no_margin(self, stages, stress):
+        result, controller = run(CanaryPolicy(NUM_STAGES, guard_ps=300),
+                                 stages, stress)
+        assert result.predicted > 0
+        # The standing guard band turns every near-critical cycle into a
+        # slowdown request: throughput suffers far more than TIMBER.
+        assert result.slow_cycles > 0
+
+    def test_timber_beats_razor_and_canary_in_throughput(self, stages,
+                                                         stress):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        timber, _ = run(TimberFFPolicy(NUM_STAGES, cp), stages, stress)
+        razor, _ = run(RazorPolicy(NUM_STAGES, window_ps=300,
+                                   replay_penalty=5), stages, stress)
+        canary, _ = run(CanaryPolicy(NUM_STAGES, guard_ps=300), stages,
+                        stress)
+        assert timber.throughput_factor >= razor.throughput_factor
+        assert timber.throughput_factor >= canary.throughput_factor
+
+
+class TestControlLoop:
+    def test_flags_trigger_slowdown_and_errors_subside(self, stages,
+                                                       stress):
+        cp = CheckingPeriod.without_tb(PERIOD, 30)  # flag immediately
+        result, controller = run(TimberFFPolicy(NUM_STAGES, cp), stages,
+                                 stress)
+        assert controller.flags_received > 0
+        assert result.slow_cycles > 0
+        assert result.failed == 0
+
+    def test_consolidation_budget_check(self, stages, stress):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        _, controller = run(TimberFFPolicy(NUM_STAGES, cp), stages,
+                            stress, latency_ps=PERIOD)
+        assert controller.latency_fits(cp)
+
+    def test_deferred_flagging_reduces_controller_traffic(self, stages,
+                                                          stress):
+        with_tb = CheckingPeriod.with_tb(PERIOD, 30)
+        without = CheckingPeriod.without_tb(PERIOD, 30)
+        _, ctrl_deferred = run(TimberFFPolicy(NUM_STAGES, with_tb),
+                               stages, stress)
+        _, ctrl_immediate = run(TimberFFPolicy(NUM_STAGES, without),
+                                stages, stress)
+        # Deferring flags to multi-stage errors must strictly reduce the
+        # number of flags the controller sees.
+        assert ctrl_deferred.flags_received <= ctrl_immediate.flags_received

@@ -1,0 +1,104 @@
+"""Integration: TIMBER elements deployed on a real netlist.
+
+Builds the event-driven testbench over a generated netlist, drives
+clean and late stimuli through the actual gates, and checks that the
+structural deployment masks/flag exactly as the analytic model says.
+"""
+
+import pytest
+
+from repro.circuit.generate import inverter_chain, random_stage
+from repro.circuit.logic import Logic
+from repro.core.checking_period import CheckingPeriod
+from repro.core.testbench import build_timber_testbench
+from repro.errors import ConfigurationError
+
+PERIOD = 4000  # roomy clock: the chain delay is ~240 ps
+CP = CheckingPeriod.with_tb(PERIOD, 30)
+
+
+@pytest.fixture
+def chain_bench():
+    return build_timber_testbench(inverter_chain(20), CP, style="ff")
+
+
+class TestCleanOperation:
+    def test_clean_stimulus_captured(self, chain_bench):
+        bench = chain_bench
+        bench.apply_stimulus({"in": 1}, at_cycle=2)
+        bench.run_cycles(3)
+        capture = bench.netlist.capture_nets[0]
+        assert bench.output_value(capture) is Logic.ONE
+        assert bench.flagged_elements() == set()
+
+    def test_no_spurious_masking(self, chain_bench):
+        bench = chain_bench
+        bench.apply_stimulus({"in": 1}, at_cycle=2)
+        bench.run_cycles(4)
+        assert all(count == 0
+                   for count in bench.masked_counts().values())
+
+
+class TestTimingErrors:
+    @pytest.mark.parametrize("style", ["ff", "latch"])
+    def test_late_arrival_masked(self, style):
+        bench = build_timber_testbench(inverter_chain(20), CP,
+                                       style=style)
+        capture = bench.netlist.capture_nets[0]
+        # Lateness inside the TB interval: masked, not flagged.
+        bench.inject_late_stimulus("in", 1, at_cycle=2,
+                                   lateness_ps=CP.interval_ps // 2)
+        bench.run_cycles(3)
+        assert bench.output_value(capture) is Logic.ONE
+        assert bench.flagged_elements() == set()
+        assert bench.masked_counts()[capture] >= 1
+
+    def test_ed_arrival_flagged(self):
+        bench = build_timber_testbench(inverter_chain(20), CP,
+                                       style="latch")
+        capture = bench.netlist.capture_nets[0]
+        bench.inject_late_stimulus(
+            "in", 1, at_cycle=2,
+            lateness_ps=CP.tb_ps + CP.interval_ps // 2)
+        bench.run_cycles(3)
+        assert bench.output_value(capture) is Logic.ONE
+        assert capture in bench.flagged_elements()
+
+
+class TestMultiOutputNetlist:
+    @pytest.fixture
+    def stage_bench(self):
+        netlist = random_stage(num_inputs=6, num_outputs=4, depth=5,
+                               width=8, seed=17)
+        return build_timber_testbench(netlist, CP, style="ff")
+
+    def test_all_outputs_get_elements(self, stage_bench):
+        assert set(stage_bench.elements) == \
+            set(stage_bench.netlist.capture_nets)
+
+    def test_relay_wired_for_ff_style(self, stage_bench):
+        assert stage_bench.relay is not None
+        assert stage_bench.relay.connections
+
+    def test_clean_vectors_propagate(self, stage_bench):
+        bench = stage_bench
+        bench.apply_stimulus({net: 1 for net in bench.launch_nets},
+                             at_cycle=2)
+        bench.run_cycles(3)
+        for capture in bench.netlist.capture_nets:
+            assert bench.output_value(capture) in (Logic.ZERO, Logic.ONE)
+        assert bench.flagged_elements() == set()
+
+
+class TestValidation:
+    def test_unknown_launch_net_rejected(self, chain_bench):
+        with pytest.raises(ConfigurationError):
+            chain_bench.apply_stimulus({"nope": 1}, at_cycle=2)
+
+    def test_bad_style_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_timber_testbench(inverter_chain(3), CP, style="bogus")
+
+    def test_zero_cycles_rejected(self, chain_bench):
+        with pytest.raises(ConfigurationError):
+            chain_bench.run_cycles(0)

@@ -1,0 +1,111 @@
+"""Integration: the docs/tutorial.md flow runs as written.
+
+Executes the tutorial's eight steps end-to-end so the documentation
+cannot rot: if an API in the walkthrough changes, this test breaks.
+"""
+
+import pytest
+
+from repro.circuit.generate import random_stage
+from repro.core import CheckingPeriod, TimberDesign, TimberStyle, \
+    select_budgeted
+from repro.pipeline import CentralErrorController, GraphPipelineSimulation
+from repro.power import margin_to_energy_savings
+from repro.timing import (
+    ExceptionSet,
+    apply_hold_padding,
+    enumerate_paths,
+    false_path,
+    hold_padding_plan,
+    multicycle_path,
+    netlist_to_timing_graph,
+    run_sta,
+    run_ssta,
+)
+from repro.variability import (
+    CompositeVariation,
+    LocalVariation,
+    VoltageDroopVariation,
+)
+
+PERIOD = 390
+
+
+@pytest.fixture(scope="module")
+def flow():
+    """Run all tutorial steps once; tests assert on the pieces."""
+    # 1. design
+    netlist = random_stage(num_inputs=16, num_outputs=12, depth=10,
+                           width=24, seed=2024)
+    # 2. sign-off
+    sta = run_sta(netlist, period_ps=PERIOD)
+    worst = enumerate_paths(netlist, PERIOD).top_count(5)
+    exceptions = ExceptionSet([
+        false_path(from_pattern="cfg_*"),
+        multicycle_path(2, to_pattern="mult_out*"),
+    ])
+    # 3. violation profile
+    stress = CompositeVariation([
+        LocalVariation(sigma=0.01, max_factor=1.03, seed=1),
+        VoltageDroopVariation(event_probability=0.01, amplitude=0.06,
+                              seed=2),
+    ])
+    profile = run_ssta(netlist, period_ps=PERIOD, variability=stress,
+                       trials=300)
+    needed = profile.required_margin_ps()
+    # 4. checking period
+    cp = next(
+        CheckingPeriod.with_tb(PERIOD, percent)
+        for percent in (10.0, 20.0, 30.0, 40.0)
+        if CheckingPeriod.with_tb(PERIOD, percent).recovered_margin_ps
+        >= needed
+    )
+    # 5. hold fix
+    plan = hold_padding_plan(netlist, hold_ps=15,
+                             checking_ps=cp.checking_ps)
+    apply_hold_padding(netlist, plan)
+    # 6. deploy
+    graph = netlist_to_timing_graph(netlist, PERIOD)
+    design = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                          percent_checking=cp.percent)
+    partial = select_budgeted(graph, cp.percent,
+                              power_budget_percent=5.0)
+    # 7. simulate
+    controller = CentralErrorController(period_ps=graph.period_ps,
+                                        consolidation_latency_ps=500)
+    sim = GraphPipelineSimulation(graph, scheme="timber-ff",
+                                  percent_checking=cp.percent,
+                                  sensitization_prob=0.01,
+                                  variability=stress,
+                                  controller=controller)
+    result = sim.run(3000)
+    # 8. spend the margin
+    savings = margin_to_energy_savings(
+        design.recovered_margin_percent,
+        element_overhead_percent=(
+            design.overhead().power_overhead_percent))
+    return locals()
+
+
+class TestTutorialFlow:
+    def test_signoff(self, flow):
+        assert flow["sta"].meets_timing()
+        assert len(flow["worst"]) == 5
+        assert len(flow["exceptions"]) == 2
+
+    def test_profile_sized_the_margin(self, flow):
+        assert flow["needed"] >= 0
+        assert flow["cp"].recovered_margin_ps >= flow["needed"]
+
+    def test_deployment(self, flow):
+        design = flow["design"]
+        assert design.relay_meets_timing()
+        assert 0 <= flow["partial"].coverage <= 1
+
+    def test_simulation_clean(self, flow):
+        result = flow["result"]
+        assert result.failed == 0
+        assert result.failed_unprotected == 0
+
+    def test_energy_story(self, flow):
+        assert flow["savings"].gross_savings_percent >= 0

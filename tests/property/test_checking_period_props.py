@@ -1,0 +1,81 @@
+"""Property-based tests for checking-period arithmetic."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.core.checking_period import CheckingPeriod, IntervalKind
+
+periods = st.integers(min_value=100, max_value=100_000)
+percents = st.floats(min_value=1.0, max_value=50.0,
+                     allow_nan=False, allow_infinity=False)
+intervals = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def checking_periods(draw):
+    period = draw(periods)
+    percent = draw(percents)
+    k = draw(intervals)
+    tb = draw(st.integers(min_value=0, max_value=k - 1))
+    try:
+        cp = CheckingPeriod(period, percent, num_intervals=k, num_tb=tb)
+    except Exception:
+        assume(False)
+        raise  # unreachable; keeps type checkers happy
+    assume(cp.interval_ps > 0)
+    return cp
+
+
+@given(checking_periods())
+def test_intervals_partition_checking_period(cp):
+    assert cp.tb_ps + cp.ed_ps == cp.num_intervals * cp.interval_ps
+    # Integer division may shave a remainder, never add one.
+    assert 0 <= cp.checking_ps - cp.num_intervals * cp.interval_ps \
+        < cp.num_intervals
+
+
+@given(checking_periods())
+def test_margin_is_one_interval(cp):
+    assert cp.recovered_margin_ps == cp.interval_ps
+    assert cp.recovered_margin_ps <= cp.checking_ps
+
+
+@given(checking_periods())
+def test_interval_kinds_ordered_tb_then_ed(cp):
+    kinds = [cp.interval_kind(i) for i in range(1, cp.num_intervals + 1)]
+    if IntervalKind.ED in kinds:
+        first_ed = kinds.index(IntervalKind.ED)
+        assert all(k is IntervalKind.TB for k in kinds[:first_ed])
+        assert all(k is IntervalKind.ED for k in kinds[first_ed:])
+    assert kinds.count(IntervalKind.TB) == cp.num_tb
+
+
+@given(checking_periods())
+def test_flagging_monotone_in_interval_index(cp):
+    flags = [cp.flags_on_interval(i)
+             for i in range(1, cp.num_intervals + 1)]
+    # Once flagging starts it never stops at deeper intervals.
+    assert flags == sorted(flags)
+
+
+@given(checking_periods())
+def test_consolidation_budget_at_least_half_cycle(cp):
+    assert cp.consolidation_budget_ps() >= cp.period_ps // 2
+
+
+@given(checking_periods(), st.integers(min_value=0, max_value=1000))
+def test_hold_constraint_exceeds_checking_period(cp, hold):
+    assert cp.min_short_path_delay_ps(hold) == hold + cp.checking_ps
+
+
+@given(periods, percents)
+def test_with_tb_recovers_two_thirds_of_without(period, percent):
+    try:
+        with_tb = CheckingPeriod.with_tb(period, percent)
+        without = CheckingPeriod.without_tb(period, percent)
+    except Exception:
+        assume(False)
+        raise
+    assume(with_tb.interval_ps > 0 and without.interval_ps > 0)
+    ratio = (with_tb.recovered_margin_percent
+             / without.recovered_margin_percent)
+    assert abs(ratio - 2.0 / 3.0) < 1e-9

@@ -1,0 +1,70 @@
+"""Property-based tests for the event queue."""
+
+from hypothesis import given, strategies as st
+
+from repro.circuit.logic import Logic
+from repro.sim.events import Event, EventQueue
+
+times = st.lists(st.integers(min_value=0, max_value=10_000),
+                 min_size=1, max_size=200)
+
+
+@given(times)
+def test_pops_are_sorted_by_time(time_list):
+    queue = EventQueue()
+    for t in time_list:
+        queue.push(Event(t, signal="s", value=Logic.ONE))
+    popped = [queue.pop().time_ps for _ in range(len(time_list))]
+    assert popped == sorted(time_list)
+
+
+@given(times)
+def test_len_matches_pushes(time_list):
+    queue = EventQueue()
+    for t in time_list:
+        queue.push(Event(t, signal="s", value=Logic.ONE))
+    assert len(queue) == len(time_list)
+
+
+@given(times, st.data())
+def test_cancellation_removes_exactly_those_events(time_list, data):
+    queue = EventQueue()
+    handles = []
+    for index, t in enumerate(time_list):
+        handles.append(
+            (queue.push(Event(t, signal=f"s{index}", value=Logic.ONE)),
+             index, t))
+    to_cancel = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(handles) - 1)))
+    for position in to_cancel:
+        queue.cancel(handles[position][0])
+    surviving = sorted(
+        (t, index) for handle, index, t in handles
+        if index not in to_cancel
+    )
+    popped = []
+    while queue:
+        event = queue.pop()
+        popped.append((event.time_ps, int(event.signal[1:])))
+    assert popped == surviving
+
+
+@given(times)
+def test_equal_times_preserve_insertion_order(time_list):
+    queue = EventQueue()
+    constant = 42
+    for index in range(len(time_list)):
+        queue.push(Event(constant, signal=f"s{index}", value=Logic.ONE))
+    order = [int(queue.pop().signal[1:]) for _ in range(len(time_list))]
+    assert order == sorted(order)
+
+
+@given(times)
+def test_peek_matches_next_pop(time_list):
+    queue = EventQueue()
+    for t in time_list:
+        queue.push(Event(t, signal="s", value=Logic.ONE))
+    while queue:
+        peeked = queue.peek_time()
+        assert queue.pop().time_ps == peeked
+    assert queue.peek_time() is None

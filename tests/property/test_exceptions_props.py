@@ -1,0 +1,87 @@
+"""Property-based tests for timing exceptions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.timing.exceptions import (
+    ExceptionKind,
+    ExceptionSet,
+    apply_exceptions,
+    false_path,
+    multicycle_path,
+)
+from repro.timing.graph import TimingGraph
+
+names = st.sampled_from(["alu_a", "alu_b", "cfg_reg", "lsq_0", "rob_7"])
+
+
+@st.composite
+def graphs(draw):
+    period = 1000
+    graph = TimingGraph("g", period)
+    for name in ("alu_a", "alu_b", "cfg_reg", "lsq_0", "rob_7"):
+        graph.add_ff(name)
+    count = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(count):
+        src = draw(names)
+        dst = draw(names)
+        delay = draw(st.integers(min_value=0, max_value=period))
+        graph.add_edge(src, dst, delay)
+    return graph
+
+
+@st.composite
+def rule_sets(draw):
+    rules = []
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        kind = draw(st.sampled_from(["false", "multi"]))
+        src = draw(st.sampled_from(["*", "alu_*", "cfg_*", "lsq_0"]))
+        dst = draw(st.sampled_from(["*", "rob_*", "alu_b"]))
+        if kind == "false":
+            rules.append(false_path(src, dst))
+        else:
+            cycles = draw(st.integers(min_value=2, max_value=4))
+            rules.append(multicycle_path(cycles, src, dst))
+    return ExceptionSet(rules)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs(), rule_sets())
+def test_folding_never_increases_delay_or_count(graph, rules):
+    folded = apply_exceptions(graph, rules)
+    assert folded.num_edges <= graph.num_edges
+    original_max = max((e.delay_ps for e in graph.edges()), default=0)
+    folded_max = max((e.delay_ps for e in folded.edges()), default=0)
+    assert folded_max <= original_max
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs(), rule_sets(), st.floats(min_value=1, max_value=50))
+def test_criticality_never_grows(graph, rules, percent):
+    folded = apply_exceptions(graph, rules)
+    assert folded.critical_endpoints(percent) <= \
+        graph.critical_endpoints(percent)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs(), rule_sets())
+def test_classification_consistent_with_folding(graph, rules):
+    folded_edges = {
+        (e.src, e.dst, e.delay_ps) for e in
+        apply_exceptions(graph, rules).edges()
+    }
+    for edge in graph.edges():
+        kind, budget = rules.classify(edge)
+        if kind is ExceptionKind.FALSE_PATH:
+            continue  # removed: nothing to match
+        expected = (-(-edge.delay_ps // budget)
+                    if kind is ExceptionKind.MULTICYCLE
+                    else edge.delay_ps)
+        assert (edge.src, edge.dst, expected) in folded_edges
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs())
+def test_empty_rules_are_identity(graph):
+    folded = apply_exceptions(graph, ExceptionSet())
+    assert sorted((e.src, e.dst, e.delay_ps) for e in folded.edges()) \
+        == sorted((e.src, e.dst, e.delay_ps) for e in graph.edges())

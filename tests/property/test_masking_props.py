@@ -1,0 +1,143 @@
+"""Property-based tests for capture/masking semantics.
+
+The central safety invariants of the paper:
+
+* no scheme ever flags a *false* error (flag implies a real violation,
+  except canary, whose flag is a prediction);
+* TIMBER never silently corrupts state within its select-covered window;
+* borrowing never exceeds the checking period;
+* the latch borrows exactly the lateness, the flip-flop a whole number
+  of intervals.
+"""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.core.checking_period import CheckingPeriod
+from repro.core.masking import (
+    canary_capture,
+    plain_ff_capture,
+    razor_capture,
+    timber_ff_capture,
+    timber_latch_capture,
+)
+
+latenesses = st.integers(min_value=-2000, max_value=2000)
+selects = st.integers(min_value=0, max_value=6)
+
+
+@st.composite
+def checking_periods(draw):
+    period = draw(st.integers(min_value=200, max_value=50_000))
+    percent = draw(st.floats(min_value=2.0, max_value=50.0,
+                             allow_nan=False))
+    k = draw(st.integers(min_value=1, max_value=4))
+    tb = draw(st.integers(min_value=0, max_value=k - 1))
+    try:
+        cp = CheckingPeriod(period, percent, num_intervals=k, num_tb=tb)
+    except Exception:
+        assume(False)
+        raise
+    assume(cp.interval_ps > 0)
+    return cp
+
+
+class TestTimberFF:
+    @given(latenesses, selects, checking_periods())
+    def test_no_false_flags(self, lateness, select, cp):
+        outcome = timber_ff_capture(lateness, select, cp)
+        if outcome.flagged:
+            assert lateness > 0
+
+    @given(latenesses, selects, checking_periods())
+    def test_exactly_one_of_clean_masked_failed(self, lateness, select, cp):
+        outcome = timber_ff_capture(lateness, select, cp)
+        states = [outcome.masked, outcome.failed,
+                  (not outcome.masked and not outcome.failed)]
+        assert sum(states) == 1
+
+    @given(latenesses, selects, checking_periods())
+    def test_borrow_is_whole_intervals_within_checking(self, lateness,
+                                                       select, cp):
+        outcome = timber_ff_capture(lateness, select, cp)
+        if outcome.masked:
+            assert outcome.borrowed_ps % cp.interval_ps == 0
+            assert outcome.borrowed_ps <= cp.checking_ps
+            assert outcome.borrowed_ps >= lateness
+
+    @given(latenesses, selects, checking_periods())
+    def test_correct_state_unless_failed(self, lateness, select, cp):
+        outcome = timber_ff_capture(lateness, select, cp)
+        assert outcome.correct_state == (not outcome.failed)
+
+    @given(st.data(), checking_periods())
+    def test_covered_window_never_fails(self, data, cp):
+        """With the select relayed to its maximum, any violation within
+        the interval-covered window is masked."""
+        covered = cp.num_intervals * cp.interval_ps
+        lateness = data.draw(st.integers(min_value=1, max_value=covered))
+        outcome = timber_ff_capture(lateness, cp.num_intervals - 1, cp)
+        assert outcome.masked and not outcome.failed
+
+    @given(latenesses, selects, checking_periods())
+    def test_higher_select_never_hurts(self, lateness, select, cp):
+        """Masking is monotone in the select: if a violation is masked
+        at select s, it is masked at s+1 too."""
+        low = timber_ff_capture(lateness, select, cp)
+        high = timber_ff_capture(lateness, select + 1, cp)
+        if low.masked:
+            assert high.masked
+
+
+class TestTimberLatch:
+    @given(latenesses, checking_periods())
+    def test_no_false_flags(self, lateness, cp):
+        outcome = timber_latch_capture(lateness, cp)
+        if outcome.flagged:
+            assert lateness > cp.tb_ps
+
+    @given(latenesses, checking_periods())
+    def test_borrow_equals_lateness(self, lateness, cp):
+        outcome = timber_latch_capture(lateness, cp)
+        if outcome.masked:
+            assert outcome.borrowed_ps == lateness
+
+    @given(st.data(), checking_periods())
+    def test_whole_checking_period_masked(self, data, cp):
+        lateness = data.draw(
+            st.integers(min_value=1, max_value=cp.checking_ps))
+        assert timber_latch_capture(lateness, cp).masked
+
+    @given(st.data(), checking_periods())
+    def test_latch_borrows_no_more_than_ff(self, data, cp):
+        """Continuous borrowing is never worse than discrete: for the
+        same masked violation the latch delays the next stage by at most
+        the flip-flop's rounded-up interval borrow."""
+        lateness = data.draw(
+            st.integers(min_value=1, max_value=cp.interval_ps))
+        latch = timber_latch_capture(lateness, cp)
+        ff = timber_ff_capture(lateness, 0, cp)
+        assert latch.masked and ff.masked
+        assert latch.borrowed_ps <= ff.borrowed_ps
+
+
+class TestBaselines:
+    @given(latenesses)
+    def test_plain_fails_iff_late(self, lateness):
+        outcome = plain_ff_capture(lateness)
+        assert outcome.failed == (lateness > 0)
+
+    @given(latenesses, st.integers(min_value=1, max_value=1000))
+    def test_razor_detection_window(self, lateness, window):
+        outcome = razor_capture(lateness, window)
+        assert outcome.detected == (0 < lateness <= window)
+        if outcome.detected:
+            assert not outcome.correct_state  # needs replay
+
+    @given(latenesses, st.integers(min_value=1, max_value=1000))
+    def test_canary_never_masks(self, lateness, guard):
+        outcome = canary_capture(lateness, guard)
+        assert not outcome.masked
+        assert outcome.borrowed_ps == 0
+        # Prediction keeps state correct; an actual violation does not.
+        if outcome.predicted:
+            assert outcome.correct_state

@@ -1,0 +1,82 @@
+"""Property-based tests for pipeline-level invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checking_period import CheckingPeriod
+from repro.pipeline.pipeline import PipelineSimulation
+from repro.pipeline.schemes import (
+    PlainPolicy,
+    TimberFFPolicy,
+    TimberLatchPolicy,
+)
+from repro.pipeline.stage import PipelineStage
+from repro.variability import LocalVariation
+
+PERIOD = 1000
+
+
+@st.composite
+def scenarios(draw):
+    num_stages = draw(st.integers(min_value=1, max_value=6))
+    critical = draw(st.integers(min_value=700, max_value=990))
+    prob = draw(st.floats(min_value=0.0, max_value=0.5))
+    sigma = draw(st.floats(min_value=0.0, max_value=0.08))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    percent = draw(st.sampled_from([10.0, 20.0, 30.0, 40.0]))
+    stages = [
+        PipelineStage(name=f"s{i}", critical_delay_ps=critical,
+                      typical_delay_ps=int(critical * 0.75),
+                      sensitization_prob=prob, seed=seed + i)
+        for i in range(num_stages)
+    ]
+    return stages, LocalVariation(sigma=sigma, seed=seed), percent
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenarios(), st.integers(min_value=1, max_value=300))
+def test_capture_accounting_always_sums(scenario, num_cycles):
+    stages, variability, percent = scenario
+    cp = CheckingPeriod.with_tb(PERIOD, percent)
+    sim = PipelineSimulation(stages, TimberFFPolicy(len(stages), cp),
+                             period_ps=PERIOD, variability=variability)
+    result = sim.run(num_cycles)
+    assert result.captures == num_cycles * len(stages)
+    assert result.masked_flagged <= result.masked
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenarios(), st.integers(min_value=1, max_value=300))
+def test_borrow_never_exceeds_checking_period(scenario, num_cycles):
+    stages, variability, percent = scenario
+    cp = CheckingPeriod.with_tb(PERIOD, percent)
+    sim = PipelineSimulation(stages, TimberLatchPolicy(len(stages), cp),
+                             period_ps=PERIOD, variability=variability)
+    result = sim.run(num_cycles)
+    assert result.max_borrow_ps <= cp.checking_ps
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenarios(), st.integers(min_value=1, max_value=200))
+def test_timber_never_fails_more_than_plain(scenario, num_cycles):
+    """TIMBER strictly dominates an unprotected design: everything the
+    plain design survives, TIMBER survives too."""
+    stages, variability, percent = scenario
+    cp = CheckingPeriod.with_tb(PERIOD, percent)
+    plain = PipelineSimulation(stages, PlainPolicy(len(stages)),
+                               period_ps=PERIOD,
+                               variability=variability).run(num_cycles)
+    timber = PipelineSimulation(stages, TimberLatchPolicy(len(stages), cp),
+                                period_ps=PERIOD,
+                                variability=variability).run(num_cycles)
+    assert timber.failed <= plain.failed
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenarios(), st.integers(min_value=1, max_value=200))
+def test_throughput_factor_bounded(scenario, num_cycles):
+    stages, variability, percent = scenario
+    cp = CheckingPeriod.with_tb(PERIOD, percent)
+    sim = PipelineSimulation(stages, TimberFFPolicy(len(stages), cp),
+                             period_ps=PERIOD, variability=variability)
+    result = sim.run(num_cycles)
+    assert 0 < result.throughput_factor <= 1.0

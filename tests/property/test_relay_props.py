@@ -1,0 +1,71 @@
+"""Property-based tests for relay algebra and graph criticality."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.relay import relay_cost
+from repro.timing.graph import TimingGraph
+
+
+@st.composite
+def random_graphs(draw):
+    num_ffs = draw(st.integers(min_value=2, max_value=30))
+    period = 1000
+    graph = TimingGraph("g", period)
+    for index in range(num_ffs):
+        graph.add_ff(f"f{index}")
+    num_edges = draw(st.integers(min_value=1, max_value=80))
+    for _ in range(num_edges):
+        src = draw(st.integers(min_value=0, max_value=num_ffs - 1))
+        dst = draw(st.integers(min_value=0, max_value=num_ffs - 1))
+        delay = draw(st.integers(min_value=0, max_value=period))
+        graph.add_edge(f"f{src}", f"f{dst}", delay)
+    return graph
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_graphs(), st.floats(min_value=1, max_value=50))
+def test_through_ffs_subset_of_endpoints_and_startpoints(graph, percent):
+    through = graph.critical_through_ffs(percent)
+    assert through <= graph.critical_endpoints(percent)
+    assert through <= graph.critical_startpoints(percent)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_graphs(),
+       st.floats(min_value=1, max_value=25),
+       st.floats(min_value=25, max_value=50))
+def test_criticality_monotone_in_threshold(graph, tight, loose):
+    assert graph.critical_endpoints(tight) <= \
+        graph.critical_endpoints(loose)
+    assert set(graph.critical_edges(tight)) <= \
+        set(graph.critical_edges(loose))
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_graphs(), st.floats(min_value=1, max_value=50))
+def test_relay_cost_invariants(graph, percent):
+    cost = relay_cost(graph, percent)
+    assert cost.num_through_ffs <= cost.num_protected_ffs
+    assert cost.num_max_nodes <= max(0, cost.num_relayed_inputs - 1) \
+        or cost.num_max_nodes <= cost.num_relayed_inputs
+    assert cost.area >= 0 and cost.leakage >= 0
+    assert cost.worst_delay_ps >= 0
+    if cost.num_protected_ffs == 0:
+        assert cost.area == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_graphs(),
+       st.floats(min_value=1, max_value=25),
+       st.floats(min_value=25, max_value=50))
+def test_relay_cost_monotone_in_threshold(graph, tight, loose):
+    assert relay_cost(graph, tight).num_protected_ffs <= \
+        relay_cost(graph, loose).num_protected_ffs
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_graphs(), st.floats(min_value=1, max_value=50))
+def test_relayed_fanin_bounded_by_in_degree(graph, percent):
+    for ff in graph.ffs:
+        assert graph.critical_fanin_count(ff, percent) <= \
+            len(graph.in_edges(ff))

@@ -1,0 +1,77 @@
+"""Property-based tests for endpoint selection."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.selector import (
+    coverage_curve,
+    endpoint_weights,
+    select_all_critical,
+    select_budgeted,
+)
+from repro.timing.graph import TimingGraph
+
+
+@st.composite
+def graphs_with_critical_paths(draw):
+    num_ffs = draw(st.integers(min_value=4, max_value=25))
+    period = 1000
+    graph = TimingGraph("g", period)
+    for index in range(num_ffs):
+        graph.add_ff(f"f{index}")
+    num_edges = draw(st.integers(min_value=3, max_value=60))
+    for _ in range(num_edges):
+        src = draw(st.integers(min_value=0, max_value=num_ffs - 1))
+        dst = draw(st.integers(min_value=0, max_value=num_ffs - 1))
+        delay = draw(st.integers(min_value=400, max_value=period))
+        graph.add_edge(f"f{src}", f"f{dst}", delay)
+    return graph
+
+
+percents = st.sampled_from([10.0, 20.0, 30.0, 40.0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_critical_paths(), percents)
+def test_weights_nonnegative_and_cover_endpoints(graph, percent):
+    weights = endpoint_weights(graph, percent)
+    assert set(weights) == graph.critical_endpoints(percent)
+    assert all(w >= 0 for w in weights.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_critical_paths(), percents,
+       st.floats(min_value=0, max_value=50))
+def test_budgeted_subset_of_all_critical(graph, percent, budget):
+    full = select_all_critical(graph, percent)
+    partial = select_budgeted(graph, percent,
+                              power_budget_percent=budget)
+    assert partial.selected <= full.selected
+    assert 0.0 <= partial.coverage <= 1.0 + 1e-9
+    assert partial.power_overhead_percent <= budget + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_critical_paths(), percents,
+       st.floats(min_value=0, max_value=20),
+       st.floats(min_value=20, max_value=100))
+def test_coverage_monotone_in_budget(graph, percent, small, large):
+    lo = select_budgeted(graph, percent, power_budget_percent=small)
+    hi = select_budgeted(graph, percent, power_budget_percent=large)
+    assert hi.coverage >= lo.coverage - 1e-12
+    assert hi.num_selected >= lo.num_selected
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_critical_paths(), percents,
+       st.floats(min_value=0, max_value=100))
+def test_greedy_is_optimal_for_uniform_costs(graph, percent, budget):
+    """With identical per-element costs, no same-size selection beats
+    greedy's covered weight."""
+    weights = endpoint_weights(graph, percent)
+    assume(weights)
+    chosen = select_budgeted(graph, percent,
+                             power_budget_percent=budget)
+    k = chosen.num_selected
+    best_k = sorted(weights.values(), reverse=True)[:k]
+    covered = sum(weights[ff] for ff in chosen.selected)
+    assert covered >= sum(best_k) - 1e-9

@@ -1,0 +1,93 @@
+"""Property-based tests for useful-skew scheduling and the OR-tree."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ortree import build_or_tree
+from repro.timing.graph import TimingGraph
+from repro.timing.skew import schedule_useful_skew, skewed_graph
+
+
+@st.composite
+def connected_graphs(draw):
+    """Random graphs where every FF has fanin and fanout (so skew can
+    move), built as a randomly-weighted ring plus chords."""
+    num_ffs = draw(st.integers(min_value=3, max_value=20))
+    period = 1000
+    graph = TimingGraph("g", period)
+    for index in range(num_ffs):
+        graph.add_ff(f"f{index}")
+    for index in range(num_ffs):
+        delay = draw(st.integers(min_value=100, max_value=period))
+        graph.add_edge(f"f{index}", f"f{(index + 1) % num_ffs}", delay)
+    num_chords = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(num_chords):
+        src = draw(st.integers(min_value=0, max_value=num_ffs - 1))
+        dst = draw(st.integers(min_value=0, max_value=num_ffs - 1))
+        delay = draw(st.integers(min_value=100, max_value=period))
+        graph.add_edge(f"f{src}", f"f{dst}", delay)
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs(), st.integers(min_value=0, max_value=300))
+def test_skew_never_hurts_worst_slack(graph, bound):
+    schedule = schedule_useful_skew(graph, max_skew_ps=bound)
+    assert schedule.worst_slack_after_ps >= \
+        schedule.worst_slack_before_ps
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs(), st.integers(min_value=0, max_value=300))
+def test_offsets_respect_bound(graph, bound):
+    schedule = schedule_useful_skew(graph, max_skew_ps=bound)
+    assert all(abs(s) <= bound for s in schedule.offsets.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs(), st.integers(min_value=0, max_value=300))
+def test_min_feasible_period_consistent_with_slack(graph, bound):
+    schedule = schedule_useful_skew(graph, max_skew_ps=bound)
+    # period - worst_slack == critical effective delay (setup = 0).
+    assert schedule.min_feasible_period_ps() == \
+        graph.period_ps - schedule.worst_slack_after_ps
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs(), st.integers(min_value=0, max_value=200))
+def test_folded_graph_clamps_to_period(graph, bound):
+    schedule = schedule_useful_skew(graph, max_skew_ps=bound)
+    folded = skewed_graph(graph, schedule)
+    for edge in folded.edges():
+        assert 0 <= edge.delay_ps <= graph.period_ps
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=5000),
+       st.integers(min_value=2, max_value=8))
+def test_or_tree_structure(num_inputs, fanin):
+    tree = build_or_tree(num_inputs, fanin=fanin)
+    if num_inputs == 1:
+        assert tree.depth == 0 and tree.num_gates == 0
+        return
+    # Depth is the ceil log, computed in exact integer arithmetic
+    # (float log(125, 5) rounds just above 3.0 and would overshoot).
+    expected_depth = 0
+    reach = 1
+    while reach < num_inputs:
+        reach *= fanin
+        expected_depth += 1
+    assert tree.depth == expected_depth
+    assert tree.num_gates >= math.ceil((num_inputs - 1) / (fanin - 1))
+    assert tree.latency_ps == tree.depth * (
+        tree.gate_delay_ps + tree.wire_delay_per_level_ps)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=5000))
+def test_or_tree_monotone_in_inputs(num_inputs):
+    small = build_or_tree(num_inputs)
+    large = build_or_tree(num_inputs * 2)
+    assert large.num_gates >= small.num_gates
+    assert large.depth >= small.depth

@@ -1,0 +1,92 @@
+"""Property-based tests for static timing analysis."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.generate import random_stage
+from repro.timing.paths import enumerate_paths
+from repro.timing.sta import (
+    register_to_register_delays,
+    run_sta,
+)
+
+stage_params = st.fixed_dictionaries({
+    "num_inputs": st.integers(min_value=2, max_value=6),
+    "depth": st.integers(min_value=1, max_value=5),
+    "width": st.integers(min_value=2, max_value=8),
+    "seed": st.integers(min_value=0, max_value=10_000),
+})
+
+
+def build(params):
+    width = params["width"]
+    return random_stage(
+        num_inputs=params["num_inputs"],
+        num_outputs=min(2, width),
+        depth=params["depth"],
+        width=width,
+        seed=params["seed"],
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(stage_params)
+def test_max_arrival_dominates_min_arrival(params):
+    netlist = build(params)
+    result = run_sta(netlist, 100_000)
+    for net in result.max_arrival:
+        assert result.max_arrival[net] >= result.min_arrival[net]
+
+
+@settings(max_examples=30, deadline=None)
+@given(stage_params)
+def test_gate_output_later_than_inputs(params):
+    netlist = build(params)
+    result = run_sta(netlist, 100_000)
+    for gate in netlist:
+        for input_net in gate.inputs:
+            assert result.max_arrival[gate.output] >= \
+                result.max_arrival.get(input_net, 0) + gate.delay_ps \
+                - max(result.max_arrival.get(n, 0)
+                      for n in gate.inputs)
+        # The defining recurrence: output = max(inputs) + delay.
+        assert result.max_arrival[gate.output] == max(
+            result.max_arrival.get(n, 0) for n in gate.inputs
+        ) + gate.delay_ps
+
+
+@settings(max_examples=30, deadline=None)
+@given(stage_params)
+def test_slack_consistent_with_arrival(params):
+    netlist = build(params)
+    period = 100_000
+    result = run_sta(netlist, period, setup_ps=30)
+    for capture, slack in result.slack.items():
+        assert slack == period - 30 - result.max_arrival[capture]
+
+
+@settings(max_examples=20, deadline=None)
+@given(stage_params)
+def test_reg_to_reg_max_equals_sta(params):
+    netlist = build(params)
+    delays = register_to_register_delays(netlist, clk_to_q_ps=45)
+    sta = run_sta(netlist, 100_000, clk_to_q_ps=45)
+    for capture in netlist.capture_nets:
+        pairs = [d for (_, cap), d in delays.items() if cap == capture]
+        if pairs:
+            assert max(pairs) == sta.max_arrival[capture]
+
+
+@settings(max_examples=20, deadline=None)
+@given(stage_params)
+def test_enumerated_paths_sorted_and_bounded_by_sta(params):
+    netlist = build(params)
+    paths = enumerate_paths(netlist, 100_000, clk_to_q_ps=45)
+    sta = run_sta(netlist, 100_000, clk_to_q_ps=45)
+    per_endpoint_best: dict[str, int] = {}
+    for path in paths:
+        assert path.delay_ps <= sta.max_arrival[path.capture]
+        best = per_endpoint_best.get(path.capture, 0)
+        per_endpoint_best[path.capture] = max(best, path.delay_ps)
+    # The best enumerated path per endpoint is exactly the STA arrival.
+    for capture, best in per_endpoint_best.items():
+        assert best == sta.max_arrival[capture]

@@ -1,0 +1,77 @@
+"""Property-based tests for variability models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.variability import (
+    AgingVariation,
+    CompositeVariation,
+    ConstantVariation,
+    LocalVariation,
+    ProcessVariation,
+    TemperatureDriftVariation,
+    VoltageDroopVariation,
+)
+
+cycles = st.integers(min_value=0, max_value=10_000_000)
+paths = st.text(alphabet="abcxyz0123", min_size=1, max_size=8)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@given(cycles, paths, seeds,
+       st.floats(min_value=0.0, max_value=0.3, allow_nan=False))
+def test_local_factor_positive_and_deterministic(cycle, path, seed, sigma):
+    model = LocalVariation(sigma=sigma, seed=seed)
+    value = model.factor(cycle, path)
+    assert value > 0
+    assert value == model.factor(cycle, path)
+    assert value >= model.min_factor
+
+
+@given(cycles, paths, seeds)
+def test_droop_factor_bounded(cycle, path, seed):
+    model = VoltageDroopVariation(event_probability=0.1, amplitude=0.08,
+                                  amplitude_jitter=0.3, seed=seed)
+    value = model.factor(cycle, path)
+    assert 1.0 <= value <= 1.0 + 0.08 * 1.3 + 1e-9
+
+
+@given(cycles, paths)
+def test_temperature_bounded(cycle, path):
+    model = TemperatureDriftVariation(amplitude=0.05)
+    assert 1.0 <= model.factor(cycle, path) <= 1.05 + 1e-9
+
+
+@given(st.lists(cycles, min_size=2, max_size=6).map(sorted), paths)
+def test_aging_monotone_nondecreasing(sorted_cycles, path):
+    model = AgingVariation(max_degradation=0.1,
+                           time_constant_cycles=1e6)
+    factors = [model.factor(c, path) for c in sorted_cycles]
+    assert factors == sorted(factors)
+    assert all(1.0 <= f <= 1.1 + 1e-9 for f in factors)
+
+
+@given(cycles, paths, seeds)
+def test_process_time_invariant(cycle, path, seed):
+    model = ProcessVariation(seed=seed)
+    assert model.factor(cycle, path) == model.factor(cycle + 1234, path)
+
+
+@given(cycles, paths,
+       st.lists(st.floats(min_value=0.5, max_value=2.0,
+                          allow_nan=False), min_size=1, max_size=4))
+def test_composite_is_product(cycle, path, constants):
+    models = [ConstantVariation(c) for c in constants]
+    composite = CompositeVariation(models)
+    expected = 1.0
+    for c in constants:
+        expected *= c
+    assert abs(composite.factor(cycle, path) - expected) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds)
+def test_local_distribution_statistics(seed):
+    model = LocalVariation(sigma=0.05, seed=seed)
+    samples = [model.factor(c, "p") for c in range(600)]
+    mean = sum(samples) / len(samples)
+    assert 0.95 < mean < 1.05

@@ -1,0 +1,79 @@
+"""Property-based tests for waveform reconstruction."""
+
+from hypothesis import given, strategies as st
+
+from repro.circuit.logic import Logic
+from repro.sim.waveform import Waveform
+
+values = st.sampled_from([Logic.ZERO, Logic.ONE, Logic.X])
+
+
+@st.composite
+def traces(draw):
+    """A monotone sequence of (time, value) change points."""
+    count = draw(st.integers(min_value=0, max_value=50))
+    deltas = draw(st.lists(st.integers(min_value=1, max_value=100),
+                           min_size=count, max_size=count))
+    times = []
+    current = 0
+    for delta in deltas:
+        current += delta
+        times.append(current)
+    vals = draw(st.lists(values, min_size=count, max_size=count))
+    initial = draw(values)
+    return initial, list(zip(times, vals))
+
+
+@given(traces())
+def test_value_at_reconstructs_trace(trace):
+    initial, points = trace
+    wave = Waveform("s", initial=initial)
+    for t, v in points:
+        wave.record(t, v)
+    # Before the first change: initial.
+    first = points[0][0] if points else 1
+    assert wave.value_at(first - 1) is initial
+    # At and between change points: the most recent value.
+    for index, (t, v) in enumerate(points):
+        assert wave.value_at(t) is v
+        next_t = points[index + 1][0] if index + 1 < len(points) else t + 10
+        assert wave.value_at(next_t - 1) is v
+
+
+@given(traces())
+def test_edges_alternate_values(trace):
+    initial, points = trace
+    wave = Waveform("s", initial=initial)
+    for t, v in points:
+        wave.record(t, v)
+    edges = wave.edges()
+    previous = initial
+    for edge in edges:
+        assert edge.old is previous
+        assert edge.new is not edge.old
+        previous = edge.new
+    assert wave.final_value() is previous
+
+
+@given(traces())
+def test_rising_plus_falling_bounded_by_edges(trace):
+    initial, points = trace
+    wave = Waveform("s", initial=initial)
+    for t, v in points:
+        wave.record(t, v)
+    edges = wave.edges()
+    rising = wave.rising_edges()
+    falling = wave.falling_edges()
+    assert len(rising) + len(falling) <= len(edges)
+    # Rising and falling edge times are disjoint.
+    assert not set(rising) & set(falling)
+
+
+@given(traces())
+def test_edge_times_strictly_increasing(trace):
+    initial, points = trace
+    wave = Waveform("s", initial=initial)
+    for t, v in points:
+        wave.record(t, v)
+    times = [e.time_ps for e in wave.edges()]
+    assert times == sorted(set(times))

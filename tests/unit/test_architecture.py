@@ -1,0 +1,87 @@
+"""Unit tests for TIMBER deployment on a design."""
+
+import pytest
+
+from repro.core.architecture import TimberDesign, TimberStyle
+from repro.errors import ConfigurationError
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture
+def graph():
+    g = TimingGraph("t", 1000)
+    for name in ("a", "b", "c", "d"):
+        g.add_ff(name)
+    g.add_edge("a", "b", 950)
+    g.add_edge("b", "c", 920)
+    g.add_edge("c", "d", 500)
+    return g
+
+
+class TestConfiguration:
+    def test_checking_period_variants(self, graph):
+        with_tb = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                               percent_checking=30.0)
+        without = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                               percent_checking=30.0,
+                               with_tb_interval=False)
+        assert with_tb.checking_period.num_intervals == 3
+        assert without.checking_period.num_intervals == 2
+        assert with_tb.recovered_margin_percent == pytest.approx(10.0)
+        assert without.recovered_margin_percent == pytest.approx(15.0)
+
+    def test_rejects_bad_percent(self, graph):
+        with pytest.raises(ConfigurationError):
+            TimberDesign(graph=graph, style=TimberStyle.LATCH,
+                         percent_checking=60.0)
+
+
+class TestDeployment:
+    def test_protected_ffs(self, graph):
+        design = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                              percent_checking=10.0)
+        assert design.protected_ffs == {"b", "c"}
+        assert design.through_ffs == {"b"}
+
+    def test_latch_style_has_no_relay(self, graph):
+        design = TimberDesign(graph=graph, style=TimberStyle.LATCH,
+                              percent_checking=10.0)
+        assert design.relay() is None
+        assert design.relay_meets_timing()
+
+    def test_ff_style_relay_cost(self, graph):
+        design = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                              percent_checking=10.0)
+        cost = design.relay()
+        assert cost is not None
+        assert cost.num_protected_ffs == 2
+        assert design.relay_meets_timing()
+
+
+class TestSummary:
+    def test_summary_keys(self, graph):
+        design = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                              percent_checking=10.0)
+        summary = design.summary()
+        for key in ("checking_percent", "margin_percent", "ffs_replaced",
+                    "power_overhead_percent", "relay_slack_percent"):
+            assert key in summary
+
+    def test_latch_cheaper_than_ff(self, graph):
+        ff = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                          percent_checking=10.0)
+        latch = TimberDesign(graph=graph, style=TimberStyle.LATCH,
+                             percent_checking=10.0)
+        assert latch.summary()["power_overhead_percent"] < \
+            ff.summary()["power_overhead_percent"]
+
+    def test_overhead_grows_with_checking_period(self, graph):
+        small = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                             percent_checking=10.0)
+        # At 50% the 500 ps path also qualifies: more FFs replaced.
+        large = TimberDesign(graph=graph, style=TimberStyle.FLIP_FLOP,
+                             percent_checking=50.0)
+        assert large.summary()["ffs_replaced"] >= \
+            small.summary()["ffs_replaced"]
+        assert large.summary()["power_overhead_percent"] >= \
+            small.summary()["power_overhead_percent"]

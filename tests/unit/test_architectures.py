@@ -1,0 +1,65 @@
+"""Unit tests for baseline architecture models."""
+
+import pytest
+
+from repro.baselines.architectures import (
+    ARCHITECTURES,
+    architecture_by_key,
+)
+from repro.errors import ConfigurationError
+from repro.pipeline.schemes import CapturePolicy
+
+
+class TestRegistry:
+    def test_all_keys_resolvable(self):
+        for architecture in ARCHITECTURES:
+            assert architecture_by_key(architecture.key) is architecture
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            architecture_by_key("nope")
+
+    def test_policies_buildable(self):
+        for architecture in ARCHITECTURES:
+            policy = architecture.build_policy(4, 1000, 30.0)
+            assert isinstance(policy, CapturePolicy)
+            assert policy.num_boundaries == 4
+
+    def test_build_validates_boundaries(self):
+        with pytest.raises(ConfigurationError):
+            architecture_by_key("razor").build_policy(0, 1000, 30.0)
+
+
+class TestMarginSemantics:
+    def test_timber_margin_follows_interval_split(self):
+        timber = architecture_by_key("timber-ff")
+        assert timber.margin_recovered_percent(30.0) == pytest.approx(10.0)
+        assert timber.margin_recovered_percent(
+            30.0, with_tb_interval=False) == pytest.approx(15.0)
+
+    def test_canary_recovers_nothing(self):
+        canary = architecture_by_key("canary")
+        assert canary.margin_recovered_percent(30.0) == 0.0
+
+    def test_plain_recovers_nothing(self):
+        assert architecture_by_key("plain").margin_recovered_percent(
+            30.0) == 0.0
+
+    def test_razor_recovers_window(self):
+        assert architecture_by_key("razor").margin_recovered_percent(
+            30.0) == pytest.approx(30.0)
+
+
+class TestStructuralClaims:
+    def test_only_timber_ff_needs_relay(self):
+        needing = {a.key for a in ARCHITECTURES if a.needs_relay}
+        assert needing == {"timber-ff"}
+
+    def test_state_corruption_flags(self):
+        corrupting = {a.key for a in ARCHITECTURES
+                      if a.corrupts_state_on_error}
+        assert corrupting == {"plain", "razor"}
+
+    def test_element_cells_exist_in_library(self, library):
+        for architecture in ARCHITECTURES:
+            assert library.sequential(architecture.element_cell) is not None

@@ -1,0 +1,70 @@
+"""Unit tests for the canary flip-flop baseline."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.canary import CanaryFlipFlop
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+PERIOD = 1000
+GUARD = 150
+
+
+@pytest.fixture
+def csim():
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    ff = CanaryFlipFlop(sim, name="c", d="d", clk="clk", q="q",
+                        warn="warn", guard_ps=GUARD)
+    return sim, ff
+
+
+class TestPrediction:
+    def test_early_data_no_warning(self, csim):
+        sim, ff = csim
+        sim.drive("d", 1, 500)  # well ahead of the guard band
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert ff.warning_count == 0
+
+    def test_guard_band_arrival_warns(self, csim):
+        sim, ff = csim
+        sim.drive("d", 1, PERIOD - 50)  # inside [T-150, T)
+        sim.run(2 * PERIOD)
+        assert ff.warning_count == 1
+        assert sim.value("warn") is Logic.ONE
+        # Crucially the main sample is still correct: prediction fires
+        # before any corruption.
+        assert ff.warnings[0].main_value is Logic.ONE
+        assert ff.warnings[0].canary_value is Logic.ZERO
+
+    def test_boundary_just_outside_guard(self, csim):
+        sim, ff = csim
+        sim.drive("d", 1, PERIOD - GUARD - 10)
+        sim.run(2 * PERIOD)
+        assert ff.warning_count == 0
+
+    def test_clear_warning(self, csim):
+        sim, ff = csim
+        sim.drive("d", 1, PERIOD - 50)
+        sim.run(2 * PERIOD)
+        ff.clear_warning()
+        sim.run(2 * PERIOD + 10)
+        assert sim.value("warn") is Logic.ZERO
+
+    def test_repeated_cycles_track_history(self, csim):
+        sim, ff = csim
+        sim.drive("d", 1, PERIOD - 50)    # warn
+        sim.drive("d", 0, PERIOD + 400)   # early for next edge: clean
+        sim.run(3 * PERIOD)
+        assert ff.warning_count == 1
+
+
+class TestValidation:
+    def test_rejects_zero_guard(self, sim):
+        with pytest.raises(ConfigurationError):
+            CanaryFlipFlop(sim, name="c", d="d", clk="clk", q="q",
+                           warn="w", guard_ps=0)

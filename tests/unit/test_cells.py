@@ -1,0 +1,112 @@
+"""Unit tests for the parametric cell library."""
+
+import pytest
+
+from repro.circuit.cells import Cell, CellLibrary, default_library
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+
+Z, O, X = Logic.ZERO, Logic.ONE, Logic.X
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+class TestCellValidation:
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ConfigurationError):
+            Cell("BAD", 0, 10, 1.0, 1.0, 1.0, lambda v: v[0])
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            Cell("BAD", 1, -5, 1.0, 1.0, 1.0, lambda v: v[0])
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ConfigurationError):
+            Cell("BAD", 1, 5, -1.0, 1.0, 1.0, lambda v: v[0])
+
+    def test_output_checks_arity(self, lib):
+        with pytest.raises(ConfigurationError):
+            lib["NAND2"].output([O])
+
+
+class TestDefaultLibraryFunctions:
+    @pytest.mark.parametrize("cell,inputs,expected", [
+        ("INV", [O], Z), ("INV", [Z], O), ("BUF", [O], O),
+        ("NAND2", [O, O], Z), ("NAND2", [Z, O], O),
+        ("NAND3", [O, O, O], Z), ("NAND4", [O, O, O, Z], O),
+        ("NOR2", [Z, Z], O), ("NOR2", [O, Z], Z),
+        ("NOR3", [Z, Z, Z], O),
+        ("AND2", [O, O], O), ("OR2", [Z, O], O),
+        ("XOR2", [O, Z], O), ("XOR2", [O, O], Z),
+        ("XNOR2", [O, O], O),
+        ("AOI21", [O, O, Z], Z), ("AOI21", [Z, Z, Z], O),
+        ("MUX2", [O, Z, Z], O), ("MUX2", [O, Z, O], Z),
+        ("DLY4", [O], O),
+    ])
+    def test_truth_tables(self, lib, cell, inputs, expected):
+        assert lib[cell].output(inputs) is expected
+
+    def test_x_handling_controlling_input(self, lib):
+        # A controlling 0 on a NAND determines the output despite an X.
+        assert lib["NAND2"].output([Z, X]) is O
+
+    def test_x_handling_non_controlling(self, lib):
+        assert lib["NAND2"].output([O, X]) is X
+
+
+class TestLibraryStructure:
+    def test_duplicate_cell_rejected(self, lib):
+        with pytest.raises(ConfigurationError):
+            lib.add(Cell("INV", 1, 10, 1.0, 1.0, 1.0, lambda v: ~v[0]))
+
+    def test_unknown_cell_raises_keyerror(self, lib):
+        with pytest.raises(KeyError, match="NOPE"):
+            lib["NOPE"]
+
+    def test_contains(self, lib):
+        assert "NAND2" in lib
+        assert "NOPE" not in lib
+
+    def test_unknown_sequential_raises(self, lib):
+        with pytest.raises(KeyError, match="NOPE"):
+            lib.sequential("NOPE")
+
+    def test_cell_names_sorted(self, lib):
+        names = lib.cell_names
+        assert names == sorted(names)
+        assert "INV" in names
+
+    def test_fresh_library_is_empty(self):
+        fresh = CellLibrary("empty")
+        assert fresh.cell_names == []
+        assert fresh.sequential_names == []
+
+
+class TestPaperRatios:
+    """The power ratios Sec. 6 of the paper reports must hold."""
+
+    def test_timber_ff_is_2x_dff_power(self, lib):
+        dff = lib.sequential("DFF")
+        timber = lib.sequential("TIMBER_FF")
+        assert timber.energy_per_cycle == pytest.approx(
+            2.0 * dff.energy_per_cycle)
+
+    def test_timber_latch_is_1p5x_dff_power(self, lib):
+        dff = lib.sequential("DFF")
+        latch = lib.sequential("TIMBER_LATCH")
+        assert latch.energy_per_cycle == pytest.approx(
+            1.5 * dff.energy_per_cycle)
+
+    def test_timber_elements_cost_more_area_than_dff(self, lib):
+        dff = lib.sequential("DFF")
+        assert lib.sequential("TIMBER_FF").area > dff.area
+        assert lib.sequential("TIMBER_LATCH").area > dff.area
+
+    def test_latch_cheaper_than_ff(self, lib):
+        ff = lib.sequential("TIMBER_FF")
+        latch = lib.sequential("TIMBER_LATCH")
+        assert latch.energy_per_cycle < ff.energy_per_cycle
+        assert latch.area < ff.area

@@ -1,0 +1,117 @@
+"""Unit tests for checking-period arithmetic (paper Secs. 3-4)."""
+
+import pytest
+
+from repro.core.checking_period import CheckingPeriod, IntervalKind
+from repro.errors import ConfigurationError
+
+PERIOD = 1000
+
+
+class TestConstruction:
+    def test_with_tb_layout(self):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        assert cp.num_intervals == 3
+        assert cp.num_tb == 1
+        assert cp.checking_ps == 300
+        assert cp.interval_ps == 100
+
+    def test_without_tb_layout(self):
+        cp = CheckingPeriod.without_tb(PERIOD, 30)
+        assert cp.num_intervals == 2
+        assert cp.num_tb == 0
+        assert cp.interval_ps == 150
+
+    def test_rejects_checking_past_half_period(self):
+        with pytest.raises(ConfigurationError):
+            CheckingPeriod(PERIOD, 55)
+
+    def test_rejects_zero_percent(self):
+        with pytest.raises(ConfigurationError):
+            CheckingPeriod(PERIOD, 0)
+
+    def test_rejects_all_tb(self):
+        with pytest.raises(ConfigurationError):
+            CheckingPeriod(PERIOD, 30, num_intervals=2, num_tb=2)
+
+    def test_rejects_zero_width_interval(self):
+        with pytest.raises(ConfigurationError):
+            CheckingPeriod(10, 10, num_intervals=3, num_tb=1)
+
+
+class TestMarginRecovery:
+    def test_margin_without_tb_is_c_over_2(self):
+        cp = CheckingPeriod.without_tb(PERIOD, 30)
+        assert cp.recovered_margin_percent == pytest.approx(15.0)
+        assert cp.recovered_margin_ps == 150
+
+    def test_margin_with_tb_is_c_over_3(self):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        assert cp.recovered_margin_percent == pytest.approx(10.0)
+        assert cp.recovered_margin_ps == 100
+
+    @pytest.mark.parametrize("percent", [10, 20, 30, 40])
+    def test_case_study_margins(self, percent):
+        # The paper's Sec. 6 margin table: c/2 without, c/3 with TB.
+        without = CheckingPeriod.without_tb(PERIOD, percent)
+        with_tb = CheckingPeriod.with_tb(PERIOD, percent)
+        assert without.recovered_margin_percent == pytest.approx(percent / 2)
+        assert with_tb.recovered_margin_percent == pytest.approx(percent / 3)
+
+
+class TestIntervalClassification:
+    def test_interval_kinds(self):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        assert cp.interval_kind(1) is IntervalKind.TB
+        assert cp.interval_kind(2) is IntervalKind.ED
+        assert cp.interval_kind(3) is IntervalKind.ED
+
+    def test_flags_on_interval(self):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        assert not cp.flags_on_interval(1)
+        assert cp.flags_on_interval(2)
+
+    def test_without_tb_flags_immediately(self):
+        cp = CheckingPeriod.without_tb(PERIOD, 30)
+        assert cp.flags_on_interval(1)
+
+    def test_interval_kind_bounds(self):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        with pytest.raises(ConfigurationError):
+            cp.interval_kind(0)
+        with pytest.raises(ConfigurationError):
+            cp.interval_kind(4)
+
+    def test_tb_ed_durations_sum(self):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        assert cp.tb_ps + cp.ed_ps == cp.num_intervals * cp.interval_ps
+
+
+class TestConsolidationBudget:
+    def test_paper_1p5_cycle_budget(self):
+        # 1 TB + 2 ED: one extra masked cycle + half cycle from the
+        # falling-edge latch = 1.5 clock cycles (paper Sec. 4 / Fig. 2).
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        assert cp.stages_masked_after_flag == 1
+        assert cp.consolidation_budget_ps() == 1500
+
+    def test_without_tb_budget_longer(self):
+        # 2 ED intervals: also one extra masked interval after the flag.
+        cp = CheckingPeriod.without_tb(PERIOD, 30)
+        assert cp.stages_masked_after_flag == 1
+        assert cp.consolidation_budget_ps() == 1500
+
+    def test_max_maskable_stages(self):
+        assert CheckingPeriod.with_tb(PERIOD, 30).max_maskable_stages == 3
+        assert CheckingPeriod.without_tb(PERIOD, 30).max_maskable_stages == 2
+
+
+class TestHoldConstraint:
+    def test_min_short_path(self):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        assert cp.min_short_path_delay_ps(hold_ps=15) == 315
+
+    def test_rejects_negative_hold(self):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        with pytest.raises(ConfigurationError):
+            cp.min_short_path_delay_ps(-1)

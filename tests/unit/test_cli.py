@@ -1,0 +1,62 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TIMBER" in out
+        assert "Rollback" in out
+
+    def test_waveforms_ascii(self, capsys):
+        assert main(["waveforms", "--style", "latch"]) == 0
+        out = capsys.readouterr().out
+        assert "clk" in out
+        assert "stage2 flagged: True" in out
+
+    def test_waveforms_vcd(self, tmp_path, capsys):
+        path = tmp_path / "wave.vcd"
+        assert main(["waveforms", "--vcd", str(path)]) == 0
+        assert path.read_text().startswith("$timescale")
+
+    def test_deploy(self, capsys):
+        assert main(["deploy", "--point", "low", "--checking", "20",
+                     "--style", "latch"]) == 0
+        out = capsys.readouterr().out
+        assert "power_overhead_percent" in out
+        assert "margin_percent" in out
+
+    def test_deploy_no_tb_changes_margin(self, capsys):
+        main(["deploy", "--point", "low", "--checking", "30"])
+        with_tb = capsys.readouterr().out
+        main(["deploy", "--point", "low", "--checking", "30", "--no-tb"])
+        without = capsys.readouterr().out
+
+        def margin(text):
+            line = next(l for l in text.splitlines()
+                        if l.startswith("margin_percent"))
+            return float(line.split()[-1])
+
+        assert margin(with_tb) == pytest.approx(10.0)
+        assert margin(without) == pytest.approx(15.0)
+
+    def test_energy(self, capsys):
+        assert main(["energy", "--checking", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "TIMBER flip-flop" in out
+        assert "scaled Vdd" in out

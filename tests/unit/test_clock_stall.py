@@ -1,0 +1,63 @@
+"""Unit tests for the clock-stall masking baseline."""
+
+import pytest
+
+from repro.core.masking import clock_stall_capture
+from repro.errors import ConfigurationError
+from repro.pipeline.pipeline import PipelineSimulation
+from repro.pipeline.schemes import ClockStallPolicy
+from repro.pipeline.stage import PipelineStage
+from repro.variability import ConstantVariation
+
+WINDOW = 300
+
+
+class TestCaptureSemantics:
+    def test_clean(self):
+        assert clock_stall_capture(0, WINDOW, True).correct_state
+
+    def test_stall_masks_when_consolidation_fits(self):
+        outcome = clock_stall_capture(100, WINDOW, True)
+        assert outcome.masked and outcome.detected and outcome.flagged
+        assert outcome.correct_state
+
+    def test_fails_when_consolidation_too_slow(self):
+        outcome = clock_stall_capture(100, WINDOW, False)
+        assert outcome.failed and outcome.detected
+        assert not outcome.correct_state
+
+    def test_beyond_window_fails_regardless(self):
+        assert clock_stall_capture(WINDOW + 1, WINDOW, True).failed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            clock_stall_capture(10, 0, True)
+
+
+class TestPolicy:
+    def make_sim(self, fits=True):
+        stages = [
+            PipelineStage(name=f"s{i}", critical_delay_ps=950,
+                          typical_delay_ps=700, sensitization_prob=1.0)
+            for i in range(3)
+        ]
+        policy = ClockStallPolicy(3, window_ps=WINDOW,
+                                  consolidation_fits=fits)
+        return PipelineSimulation(stages, policy, period_ps=1000,
+                                  variability=ConstantVariation(1.08))
+
+    def test_stall_penalty_charged_per_masked_error(self):
+        result = self.make_sim(fits=True).run(10)
+        assert result.masked > 0
+        assert result.failed == 0
+        # One stalled cycle per detection.
+        assert result.replay_cycles == result.masked
+        assert result.throughput_factor < 1.0
+
+    def test_infeasible_consolidation_corrupts(self):
+        result = self.make_sim(fits=False).run(10)
+        assert result.failed > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClockStallPolicy(3, window_ps=0)

@@ -1,0 +1,81 @@
+"""Unit tests for clock generation."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sim.clocks import ClockGenerator, DelayedClock
+from repro.sim.engine import Simulator
+
+
+class TestClockGenerator:
+    def test_edges_at_expected_times(self, sim):
+        clock = ClockGenerator(sim, "clk", 100)
+        sim.run(350)
+        assert clock.edges.rising == [0, 100, 200, 300]
+        assert clock.edges.falling == [50, 150, 250, 350]
+
+    def test_custom_duty_cycle(self, sim):
+        clock = ClockGenerator(sim, "clk", 100, high_ps=30)
+        sim.run(250)
+        assert clock.edges.falling == [30, 130, 230]
+
+    def test_start_offset(self, sim):
+        clock = ClockGenerator(sim, "clk", 100, start_ps=40)
+        sim.run(200)
+        assert clock.edges.rising == [40, 140]
+
+    def test_rejects_tiny_period(self, sim):
+        with pytest.raises(ConfigurationError):
+            ClockGenerator(sim, "clk", 1)
+
+    def test_rejects_bad_high_time(self, sim):
+        with pytest.raises(ConfigurationError):
+            ClockGenerator(sim, "clk", 100, high_ps=100)
+
+    def test_period_change_applies_at_next_rising_edge(self, sim):
+        clock = ClockGenerator(sim, "clk", 100)
+        sim.run(120)          # edges at 0 and 100 have fired
+        clock.set_period(200)
+        sim.run(700)
+        # Edge at 200 adopts the new period: subsequent edges at 400, 600.
+        assert clock.edges.rising == [0, 100, 200, 400, 600]
+
+    def test_period_change_rejects_tiny(self, sim):
+        clock = ClockGenerator(sim, "clk", 100)
+        with pytest.raises(ConfigurationError):
+            clock.set_period(0)
+
+    def test_signal_value_tracks_phase(self, sim):
+        ClockGenerator(sim, "clk", 100)
+        sim.run(20)
+        assert sim.value("clk") is Logic.ONE
+        sim.run(70)
+        assert sim.value("clk") is Logic.ZERO
+
+
+class TestDelayedClock:
+    def test_follows_source_with_delay(self, sim):
+        ClockGenerator(sim, "clk", 100)
+        DelayedClock(sim, "clk", "clkd", 30)
+        changes = []
+        sim.on_change("clkd", lambda s, n, v, t: changes.append((t, v)))
+        sim.run(160)
+        assert (30, Logic.ONE) in changes
+        assert (80, Logic.ZERO) in changes
+        assert (130, Logic.ONE) in changes
+
+    def test_delay_change_applies_to_later_edges(self, sim):
+        ClockGenerator(sim, "clk", 100)
+        delayed = DelayedClock(sim, "clk", "clkd", 10)
+        rises = []
+        sim.on_change("clkd", lambda s, n, v, t:
+                      rises.append(t) if v is Logic.ONE else None)
+        sim.run(60)
+        delayed.delay_ps = 40
+        sim.run(250)
+        assert rises == [10, 140, 240]
+
+    def test_rejects_negative_delay(self, sim):
+        with pytest.raises(ConfigurationError):
+            DelayedClock(sim, "clk", "clkd", -1)

@@ -1,0 +1,103 @@
+"""Unit tests for hold constraints and short-path padding."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.netlist import Netlist
+from repro.errors import AnalysisError
+from repro.timing.constraints import (
+    apply_hold_padding,
+    hold_padding_plan,
+    min_delay_by_capture,
+)
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture
+def short_and_long():
+    """One short (1 buffer) and one long (4 inverters) capture path."""
+    netlist = Netlist("mix", default_library())
+    netlist.add_input("a", registered=True)
+    netlist.add_gate("b0", "BUF", ["a"], "short")
+    current = "a"
+    for index in range(4):
+        gate = netlist.add_gate(f"i{index}", "INV", [current],
+                                f"n{index}")
+        current = gate.output
+    netlist.add_output("short", registered=True)
+    netlist.add_output(current, registered=True)
+    return netlist
+
+
+class TestMinDelay:
+    def test_min_delays(self, short_and_long):
+        minimums = min_delay_by_capture(short_and_long, clk_to_q_ps=0)
+        lib = short_and_long.library
+        assert minimums["short"] == lib["BUF"].delay_ps
+        assert minimums["n3"] == 4 * lib["INV"].delay_ps
+
+
+class TestPaddingPlan:
+    def test_plan_covers_shortfall(self, short_and_long):
+        plan = hold_padding_plan(short_and_long, hold_ps=15,
+                                 checking_ps=300, clk_to_q_ps=0)
+        by_net = {fix.capture_net: fix for fix in plan.fixes}
+        short_fix = by_net["short"]
+        assert short_fix.buffers > 0
+        assert short_fix.min_delay_ps + short_fix.padding_ps >= \
+            short_fix.required_ps
+
+    def test_unprotected_endpoints_need_only_hold(self, short_and_long):
+        plan = hold_padding_plan(
+            short_and_long, hold_ps=15, checking_ps=300,
+            protected_captures={"n3"}, clk_to_q_ps=0,
+        )
+        by_net = {fix.capture_net: fix for fix in plan.fixes}
+        # "short" is unprotected: its 20 ps buffer already beats hold.
+        assert by_net["short"].buffers == 0
+
+    def test_zero_checking_means_plain_hold(self, short_and_long):
+        plan = hold_padding_plan(short_and_long, hold_ps=15,
+                                 checking_ps=0, clk_to_q_ps=0)
+        assert plan.total_buffers == 0
+
+    def test_aggregates(self, short_and_long):
+        plan = hold_padding_plan(short_and_long, hold_ps=15,
+                                 checking_ps=300, clk_to_q_ps=0)
+        assert plan.total_area == pytest.approx(
+            plan.total_buffers * plan.buffer_area)
+        assert plan.endpoints_fixed >= 1
+
+    def test_negative_hold_rejected(self, short_and_long):
+        with pytest.raises(AnalysisError):
+            hold_padding_plan(short_and_long, hold_ps=-1, checking_ps=0)
+
+
+class TestApplyPadding:
+    def test_padding_fixes_hold(self, short_and_long):
+        hold, checking = 15, 300
+        plan = hold_padding_plan(short_and_long, hold_ps=hold,
+                                 checking_ps=checking, clk_to_q_ps=0)
+        renames = apply_hold_padding(short_and_long, plan)
+        minimums = min_delay_by_capture(short_and_long, clk_to_q_ps=0)
+        for capture in short_and_long.capture_nets:
+            assert minimums[capture] >= hold + checking
+        assert renames["short"] != "short"
+
+    def test_padding_does_not_break_max_delay_of_other_paths(
+            self, short_and_long):
+        before = run_sta(short_and_long, 10_000, clk_to_q_ps=0,
+                         setup_ps=0).max_arrival["n3"]
+        plan = hold_padding_plan(short_and_long, hold_ps=15,
+                                 checking_ps=300, clk_to_q_ps=0)
+        apply_hold_padding(short_and_long, plan)
+        after = run_sta(short_and_long, 10_000, clk_to_q_ps=0, setup_ps=0)
+        # The long path itself may gain buffers, but its original net's
+        # arrival must be unchanged (buffers were appended after it).
+        assert after.max_arrival["n3"] == before
+
+    def test_netlist_still_valid(self, short_and_long):
+        plan = hold_padding_plan(short_and_long, hold_ps=15,
+                                 checking_ps=300, clk_to_q_ps=0)
+        apply_hold_padding(short_and_long, plan)
+        short_and_long.validate()

@@ -1,0 +1,86 @@
+"""Unit tests for the central error controller."""
+
+import pytest
+
+from repro.core.checking_period import CheckingPeriod
+from repro.errors import ConfigurationError
+from repro.pipeline.controller import CentralErrorController
+
+PERIOD = 1000
+
+
+def make(latency=1200, factor=1.25, cycles=10):
+    return CentralErrorController(
+        period_ps=PERIOD, consolidation_latency_ps=latency,
+        slowdown_factor=factor, slowdown_cycles=cycles)
+
+
+class TestBudget:
+    def test_latency_within_paper_budget(self):
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        assert make(latency=1400).latency_fits(cp)
+        assert not make(latency=1600).latency_fits(cp)
+
+    def test_reaction_delay(self):
+        # 0.5 cycles (falling-edge latch) + 1.2 cycles OR-tree -> 2.
+        assert make(latency=1200).reaction_delay_cycles == 2
+        assert make(latency=100).reaction_delay_cycles == 1
+
+
+class TestSlowdown:
+    def test_no_flag_no_slowdown(self):
+        controller = make()
+        assert controller.period_factor(5) == 1.0
+        assert controller.period_at(5) == PERIOD
+
+    def test_flag_triggers_window(self):
+        controller = make(latency=1200, cycles=10)
+        controller.notify_flag(100)
+        start = 100 + controller.reaction_delay_cycles
+        assert controller.period_factor(start - 1) == 1.0
+        assert controller.period_factor(start) == 1.25
+        assert controller.period_factor(start + 9) == 1.25
+        assert controller.period_factor(start + 10) == 1.0
+
+    def test_period_at_scales(self):
+        controller = make(factor=1.5)
+        controller.notify_flag(0)
+        start = controller.reaction_delay_cycles
+        assert controller.period_at(start) == 1500
+
+    def test_overlapping_flags_extend_window(self):
+        controller = make(cycles=10)
+        controller.notify_flag(100)
+        controller.notify_flag(105)
+        assert len(controller.windows) == 1
+        start = 100 + controller.reaction_delay_cycles
+        end = 105 + controller.reaction_delay_cycles + 10
+        assert controller.windows[0].start_cycle == start
+        assert controller.windows[0].end_cycle == end
+
+    def test_disjoint_flags_separate_windows(self):
+        controller = make(cycles=5)
+        controller.notify_flag(100)
+        controller.notify_flag(500)
+        assert len(controller.windows) == 2
+        assert controller.period_factor(300) == 1.0
+
+    def test_flag_counter_and_slow_total(self):
+        controller = make(cycles=5)
+        controller.notify_flag(100)
+        controller.notify_flag(500)
+        assert controller.flags_received == 2
+        assert controller.slow_cycles_total == 10
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CentralErrorController(period_ps=0,
+                                   consolidation_latency_ps=100)
+        with pytest.raises(ConfigurationError):
+            make(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            make(cycles=0)
+        with pytest.raises(ConfigurationError):
+            make(latency=-1)

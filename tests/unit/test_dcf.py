@@ -1,0 +1,71 @@
+"""Unit tests for the delay-compensation flip-flop baseline."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.dcf import DelayCompensationFlipFlop
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+PERIOD = 1000
+DETECT = 80
+RESAMPLE = 200
+
+
+@pytest.fixture
+def dsim():
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    ff = DelayCompensationFlipFlop(
+        sim, name="dc", d="d", clk="clk", q="q",
+        detect_window_ps=DETECT, resample_delay_ps=RESAMPLE)
+    return sim, ff
+
+
+class TestResampling:
+    def test_clean_capture_no_resample(self, dsim):
+        sim, ff = dsim
+        sim.drive("d", 1, 500)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert ff.borrow_events == []
+
+    def test_transition_before_edge_triggers_resample(self, dsim):
+        sim, ff = dsim
+        sim.drive("d", 1, PERIOD - 40)  # inside detector half-window
+        sim.run(2 * PERIOD)
+        assert len(ff.borrow_events) == 1
+        assert ff.borrow_events[0].resample_ps == PERIOD + RESAMPLE
+
+    def test_transition_after_edge_masked(self, dsim):
+        sim, ff = dsim
+        sim.drive("d", 1, PERIOD + 50)  # detected after the edge
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE  # resample corrected
+        event = ff.borrow_events[0]
+        assert event.original_value is Logic.ZERO
+        assert event.resampled_value is Logic.ONE
+
+    def test_transition_outside_window_missed(self, dsim):
+        sim, ff = dsim
+        sim.drive("d", 1, PERIOD + DETECT + 50)
+        sim.run(2 * PERIOD)
+        assert ff.borrow_events == []
+        assert sim.value("q") is Logic.ZERO  # silent corruption
+
+    def test_one_resample_per_cycle(self, dsim):
+        sim, ff = dsim
+        sim.drive("d", 1, PERIOD + 20)
+        sim.drive("d", 0, PERIOD + 60)  # second change, same window
+        sim.run(2 * PERIOD)
+        assert len(ff.borrow_events) == 1
+
+
+class TestValidation:
+    def test_rejects_bad_windows(self, sim):
+        with pytest.raises(ConfigurationError):
+            DelayCompensationFlipFlop(sim, name="dc", d="d", clk="clk",
+                                      q="q", detect_window_ps=0,
+                                      resample_delay_ps=100)

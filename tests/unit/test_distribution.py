@@ -1,0 +1,63 @@
+"""Unit tests for critical-path distribution statistics (Fig. 1)."""
+
+import pytest
+
+from repro.timing.distribution import (
+    critical_path_distribution,
+    distribution_sweep,
+)
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture
+def graph():
+    g = TimingGraph("t", 1000)
+    for name in "abcdef":
+        g.add_ff(name)
+    g.add_edge("a", "b", 950)
+    g.add_edge("b", "c", 930)
+    g.add_edge("d", "e", 650)
+    g.add_edge("e", "f", 300)
+    return g
+
+
+class TestDistribution:
+    def test_counts_at_10_percent(self, graph):
+        dist = critical_path_distribution(graph, 10)
+        assert dist.num_ffs == 6
+        assert dist.num_endpoints == 2    # b, c
+        assert dist.num_startpoints == 2  # a, b
+        assert dist.num_through == 1      # b
+
+    def test_percentages(self, graph):
+        dist = critical_path_distribution(graph, 10)
+        assert dist.pct_ffs_ending == pytest.approx(100 * 2 / 6)
+        assert dist.pct_ffs_through == pytest.approx(100 * 1 / 6)
+        assert dist.pct_endpoints_through == pytest.approx(50.0)
+        assert dist.pct_endpoints_single_stage_only == pytest.approx(50.0)
+
+    def test_counts_at_40_percent(self, graph):
+        dist = critical_path_distribution(graph, 40)
+        # Threshold 600: a->b, b->c, d->e qualify.
+        assert dist.num_endpoints == 3
+        assert dist.num_through == 1
+
+    def test_empty_threshold(self, graph):
+        tight = TimingGraph("tight", 1000)
+        tight.add_ff("x")
+        tight.add_ff("y")
+        tight.add_edge("x", "y", 100)
+        dist = critical_path_distribution(tight, 10)
+        assert dist.num_endpoints == 0
+        assert dist.pct_endpoints_through == 0.0
+
+
+class TestSweep:
+    def test_sweep_thresholds(self, graph):
+        sweep = distribution_sweep(graph)
+        assert [d.percent_threshold for d in sweep] == [10, 20, 30, 40]
+
+    def test_sweep_monotone_endpoints(self, graph):
+        sweep = distribution_sweep(graph)
+        endpoints = [d.num_endpoints for d in sweep]
+        assert endpoints == sorted(endpoints)

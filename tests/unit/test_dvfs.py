@@ -1,0 +1,108 @@
+"""Unit tests for the adaptive voltage scaler."""
+
+import pytest
+
+from repro.core.checking_period import CheckingPeriod
+from repro.errors import ConfigurationError
+from repro.pipeline.dvfs import AdaptiveVoltageScaler
+from repro.pipeline.pipeline import PipelineSimulation
+from repro.pipeline.schemes import TimberLatchPolicy
+from repro.pipeline.stage import PipelineStage
+from repro.variability import CompositeVariation, ConstantVariation
+
+PERIOD = 1000
+
+
+def make_scaler(**kwargs):
+    defaults = dict(period_ps=PERIOD, window_cycles=10, vdd_step=0.02,
+                    flag_budget=1)
+    defaults.update(kwargs)
+    return AdaptiveVoltageScaler(**defaults)
+
+
+class TestControlLaw:
+    def test_quiet_windows_scale_down(self):
+        scaler = make_scaler()
+        scaler.period_at(100)  # advance 10 quiet windows
+        assert scaler.settled_vdd < scaler.model.nominal_vdd
+        assert len(scaler.trajectory) > 1
+
+    def test_flags_push_voltage_back_up(self):
+        scaler = make_scaler()
+        scaler.period_at(50)  # five quiet windows: vdd dropped
+        lowered = scaler.settled_vdd
+        for cycle in range(50, 60):
+            scaler.notify_flag(cycle)  # noisy window
+        scaler.period_at(70)
+        assert scaler.settled_vdd > lowered
+
+    def test_within_budget_holds(self):
+        scaler = make_scaler(flag_budget=3)
+        scaler.period_at(50)
+        held = scaler.settled_vdd
+        scaler.notify_flag(52)  # one flag: inside the budget
+        scaler.period_at(60)
+        assert scaler.settled_vdd == pytest.approx(held)
+
+    def test_vdd_bounded(self):
+        scaler = make_scaler(vdd_step=0.2)
+        scaler.period_at(1000)
+        assert scaler.settled_vdd >= scaler.model.min_vdd
+
+    def test_frequency_never_changes(self):
+        scaler = make_scaler()
+        assert scaler.period_at(0) == PERIOD
+        assert scaler.period_at(500) == PERIOD
+
+    def test_delay_factor_tracks_vdd(self):
+        scaler = make_scaler()
+        nominal = scaler.factor(0, "p")
+        scaler.period_at(200)
+        lowered = scaler.factor(200, "p")
+        assert lowered > nominal >= 1.0 - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_scaler(window_cycles=0)
+        with pytest.raises(ConfigurationError):
+            make_scaler(vdd_step=0)
+
+
+class TestFiguresOfMerit:
+    def test_savings_positive_after_quiet_run(self):
+        scaler = make_scaler()
+        scaler.period_at(500)
+        assert scaler.energy_savings_percent() > 0
+        assert scaler.mean_power_factor() < 1.0
+
+
+class TestClosedLoopWithTimber:
+    def test_voltage_settles_at_the_masking_edge(self):
+        """The full loop: the scaler under-volts until the TIMBER latch
+        starts flagging ED borrows, then holds near the edge with zero
+        silent failures."""
+        cp = CheckingPeriod.with_tb(PERIOD, 30)
+        stages = [
+            PipelineStage(name=f"dv{i}", critical_delay_ps=900,
+                          typical_delay_ps=800,
+                          sensitization_prob=0.5, seed=40 + i)
+            for i in range(4)
+        ]
+        # Zero flag budget: any flagged window immediately backs off —
+        # the conservative law a deployment would run, since TB borrows
+        # are invisible and only ED borrows warn of approaching the
+        # cliff.
+        scaler = AdaptiveVoltageScaler(
+            period_ps=PERIOD, window_cycles=64, vdd_step=0.01,
+            flag_budget=0)
+        sim = PipelineSimulation(
+            stages, TimberLatchPolicy(4, cp), period_ps=PERIOD,
+            controller=scaler,
+            variability=CompositeVariation(
+                [ConstantVariation(1.0), scaler]),
+        )
+        result = sim.run(6000)
+        assert result.failed == 0
+        assert scaler.flags_received > 0       # found the edge
+        assert scaler.settled_vdd < scaler.model.nominal_vdd
+        assert scaler.energy_savings_percent() > 3.0

@@ -1,0 +1,55 @@
+"""Unit tests for the energy-per-work metric."""
+
+import pytest
+
+from repro.analysis.metrics import energy_per_work
+from repro.errors import AnalysisError
+from repro.pipeline.pipeline import PipelineResult
+
+
+def make_result(cycles=100, boundaries=4, failed=0, replay=0):
+    captures = cycles * boundaries
+    return PipelineResult(
+        scheme="t", cycles=cycles, period_ps=1000,
+        clean=captures - failed, failed=failed, replay_cycles=replay,
+    )
+
+
+class TestEnergyPerWork:
+    def test_baseline_energy(self):
+        result = make_result()
+        energy = energy_per_work(result, element_cell="DFF")
+        assert energy > 0
+
+    def test_replay_cycles_cost_energy(self):
+        clean = energy_per_work(make_result(), element_cell="RAZOR_FF")
+        with_replay = energy_per_work(make_result(replay=50),
+                                      element_cell="RAZOR_FF")
+        assert with_replay > clean
+
+    def test_failures_reduce_useful_work(self):
+        healthy = energy_per_work(make_result(), element_cell="DFF")
+        failing = energy_per_work(make_result(failed=100),
+                                  element_cell="DFF")
+        assert failing > healthy
+
+    def test_expensive_elements_cost_more(self):
+        dff = energy_per_work(make_result(), element_cell="DFF")
+        timber = energy_per_work(make_result(),
+                                 element_cell="TIMBER_FF")
+        assert timber > dff
+
+    def test_explicit_boundaries(self):
+        result = make_result()
+        implicit = energy_per_work(result, element_cell="DFF")
+        explicit = energy_per_work(result, element_cell="DFF",
+                                   num_boundaries=4)
+        assert implicit == pytest.approx(explicit)
+
+    def test_no_useful_work_rejected(self):
+        result = PipelineResult(scheme="t", cycles=1, period_ps=1000,
+                                failed=5, clean=0)
+        # captures == failed -> useful == 0
+        with pytest.raises(AnalysisError):
+            energy_per_work(result, element_cell="DFF",
+                            num_boundaries=5)

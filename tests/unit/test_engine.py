@@ -1,0 +1,148 @@
+"""Unit tests for the event-driven simulator core."""
+
+import pytest
+
+from repro.circuit.generate import inverter_chain
+from repro.circuit.logic import Logic
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestSignals:
+    def test_undriven_signal_is_x(self, sim):
+        assert sim.value("nothing") is Logic.X
+
+    def test_set_initial(self, sim):
+        sim.set_initial("a", 1)
+        assert sim.value("a") is Logic.ONE
+
+    def test_drive_applies_at_time(self, sim):
+        sim.drive("a", 1, 50)
+        sim.run(49)
+        assert sim.value("a") is Logic.X
+        sim.run(50)
+        assert sim.value("a") is Logic.ONE
+
+    def test_drive_in_past_rejected(self, sim):
+        sim.run(100)
+        with pytest.raises(SimulationError):
+            sim.drive("a", 1, 50)
+
+    def test_run_backwards_rejected(self, sim):
+        sim.run(100)
+        with pytest.raises(SimulationError):
+            sim.run(50)
+
+
+class TestListeners:
+    def test_listener_fires_on_change(self, sim):
+        seen = []
+        sim.on_change("a", lambda s, name, v, t: seen.append((t, v)))
+        sim.drive("a", 1, 10)
+        sim.drive("a", 0, 20)
+        sim.run(30)
+        assert seen == [(10, Logic.ONE), (20, Logic.ZERO)]
+
+    def test_redundant_drive_does_not_fire(self, sim):
+        seen = []
+        sim.set_initial("a", 0)
+        sim.on_change("a", lambda s, name, v, t: seen.append(t))
+        sim.drive("a", 0, 10)
+        sim.run(20)
+        assert seen == []
+
+    def test_actions_run_at_scheduled_time(self, sim):
+        fired = []
+        sim.at(42, lambda s: fired.append(s.now))
+        sim.run(100)
+        assert fired == [42]
+
+    def test_after_schedules_relative(self, sim):
+        fired = []
+        sim.at(10, lambda s: s.after(5, lambda s2: fired.append(s2.now)))
+        sim.run(100)
+        assert fired == [15]
+
+    def test_cancel_action(self, sim):
+        fired = []
+        handle = sim.at(10, lambda s: fired.append(1))
+        sim.cancel(handle)
+        sim.run(20)
+        assert fired == []
+
+
+class TestNetlistSimulation:
+    def test_inverter_chain_propagates(self, sim):
+        chain = inverter_chain(4)
+        sim.add_netlist(chain)
+        sim.set_initial("in", 0)
+        sim.run(1000)  # let the priming settle
+        out = chain.capture_nets[0]
+        assert sim.value(out) is Logic.ZERO  # even number of inversions
+        sim.drive("in", 1, 2000)
+        sim.run(3000)
+        assert sim.value(out) is Logic.ONE
+
+    def test_propagation_delay_is_sum_of_gates(self, sim):
+        chain = inverter_chain(3)
+        sim.add_netlist(chain)
+        sim.set_initial("in", 0)
+        sim.run(1000)
+        out = chain.capture_nets[0]
+        changes = []
+        sim.on_change(out, lambda s, n, v, t: changes.append(t))
+        sim.drive("in", 1, 2000)
+        sim.run(3000)
+        inv = chain.library["INV"].delay_ps
+        assert changes == [2000 + 3 * inv]
+
+    def test_inertial_delay_filters_narrow_pulse(self, sim):
+        chain = inverter_chain(1)
+        sim.add_netlist(chain)
+        sim.set_initial("in", 0)
+        sim.run(1000)
+        out = chain.capture_nets[0]
+        changes = []
+        sim.on_change(out, lambda s, n, v, t: changes.append((t, v)))
+        inv = chain.library["INV"].delay_ps
+        # Pulse narrower than the inverter delay: must be swallowed.
+        sim.drive("in", 1, 2000)
+        sim.drive("in", 0, 2000 + inv - 2)
+        sim.run(3000)
+        assert changes == []
+
+    def test_wide_pulse_passes(self, sim):
+        chain = inverter_chain(1)
+        sim.add_netlist(chain)
+        sim.set_initial("in", 0)
+        sim.run(1000)
+        out = chain.capture_nets[0]
+        changes = []
+        sim.on_change(out, lambda s, n, v, t: changes.append(v))
+        inv = chain.library["INV"].delay_ps
+        sim.drive("in", 1, 2000)
+        sim.drive("in", 0, 2000 + inv + 20)
+        sim.run(3000)
+        assert changes == [Logic.ZERO, Logic.ONE]
+
+    def test_dynamic_energy_counts_toggles(self, sim):
+        chain = inverter_chain(2)
+        sim.add_netlist(chain)
+        sim.set_initial("in", 0)
+        sim.run(1000)
+        base = sim.dynamic_energy()
+        sim.drive("in", 1, 2000)
+        sim.run(3000)
+        inv_energy = chain.library["INV"].toggle_energy
+        assert sim.dynamic_energy() == pytest.approx(base + 2 * inv_energy)
+
+    def test_runaway_protection(self, sim):
+        # A zero-delay oscillator would loop forever; max_events guards.
+        def oscillate(s):
+            s.drive("a", Logic.ONE if s.value("a") is Logic.ZERO
+                    else Logic.ZERO, s.now)
+            s.at(s.now, oscillate)
+        sim.set_initial("a", 0)
+        sim.at(0, oscillate)
+        with pytest.raises(SimulationError, match="events"):
+            sim.run(10, max_events=1000)

@@ -1,0 +1,96 @@
+"""Unit tests for combinational evaluation and equivalence checking."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.evaluate import (
+    check_equivalence,
+    evaluate,
+    random_vectors,
+)
+from repro.circuit.generate import inverter_chain, random_stage
+from repro.circuit.logic import Logic
+from repro.circuit.netlist import Netlist
+from repro.errors import ConfigurationError
+from repro.timing.constraints import apply_hold_padding, hold_padding_plan
+
+
+class TestEvaluate:
+    def test_inverter_chain(self):
+        chain = inverter_chain(3)
+        values = evaluate(chain, {"in": 1})
+        assert values[chain.capture_nets[0]] is Logic.ZERO
+
+    def test_missing_inputs_default_to_x(self):
+        chain = inverter_chain(2)
+        values = evaluate(chain, {})
+        assert values[chain.capture_nets[0]] is Logic.X
+
+    def test_x_blocked_by_controlling_input(self):
+        netlist = Netlist("t", default_library())
+        netlist.add_input("a", registered=True)
+        netlist.add_input("b", registered=True)
+        netlist.add_gate("g", "NAND2", ["a", "b"], "y")
+        netlist.add_output("y", registered=True)
+        values = evaluate(netlist, {"a": 0})  # b is X
+        assert values["y"] is Logic.ONE
+
+    def test_unknown_input_rejected(self):
+        chain = inverter_chain(2)
+        with pytest.raises(ConfigurationError):
+            evaluate(chain, {"bogus": 1})
+
+
+class TestRandomVectors:
+    def test_deterministic(self):
+        a = random_vectors(["x", "y"], 10, seed=5)
+        b = random_vectors(["x", "y"], 10, seed=5)
+        assert a == b
+
+    def test_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            random_vectors(["x"], 0)
+
+    def test_binary_values(self):
+        for vector in random_vectors(["x", "y"], 20, seed=1):
+            assert all(v in (Logic.ZERO, Logic.ONE)
+                       for v in vector.values())
+
+
+class TestEquivalence:
+    def test_design_equivalent_to_itself(self):
+        stage = random_stage(num_inputs=5, num_outputs=3, depth=4,
+                             width=6, seed=9)
+        ok, counterexample = check_equivalence(stage, stage, vectors=64)
+        assert ok and counterexample is None
+
+    def test_detects_functional_difference(self):
+        left = inverter_chain(2)   # identity (2 inversions)
+        right = inverter_chain(3, name="odd")  # inversion
+        # Same input name; map outputs onto each other.
+        ok, counterexample = check_equivalence(
+            left, right, vectors=16,
+            output_map={left.capture_nets[0]: right.capture_nets[0]})
+        assert not ok
+        assert counterexample is not None
+
+    def test_input_mismatch_rejected(self):
+        left = inverter_chain(2)
+        stage = random_stage(num_inputs=3, num_outputs=1, depth=1,
+                             width=2, seed=2)
+        with pytest.raises(ConfigurationError):
+            check_equivalence(left, stage)
+
+    def test_hold_padding_preserves_function(self):
+        """The flagship use: buffer insertion must not change logic."""
+        reference = random_stage(num_inputs=6, num_outputs=4, depth=5,
+                                 width=8, seed=33)
+        padded = random_stage(num_inputs=6, num_outputs=4, depth=5,
+                              width=8, seed=33)
+        plan = hold_padding_plan(padded, hold_ps=15, checking_ps=400,
+                                 clk_to_q_ps=0)
+        renames = apply_hold_padding(padded, plan)
+        assert any(old != new for old, new in renames.items())
+        ok, counterexample = check_equivalence(
+            reference, padded, vectors=128, output_map=renames)
+        assert ok, f"padding changed function on {counterexample}"

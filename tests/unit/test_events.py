@@ -1,0 +1,96 @@
+"""Unit tests for events and the event queue."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+def sig(t, name="s", value=Logic.ONE):
+    return Event(t, signal=name, value=value)
+
+
+class TestEventValidation:
+    def test_signal_event(self):
+        event = sig(10)
+        assert event.signal == "s"
+
+    def test_action_event(self):
+        event = Event(5, action=lambda sim: None)
+        assert event.action is not None
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            sig(-1)
+
+    def test_rejects_both_signal_and_action(self):
+        with pytest.raises(SimulationError):
+            Event(0, signal="s", value=Logic.ONE, action=lambda sim: None)
+
+    def test_rejects_neither(self):
+        with pytest.raises(SimulationError):
+            Event(0)
+
+    def test_rejects_signal_without_value(self):
+        with pytest.raises(SimulationError):
+            Event(0, signal="s")
+
+
+class TestQueueOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(sig(30))
+        queue.push(sig(10))
+        queue.push(sig(20))
+        times = [queue.pop().time_ps for _ in range(3)]
+        assert times == [10, 20, 30]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        queue.push(sig(10, name="first"))
+        queue.push(sig(10, name="second"))
+        assert queue.pop().signal == "first"
+        assert queue.pop().signal == "second"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        handle = queue.push(sig(10, name="cancelled"))
+        queue.push(sig(20, name="kept"))
+        queue.cancel(handle)
+        assert queue.pop().signal == "kept"
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        handle = queue.push(sig(10))
+        queue.push(sig(20))
+        queue.cancel(handle)
+        queue.cancel(handle)
+        assert len(queue) == 1
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        h1 = queue.push(sig(10))
+        queue.push(sig(20))
+        assert len(queue) == 2
+        queue.cancel(h1)
+        assert len(queue) == 1
+        queue.pop()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(sig(5))
+        queue.push(sig(15))
+        queue.cancel(handle)
+        assert queue.peek_time() == 15
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None

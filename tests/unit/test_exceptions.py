@@ -1,0 +1,101 @@
+"""Unit tests for timing exceptions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timing.exceptions import (
+    ExceptionKind,
+    ExceptionSet,
+    apply_exceptions,
+    false_path,
+    multicycle_path,
+)
+from repro.timing.graph import TimingEdge, TimingGraph
+
+
+@pytest.fixture
+def graph():
+    g = TimingGraph("t", 1000)
+    for name in ("cfg_reg", "alu_a", "alu_b", "out"):
+        g.add_ff(name)
+    g.add_edge("cfg_reg", "out", 990)   # config path: false
+    g.add_edge("alu_a", "out", 950)     # real critical path
+    g.add_edge("alu_b", "out", 980)     # 2-cycle multiplier path
+    return g
+
+
+class TestRules:
+    def test_false_path_matching(self):
+        rule = false_path(from_pattern="cfg_*")
+        assert rule.matches(TimingEdge("cfg_reg", "out", 10))
+        assert not rule.matches(TimingEdge("alu_a", "out", 10))
+
+    def test_multicycle_requires_budget(self):
+        with pytest.raises(ConfigurationError):
+            multicycle_path(1)
+
+    def test_false_path_rejects_cycles(self):
+        with pytest.raises(ConfigurationError):
+            from repro.timing.exceptions import TimingException
+            TimingException(ExceptionKind.FALSE_PATH, cycles=2)
+
+
+class TestClassification:
+    def test_false_beats_multicycle(self):
+        rules = ExceptionSet([
+            multicycle_path(2, from_pattern="cfg_*"),
+            false_path(from_pattern="cfg_*"),
+        ])
+        kind, budget = rules.classify(TimingEdge("cfg_reg", "out", 10))
+        assert kind is ExceptionKind.FALSE_PATH
+        assert budget == 0
+
+    def test_first_multicycle_wins(self):
+        rules = ExceptionSet([
+            multicycle_path(2, from_pattern="alu_*"),
+            multicycle_path(4, from_pattern="alu_b"),
+        ])
+        kind, budget = rules.classify(TimingEdge("alu_b", "out", 10))
+        assert kind is ExceptionKind.MULTICYCLE
+        assert budget == 2
+
+    def test_unmatched_is_single_cycle(self):
+        rules = ExceptionSet([false_path(from_pattern="cfg_*")])
+        kind, budget = rules.classify(TimingEdge("alu_a", "out", 10))
+        assert kind is None
+        assert budget == 1
+
+
+class TestApplication:
+    @pytest.fixture
+    def folded(self, graph):
+        rules = ExceptionSet([
+            false_path(from_pattern="cfg_*"),
+            multicycle_path(2, from_pattern="alu_b"),
+        ])
+        return apply_exceptions(graph, rules)
+
+    def test_false_path_removed(self, folded):
+        assert not any(e.src == "cfg_reg" for e in folded.edges())
+
+    def test_multicycle_delay_scaled(self, folded):
+        edge = next(e for e in folded.edges() if e.src == "alu_b")
+        assert edge.delay_ps == 490  # ceil(980 / 2)
+
+    def test_normal_edge_untouched(self, folded):
+        edge = next(e for e in folded.edges() if e.src == "alu_a")
+        assert edge.delay_ps == 950
+
+    def test_deployment_shrinks_with_exceptions(self, graph, folded):
+        # Without exceptions all three paths look top-10% critical;
+        # with them only the genuine ALU path remains.
+        assert len(graph.critical_endpoints(10.0)) == 1  # 'out'
+        assert graph.critical_fanin_count("out", 10.0) >= 0
+        before = len(graph.critical_edges(10.0))
+        after = len(folded.critical_edges(10.0))
+        assert before == 3
+        assert after == 1
+
+    def test_structure_preserved(self, graph, folded):
+        assert folded.num_ffs == graph.num_ffs
+        assert folded.period_ps == graph.period_ps

@@ -1,0 +1,100 @@
+"""Unit tests for the shared experiment runners."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    CHECKING_PERCENTS,
+    fig1_experiment,
+    fig8_experiment,
+    resilience_sweep,
+    throughput_sweep,
+    two_stage_waveform_experiment,
+)
+from repro.errors import ConfigurationError
+from repro.processor.perfpoints import MEDIUM_PERFORMANCE
+
+
+class TestFig1:
+    def test_structure(self):
+        results = fig1_experiment(points=(MEDIUM_PERFORMANCE,))
+        assert set(results) == {"medium"}
+        sweep = results["medium"]
+        assert [d.percent_threshold for d in sweep] == [10, 20, 30, 40]
+
+    def test_endpoint_monotonicity(self):
+        results = fig1_experiment(points=(MEDIUM_PERFORMANCE,))
+        pct = [d.pct_ffs_ending for d in results["medium"]]
+        assert pct == sorted(pct)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig8_experiment(points=(MEDIUM_PERFORMANCE,))
+
+    def test_full_grid(self, rows):
+        # 1 point x 4 checking periods x 2 styles x 2 TB settings.
+        assert len(rows) == len(CHECKING_PERCENTS) * 4
+
+    def test_margin_split(self, rows):
+        for row in rows:
+            divisor = 3 if row.with_tb_interval else 2
+            assert row.margin_percent == pytest.approx(
+                row.checking_percent / divisor)
+
+    def test_latch_has_no_relay_overhead(self, rows):
+        for row in rows:
+            if row.style == "latch":
+                assert row.relay_area_overhead_percent == 0.0
+
+    def test_power_monotone_in_checking_period(self, rows):
+        for style in ("ff", "latch"):
+            series = [r.power_overhead_percent for r in rows
+                      if r.style == style and r.with_tb_interval]
+            assert series == sorted(series)
+
+
+class TestWaveforms:
+    @pytest.mark.parametrize("style", ["ff", "latch"])
+    def test_two_stage_scenario(self, style):
+        result = two_stage_waveform_experiment(style)
+        assert not result.stage1_flagged   # TB interval: silent
+        assert result.stage2_flagged       # ED interval: flagged
+        assert result.q1_final == "1"
+        assert result.q2_final == "1"      # both errors masked
+
+    def test_style_validated(self):
+        with pytest.raises(ConfigurationError):
+            two_stage_waveform_experiment("bogus")
+
+
+class TestSweeps:
+    def test_resilience_sweep_shape(self):
+        points = resilience_sweep(
+            techniques=("plain", "timber-ff"),
+            droop_amplitudes=(0.0, 0.08),
+            num_cycles=2000,
+        )
+        assert len(points) == 4
+        keys = {(p.technique, p.droop_amplitude) for p in points}
+        assert ("timber-ff", 0.08) in keys
+
+    def test_timber_beats_plain_under_droop(self):
+        points = resilience_sweep(
+            techniques=("plain", "timber-ff"),
+            droop_amplitudes=(0.10,),
+            num_cycles=5000,
+        )
+        by_technique = {p.technique: p.result for p in points}
+        assert by_technique["plain"].failed > 0
+        assert by_technique["timber-ff"].failed == 0
+
+    def test_throughput_sweep_shape(self):
+        points = throughput_sweep(
+            techniques=("timber-ff", "canary"),
+            overclock_percents=(0.0, 8.0),
+            num_cycles=2000,
+        )
+        assert len(points) == 4
+        for point in points:
+            assert 0 < point.effective_speedup < 2.0

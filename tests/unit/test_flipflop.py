@@ -1,0 +1,81 @@
+"""Unit tests for the conventional D flip-flop model."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.sequential.base import TimingCheck
+from repro.sequential.flipflop import DFlipFlop
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+PERIOD = 1000
+
+
+@pytest.fixture
+def ff_sim():
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    ff = DFlipFlop(sim, name="ff", d="d", clk="clk", q="q")
+    return sim, ff
+
+
+class TestSampling:
+    def test_samples_on_rising_edge(self, ff_sim):
+        sim, ff = ff_sim
+        sim.drive("d", 1, 500)  # mid-cycle, well before next edge
+        sim.run(PERIOD + 100)
+        assert ff.last_sample() is Logic.ONE
+        assert sim.value("q") is Logic.ONE
+
+    def test_q_delayed_by_clk_to_q(self, ff_sim):
+        sim, ff = ff_sim
+        changes = []
+        sim.on_change("q", lambda s, n, v, t: changes.append((t, v)))
+        sim.drive("d", 1, 500)
+        sim.run(PERIOD + 100)
+        assert (PERIOD + ff.clk_to_q_ps, Logic.ONE) in changes
+
+    def test_late_arrival_misses_the_edge(self, ff_sim):
+        sim, ff = ff_sim
+        sim.drive("d", 1, PERIOD + 50)  # after the edge + hold window
+        sim.run(PERIOD + 200)
+        assert ff.last_sample() is Logic.ZERO
+
+    def test_sample_history_grows_per_edge(self, ff_sim):
+        sim, ff = ff_sim
+        sim.run(3 * PERIOD + 10)
+        assert len(ff.sample_history) == 4  # edges at 0, T, 2T, 3T
+
+
+class TestMetastability:
+    def test_setup_violation_gives_x(self, ff_sim):
+        sim, ff = ff_sim
+        # Change inside the setup aperture (30 ps) before the edge at T.
+        sim.drive("d", 1, PERIOD - 10)
+        sim.run(PERIOD + 100)
+        assert ff.last_sample() is Logic.X
+        assert sim.value("q") is Logic.X
+
+    def test_hold_violation_corrupts_sample(self, ff_sim):
+        sim, ff = ff_sim
+        # Change inside the hold window (15 ps) after the edge at T.
+        sim.drive("d", 1, PERIOD + 5)
+        sim.run(PERIOD + 200)
+        assert ff.last_sample() is Logic.X
+
+    def test_clean_sample_just_outside_setup(self, ff_sim):
+        sim, ff = ff_sim
+        sim.drive("d", 1, PERIOD - 31)  # one ps outside the aperture
+        sim.run(PERIOD + 100)
+        assert ff.last_sample() is Logic.ONE
+
+    def test_custom_timing_check(self):
+        sim = Simulator()
+        ClockGenerator(sim, "clk", PERIOD)
+        sim.set_initial("d", 0)
+        ff = DFlipFlop(sim, name="ff", d="d", clk="clk", q="q",
+                       timing=TimingCheck(setup_ps=100, hold_ps=0))
+        sim.drive("d", 1, PERIOD - 60)
+        sim.run(PERIOD + 100)
+        assert ff.last_sample() is Logic.X

@@ -1,0 +1,86 @@
+"""Unit tests for synthetic netlist generators."""
+
+import pytest
+
+from repro.circuit.generate import inverter_chain, padded_short_path, random_stage
+from repro.errors import ConfigurationError
+from repro.timing.sta import run_sta
+
+
+class TestInverterChain:
+    def test_length_matches(self):
+        chain = inverter_chain(5)
+        assert len(chain) == 5
+
+    def test_delay_is_exact(self):
+        chain = inverter_chain(10)
+        result = run_sta(chain, period_ps=10_000, clk_to_q_ps=0, setup_ps=0)
+        inv_delay = chain.library["INV"].delay_ps
+        assert result.max_arrival[chain.capture_nets[0]] == 10 * inv_delay
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            inverter_chain(0)
+
+
+class TestRandomStage:
+    def test_structure(self):
+        stage = random_stage(num_inputs=8, num_outputs=4, depth=6, width=10,
+                             seed=3)
+        assert len(stage) == 6 * 10
+        assert len(stage.launch_nets) == 8
+        assert len(stage.capture_nets) == 4
+
+    def test_deterministic_for_same_seed(self):
+        a = random_stage(num_inputs=4, num_outputs=2, depth=3, width=4,
+                         seed=9)
+        b = random_stage(num_inputs=4, num_outputs=2, depth=3, width=4,
+                         seed=9)
+        assert [(g.name, g.cell.name, g.inputs) for g in a] == \
+               [(g.name, g.cell.name, g.inputs) for g in b]
+
+    def test_different_seed_differs(self):
+        a = random_stage(num_inputs=4, num_outputs=2, depth=3, width=4,
+                         seed=9)
+        b = random_stage(num_inputs=4, num_outputs=2, depth=3, width=4,
+                         seed=10)
+        assert [(g.cell.name, g.inputs) for g in a] != \
+               [(g.cell.name, g.inputs) for g in b]
+
+    def test_depth_bounds_arrival(self):
+        stage = random_stage(num_inputs=6, num_outputs=3, depth=4, width=8,
+                             seed=1)
+        result = run_sta(stage, period_ps=10_000, clk_to_q_ps=0, setup_ps=0)
+        slowest_cell = max(
+            stage.library[c].delay_ps
+            for c in ("NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2")
+        )
+        for capture in stage.capture_nets:
+            assert result.max_arrival[capture] <= 4 * slowest_cell
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_inputs=1, num_outputs=1, depth=1, width=1),
+        dict(num_inputs=4, num_outputs=0, depth=1, width=2),
+        dict(num_inputs=4, num_outputs=3, depth=1, width=2),
+        dict(num_inputs=4, num_outputs=1, depth=0, width=2),
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            random_stage(seed=0, **kwargs)
+
+
+class TestPaddedShortPath:
+    def test_padding_delay(self):
+        netlist = padded_short_path(padding_cells=3)
+        result = run_sta(netlist, period_ps=10_000, clk_to_q_ps=0,
+                         setup_ps=0)
+        dly = netlist.library["DLY4"].delay_ps
+        assert result.max_arrival[netlist.capture_nets[0]] == 3 * dly
+
+    def test_zero_padding_uses_feedthrough_buffer(self):
+        netlist = padded_short_path(padding_cells=0)
+        assert len(netlist) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            padded_short_path(padding_cells=-1)

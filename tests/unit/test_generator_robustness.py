@@ -1,0 +1,52 @@
+"""Robustness of the processor generator across seeds and sizes.
+
+The Fig.-1 calibration must not be an artefact of the default seed or
+graph size: the anchored endpoint fractions and the through-FF minority
+property have to hold for any reasonable instantiation.
+"""
+
+import pytest
+
+from repro.processor.generator import (
+    generate_processor,
+    measured_endpoint_fractions,
+)
+from repro.processor.perfpoints import MEDIUM_PERFORMANCE
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", [1, 777, 424242])
+    def test_anchors_hold_for_any_seed(self, seed):
+        graph = generate_processor(MEDIUM_PERFORMANCE, seed=seed)
+        measured = measured_endpoint_fractions(graph)
+        for percent, target in zip(
+                (10.0, 20.0, 30.0, 40.0),
+                MEDIUM_PERFORMANCE.endpoint_fractions):
+            assert measured[percent] == pytest.approx(target, abs=0.04)
+
+    @pytest.mark.parametrize("seed", [1, 777])
+    def test_through_minority_for_any_seed(self, seed):
+        graph = generate_processor(MEDIUM_PERFORMANCE, seed=seed)
+        endpoints = graph.critical_endpoints(20.0)
+        through = graph.critical_through_ffs(20.0)
+        assert len(through) / len(endpoints) < 0.5
+
+
+class TestSizeRobustness:
+    @pytest.mark.parametrize("stages,ffs", [(4, 100), (8, 150), (12, 60)])
+    def test_anchors_hold_for_any_shape(self, stages, ffs):
+        graph = generate_processor(MEDIUM_PERFORMANCE,
+                                   num_stages=stages,
+                                   ffs_per_stage=ffs, seed=3)
+        measured = measured_endpoint_fractions(graph)
+        # Smaller graphs carry more sampling noise: widen the band.
+        for percent, target in zip(
+                (20.0, 30.0, 40.0),
+                MEDIUM_PERFORMANCE.endpoint_fractions[1:]):
+            assert measured[percent] == pytest.approx(target, abs=0.07)
+
+    def test_fanin_does_not_break_anchors(self):
+        graph = generate_processor(MEDIUM_PERFORMANCE, fanin=3, seed=9)
+        measured = measured_endpoint_fractions(graph)
+        assert measured[20.0] == pytest.approx(
+            MEDIUM_PERFORMANCE.endpoint_fractions[1], abs=0.05)

@@ -1,0 +1,146 @@
+"""Unit tests for whole-graph pipeline simulation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.graph_sim import GraphPipelineSimulation
+from repro.timing.graph import TimingGraph
+from repro.variability import ConstantVariation
+
+
+@pytest.fixture
+def chain_graph():
+    """a -> b -> c critical chain plus one relaxed edge."""
+    g = TimingGraph("chain", 1000)
+    for name in ("a", "b", "c", "d"):
+        g.add_ff(name)
+    g.add_edge("a", "b", 980)
+    g.add_edge("b", "c", 980)
+    g.add_edge("a", "d", 400)
+    return g
+
+
+def simulate(graph, scheme, *, factor=1.0, cycles=5, prob=1.0,
+             controller=None, percent=30.0):
+    sim = GraphPipelineSimulation(
+        graph, scheme=scheme, percent_checking=percent,
+        sensitization_prob=prob,
+        variability=ConstantVariation(factor),
+        controller=controller, seed=1,
+    )
+    return sim.run(cycles)
+
+
+class TestConstruction:
+    def test_scheme_validated(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            GraphPipelineSimulation(chain_graph, scheme="razor",
+                                    percent_checking=30.0)
+
+    def test_plain_protects_nothing(self, chain_graph):
+        result = simulate(chain_graph, "plain")
+        assert result.num_protected == 0
+
+    def test_protected_are_critical_endpoints(self, chain_graph):
+        sim = GraphPipelineSimulation(chain_graph, scheme="timber-ff",
+                                      percent_checking=30.0)
+        assert sim.protected == {"b", "c"}
+
+    def test_candidate_edges_exclude_safe_paths(self, chain_graph):
+        sim = GraphPipelineSimulation(chain_graph, scheme="timber-ff",
+                                      percent_checking=30.0,
+                                      max_variability_factor=1.1)
+        candidates = {
+            (e.src, e.dst)
+            for edges in sim._candidates.values() for e in edges
+        }
+        # The 400 ps edge can never violate (400*1.1 + 300 < 1000).
+        assert ("a", "d") not in candidates
+        assert ("a", "b") in candidates
+
+    def test_run_validation(self, chain_graph):
+        sim = GraphPipelineSimulation(chain_graph, scheme="plain",
+                                      percent_checking=30.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+
+
+class TestOutcomes:
+    def test_no_variability_no_violations(self, chain_graph):
+        result = simulate(chain_graph, "timber-ff", factor=1.0)
+        assert result.violations == 0
+        assert result.masked_fraction == 1.0
+
+    def test_plain_fails_under_overdelay(self, chain_graph):
+        result = simulate(chain_graph, "plain", factor=1.05)
+        assert result.failed_unprotected > 0
+
+    def test_timber_masks_single_stage(self, chain_graph):
+        result = simulate(chain_graph, "timber-latch", factor=1.05,
+                          cycles=3)
+        assert result.failed == 0
+        assert result.masked > 0
+
+    def test_masked_borrow_bounded(self, chain_graph):
+        result = simulate(chain_graph, "timber-latch", factor=1.05)
+        assert result.max_borrow_ps <= 300
+
+    def test_relay_enables_chained_masking(self, chain_graph):
+        # Persistent +8%: b borrows a full interval, so c's arrival is
+        # interval + violation > one interval — only maskable because
+        # b's select_out reaches c through the relay.
+        result = simulate(chain_graph, "timber-ff", factor=1.08,
+                          cycles=2)
+        assert result.failed == 0
+        assert result.masked >= 3  # b twice, c (two-stage) once
+
+    def test_flags_recorded_per_ff(self, chain_graph):
+        result = simulate(chain_graph, "timber-ff", factor=1.08,
+                          cycles=2)
+        assert "c" in result.flags_per_ff
+
+
+class TestControllerIntegration:
+    def test_flags_drive_slowdown(self, chain_graph):
+        controller = CentralErrorController(
+            period_ps=1000, consolidation_latency_ps=1000,
+            slowdown_factor=1.5, slowdown_cycles=10)
+        result = simulate(chain_graph, "timber-ff", factor=1.08,
+                          cycles=20, controller=controller)
+        assert controller.flags_received > 0
+        assert result.slow_cycles > 0
+        assert result.failed == 0
+
+    def test_slowdown_clears_violations(self, chain_graph):
+        controller = CentralErrorController(
+            period_ps=1000, consolidation_latency_ps=500,
+            slowdown_factor=1.5, slowdown_cycles=100)
+        result = simulate(chain_graph, "timber-ff", factor=1.08,
+                          cycles=50, controller=controller)
+        # Once slowed, 980*1.08 = 1058 < 1500: no more violations.
+        assert result.violations < 50 * 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, chain_graph):
+        a = simulate(chain_graph, "timber-ff", factor=1.05, prob=0.5,
+                     cycles=50)
+        b = simulate(chain_graph, "timber-ff", factor=1.05, prob=0.5,
+                     cycles=50)
+        assert dataclasses_equal(a, b)
+
+    def test_sensitization_rate(self, chain_graph):
+        result = simulate(chain_graph, "plain", factor=1.05, prob=0.3,
+                          cycles=2000)
+        # Two always-candidate edges x 2000 cycles x 0.3 expected hits.
+        expected = 2 * 2000 * 0.3
+        assert result.failed_unprotected == pytest.approx(expected,
+                                                          rel=0.15)
+
+
+def dataclasses_equal(a, b) -> bool:
+    return (a.masked, a.masked_flagged, a.failed, a.failed_unprotected,
+            a.max_borrow_ps) == \
+           (b.masked, b.masked_flagged, b.failed, b.failed_unprotected,
+            b.max_borrow_ps)

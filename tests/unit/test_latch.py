@@ -1,0 +1,98 @@
+"""Unit tests for level-sensitive and pulse-gated latches."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.latch import DLatch, PulseGatedLatch
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+PERIOD = 1000
+
+
+class TestDLatch:
+    @pytest.fixture
+    def latch_sim(self):
+        sim = Simulator()
+        ClockGenerator(sim, "clk", PERIOD)
+        sim.set_initial("d", 0)
+        latch = DLatch(sim, name="lat", d="d", clk="clk", q="q",
+                       d_to_q_ps=5)
+        return sim, latch
+
+    def test_transparent_while_high(self, latch_sim):
+        sim, latch = latch_sim
+        sim.drive("d", 1, 200)  # clk is high in [0, 500)
+        sim.run(300)
+        assert sim.value("q") is Logic.ONE
+        assert latch.transparent
+
+    def test_holds_while_low(self, latch_sim):
+        sim, latch = latch_sim
+        sim.drive("d", 1, 200)
+        sim.drive("d", 0, 600)  # clk low: change must not pass
+        sim.run(900)
+        assert sim.value("q") is Logic.ONE
+        assert latch.value() is Logic.ONE
+
+    def test_reopens_next_phase(self, latch_sim):
+        sim, latch = latch_sim
+        sim.drive("d", 1, 600)   # while opaque
+        sim.run(PERIOD + 100)    # next high phase republishes D
+        assert sim.value("q") is Logic.ONE
+
+    def test_transparent_low_variant(self):
+        sim = Simulator()
+        ClockGenerator(sim, "clk", PERIOD)
+        sim.set_initial("d", 0)
+        DLatch(sim, name="lat", d="d", clk="clk", q="q",
+               transparent_level=Logic.ZERO, d_to_q_ps=5)
+        sim.drive("d", 1, 700)   # clk low in [500, 1000): transparent
+        sim.run(800)
+        assert sim.value("q") is Logic.ONE
+
+    def test_rejects_x_transparent_level(self, sim):
+        with pytest.raises(ConfigurationError):
+            DLatch(sim, name="lat", d="d", clk="clk", q="q",
+                   transparent_level=Logic.X)
+
+    def test_close_applies_setup_aperture(self, latch_sim):
+        sim, latch = latch_sim
+        # Change 5 ps before the closing edge at 500 (setup is 20 ps).
+        sim.drive("d", 1, 495)
+        sim.run(600)
+        assert latch.held_value is Logic.X
+
+
+class TestPulseGatedLatch:
+    def test_window_transparency(self, sim):
+        sim.set_initial("d", 0)
+        latch = PulseGatedLatch(sim, name="pg", d="d", q="q", d_to_q_ps=5)
+        latch.open_window(100, 300)
+        sim.drive("d", 1, 200)
+        sim.run(250)
+        assert sim.value("q") is Logic.ONE
+
+    def test_closed_outside_window(self, sim):
+        sim.set_initial("d", 0)
+        latch = PulseGatedLatch(sim, name="pg", d="d", q="q", d_to_q_ps=5)
+        latch.open_window(100, 300)
+        sim.run(350)
+        sim.drive("d", 1, 400)
+        sim.run(500)
+        assert sim.value("q") is Logic.ZERO
+
+    def test_value_held_after_close(self, sim):
+        sim.set_initial("d", 0)
+        latch = PulseGatedLatch(sim, name="pg", d="d", q="q", d_to_q_ps=5)
+        latch.open_window(100, 300)
+        sim.drive("d", 1, 250)
+        sim.drive("d", 0, 600)
+        sim.run(700)
+        assert latch.value() is Logic.ONE
+
+    def test_empty_window_rejected(self, sim):
+        latch = PulseGatedLatch(sim, name="pg", d="d", q="q")
+        with pytest.raises(ConfigurationError):
+            latch.open_window(100, 100)

@@ -1,0 +1,106 @@
+"""Unit tests for three-valued logic."""
+
+import pytest
+
+from repro.circuit.logic import (
+    Logic,
+    logic_and,
+    logic_mux,
+    logic_not,
+    logic_or,
+    logic_xor,
+    resolve_unknown,
+)
+
+
+class TestCoercion:
+    @pytest.mark.parametrize("value,expected", [
+        (0, Logic.ZERO), (1, Logic.ONE), (True, Logic.ONE),
+        (False, Logic.ZERO), ("0", Logic.ZERO), ("1", Logic.ONE),
+        ("X", Logic.X), ("x", Logic.X), (Logic.ONE, Logic.ONE),
+    ])
+    def test_from_value(self, value, expected):
+        assert Logic.from_value(value) is expected
+
+    def test_from_value_rejects_bad_int(self):
+        with pytest.raises(ValueError):
+            Logic.from_value(2)
+
+    def test_from_value_rejects_bad_str(self):
+        with pytest.raises(ValueError):
+            Logic.from_value("z")
+
+    def test_from_value_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            Logic.from_value(1.5)
+
+
+class TestInvert:
+    def test_invert(self):
+        assert ~Logic.ZERO is Logic.ONE
+        assert ~Logic.ONE is Logic.ZERO
+        assert ~Logic.X is Logic.X
+
+
+class TestAnd:
+    def test_zero_dominates_x(self):
+        assert logic_and([Logic.X, Logic.ZERO]) is Logic.ZERO
+
+    def test_all_ones(self):
+        assert logic_and([Logic.ONE, Logic.ONE]) is Logic.ONE
+
+    def test_x_taints(self):
+        assert logic_and([Logic.ONE, Logic.X]) is Logic.X
+
+    def test_empty_is_one(self):
+        assert logic_and([]) is Logic.ONE
+
+
+class TestOr:
+    def test_one_dominates_x(self):
+        assert logic_or([Logic.X, Logic.ONE]) is Logic.ONE
+
+    def test_all_zeros(self):
+        assert logic_or([Logic.ZERO, Logic.ZERO]) is Logic.ZERO
+
+    def test_x_taints(self):
+        assert logic_or([Logic.ZERO, Logic.X]) is Logic.X
+
+
+class TestXor:
+    def test_basic(self):
+        assert logic_xor([Logic.ONE, Logic.ZERO]) is Logic.ONE
+        assert logic_xor([Logic.ONE, Logic.ONE]) is Logic.ZERO
+
+    def test_any_x_gives_x(self):
+        assert logic_xor([Logic.ONE, Logic.X]) is Logic.X
+
+    def test_not(self):
+        assert logic_not(Logic.ZERO) is Logic.ONE
+
+
+class TestMux:
+    def test_select_zero(self):
+        assert logic_mux(Logic.ZERO, Logic.ONE, Logic.ZERO) is Logic.ONE
+
+    def test_select_one(self):
+        assert logic_mux(Logic.ONE, Logic.ONE, Logic.ZERO) is Logic.ZERO
+
+    def test_x_select_agreeing_inputs(self):
+        # Matches transmission-gate behaviour: both paths carry the same
+        # value, so the output is defined even with an unknown select.
+        assert logic_mux(Logic.X, Logic.ONE, Logic.ONE) is Logic.ONE
+
+    def test_x_select_disagreeing_inputs(self):
+        assert logic_mux(Logic.X, Logic.ONE, Logic.ZERO) is Logic.X
+
+    def test_x_select_x_inputs(self):
+        assert logic_mux(Logic.X, Logic.X, Logic.X) is Logic.X
+
+
+class TestResolve:
+    def test_prefers_known(self):
+        assert resolve_unknown(Logic.ONE, Logic.ZERO) is Logic.ONE
+
+    def test_falls_back_on_x(self):
+        assert resolve_unknown(Logic.X, Logic.ZERO) is Logic.ZERO

@@ -1,0 +1,76 @@
+"""Unit tests for the logical error-masking baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.pipeline import PipelineSimulation
+from repro.pipeline.schemes import LogicalMaskingPolicy
+from repro.pipeline.stage import PipelineStage
+from repro.variability import ConstantVariation
+
+
+class TestPolicy:
+    def test_full_coverage_masks_everything(self):
+        policy = LogicalMaskingPolicy(5, coverage=1.0)
+        assert len(policy.covered) == 5
+        outcome = policy.capture(0, 100)
+        assert outcome.masked
+        assert outcome.borrowed_ps == 0  # combinational: no borrowing
+        assert not outcome.flagged
+
+    def test_zero_coverage_is_plain(self):
+        policy = LogicalMaskingPolicy(5, coverage=0.0)
+        assert policy.covered == frozenset()
+        assert policy.capture(0, 100).failed
+
+    def test_partial_coverage_deterministic(self):
+        a = LogicalMaskingPolicy(50, coverage=0.5, seed=7)
+        b = LogicalMaskingPolicy(50, coverage=0.5, seed=7)
+        assert a.covered == b.covered
+        assert 10 < len(a.covered) < 40
+
+    def test_uncovered_boundary_fails(self):
+        policy = LogicalMaskingPolicy(50, coverage=0.5, seed=7)
+        uncovered = next(i for i in range(50) if i not in policy.covered)
+        assert policy.capture(uncovered, 100).failed
+
+    def test_on_time_is_clean_everywhere(self):
+        policy = LogicalMaskingPolicy(5, coverage=1.0)
+        outcome = policy.capture(0, -50)
+        assert outcome.correct_state and not outcome.masked
+
+    def test_coverage_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogicalMaskingPolicy(5, coverage=1.5)
+
+
+class TestPipelineIntegration:
+    def test_no_throughput_cost_no_borrowing(self):
+        stages = [
+            PipelineStage(name=f"s{i}", critical_delay_ps=950,
+                          typical_delay_ps=700, sensitization_prob=1.0)
+            for i in range(4)
+        ]
+        policy = LogicalMaskingPolicy(4, coverage=1.0)
+        sim = PipelineSimulation(stages, policy, period_ps=1000,
+                                 variability=ConstantVariation(1.08))
+        result = sim.run(20)
+        assert result.failed == 0
+        assert result.masked == 80
+        # The signature difference vs TIMBER: zero borrowed time and
+        # full throughput.
+        assert result.max_borrow_ps == 0
+        assert result.throughput_factor == 1.0
+
+    def test_partial_coverage_leaks_failures(self):
+        stages = [
+            PipelineStage(name=f"s{i}", critical_delay_ps=950,
+                          typical_delay_ps=700, sensitization_prob=1.0)
+            for i in range(8)
+        ]
+        policy = LogicalMaskingPolicy(8, coverage=0.5, seed=3)
+        sim = PipelineSimulation(stages, policy, period_ps=1000,
+                                 variability=ConstantVariation(1.08))
+        result = sim.run(10)
+        assert result.failed > 0
+        assert result.masked > 0

@@ -1,0 +1,153 @@
+"""Unit tests for capture-outcome semantics."""
+
+import pytest
+
+from repro.core.checking_period import CheckingPeriod
+from repro.core.masking import (
+    canary_capture,
+    dcf_capture,
+    plain_ff_capture,
+    razor_capture,
+    timber_ff_capture,
+    timber_latch_capture,
+)
+from repro.errors import ConfigurationError
+
+CP = CheckingPeriod.with_tb(1000, 30)       # t = 100 ps, 1 TB + 2 ED
+CP_NO_TB = CheckingPeriod.without_tb(1000, 30)  # t = 150 ps, 2 ED
+
+
+class TestTimberFF:
+    def test_on_time_clean(self):
+        outcome = timber_ff_capture(0, 0, CP)
+        assert outcome.correct_state and not outcome.masked
+
+    def test_single_stage_tb_masked_silent(self):
+        outcome = timber_ff_capture(60, 0, CP)
+        assert outcome.masked and not outcome.flagged
+        assert outcome.borrowed_intervals == 1
+        assert outcome.borrowed_ps == 100  # discrete: full interval
+
+    def test_lateness_beyond_delta_fails_silently(self):
+        outcome = timber_ff_capture(150, 0, CP)
+        assert outcome.failed and not outcome.correct_state
+
+    def test_relayed_select_masks_two_stage(self):
+        outcome = timber_ff_capture(150, 1, CP)
+        assert outcome.masked and outcome.flagged
+        assert outcome.borrowed_intervals == 2
+        assert outcome.borrowed_ps == 200
+
+    def test_third_interval_masks_and_flags(self):
+        outcome = timber_ff_capture(250, 2, CP)
+        assert outcome.masked and outcome.flagged
+        assert outcome.borrowed_intervals == 3
+
+    def test_beyond_checking_period_fails(self):
+        outcome = timber_ff_capture(301, 2, CP)
+        assert outcome.failed
+
+    def test_select_saturates(self):
+        outcome = timber_ff_capture(250, 9, CP)
+        assert outcome.masked
+        assert outcome.borrowed_intervals == 3
+
+    def test_without_tb_flags_single_stage(self):
+        outcome = timber_ff_capture(60, 0, CP_NO_TB)
+        assert outcome.masked and outcome.flagged
+
+    def test_exact_boundary_masked(self):
+        outcome = timber_ff_capture(100, 0, CP)
+        assert outcome.masked
+
+    def test_negative_select_rejected(self):
+        with pytest.raises(ConfigurationError):
+            timber_ff_capture(10, -1, CP)
+
+
+class TestTimberLatch:
+    def test_on_time_clean(self):
+        assert timber_latch_capture(0, CP).correct_state
+
+    def test_tb_arrival_silent_and_exact_borrow(self):
+        outcome = timber_latch_capture(60, CP)
+        assert outcome.masked and not outcome.flagged
+        assert outcome.borrowed_ps == 60  # continuous: exact lateness
+
+    def test_ed_arrival_flagged(self):
+        outcome = timber_latch_capture(150, CP)
+        assert outcome.masked and outcome.flagged
+        assert outcome.borrowed_ps == 150
+
+    def test_boundary_of_tb_not_flagged(self):
+        outcome = timber_latch_capture(CP.tb_ps, CP)
+        assert outcome.masked and not outcome.flagged
+
+    def test_beyond_checking_fails(self):
+        outcome = timber_latch_capture(CP.checking_ps + 1, CP)
+        assert outcome.failed
+
+    def test_latch_never_needs_relay(self):
+        # A two-stage lateness within the checking period masks with no
+        # select state at all.
+        outcome = timber_latch_capture(220, CP)
+        assert outcome.masked
+        assert outcome.borrowed_intervals == 0
+
+
+class TestPlain:
+    def test_clean(self):
+        assert plain_ff_capture(0).correct_state
+
+    def test_any_violation_fails(self):
+        assert plain_ff_capture(1).failed
+
+
+class TestRazor:
+    def test_clean(self):
+        assert razor_capture(0, 300).correct_state
+
+    def test_detected_with_corrupt_state(self):
+        outcome = razor_capture(100, 300)
+        assert outcome.detected and outcome.flagged
+        assert not outcome.correct_state  # needs replay
+
+    def test_beyond_window_fails(self):
+        assert razor_capture(301, 300).failed
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            razor_capture(10, 0)
+
+
+class TestCanary:
+    def test_comfortably_early_clean(self):
+        assert canary_capture(-300, 150).correct_state
+
+    def test_guard_band_predicts_with_correct_state(self):
+        outcome = canary_capture(-50, 150)
+        assert outcome.predicted and outcome.correct_state
+
+    def test_actual_violation_fails(self):
+        assert canary_capture(10, 150).failed
+
+    def test_guard_validation(self):
+        with pytest.raises(ConfigurationError):
+            canary_capture(0, 0)
+
+
+class TestDcf:
+    def test_masks_within_windows(self):
+        outcome = dcf_capture(50, 100, 200)
+        assert outcome.masked
+        assert outcome.borrowed_ps == 200  # fixed resample delay
+
+    def test_fails_beyond_detector(self):
+        assert dcf_capture(150, 100, 200).failed
+
+    def test_fails_beyond_resample(self):
+        assert dcf_capture(250, 300, 200).failed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dcf_capture(10, 0, 100)

@@ -1,0 +1,52 @@
+"""Unit tests for derived metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    failures_per_billion_cycles,
+    masked_fraction,
+    summarize_results,
+)
+from repro.errors import AnalysisError
+from repro.pipeline.pipeline import PipelineResult
+
+
+def make_result(**kwargs):
+    defaults = dict(scheme="t", cycles=1000, period_ps=1000)
+    defaults.update(kwargs)
+    return PipelineResult(**defaults)
+
+
+class TestMaskedFraction:
+    def test_all_masked(self):
+        result = make_result(masked=10)
+        assert masked_fraction(result) == 1.0
+
+    def test_mixed(self):
+        result = make_result(masked=6, detected=2, failed=2)
+        assert masked_fraction(result) == pytest.approx(0.6)
+
+    def test_no_violations_counts_as_fully_masked(self):
+        assert masked_fraction(make_result()) == 1.0
+
+
+class TestFailureRate:
+    def test_normalisation(self):
+        result = make_result(cycles=1000, failed=2)
+        assert failures_per_billion_cycles(result) == pytest.approx(2e6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            failures_per_billion_cycles(make_result(cycles=0))
+
+
+class TestSummary:
+    def test_keys_and_grouping(self):
+        results = [make_result(scheme="a", masked=1),
+                   make_result(scheme="b", failed=1)]
+        summary = summarize_results(results)
+        assert set(summary) == {"a", "b"}
+        assert summary["a"]["masked"] == 1.0
+        assert summary["b"]["failures_per_1e9"] > 0
+        for key in ("throughput_factor", "masked_fraction", "slow_cycles"):
+            assert key in summary["a"]

@@ -1,0 +1,109 @@
+"""Gap-filling tests for small utilities and edge behaviours."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.pipeline.pipeline import PipelineResult
+from repro.sequential.base import TimingCheck
+from repro.sim.engine import Simulator
+from repro.sim.waveform import Waveform
+
+
+class TestTimingCheck:
+    def test_violated_inside_aperture(self):
+        check = TimingCheck(setup_ps=30, hold_ps=15)
+        assert check.violated(last_data_change_ps=980, sample_ps=1000)
+
+    def test_clean_outside_aperture(self):
+        check = TimingCheck(setup_ps=30, hold_ps=15)
+        assert not check.violated(last_data_change_ps=960, sample_ps=1000)
+
+    def test_no_history_never_violates(self):
+        check = TimingCheck(setup_ps=30, hold_ps=15)
+        assert not check.violated(None, 1000)
+
+    def test_change_at_sample_instant_violates(self):
+        check = TimingCheck(setup_ps=30, hold_ps=15)
+        assert check.violated(1000, 1000)
+
+    def test_negative_windows_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            TimingCheck(setup_ps=-1)
+
+
+class TestSimulatorIntrospection:
+    def test_signals_snapshot(self, sim):
+        sim.set_initial("a", 1)
+        sim.drive("b", 0, 10)
+        sim.run(20)
+        snapshot = sim.signals()
+        assert snapshot["a"] is Logic.ONE
+        assert snapshot["b"] is Logic.ZERO
+
+    def test_toggle_count_external_drives(self, sim):
+        sim.set_initial("a", 0)
+        sim.drive("a", 1, 10)
+        sim.drive("a", 0, 20)
+        sim.run(30)
+        assert sim.toggle_count("a") == 2
+        assert sim.toggle_count("never") == 0
+
+    def test_events_processed_counter(self, sim):
+        sim.drive("a", 1, 10)
+        sim.run(20)
+        assert sim.events_processed == 1
+
+
+class TestWaveformChanges:
+    def test_changes_include_redundant_writes(self):
+        wave = Waveform("s", initial=Logic.ZERO)
+        wave.record(10, Logic.ONE)
+        wave.record(20, Logic.ONE)
+        assert wave.changes() == [(10, Logic.ONE), (20, Logic.ONE)]
+        assert len(wave.edges()) == 1
+
+
+class TestPipelineResultProperties:
+    def test_error_rate(self):
+        result = PipelineResult(scheme="t", cycles=10, period_ps=1000,
+                                clean=25, masked=3, failed=2)
+        assert result.captures == 30
+        assert result.error_rate == pytest.approx(5 / 30)
+
+    def test_empty_error_rate(self):
+        result = PipelineResult(scheme="t", cycles=1, period_ps=1000)
+        assert result.error_rate == 0.0
+
+    def test_nominal_time(self):
+        result = PipelineResult(scheme="t", cycles=7, period_ps=1000)
+        assert result.nominal_time_ps == 7000
+
+    def test_throughput_with_zero_time(self):
+        result = PipelineResult(scheme="t", cycles=7, period_ps=1000)
+        assert result.throughput_factor == 1.0
+
+
+class TestCliHeavyCommands:
+    def test_fig1_command(self, capsys):
+        from repro.cli import main
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "medium" in out and "top 20%" in out
+
+
+class TestGraphSimResultProperties:
+    def test_masked_fraction(self):
+        from repro.pipeline.graph_sim import GraphPipelineResult
+        result = GraphPipelineResult(
+            scheme="timber-ff", cycles=10, num_ffs=4, num_protected=2,
+            candidate_edges=3, masked=3, failed=1)
+        assert result.violations == 4
+        assert result.masked_fraction == pytest.approx(0.75)
+
+    def test_no_violations_fraction_is_one(self):
+        from repro.pipeline.graph_sim import GraphPipelineResult
+        result = GraphPipelineResult(
+            scheme="plain", cycles=10, num_ffs=4, num_protected=0,
+            candidate_edges=0)
+        assert result.masked_fraction == 1.0

@@ -1,0 +1,111 @@
+"""Unit tests for the netlist structure."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.netlist import Netlist
+from repro.errors import NetlistError
+
+
+@pytest.fixture
+def netlist():
+    return Netlist("t", default_library())
+
+
+def build_two_gate(netlist):
+    netlist.add_input("a", registered=True)
+    netlist.add_input("b", registered=True)
+    netlist.add_gate("g1", "NAND2", ["a", "b"], "n1")
+    netlist.add_gate("g2", "INV", ["n1"], "n2")
+    netlist.add_output("n2", registered=True)
+    return netlist
+
+
+class TestConstruction:
+    def test_basic_build(self, netlist):
+        build_two_gate(netlist)
+        netlist.validate()
+        assert len(netlist) == 2
+        assert netlist.launch_nets == ["a", "b"]
+        assert netlist.capture_nets == ["n2"]
+
+    def test_duplicate_gate_rejected(self, netlist):
+        build_two_gate(netlist)
+        with pytest.raises(NetlistError, match="duplicate"):
+            netlist.add_gate("g1", "INV", ["n1"], "n3")
+
+    def test_unknown_input_net_rejected(self, netlist):
+        with pytest.raises(NetlistError, match="unknown net"):
+            netlist.add_gate("g", "INV", ["missing"], "o")
+
+    def test_arity_mismatch_rejected(self, netlist):
+        netlist.add_input("a")
+        with pytest.raises(NetlistError, match="expects 2"):
+            netlist.add_gate("g", "NAND2", ["a"], "o")
+
+    def test_multiple_drivers_rejected(self, netlist):
+        netlist.add_input("a")
+        netlist.add_gate("g1", "INV", ["a"], "o")
+        with pytest.raises(NetlistError, match="multiple drivers"):
+            netlist.add_gate("g2", "INV", ["a"], "o")
+
+    def test_negative_extra_delay_rejected(self, netlist):
+        netlist.add_input("a")
+        with pytest.raises(NetlistError, match="negative"):
+            netlist.add_gate("g", "INV", ["a"], "o", extra_delay_ps=-1)
+
+    def test_output_of_unknown_net_rejected(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.add_output("missing")
+
+
+class TestQueries:
+    def test_fanout_and_driver(self, netlist):
+        build_two_gate(netlist)
+        assert [g.name for g in netlist.fanout_gates("n1")] == ["g2"]
+        assert netlist.driver_gate("n1").name == "g1"
+        assert netlist.driver_gate("a") is None
+
+    def test_unknown_gate_raises(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.gate("nope")
+
+    def test_unknown_net_raises(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.net("nope")
+
+    def test_gate_delay_includes_extra(self, netlist):
+        netlist.add_input("a")
+        gate = netlist.add_gate("g", "INV", ["a"], "o", extra_delay_ps=8)
+        assert gate.delay_ps == gate.cell.delay_ps + 8
+
+    def test_stats(self, netlist):
+        build_two_gate(netlist)
+        stats = netlist.stats()
+        assert stats["gates"] == 2
+        assert stats["area"] > 0
+
+
+class TestTopology:
+    def test_topological_order_respects_dependencies(self, netlist):
+        build_two_gate(netlist)
+        order = [g.name for g in netlist.topological_gates()]
+        assert order.index("g1") < order.index("g2")
+
+    def test_retarget_capture(self, netlist):
+        build_two_gate(netlist)
+        netlist.add_gate("pad", "DLY4", ["n2"], "n2p")
+        netlist.retarget_capture("n2", "n2p")
+        assert netlist.capture_nets == ["n2p"]
+        assert "n2p" in netlist.primary_outputs
+
+    def test_retarget_unknown_capture_rejected(self, netlist):
+        build_two_gate(netlist)
+        with pytest.raises(NetlistError):
+            netlist.retarget_capture("a", "n2")
+
+    def test_dangling_net_fails_validation(self, netlist):
+        # A net that is neither an input nor driven by a gate.
+        netlist._declare_net("ghost")
+        with pytest.raises(NetlistError, match="no driver"):
+            netlist.validate()

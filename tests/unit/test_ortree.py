@@ -1,0 +1,84 @@
+"""Unit tests for the error-consolidation OR-tree."""
+
+import pytest
+
+from repro.core.checking_period import CheckingPeriod
+from repro.core.ortree import (
+    build_or_tree,
+    consolidation_latency_ps,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_single_input_degenerate(self):
+        tree = build_or_tree(1)
+        assert tree.depth == 0
+        assert tree.num_gates == 0
+        assert tree.latency_ps == 0
+
+    def test_exact_fanin_power(self):
+        tree = build_or_tree(16, fanin=4)
+        assert tree.depth == 2
+        assert tree.num_gates == 4 + 1
+
+    def test_ragged_width(self):
+        tree = build_or_tree(17, fanin=4)
+        # 17 -> 5 gates -> 2 gates -> 1 gate.
+        assert tree.depth == 3
+        assert tree.num_gates == 5 + 2 + 1
+
+    def test_depth_logarithmic(self):
+        small = build_or_tree(100, fanin=4)
+        large = build_or_tree(10_000, fanin=4)
+        assert large.depth <= small.depth + 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_or_tree(0)
+        with pytest.raises(ConfigurationError):
+            build_or_tree(10, fanin=1)
+
+
+class TestCosts:
+    def test_latency_scales_with_depth(self):
+        tree = build_or_tree(256, fanin=4)
+        per_level = tree.gate_delay_ps + tree.wire_delay_per_level_ps
+        assert tree.latency_ps == tree.depth * per_level
+
+    def test_area_and_leakage_positive(self):
+        tree = build_or_tree(64)
+        assert tree.area > 0
+        assert tree.leakage > 0
+
+    def test_wider_fanin_shallower_but_slower_gates(self):
+        narrow = build_or_tree(256, fanin=2)
+        wide = build_or_tree(256, fanin=8)
+        assert wide.depth < narrow.depth
+        assert wide.gate_delay_ps > narrow.gate_delay_ps
+
+
+class TestBudget:
+    def test_processor_scale_tree_fits_paper_budget(self):
+        # ~1200 protected elements (the medium point at 30% checking)
+        # must consolidate within 1.5 cycles of a 1.1 ns clock.
+        cp = CheckingPeriod.with_tb(1100, 30)
+        tree = build_or_tree(1200, fanin=4)
+        assert tree.fits_budget(cp, controller_decision_ps=120)
+
+    def test_budget_fails_for_absurd_wire_delay(self):
+        cp = CheckingPeriod.with_tb(1000, 30)
+        tree = build_or_tree(1200, fanin=4,
+                             wire_delay_per_level_ps=500)
+        assert not tree.fits_budget(cp)
+
+    def test_budget_validation(self):
+        cp = CheckingPeriod.with_tb(1000, 30)
+        tree = build_or_tree(8)
+        with pytest.raises(ConfigurationError):
+            tree.fits_budget(cp, controller_decision_ps=-1)
+
+    def test_convenience_wrapper(self):
+        latency = consolidation_latency_ps(1200)
+        tree = build_or_tree(1200)
+        assert latency == tree.latency_ps + 120

@@ -1,0 +1,71 @@
+"""Unit tests for deployment overhead computation (Fig. 8 machinery)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.overhead import deployment_overhead
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture
+def graph():
+    g = TimingGraph("t", 1000)
+    for index in range(20):
+        g.add_ff(f"f{index}")
+    # Half the FFs end a critical path; two of those also start one.
+    for index in range(10):
+        g.add_edge(f"f{index}", f"f{index + 10}", 950)
+    g.add_edge("f10", "f11", 940)
+    g.add_edge("f11", "f12", 930)
+    return g
+
+
+class TestOverheadAccounting:
+    def test_replaced_count_matches_endpoints(self, graph):
+        over = deployment_overhead(graph, percent_checking=10.0, style="ff")
+        assert over.num_replaced == len(graph.critical_endpoints(10.0))
+
+    def test_ff_style_includes_relay(self, graph):
+        over = deployment_overhead(graph, percent_checking=10.0, style="ff")
+        assert over.relay is not None
+        assert over.relay_area_overhead_percent > 0
+
+    def test_latch_style_has_no_relay(self, graph):
+        over = deployment_overhead(graph, percent_checking=10.0,
+                                   style="latch")
+        assert over.relay is None
+        assert over.relay_area_overhead_percent == 0.0
+
+    def test_latch_power_cheaper_than_ff(self, graph):
+        ff = deployment_overhead(graph, percent_checking=10.0, style="ff")
+        latch = deployment_overhead(graph, percent_checking=10.0,
+                                    style="latch")
+        assert latch.power_overhead_percent < ff.power_overhead_percent
+
+    def test_power_overhead_hand_computed(self, graph):
+        over = deployment_overhead(graph, percent_checking=10.0,
+                                   style="latch")
+        model_delta = over.element_delta.total_power
+        expected = 100.0 * model_delta / over.baseline.total_power
+        assert over.power_overhead_percent == pytest.approx(expected)
+
+    def test_hold_buffers_default_off(self, graph):
+        over = deployment_overhead(graph, percent_checking=10.0, style="ff")
+        assert over.hold_buffers == 0
+        assert over.hold_delta.total_power == 0
+
+    def test_hold_buffers_priced_when_enabled(self, graph):
+        over = deployment_overhead(graph, percent_checking=10.0,
+                                   style="ff", include_hold_buffers=True)
+        assert over.hold_buffers > 0
+        assert over.extra_power > deployment_overhead(
+            graph, percent_checking=10.0, style="ff").extra_power
+
+    def test_replaced_fraction(self, graph):
+        over = deployment_overhead(graph, percent_checking=10.0, style="ff")
+        assert over.replaced_fraction == pytest.approx(
+            over.num_replaced / 20)
+
+    def test_style_validation(self, graph):
+        with pytest.raises(ConfigurationError):
+            deployment_overhead(graph, percent_checking=10.0, style="bogus")

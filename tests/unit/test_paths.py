@@ -1,0 +1,101 @@
+"""Unit tests for path enumeration."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.generate import inverter_chain, random_stage
+from repro.circuit.netlist import Netlist
+from repro.errors import AnalysisError
+from repro.timing.paths import PathSet, TimingPath, enumerate_paths
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture
+def reconvergent():
+    """Two launch points reconverging through different depths."""
+    netlist = Netlist("reconv", default_library())
+    netlist.add_input("a", registered=True)
+    netlist.add_input("b", registered=True)
+    netlist.add_gate("i1", "INV", ["a"], "n1")
+    netlist.add_gate("i2", "INV", ["n1"], "n2")
+    netlist.add_gate("j", "NAND2", ["n2", "b"], "out")
+    netlist.add_output("out", registered=True)
+    return netlist
+
+
+class TestEnumeration:
+    def test_finds_both_paths(self, reconvergent):
+        paths = enumerate_paths(reconvergent, 1000, clk_to_q_ps=0)
+        assert len(paths) == 2
+        launches = {p.launch for p in paths}
+        assert launches == {"a", "b"}
+
+    def test_paths_sorted_by_delay(self, reconvergent):
+        paths = enumerate_paths(reconvergent, 1000, clk_to_q_ps=0)
+        delays = [p.delay_ps for p in paths]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_path_delay_matches_gate_sum(self, reconvergent):
+        paths = enumerate_paths(reconvergent, 1000, clk_to_q_ps=0)
+        lib = reconvergent.library
+        longest = paths.paths[0]
+        assert longest.launch == "a"
+        assert longest.delay_ps == 2 * lib["INV"].delay_ps + \
+            lib["NAND2"].delay_ps
+        assert longest.gates == ("i1", "i2", "j")
+
+    def test_worst_path_agrees_with_sta(self):
+        stage = random_stage(num_inputs=5, num_outputs=4, depth=5, width=8,
+                             seed=13)
+        paths = enumerate_paths(stage, 10_000, clk_to_q_ps=45)
+        sta = run_sta(stage, 10_000, clk_to_q_ps=45)
+        for capture in stage.capture_nets:
+            worst = max(p.delay_ps for p in paths if p.capture == capture)
+            assert worst == sta.max_arrival[capture]
+
+    def test_k_limit_respected(self):
+        stage = random_stage(num_inputs=6, num_outputs=2, depth=4, width=8,
+                             seed=2)
+        paths = enumerate_paths(stage, 10_000, max_paths_per_endpoint=3)
+        for capture in stage.capture_nets:
+            count = sum(1 for p in paths if p.capture == capture)
+            assert count <= 3
+
+    def test_chain_depth(self):
+        chain = inverter_chain(5)
+        paths = enumerate_paths(chain, 1000)
+        assert len(paths) == 1
+        assert paths.paths[0].depth == 5
+
+
+class TestPathSet:
+    def make_set(self):
+        paths = [
+            TimingPath("a", "x", (), 950),
+            TimingPath("b", "y", (), 850),
+            TimingPath("c", "z", (), 500),
+        ]
+        return PathSet(paths, period_ps=1000)
+
+    def test_top_percent(self):
+        pset = self.make_set()
+        assert {p.launch for p in pset.top_percent(10)} == {"a"}
+        assert {p.launch for p in pset.top_percent(20)} == {"a", "b"}
+
+    def test_top_count(self):
+        pset = self.make_set()
+        assert [p.launch for p in pset.top_count(2)] == ["a", "b"]
+
+    def test_endpoints_startpoints(self):
+        pset = self.make_set()
+        assert pset.endpoints(20) == {"x", "y"}
+        assert pset.startpoints(20) == {"a", "b"}
+
+    def test_percent_validation(self):
+        pset = self.make_set()
+        with pytest.raises(AnalysisError):
+            pset.top_percent(0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(AnalysisError):
+            TimingPath("a", "b", (), -1)

@@ -1,0 +1,167 @@
+"""Unit tests for the cycle-level pipeline simulation."""
+
+import pytest
+
+from repro.core.checking_period import CheckingPeriod
+from repro.errors import ConfigurationError, TimingViolationError
+from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.pipeline import PipelineSimulation
+from repro.pipeline.schemes import (
+    PlainPolicy,
+    RazorPolicy,
+    TimberFFPolicy,
+    TimberLatchPolicy,
+)
+from repro.pipeline.stage import PipelineStage
+from repro.variability import ConstantVariation
+
+PERIOD = 1000
+CP = CheckingPeriod.with_tb(PERIOD, 30)
+
+
+def stages(n=3, critical=950, typical=700, prob=0.0, seed=1):
+    return [
+        PipelineStage(name=f"s{i}", critical_delay_ps=critical,
+                      typical_delay_ps=typical, sensitization_prob=prob,
+                      seed=seed + i)
+        for i in range(n)
+    ]
+
+
+class TestCleanRuns:
+    def test_error_free_pipeline(self):
+        sim = PipelineSimulation(stages(), PlainPolicy(3),
+                                 period_ps=PERIOD)
+        result = sim.run(100)
+        assert result.clean == 300
+        assert result.failed == 0
+        assert result.throughput_factor == 1.0
+        assert result.total_time_ps == 100 * PERIOD
+
+    def test_boundary_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            PipelineSimulation(stages(3), PlainPolicy(2),
+                               period_ps=PERIOD)
+
+
+class TestViolations:
+    def test_plain_fails_on_overdelay(self):
+        sim = PipelineSimulation(
+            stages(critical=950, prob=1.0), PlainPolicy(3),
+            period_ps=PERIOD, variability=ConstantVariation(1.1),
+        )
+        result = sim.run(10)
+        assert result.failed == 30  # every capture violates
+
+    def test_fail_fast_raises(self):
+        sim = PipelineSimulation(
+            stages(critical=950, prob=1.0), PlainPolicy(3),
+            period_ps=PERIOD, variability=ConstantVariation(1.1),
+            fail_fast=True,
+        )
+        with pytest.raises(TimingViolationError):
+            sim.run(10)
+
+    def test_timber_masks_sporadic_violations(self):
+        # Sporadic sensitization: isolated +8% cycles violate by ~26 ps,
+        # each masked in the TB interval with the chain resetting on the
+        # next clean cycle.  (A *persistent* violation would rightly
+        # exhaust the checking period — that is the controller's job.)
+        sim = PipelineSimulation(
+            stages(critical=950, prob=0.15, seed=5), TimberFFPolicy(3, CP),
+            period_ps=PERIOD, variability=ConstantVariation(1.08),
+        )
+        result = sim.run(50)
+        assert result.failed == 0
+        assert result.masked > 0
+
+
+class TestBorrowPropagation:
+    def test_borrow_carries_to_next_stage(self):
+        # Stage delays exactly at the period: a single +5% cycle of
+        # variability on all stages creates chained lateness that the
+        # latch policy absorbs continuously.
+        sim = PipelineSimulation(
+            stages(critical=990, prob=1.0), TimberLatchPolicy(3, CP),
+            period_ps=PERIOD, variability=ConstantVariation(1.02),
+        )
+        result = sim.run(5)
+        assert result.failed == 0
+        assert result.max_borrow_ps > 0
+        assert result.borrow_chain_max >= 1
+
+    def test_relay_needed_for_ff_multi_stage(self):
+        # Persistent +12% slowdown: each stage violates by ~120 ps > t,
+        # so without relayed selects the discrete FF would fail.
+        sim = PipelineSimulation(
+            stages(critical=960, prob=1.0), TimberFFPolicy(3, CP),
+            period_ps=PERIOD, variability=ConstantVariation(1.12),
+        )
+        result = sim.run(4)
+        # First capture borrows one interval (lateness 75 <= 100);
+        # following cycles need relayed selects to keep masking.
+        assert result.masked >= 3
+
+
+class TestControllerIntegration:
+    def test_flag_reduces_frequency(self):
+        controller = CentralErrorController(
+            period_ps=PERIOD, consolidation_latency_ps=PERIOD,
+            slowdown_factor=1.5, slowdown_cycles=4)
+        sim = PipelineSimulation(
+            stages(critical=960, prob=1.0), TimberFFPolicy(3, CP),
+            period_ps=PERIOD, controller=controller,
+            variability=ConstantVariation(1.12),
+        )
+        result = sim.run(20)
+        assert controller.flags_received > 0
+        assert result.slow_cycles > 0
+        assert result.total_time_ps > 20 * PERIOD
+        assert result.throughput_factor < 1.0
+
+    def test_slowdown_suppresses_errors(self):
+        controller = CentralErrorController(
+            period_ps=PERIOD, consolidation_latency_ps=PERIOD,
+            slowdown_factor=1.5, slowdown_cycles=50)
+        sim = PipelineSimulation(
+            stages(critical=960, prob=1.0), TimberFFPolicy(3, CP),
+            period_ps=PERIOD, controller=controller,
+            variability=ConstantVariation(1.12),
+        )
+        result = sim.run(40)
+        # Once the controller slows the clock, captures become clean.
+        assert result.clean > 0
+
+
+class TestRazorAccounting:
+    def test_replay_penalty_charged(self):
+        sim = PipelineSimulation(
+            stages(critical=950, prob=1.0),
+            RazorPolicy(3, window_ps=300, replay_penalty=5),
+            period_ps=PERIOD, variability=ConstantVariation(1.08),
+        )
+        result = sim.run(10)
+        assert result.detected > 0
+        assert result.replay_cycles == 5 * result.detected
+        assert result.throughput_factor < 1.0
+
+
+class TestResultMetrics:
+    def test_capture_accounting_sums(self):
+        sim = PipelineSimulation(
+            stages(prob=0.5, seed=3), TimberLatchPolicy(3, CP),
+            period_ps=PERIOD, variability=ConstantVariation(1.03),
+        )
+        result = sim.run(50)
+        assert result.captures == 150
+
+    def test_error_rate(self):
+        sim = PipelineSimulation(stages(), PlainPolicy(3),
+                                 period_ps=PERIOD)
+        assert sim.run(10).error_rate == 0.0
+
+    def test_run_validation(self):
+        sim = PipelineSimulation(stages(), PlainPolicy(3),
+                                 period_ps=PERIOD)
+        with pytest.raises(ConfigurationError):
+            sim.run(0)

@@ -1,0 +1,69 @@
+"""Unit tests for the pipeline stage delay model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.stage import PipelineStage
+from repro.variability import ConstantVariation
+
+
+class TestValidation:
+    def test_rejects_zero_critical(self):
+        with pytest.raises(ConfigurationError):
+            PipelineStage(name="s", critical_delay_ps=0,
+                          typical_delay_ps=0)
+
+    def test_rejects_typical_above_critical(self):
+        with pytest.raises(ConfigurationError):
+            PipelineStage(name="s", critical_delay_ps=500,
+                          typical_delay_ps=600)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            PipelineStage(name="s", critical_delay_ps=500,
+                          typical_delay_ps=400, sensitization_prob=1.5)
+
+
+class TestSensitization:
+    def make(self, prob):
+        return PipelineStage(name="s", critical_delay_ps=900,
+                             typical_delay_ps=600,
+                             sensitization_prob=prob, seed=4)
+
+    def test_always_sensitized(self):
+        stage = self.make(1.0)
+        assert all(stage.sensitized(c) for c in range(20))
+
+    def test_never_sensitized(self):
+        stage = self.make(0.0)
+        assert not any(stage.sensitized(c) for c in range(20))
+
+    def test_deterministic(self):
+        stage = self.make(0.5)
+        draws = [stage.sensitized(c) for c in range(100)]
+        assert draws == [stage.sensitized(c) for c in range(100)]
+
+    def test_rate_approximates_probability(self):
+        stage = self.make(0.3)
+        hits = sum(stage.sensitized(c) for c in range(5000))
+        assert hits / 5000 == pytest.approx(0.3, abs=0.03)
+
+
+class TestDelay:
+    def test_sensitized_uses_critical(self):
+        stage = PipelineStage(name="s", critical_delay_ps=900,
+                              typical_delay_ps=600,
+                              sensitization_prob=1.0)
+        assert stage.delay_ps(0, ConstantVariation(1.0)) == 900
+
+    def test_unsensitized_uses_typical(self):
+        stage = PipelineStage(name="s", critical_delay_ps=900,
+                              typical_delay_ps=600,
+                              sensitization_prob=0.0)
+        assert stage.delay_ps(0, ConstantVariation(1.0)) == 600
+
+    def test_variability_scales(self):
+        stage = PipelineStage(name="s", critical_delay_ps=900,
+                              typical_delay_ps=600,
+                              sensitization_prob=1.0)
+        assert stage.delay_ps(0, ConstantVariation(1.1)) == 990

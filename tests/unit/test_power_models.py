@@ -1,0 +1,71 @@
+"""Unit tests for the design cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.models import DesignCostModel, DesignCosts
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture
+def graph():
+    g = TimingGraph("t", 1000)
+    for index in range(10):
+        g.add_ff(f"f{index}")
+    for index in range(9):
+        g.add_edge(f"f{index}", f"f{index + 1}", 800)
+    return g
+
+
+class TestDesignCosts:
+    def test_total_power(self):
+        costs = DesignCosts(area=10, leakage=4, dynamic_per_cycle=6)
+        assert costs.total_power == 10
+
+    def test_scaled(self):
+        costs = DesignCosts(10, 4, 6).scaled(2)
+        assert costs.area == 20 and costs.leakage == 8
+
+    def test_plus(self):
+        total = DesignCosts(1, 2, 3).plus(DesignCosts(4, 5, 6))
+        assert (total.area, total.leakage, total.dynamic_per_cycle) == \
+            (5, 7, 9)
+
+
+class TestCostModel:
+    def test_sequential_costs_scale_with_count(self):
+        model = DesignCostModel()
+        one = model.sequential_costs("DFF", 1)
+        ten = model.sequential_costs("DFF", 10)
+        assert ten.area == pytest.approx(10 * one.area)
+        assert ten.total_power == pytest.approx(10 * one.total_power)
+
+    def test_sequential_delta_matches_ratio(self):
+        model = DesignCostModel()
+        delta = model.sequential_delta("DFF", "TIMBER_FF", 1)
+        dff = model.sequential_costs("DFF", 1)
+        # 2x energy means the dynamic delta equals the DFF dynamic cost.
+        assert delta.dynamic_per_cycle == pytest.approx(
+            dff.dynamic_per_cycle)
+
+    def test_baseline_includes_combinational(self, graph):
+        model = DesignCostModel()
+        base = model.baseline_costs(graph)
+        seq = model.sequential_costs("DFF", graph.num_ffs)
+        assert base.total_power > seq.total_power
+        assert base.area == pytest.approx(
+            seq.area + model.comb_area_per_ff * graph.num_ffs)
+
+    def test_sequential_power_fraction_reasonable(self, graph):
+        model = DesignCostModel()
+        fraction = model.sequential_power_fraction(graph)
+        # Flip-flops typically draw 10-40% of total power.
+        assert 0.05 < fraction < 0.5
+
+    def test_activity_validation(self):
+        with pytest.raises(ConfigurationError):
+            DesignCostModel(ff_activity=0.0)
+
+    def test_negative_comb_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DesignCostModel(comb_area_per_ff=-1.0)

@@ -1,0 +1,89 @@
+"""Unit tests for the Table-1 technique registry."""
+
+import pytest
+
+from repro.baselines.registry import (
+    TABLE1_CATEGORIES,
+    TABLE1_FEATURES,
+    TechniqueCategory,
+    category_of,
+    table1_rows,
+)
+
+
+class TestTaxonomy:
+    def test_four_categories(self):
+        assert len(TABLE1_CATEGORIES) == 4
+        assert [c.category for c in TABLE1_CATEGORIES] == [
+            TechniqueCategory.ERROR_DETECTION,
+            TechniqueCategory.ERROR_PREDICTION,
+            TechniqueCategory.LOGICAL_MASKING,
+            TechniqueCategory.TEMPORAL_MASKING,
+        ]
+
+    def test_paper_table1_claims(self):
+        by_cat = {c.category: c for c in TABLE1_CATEGORIES}
+        detection = by_cat[TechniqueCategory.ERROR_DETECTION]
+        prediction = by_cat[TechniqueCategory.ERROR_PREDICTION]
+        logical = by_cat[TechniqueCategory.LOGICAL_MASKING]
+        temporal = by_cat[TechniqueCategory.TEMPORAL_MASKING]
+
+        # Detection acts after the edge and needs rollback/replay.
+        assert detection.when_relative_to_clock_edge == "After"
+        assert "Rollback" in detection.error_recovery_mechanism
+
+        # Prediction acts before the edge and recovers margin only
+        # partially, targeting gradual variability.
+        assert prediction.when_relative_to_clock_edge == "Before"
+        assert prediction.timing_margin_recovery == "Partial"
+        assert prediction.variability_source_targeted == "Gradual dynamic"
+
+        # Logical masking: no clock-tree loading, no padding, moderate
+        # combinational overhead, no sequential overhead.
+        assert not logical.clock_tree_loading
+        assert not logical.short_path_padding
+        assert logical.sequential_overhead == "None"
+        assert logical.combinational_overhead == "Moderate"
+
+        # Temporal masking (TIMBER): full margin recovery, no rollback.
+        assert temporal.timing_margin_recovery == "Full"
+        assert "No error" in temporal.error_recovery_mechanism
+        assert "TIMBER" in temporal.example_techniques
+
+    def test_only_prediction_keeps_state_always_correct_pre_edge(self):
+        before = [c for c in TABLE1_CATEGORIES
+                  if c.when_relative_to_clock_edge == "Before"]
+        assert len(before) == 1
+
+
+class TestRendering:
+    def test_rows_cover_all_features(self):
+        rows = table1_rows()
+        assert len(rows) == len(TABLE1_FEATURES)
+        assert all(len(row) == 5 for row in rows)  # feature + 4 columns
+
+    def test_booleans_rendered_yes_no(self):
+        rows = table1_rows()
+        loading = next(r for r in rows if r[0] == "Clock-tree loading")
+        assert loading[1:] == ["Yes", "Yes", "No", "Yes"]
+
+    def test_techniques_row_joined(self):
+        rows = table1_rows()
+        techniques = next(r for r in rows if r[0] == "Techniques")
+        assert "TIMBER" in techniques[4]
+
+
+class TestCategoryLookup:
+    @pytest.mark.parametrize("key,expected", [
+        ("razor", TechniqueCategory.ERROR_DETECTION),
+        ("canary", TechniqueCategory.ERROR_PREDICTION),
+        ("timber-ff", TechniqueCategory.TEMPORAL_MASKING),
+        ("timber-latch", TechniqueCategory.TEMPORAL_MASKING),
+        ("dcf", TechniqueCategory.TEMPORAL_MASKING),
+    ])
+    def test_category_of(self, key, expected):
+        assert category_of(key) is expected
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            category_of("nonsense")

@@ -1,0 +1,124 @@
+"""Unit tests for the error relay (behaviour and cost)."""
+
+import pytest
+
+from repro.core.relay import ErrorRelay, relay_cost
+from repro.errors import ConfigurationError
+from repro.sequential.timber_ff import TimberFlipFlop
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+from repro.timing.graph import TimingGraph
+
+PERIOD = 1000
+INTERVAL = 100
+
+
+def make_pair():
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d1", 0)
+    sim.set_initial("d2", 0)
+    f1 = TimberFlipFlop(sim, name="f1", d="d1", clk="clk", q="q1",
+                        err="e1", interval_ps=INTERVAL)
+    f2 = TimberFlipFlop(sim, name="f2", d="d2", clk="clk", q="q2",
+                        err="e2", interval_ps=INTERVAL)
+    relay = ErrorRelay(sim, "clk", {f2: [f1]}, relay_delay_ps=100)
+    return sim, f1, f2, relay
+
+
+class TestBehaviour:
+    def test_relay_propagates_select_after_error(self):
+        sim, f1, f2, relay = make_pair()
+        sim.drive("d1", 1, PERIOD + 60)  # error at f1 in cycle 1
+        sim.run(2 * PERIOD - 10)         # relay applied after fall at 1.5T
+        assert f2.select_in == 1
+
+    def test_relay_resets_select_after_clean_cycle(self):
+        sim, f1, f2, relay = make_pair()
+        sim.drive("d1", 1, PERIOD + 60)
+        sim.run(3 * PERIOD - 10)  # cycle 2 was clean at f1
+        assert f2.select_in == 0
+
+    def test_two_stage_error_masked_and_flagged(self):
+        sim, f1, f2, relay = make_pair()
+        sim.drive("d1", 1, PERIOD + 60)
+        # f2's data arrives late by f1's borrowed interval + its own 60.
+        sim.drive("d2", 1, 2 * PERIOD + INTERVAL + 60)
+        sim.run(3 * PERIOD)
+        assert f1.flagged_count == 0
+        assert f2.flagged_count == 1
+        assert f2.events[0].borrowed_intervals == 2
+
+    def test_applied_log(self):
+        sim, f1, f2, relay = make_pair()
+        sim.drive("d1", 1, PERIOD + 60)
+        sim.run(2 * PERIOD)
+        applied = [entry for entry in relay.applied if entry[2] == 1]
+        assert applied and applied[0][1] == "f2"
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            ErrorRelay(sim, "clk", {}, relay_delay_ps=-1)
+
+
+@pytest.fixture
+def graph():
+    g = TimingGraph("t", 1000)
+    for name in ("a", "b", "c", "d", "e"):
+        g.add_ff(name)
+    g.add_edge("a", "b", 950)
+    g.add_edge("b", "c", 930)
+    g.add_edge("b", "d", 910)
+    g.add_edge("e", "c", 920)
+    g.add_edge("c", "e", 905)
+    return g
+
+
+class TestCost:
+    def test_counts(self, graph):
+        cost = relay_cost(graph, 10)
+        # Endpoints: b, c, d, e; through FFs: b (ends a->b, starts b->c),
+        # c (ends, starts c->e), e (ends c->e, starts e->c).
+        assert cost.num_protected_ffs == 4
+        assert cost.num_through_ffs == 3
+
+    def test_relayed_inputs_counted_from_through_ffs_only(self, graph):
+        cost = relay_cost(graph, 10)
+        # c receives critical paths from b and e (both through): 2 inputs.
+        # d receives from b: 1.  e receives from c: 1.  b from a: 0 (a is
+        # not a through FF).
+        assert cost.num_relayed_inputs == 4
+        assert cost.worst_fanin == 2
+
+    def test_max_tree_nodes(self, graph):
+        cost = relay_cost(graph, 10)
+        # Only c has fanin > 1 -> one 2-input max node.
+        assert cost.num_max_nodes == 1
+
+    def test_delay_model(self, graph):
+        cost = relay_cost(graph, 10)
+        # Worst fanin 2 -> depth 1 level.
+        assert cost.worst_depth_levels == 1
+        assert cost.worst_delay_ps > 0
+
+    def test_timing_slack(self, graph):
+        cost = relay_cost(graph, 10)
+        slack = cost.timing_slack_percent(1000)
+        assert 0 < slack < 100
+        assert cost.meets_budget(1000)
+
+    def test_area_positive_and_composed(self, graph):
+        cost = relay_cost(graph, 10)
+        assert cost.area > 0
+        assert cost.leakage > 0
+
+    def test_no_critical_paths_no_cost(self):
+        g = TimingGraph("cold", 1000)
+        g.add_ff("x")
+        g.add_ff("y")
+        g.add_edge("x", "y", 100)
+        cost = relay_cost(g, 10)
+        assert cost.num_protected_ffs == 0
+        assert cost.area == 0
+        assert cost.worst_delay_ps == 0

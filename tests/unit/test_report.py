@@ -1,0 +1,61 @@
+"""Unit tests for report assembly."""
+
+import pytest
+
+from repro.analysis.report import (
+    ARTEFACT_TITLES,
+    collect_sections,
+    generate_report,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def out_dir(tmp_path):
+    (tmp_path / "table1_comparison.txt").write_text("TABLE-ONE")
+    (tmp_path / "fig1_critical_path_distribution.txt").write_text("FIG1")
+    (tmp_path / "custom_experiment.txt").write_text("CUSTOM")
+    return tmp_path
+
+
+class TestCollect:
+    def test_known_artefacts_in_order(self, out_dir):
+        sections = collect_sections(out_dir)
+        keys = [s.key for s in sections]
+        assert keys.index("table1_comparison") < keys.index(
+            "fig1_critical_path_distribution")
+
+    def test_unknown_artefacts_appended(self, out_dir):
+        sections = collect_sections(out_dir)
+        assert sections[-1].key == "custom_experiment"
+        assert sections[-1].body == "CUSTOM"
+
+    def test_titles_resolved(self, out_dir):
+        sections = collect_sections(out_dir)
+        table1 = next(s for s in sections if s.key == "table1_comparison")
+        assert "Table 1" in table1.title
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            collect_sections(tmp_path / "nope")
+
+
+class TestGenerate:
+    def test_report_contains_all_bodies(self, out_dir):
+        text = generate_report(out_dir)
+        assert "TABLE-ONE" in text
+        assert "FIG1" in text
+        assert "CUSTOM" in text
+        assert text.startswith("# TIMBER reproduction report")
+
+    def test_custom_title(self, out_dir):
+        text = generate_report(out_dir, title="My run")
+        assert text.startswith("# My run")
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            generate_report(tmp_path)
+
+    def test_every_known_artefact_has_unique_key(self):
+        keys = [key for key, _ in ARTEFACT_TITLES]
+        assert len(keys) == len(set(keys))

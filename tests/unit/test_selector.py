@@ -1,0 +1,112 @@
+"""Unit tests for endpoint-selection policies."""
+
+import pytest
+
+from repro.core.selector import (
+    coverage_curve,
+    endpoint_weights,
+    select_all_critical,
+    select_budgeted,
+)
+from repro.errors import ConfigurationError
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture
+def graph():
+    g = TimingGraph("t", 1000)
+    for name in ("a", "b", "c", "d", "e"):
+        g.add_ff(name)
+    g.add_edge("a", "b", 990)   # nearly at the edge: heavy weight
+    g.add_edge("a", "c", 950)
+    g.add_edge("a", "d", 910)   # barely critical at 10%: light weight
+    g.add_edge("a", "e", 500)   # not critical
+    return g
+
+
+class TestWeights:
+    def test_weights_cover_critical_endpoints_only(self, graph):
+        weights = endpoint_weights(graph, 10.0)
+        assert set(weights) == {"b", "c", "d"}
+
+    def test_more_exposed_endpoints_weigh_more(self, graph):
+        weights = endpoint_weights(graph, 10.0)
+        assert weights["b"] > weights["c"] > weights["d"]
+
+    def test_multiple_edges_accumulate(self, graph):
+        graph.add_edge("c", "b", 980)
+        weights = endpoint_weights(graph, 10.0)
+        single = endpoint_weights_single(graph)
+        assert weights["b"] > single
+
+    def test_weight_bounds(self, graph):
+        for weight in endpoint_weights(graph, 10.0).values():
+            assert 0.0 <= weight <= 1.0  # one edge each here
+
+
+def endpoint_weights_single(graph):
+    threshold = graph.critical_threshold_ps(10.0)
+    window = graph.period_ps - threshold
+    return (990 - threshold) / window
+
+
+class TestAllCritical:
+    def test_selects_every_endpoint(self, graph):
+        result = select_all_critical(graph, 10.0)
+        assert result.selected == frozenset({"b", "c", "d"})
+        assert result.coverage == 1.0
+        assert result.power_overhead_percent > 0
+
+
+class TestBudgeted:
+    def test_zero_budget_selects_nothing(self, graph):
+        result = select_budgeted(graph, 10.0, power_budget_percent=0.0)
+        assert result.num_selected == 0
+        assert result.coverage == 0.0
+
+    def test_huge_budget_matches_all_critical(self, graph):
+        budgeted = select_budgeted(graph, 10.0,
+                                   power_budget_percent=100.0)
+        full = select_all_critical(graph, 10.0)
+        assert budgeted.selected == full.selected
+        assert budgeted.coverage == pytest.approx(1.0)
+
+    def test_greedy_takes_heaviest_first(self, graph):
+        # Budget for exactly one element.
+        from repro.power.models import DesignCostModel
+        model = DesignCostModel()
+        per_element = model.sequential_delta(
+            "DFF", "TIMBER_FF", 1).total_power
+        baseline = model.baseline_costs(graph).total_power
+        one_element_budget = 100.0 * per_element / baseline * 1.01
+        result = select_budgeted(
+            graph, 10.0, power_budget_percent=one_element_budget)
+        assert result.selected == frozenset({"b"})
+
+    def test_budget_respected(self, graph):
+        result = select_budgeted(graph, 10.0, power_budget_percent=5.0)
+        assert result.power_overhead_percent <= 5.0 + 1e-9
+
+    def test_validation(self, graph):
+        with pytest.raises(ConfigurationError):
+            select_budgeted(graph, 10.0, power_budget_percent=-1.0)
+
+
+class TestCoverageCurve:
+    def test_monotone_in_budget(self, graph):
+        curve = coverage_curve(graph, 10.0, budgets=(0.0, 2.0, 5.0, 50.0))
+        coverages = [r.coverage for r in curve]
+        assert coverages == sorted(coverages)
+        overheads = [r.power_overhead_percent for r in curve]
+        assert overheads == sorted(overheads)
+
+    def test_diminishing_returns(self, graph):
+        graph.add_edge("c", "b", 985)  # make b even heavier
+        curve = coverage_curve(graph, 10.0, budgets=(1.2, 2.4, 3.6))
+        gains = [
+            curve[0].coverage,
+            curve[1].coverage - curve[0].coverage,
+            curve[2].coverage - curve[1].coverage,
+        ]
+        nonzero = [g for g in gains if g > 0]
+        assert nonzero == sorted(nonzero, reverse=True)

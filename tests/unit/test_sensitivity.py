@@ -1,0 +1,72 @@
+"""Unit tests for the cost-assumption sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SensitivityResult,
+    overhead_sensitivity,
+)
+from repro.errors import AnalysisError
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = TimingGraph("t", 1000)
+    for index in range(40):
+        g.add_ff(f"f{index}")
+    for index in range(20):
+        g.add_edge(f"f{index}", f"f{index + 20}", 950)
+    for index in range(20, 39):
+        g.add_edge(f"f{index}", f"f{index + 1}", 500)
+    return g
+
+
+@pytest.fixture(scope="module")
+def result(graph):
+    return overhead_sensitivity(graph, percent_checking=10.0)
+
+
+class TestSweep:
+    def test_points_cover_requested_fractions(self, result):
+        fractions = [p.sequential_power_fraction for p in result.points]
+        assert fractions == [0.10, 0.15, 0.20, 0.30, 0.40]
+
+    def test_overhead_monotone_in_fraction(self, result):
+        """More sequential power share -> replacing FFs costs more."""
+        ff = [p.ff_power_overhead_percent for p in result.points]
+        latch = [p.latch_power_overhead_percent for p in result.points]
+        assert ff == sorted(ff)
+        assert latch == sorted(latch)
+
+    def test_near_linear_in_fraction(self, result):
+        """First-order model: overhead ~ fraction * replaced * (r-1)."""
+        points = result.points
+        ratio_low = (points[0].ff_power_overhead_percent
+                     / points[0].sequential_power_fraction)
+        ratio_high = (points[-1].ff_power_overhead_percent
+                      / points[-1].sequential_power_fraction)
+        assert ratio_high == pytest.approx(ratio_low, rel=0.25)
+
+    def test_conclusion_robust_latch_cheaper(self, result):
+        # The qualitative Fig.-8 conclusion must not depend on the
+        # assumption: the latch is cheaper at every fraction.
+        assert result.latch_always_cheaper()
+
+    def test_ranges(self, result):
+        lo, hi = result.ff_overhead_range
+        assert 0 < lo < hi
+
+    def test_result_type(self, result):
+        assert isinstance(result, SensitivityResult)
+        assert result.percent_checking == 10.0
+
+
+class TestValidation:
+    def test_bad_fraction_rejected(self, graph):
+        with pytest.raises(AnalysisError):
+            overhead_sensitivity(graph, fractions=(0.0,))
+
+    def test_fraction_above_one_rejected(self, graph):
+        with pytest.raises(AnalysisError):
+            overhead_sensitivity(graph, fractions=(1.5,))

@@ -1,0 +1,100 @@
+"""Unit tests for useful-skew scheduling."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.timing.graph import TimingGraph
+from repro.timing.skew import schedule_useful_skew, skewed_graph
+
+
+@pytest.fixture
+def unbalanced():
+    """a -> b (fast stage) -> c (slow stage): classic skew target."""
+    g = TimingGraph("unbal", 1000)
+    for name in ("a", "b", "c"):
+        g.add_ff(name)
+    g.add_edge("a", "b", 400)
+    g.add_edge("b", "c", 990)
+    return g
+
+
+class TestScheduling:
+    def test_improves_worst_slack(self, unbalanced):
+        schedule = schedule_useful_skew(unbalanced, max_skew_ps=200)
+        assert schedule.improvement_ps > 0
+        assert schedule.worst_slack_after_ps > \
+            schedule.worst_slack_before_ps
+
+    def test_balances_toward_midpoint(self, unbalanced):
+        # b launching earlier gives the slow stage extra time; with a
+        # generous bound the two slacks equalise: (600+10)/2 each.
+        schedule = schedule_useful_skew(unbalanced, max_skew_ps=500)
+        slack_in = schedule.edge_slack_ps("a", "b", 400)
+        slack_out = schedule.edge_slack_ps("b", "c", 990)
+        assert abs(slack_in - slack_out) <= 2
+
+    def test_respects_skew_bound(self, unbalanced):
+        schedule = schedule_useful_skew(unbalanced, max_skew_ps=100)
+        assert all(abs(s) <= 100 for s in schedule.offsets.values())
+
+    def test_min_feasible_period_improves(self, unbalanced):
+        schedule = schedule_useful_skew(unbalanced, max_skew_ps=200)
+        assert schedule.min_feasible_period_ps() < 990
+        assert schedule.min_feasible_period_ps(setup_ps=30) == \
+            schedule.min_feasible_period_ps() + 30
+
+    def test_balanced_graph_needs_no_skew(self):
+        g = TimingGraph("bal", 1000)
+        for name in ("x", "y", "z"):
+            g.add_ff(name)
+        g.add_edge("x", "y", 700)
+        g.add_edge("y", "z", 700)
+        schedule = schedule_useful_skew(g, max_skew_ps=200)
+        assert schedule.improvement_ps == 0
+        assert all(abs(s) <= 1 for s in schedule.offsets.values())
+
+    def test_critical_cycle_cannot_improve(self):
+        # Two equal critical edges forming a loop: the cycle mean bounds
+        # any schedule; slack balancing must not hurt.
+        g = TimingGraph("loop", 1000)
+        g.add_ff("p")
+        g.add_ff("q")
+        g.add_edge("p", "q", 950)
+        g.add_edge("q", "p", 950)
+        schedule = schedule_useful_skew(g, max_skew_ps=300)
+        assert schedule.worst_slack_after_ps >= \
+            schedule.worst_slack_before_ps
+        assert schedule.min_feasible_period_ps() >= 950
+
+    def test_empty_graph_rejected(self):
+        g = TimingGraph("empty", 1000)
+        g.add_ff("only")
+        with pytest.raises(AnalysisError):
+            schedule_useful_skew(g, max_skew_ps=100)
+
+    def test_negative_bound_rejected(self, unbalanced):
+        with pytest.raises(AnalysisError):
+            schedule_useful_skew(unbalanced, max_skew_ps=-1)
+
+
+class TestSkewedGraph:
+    def test_effective_delays_folded(self, unbalanced):
+        schedule = schedule_useful_skew(unbalanced, max_skew_ps=200)
+        folded = skewed_graph(unbalanced, schedule)
+        offset_b = schedule.offsets["b"]
+        edge_ab = next(e for e in folded.edges() if e.dst == "b")
+        assert edge_ab.delay_ps == 400 + schedule.offsets["a"] - offset_b
+
+    def test_folding_reduces_critical_endpoint_count(self, unbalanced):
+        schedule = schedule_useful_skew(unbalanced, max_skew_ps=200)
+        folded = skewed_graph(unbalanced, schedule)
+        before = len(unbalanced.critical_endpoints(10.0))
+        after = len(folded.critical_endpoints(10.0))
+        # The 990 ps edge gained real slack: it leaves the top-10% band.
+        assert after < before
+
+    def test_folded_graph_same_structure(self, unbalanced):
+        schedule = schedule_useful_skew(unbalanced, max_skew_ps=200)
+        folded = skewed_graph(unbalanced, schedule)
+        assert folded.num_ffs == unbalanced.num_ffs
+        assert folded.num_edges == unbalanced.num_edges

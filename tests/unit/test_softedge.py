@@ -1,0 +1,88 @@
+"""Unit tests for the soft-edge flip-flop baseline."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.core.masking import soft_edge_capture
+from repro.errors import ConfigurationError
+from repro.pipeline.schemes import SoftEdgePolicy
+from repro.sequential.softedge import SoftEdgeFlipFlop
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+PERIOD = 1000
+WINDOW = 120
+
+
+@pytest.fixture
+def ssim():
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    ff = SoftEdgeFlipFlop(sim, name="se", d="d", clk="clk", q="q",
+                          window_ps=WINDOW)
+    return sim, ff
+
+
+class TestBehaviouralElement:
+    def test_on_time_capture(self, ssim):
+        sim, ff = ssim
+        sim.drive("d", 1, 500)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert ff.borrow_count == 0
+
+    def test_window_borrow_silent(self, ssim):
+        sim, ff = ssim
+        sim.drive("d", 1, PERIOD + 80)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert ff.borrow_count == 1
+        assert ff.borrows[0].borrowed_ps == 80
+
+    def test_beyond_window_silently_lost(self, ssim):
+        sim, ff = ssim
+        sim.drive("d", 1, PERIOD + WINDOW + 40)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ZERO  # missed, and nobody knows
+
+    def test_no_error_signal_exists(self, ssim):
+        sim, ff = ssim
+        # The element exposes no err output at all — observability is
+        # the structural difference from TIMBER.
+        assert not hasattr(ff, "err")
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            SoftEdgeFlipFlop(sim, name="se", d="d", clk="clk", q="q",
+                             window_ps=0)
+
+
+class TestCaptureSemantics:
+    def test_clean(self):
+        assert soft_edge_capture(0, WINDOW).correct_state
+
+    def test_masked_without_flag(self):
+        outcome = soft_edge_capture(80, WINDOW)
+        assert outcome.masked
+        assert not outcome.flagged
+        assert outcome.borrowed_ps == 80
+
+    def test_failed_beyond_window(self):
+        assert soft_edge_capture(WINDOW + 1, WINDOW).failed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            soft_edge_capture(10, 0)
+
+
+class TestPolicy:
+    def test_policy_masks_and_never_flags(self):
+        policy = SoftEdgePolicy(3, window_ps=WINDOW)
+        outcome = policy.capture(0, 80)
+        assert outcome.masked and not outcome.flagged
+        assert policy.max_borrowable_ps() == WINDOW
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoftEdgePolicy(3, window_ps=0)

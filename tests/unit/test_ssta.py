@@ -1,0 +1,105 @@
+"""Unit tests for Monte-Carlo statistical timing analysis."""
+
+import pytest
+
+from repro.circuit.generate import inverter_chain, random_stage
+from repro.errors import AnalysisError
+from repro.timing.ssta import run_ssta
+from repro.variability import ConstantVariation, LocalVariation
+
+
+class TestBasics:
+    def test_no_variability_no_violations_with_slack(self):
+        chain = inverter_chain(4)
+        result = run_ssta(chain, period_ps=10_000,
+                          variability=ConstantVariation(1.0), trials=10)
+        stats = result.endpoints[chain.capture_nets[0]]
+        assert stats.violations == 0
+        assert result.any_violation_probability == 0.0
+
+    def test_constant_overdelay_always_violates(self):
+        chain = inverter_chain(10)
+        # 10 INV * 12 ps = 120 ps + 45 clk->q; period 160, setup 30:
+        # deadline 130 < 165 -> violation every trial.
+        result = run_ssta(chain, period_ps=160,
+                          variability=ConstantVariation(1.0), trials=20)
+        stats = result.endpoints[chain.capture_nets[0]]
+        assert stats.violations == 20
+        assert stats.violation_probability == 1.0
+        assert stats.max_lateness_ps > 0
+        assert result.any_violation_probability == 1.0
+
+    def test_lateness_accounting(self):
+        chain = inverter_chain(10)
+        result = run_ssta(chain, period_ps=160,
+                          variability=ConstantVariation(1.0), trials=5)
+        stats = result.endpoints[chain.capture_nets[0]]
+        assert stats.mean_lateness_ps == pytest.approx(
+            stats.max_lateness_ps)  # constant factor: identical trials
+
+    def test_validation(self):
+        chain = inverter_chain(2)
+        with pytest.raises(AnalysisError):
+            run_ssta(chain, period_ps=1000,
+                     variability=ConstantVariation(1.0), trials=0)
+        with pytest.raises(AnalysisError):
+            run_ssta(chain, period_ps=0,
+                     variability=ConstantVariation(1.0))
+
+
+class TestStatistics:
+    @pytest.fixture(scope="class")
+    def marginal_result(self):
+        """A chain whose nominal arrival sits just below the deadline,
+        so Gaussian jitter violates roughly half the trials."""
+        chain = inverter_chain(20)  # 240 ps + 45 = 285 nominal
+        return run_ssta(
+            chain, period_ps=315,  # deadline 285 == nominal arrival
+            variability=LocalVariation(sigma=0.05, seed=5),
+            trials=400,
+        )
+
+    def test_violation_probability_near_half(self, marginal_result):
+        stats = next(iter(marginal_result.endpoints.values()))
+        assert 0.25 < stats.violation_probability < 0.75
+
+    def test_any_violation_at_least_per_endpoint(self, marginal_result):
+        stats = next(iter(marginal_result.endpoints.values()))
+        assert marginal_result.any_violation_probability >= \
+            stats.violation_probability
+
+    def test_required_margin_covers_worst(self, marginal_result):
+        margin = marginal_result.required_margin_ps(coverage=1.0)
+        worst = marginal_result.worst_endpoint()
+        assert margin == worst.max_lateness_ps
+
+    def test_required_margin_validation(self, marginal_result):
+        with pytest.raises(AnalysisError):
+            marginal_result.required_margin_ps(coverage=0.0)
+
+
+class TestMultiEndpoint:
+    def test_per_endpoint_statistics_distinct(self):
+        stage = random_stage(num_inputs=6, num_outputs=4, depth=6,
+                             width=8, seed=21)
+        result = run_ssta(
+            stage, period_ps=230,
+            variability=LocalVariation(sigma=0.04, seed=9), trials=200)
+        assert len(result.endpoints) == 4
+        probabilities = {
+            stats.violation_probability
+            for stats in result.endpoints.values()
+        }
+        assert len(probabilities) >= 2  # different cones, different risk
+
+    def test_worst_endpoint_is_max(self):
+        stage = random_stage(num_inputs=6, num_outputs=4, depth=6,
+                             width=8, seed=21)
+        result = run_ssta(
+            stage, period_ps=230,
+            variability=LocalVariation(sigma=0.04, seed=9), trials=100)
+        worst = result.worst_endpoint()
+        assert all(
+            worst.violation_probability >= s.violation_probability
+            for s in result.endpoints.values()
+        )

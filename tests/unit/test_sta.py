@@ -1,0 +1,107 @@
+"""Unit tests for static timing analysis."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.generate import inverter_chain, random_stage
+from repro.circuit.netlist import Netlist
+from repro.errors import AnalysisError
+from repro.timing.sta import (
+    netlist_to_timing_graph,
+    register_to_register_delays,
+    run_sta,
+)
+
+
+@pytest.fixture
+def diamond():
+    """a -> (short inv path | long 3-inv path) -> NAND2 -> out."""
+    netlist = Netlist("diamond", default_library())
+    netlist.add_input("a", registered=True)
+    netlist.add_gate("i1", "INV", ["a"], "n1")
+    netlist.add_gate("i2", "INV", ["n1"], "n2")
+    netlist.add_gate("i3", "INV", ["n2"], "n3")
+    netlist.add_gate("s1", "INV", ["a"], "m1")
+    netlist.add_gate("join", "NAND2", ["n3", "m1"], "out")
+    netlist.add_output("out", registered=True)
+    return netlist
+
+
+class TestArrivalTimes:
+    def test_max_takes_long_branch(self, diamond):
+        result = run_sta(diamond, 1000, clk_to_q_ps=0, setup_ps=0)
+        inv = diamond.library["INV"].delay_ps
+        nand = diamond.library["NAND2"].delay_ps
+        assert result.max_arrival["out"] == 3 * inv + nand
+
+    def test_min_takes_short_branch(self, diamond):
+        result = run_sta(diamond, 1000, clk_to_q_ps=0, setup_ps=0)
+        inv = diamond.library["INV"].delay_ps
+        nand = diamond.library["NAND2"].delay_ps
+        assert result.min_arrival["out"] == inv + nand
+
+    def test_clk_to_q_added_at_launch(self, diamond):
+        with_q = run_sta(diamond, 1000, clk_to_q_ps=45, setup_ps=0)
+        without = run_sta(diamond, 1000, clk_to_q_ps=0, setup_ps=0)
+        assert with_q.max_arrival["out"] == without.max_arrival["out"] + 45
+
+
+class TestSlack:
+    def test_slack_formula(self, diamond):
+        result = run_sta(diamond, 1000, clk_to_q_ps=45, setup_ps=30)
+        assert result.slack["out"] == 1000 - 30 - result.max_arrival["out"]
+
+    def test_meets_timing(self, diamond):
+        assert run_sta(diamond, 1000).meets_timing()
+        assert not run_sta(diamond, 60).meets_timing()
+
+    def test_worst_slack_and_critical_net(self, diamond):
+        result = run_sta(diamond, 1000)
+        assert result.worst_slack == result.slack["out"]
+        assert result.critical_capture_net == "out"
+
+    def test_no_captures_raises(self):
+        netlist = Netlist("empty", default_library())
+        netlist.add_input("a", registered=True)
+        result = run_sta(netlist, 1000)
+        with pytest.raises(AnalysisError):
+            _ = result.worst_slack
+
+
+class TestRegisterToRegister:
+    def test_chain_single_pair(self):
+        chain = inverter_chain(4)
+        delays = register_to_register_delays(chain, clk_to_q_ps=45)
+        inv = chain.library["INV"].delay_ps
+        assert delays == {("in", chain.capture_nets[0]): 45 + 4 * inv}
+
+    def test_random_stage_all_pairs_reachable(self):
+        stage = random_stage(num_inputs=4, num_outputs=3, depth=3, width=6,
+                             seed=5)
+        delays = register_to_register_delays(stage)
+        # Every capture net must be reachable from at least one input.
+        captured = {capture for (_, capture) in delays}
+        assert captured == set(stage.capture_nets)
+
+    def test_pairwise_max_consistent_with_sta(self):
+        stage = random_stage(num_inputs=4, num_outputs=3, depth=4, width=6,
+                             seed=8)
+        delays = register_to_register_delays(stage, clk_to_q_ps=45)
+        sta = run_sta(stage, 10_000, clk_to_q_ps=45)
+        for capture in stage.capture_nets:
+            per_pair_max = max(
+                delay for (_, cap), delay in delays.items()
+                if cap == capture
+            )
+            assert per_pair_max == sta.max_arrival[capture]
+
+
+class TestGraphReduction:
+    def test_netlist_to_timing_graph(self):
+        chain = inverter_chain(4)
+        graph = netlist_to_timing_graph(chain, 1000, clk_to_q_ps=45)
+        assert graph.num_ffs == 2
+        assert graph.num_edges == 1
+        inv = chain.library["INV"].delay_ps
+        edge = next(iter(graph.edges()))
+        assert edge.delay_ps == 45 + 4 * inv

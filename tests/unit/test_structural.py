@@ -1,0 +1,129 @@
+"""Unit tests for latch-level structural TIMBER circuits."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.core.structural import StructuralTimberFF, StructuralTimberLatch
+from repro.errors import ConfigurationError
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+PERIOD = 1000
+INTERVAL = 100
+
+
+def make_ff(enabled=True, select=0):
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    ff = StructuralTimberFF(sim, name="f", d="d", clk="clk", q="q",
+                            err="err", interval_ps=INTERVAL,
+                            enabled=enabled)
+    ff.set_select(select)
+    return sim, ff
+
+
+def make_latch(enabled=True):
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    latch = StructuralTimberLatch(sim, name="l", d="d", clk="clk", q="q",
+                                  err="err", tb_ps=INTERVAL,
+                                  checking_ps=3 * INTERVAL,
+                                  enabled=enabled)
+    return sim, latch
+
+
+class TestStructuralFF:
+    def test_clean_capture(self):
+        sim, ff = make_ff()
+        sim.drive("d", 1, 500)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert sim.value("err") is Logic.ZERO
+
+    def test_single_stage_masked_not_flagged(self):
+        sim, ff = make_ff()
+        sim.drive("d", 1, PERIOD + 60)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert sim.value("err") is Logic.ZERO  # TB interval
+        assert ff.select_out in (0, 1)  # reset on the next clean fall
+
+    def test_select_out_set_after_error_cycle_fall(self):
+        sim, ff = make_ff()
+        sim.drive("d", 1, PERIOD + 60)
+        sim.run(PERIOD + PERIOD // 2 + 50)  # just after the falling edge
+        assert ff.select_out == 1
+
+    def test_relayed_error_flags(self):
+        sim, ff = make_ff(select=1)
+        sim.drive("d", 1, PERIOD + 160)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert sim.value("err") is Logic.ONE
+
+    def test_disabled_is_conventional(self):
+        sim, ff = make_ff(enabled=False)
+        sim.drive("d", 1, PERIOD + 60)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ZERO
+        assert sim.value("err") is Logic.ZERO
+
+    def test_clear_error(self):
+        sim, ff = make_ff(select=1)
+        sim.drive("d", 1, PERIOD + 160)
+        sim.run(2 * PERIOD)
+        ff.clear_error()
+        sim.run(2 * PERIOD + 10)
+        assert sim.value("err") is Logic.ZERO
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            StructuralTimberFF(sim, name="f", d="d", clk="clk", q="q",
+                               err="e", interval_ps=0)
+
+
+class TestStructuralLatch:
+    def test_clean_capture(self):
+        sim, latch = make_latch()
+        sim.drive("d", 1, 500)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert sim.value("err") is Logic.ZERO
+
+    def test_tb_arrival_masked_silent(self):
+        sim, latch = make_latch()
+        sim.drive("d", 1, PERIOD + 60)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert sim.value("err") is Logic.ZERO
+
+    def test_ed_arrival_masked_flagged(self):
+        sim, latch = make_latch()
+        sim.drive("d", 1, PERIOD + 200)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert sim.value("err") is Logic.ONE
+
+    def test_glitch_propagates_to_q(self):
+        sim, latch = make_latch()
+        changes = []
+        sim.on_change("q", lambda s, n, v, t: changes.append(v))
+        sim.drive("d", 1, PERIOD + 120)
+        sim.drive("d", 0, PERIOD + 200)
+        sim.run(2 * PERIOD)
+        assert Logic.ONE in changes and changes[-1] is Logic.ZERO
+
+    def test_disabled_narrow_windows(self):
+        sim, latch = make_latch(enabled=False)
+        sim.drive("d", 1, PERIOD + 60)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ZERO
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            StructuralTimberLatch(sim, name="l", d="d", clk="clk", q="q",
+                                  err="e", tb_ps=200, checking_ps=100)

@@ -1,0 +1,41 @@
+"""Unit tests for plain-text table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_series, format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]], float_digits=3)
+        assert "3.142" in text
+
+    def test_truncation(self):
+        text = format_table(["x"], [["y" * 100]], max_col_width=10)
+        assert "yyyyyyyyy…" in text
+
+    def test_row_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        text = format_series("s", [10, 20], [1.5, 2.5])
+        assert "10=1.50" in text and "20=2.50" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_series("s", [1], [1.0, 2.0])

@@ -1,0 +1,166 @@
+"""Unit tests for the behavioural TIMBER flip-flop."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.timber_ff import TimberFlipFlop
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+PERIOD = 1000
+INTERVAL = 100
+
+
+@pytest.fixture
+def tsim():
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    ff = TimberFlipFlop(sim, name="f", d="d", clk="clk", q="q", err="err",
+                        interval_ps=INTERVAL, num_intervals=3,
+                        num_tb_intervals=1)
+    return sim, ff
+
+
+class TestConstruction:
+    def test_rejects_zero_interval(self, sim):
+        with pytest.raises(ConfigurationError):
+            TimberFlipFlop(sim, name="f", d="d", clk="clk", q="q",
+                           err="e", interval_ps=0)
+
+    def test_rejects_bad_tb_count(self, sim):
+        with pytest.raises(ConfigurationError):
+            TimberFlipFlop(sim, name="f", d="d", clk="clk", q="q",
+                           err="e", interval_ps=100, num_intervals=2,
+                           num_tb_intervals=3)
+
+    def test_err_initially_low(self, tsim):
+        sim, _ = tsim
+        assert sim.value("err") is Logic.ZERO
+
+
+class TestNoError:
+    def test_on_time_data_behaves_like_dff(self, tsim):
+        sim, ff = tsim
+        sim.drive("d", 1, 500)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert ff.masked_count == 0
+        assert ff.select_out == 0
+
+    def test_no_spurious_flag(self, tsim):
+        sim, ff = tsim
+        sim.drive("d", 1, 500)
+        sim.drive("d", 0, 1500)
+        sim.run(4 * PERIOD)
+        assert sim.value("err") is Logic.ZERO
+        assert ff.flagged_count == 0
+
+
+class TestSingleStageMasking:
+    def test_tb_interval_masks_without_flag(self, tsim):
+        sim, ff = tsim
+        sim.drive("d", 1, PERIOD + 60)  # 60 ps late, within interval 1
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE      # masked
+        assert sim.value("err") is Logic.ZERO   # TB: not flagged
+        assert ff.masked_count == 1
+        event = ff.events[0]
+        assert event.borrowed_intervals == 1
+        assert event.borrowed_ps == INTERVAL
+        assert not event.flagged
+
+    def test_select_out_increments(self, tsim):
+        sim, ff = tsim
+        sim.drive("d", 1, PERIOD + 60)
+        sim.run(PERIOD + INTERVAL + 10)
+        assert ff.select_out == 1
+
+    def test_select_out_resets_on_clean_cycle(self, tsim):
+        sim, ff = tsim
+        sim.drive("d", 1, PERIOD + 60)
+        sim.run(3 * PERIOD)  # next cycle is clean
+        assert ff.select_out == 0
+
+    def test_q_corrected_at_delayed_sample(self, tsim):
+        sim, ff = tsim
+        changes = []
+        sim.on_change("q", lambda s, n, v, t: changes.append((t, v)))
+        sim.drive("d", 1, PERIOD + 60)
+        sim.run(2 * PERIOD)
+        correction = [c for c in changes if c[1] is Logic.ONE]
+        assert correction
+        # M1 samples at edge + interval; the mux adds its small delay.
+        assert correction[0][0] == PERIOD + INTERVAL + ff.mux_delay_ps
+
+
+class TestMultiStageMasking:
+    def test_relayed_select_borrows_ed_interval_and_flags(self, tsim):
+        sim, ff = tsim
+        ff.set_select(1)  # relay says fanin already borrowed one interval
+        sim.drive("d", 1, PERIOD + 160)  # within 2 intervals
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert sim.value("err") is Logic.ONE  # ED interval -> flagged
+        event = ff.events[0]
+        assert event.borrowed_intervals == 2
+        assert event.flagged
+
+    def test_flag_latched_on_falling_edge(self, tsim):
+        sim, ff = tsim
+        ff.set_select(1)
+        sim.drive("d", 1, PERIOD + 160)
+        # Just before the falling edge of the error cycle the flag is
+        # still low; it latches at the falling edge (PERIOD + 500).
+        sim.run(PERIOD + 499)
+        assert sim.value("err") is Logic.ZERO
+        sim.run(PERIOD + 500)
+        assert sim.value("err") is Logic.ONE
+
+    def test_select_saturates_at_num_intervals(self, tsim):
+        _, ff = tsim
+        ff.set_select(17)
+        assert ff.select_in == 2  # k-1 for k=3
+
+    def test_negative_select_rejected(self, tsim):
+        _, ff = tsim
+        with pytest.raises(ConfigurationError):
+            ff.set_select(-1)
+
+
+class TestMetastabilityResolution:
+    def test_m0_x_resolved_by_m1(self, tsim):
+        sim, ff = tsim
+        # Violate M0's setup aperture: M0 samples X, M1 resolves.
+        sim.drive("d", 1, PERIOD - 5)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert ff.masked_count == 1
+        assert ff.events[0].m0_value is Logic.X
+        assert ff.events[0].m1_value is Logic.ONE
+
+
+class TestDisabled:
+    def test_disabled_behaves_like_dff(self):
+        sim = Simulator()
+        ClockGenerator(sim, "clk", PERIOD)
+        sim.set_initial("d", 0)
+        ff = TimberFlipFlop(sim, name="f", d="d", clk="clk", q="q",
+                            err="err", interval_ps=INTERVAL, enabled=False)
+        sim.drive("d", 1, PERIOD + 60)  # late: a plain FF misses it
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ZERO
+        assert ff.masked_count == 0
+
+
+class TestErrorClear:
+    def test_clear_error(self, tsim):
+        sim, ff = tsim
+        ff.set_select(1)
+        sim.drive("d", 1, PERIOD + 160)
+        sim.run(2 * PERIOD)
+        assert sim.value("err") is Logic.ONE
+        ff.clear_error()
+        sim.run(2 * PERIOD + 10)
+        assert sim.value("err") is Logic.ZERO

@@ -1,0 +1,138 @@
+"""Unit tests for the behavioural TIMBER latch."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sequential.timber_latch import TimberLatch
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+
+PERIOD = 1000
+TB = 100
+CHECK = 300
+
+
+@pytest.fixture
+def lsim():
+    sim = Simulator()
+    ClockGenerator(sim, "clk", PERIOD)
+    sim.set_initial("d", 0)
+    latch = TimberLatch(sim, name="l", d="d", clk="clk", q="q", err="err",
+                        tb_ps=TB, checking_ps=CHECK)
+    return sim, latch
+
+
+class TestConstruction:
+    def test_rejects_zero_tb(self, sim):
+        with pytest.raises(ConfigurationError):
+            TimberLatch(sim, name="l", d="d", clk="clk", q="q", err="e",
+                        tb_ps=0, checking_ps=100)
+
+    def test_rejects_check_shorter_than_tb(self, sim):
+        with pytest.raises(ConfigurationError):
+            TimberLatch(sim, name="l", d="d", clk="clk", q="q", err="e",
+                        tb_ps=200, checking_ps=100)
+
+
+class TestNoError:
+    def test_on_time_data_no_flag(self, lsim):
+        sim, latch = lsim
+        sim.drive("d", 1, 600)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert sim.value("err") is Logic.ZERO
+        assert latch.flagged_count == 0
+
+    def test_never_flags_false_error(self, lsim):
+        # The paper's guarantee: glitch-free on-time data cannot flag.
+        sim, latch = lsim
+        for cycle in range(1, 6):
+            sim.drive("d", cycle % 2, cycle * PERIOD - 400)
+        sim.run(7 * PERIOD)
+        assert latch.flagged_count == 0
+
+
+class TestContinuousBorrowing:
+    def test_tb_arrival_masked_not_flagged(self, lsim):
+        sim, latch = lsim
+        sim.drive("d", 1, PERIOD + 60)  # inside the TB interval
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE
+        assert sim.value("err") is Logic.ZERO
+        borrow = latch.borrow_events
+        assert len(borrow) == 1
+        assert borrow[0].borrowed_ps == 60  # exactly the lateness
+        assert not borrow[0].flagged
+
+    def test_ed_arrival_masked_and_flagged(self, lsim):
+        sim, latch = lsim
+        sim.drive("d", 1, PERIOD + 200)  # past TB, inside checking period
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ONE   # still masked
+        assert sim.value("err") is Logic.ONE
+        assert latch.flagged_count == 1
+        assert latch.borrow_events[0].borrowed_ps == 200
+
+    def test_arrival_after_checking_period_missed(self, lsim):
+        sim, latch = lsim
+        sim.drive("d", 1, PERIOD + CHECK + 50)
+        sim.run(2 * PERIOD)
+        # The slave closed before the data arrived: old value captured.
+        record = latch.records[-1]
+        assert record.slave_value is Logic.ZERO
+
+    def test_q_transitions_at_arrival_time(self, lsim):
+        sim, latch = lsim
+        changes = []
+        sim.on_change("q", lambda s, n, v, t: changes.append((t, v)))
+        sim.drive("d", 1, PERIOD + 150)
+        sim.run(2 * PERIOD)
+        ones = [t for t, v in changes if v is Logic.ONE]
+        # Continuous borrowing: output follows arrival + latch delay,
+        # not a discrete interval boundary.
+        assert ones[0] == PERIOD + 150 + latch.clk_to_q_ps
+
+
+class TestGlitchPropagation:
+    def test_glitch_in_checking_period_reaches_q(self, lsim):
+        sim, latch = lsim
+        changes = []
+        sim.on_change("q", lambda s, n, v, t: changes.append(v))
+        # A 0->1->0 glitch inside the checking window.
+        sim.drive("d", 1, PERIOD + 120)
+        sim.drive("d", 0, PERIOD + 180)
+        sim.run(2 * PERIOD)
+        assert Logic.ONE in changes and changes[-1] is Logic.ZERO
+
+    def test_glitch_settling_in_tb_does_not_flag(self, lsim):
+        sim, latch = lsim
+        # Glitch fully inside the TB interval: master and slave both see
+        # the settled value on the falling edge.
+        sim.drive("d", 1, PERIOD + 20)
+        sim.drive("d", 0, PERIOD + 80)
+        sim.run(2 * PERIOD)
+        assert latch.flagged_count == 0
+
+
+class TestDisabled:
+    def test_disabled_is_conventional(self):
+        sim = Simulator()
+        ClockGenerator(sim, "clk", PERIOD)
+        sim.set_initial("d", 0)
+        TimberLatch(sim, name="l", d="d", clk="clk", q="q", err="err",
+                    tb_ps=TB, checking_ps=CHECK, enabled=False)
+        sim.drive("d", 1, PERIOD + 60)
+        sim.run(2 * PERIOD)
+        assert sim.value("q") is Logic.ZERO  # late data missed
+        assert sim.value("err") is Logic.ZERO
+
+
+class TestErrorClear:
+    def test_clear(self, lsim):
+        sim, latch = lsim
+        sim.drive("d", 1, PERIOD + 200)
+        sim.run(2 * PERIOD)
+        latch.clear_error()
+        sim.run(2 * PERIOD + 10)
+        assert sim.value("err") is Logic.ZERO

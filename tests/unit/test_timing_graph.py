@@ -1,0 +1,121 @@
+"""Unit tests for the FF-level timing graph."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture
+def graph():
+    g = TimingGraph("t", 1000)
+    for name in ("a", "b", "c", "d"):
+        g.add_ff(name)
+    g.add_edge("a", "b", 950)   # critical (top 10%)
+    g.add_edge("b", "c", 920)   # critical (top 10%)
+    g.add_edge("a", "c", 700)
+    g.add_edge("c", "d", 400)
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, graph):
+        assert graph.num_ffs == 4
+        assert graph.num_edges == 4
+
+    def test_duplicate_ff_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            graph.add_ff("a")
+
+    def test_unknown_ff_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            graph.add_edge("a", "zz", 100)
+
+    def test_delay_beyond_period_rejected(self, graph):
+        # The static design must meet timing at sign-off.
+        with pytest.raises(ConfigurationError, match="sign-off"):
+            graph.add_edge("a", "d", 1001)
+
+    def test_negative_delay_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            graph.add_edge("a", "d", -1)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingGraph("t", 0)
+
+    def test_from_edges(self):
+        g = TimingGraph.from_edges("t", 1000,
+                                   [("x", "y", 900), ("y", "z", 500)])
+        assert g.num_ffs == 3
+        assert g.max_in_delay("y") == 900
+
+
+class TestDelays:
+    def test_max_in_delay(self, graph):
+        assert graph.max_in_delay("c") == 920
+        assert graph.max_in_delay("a") == 0
+
+    def test_max_out_delay(self, graph):
+        assert graph.max_out_delay("a") == 950
+        assert graph.max_out_delay("d") == 0
+
+    def test_in_out_edges(self, graph):
+        assert {e.src for e in graph.in_edges("c")} == {"a", "b"}
+        assert {e.dst for e in graph.out_edges("a")} == {"b", "c"}
+
+
+class TestCriticality:
+    def test_threshold(self, graph):
+        assert graph.critical_threshold_ps(10) == 900
+        assert graph.critical_threshold_ps(40) == 600
+
+    def test_threshold_validates_percent(self, graph):
+        with pytest.raises(AnalysisError):
+            graph.critical_threshold_ps(0)
+        with pytest.raises(AnalysisError):
+            graph.critical_threshold_ps(101)
+
+    def test_critical_edges(self, graph):
+        crit = graph.critical_edges(10)
+        assert {(e.src, e.dst) for e in crit} == {("a", "b"), ("b", "c")}
+
+    def test_endpoints_startpoints(self, graph):
+        assert graph.critical_endpoints(10) == {"b", "c"}
+        assert graph.critical_startpoints(10) == {"a", "b"}
+
+    def test_through_ffs(self, graph):
+        # b ends a->b and starts b->c: the only multi-stage-susceptible FF.
+        assert graph.critical_through_ffs(10) == {"b"}
+
+    def test_wider_threshold_is_superset(self, graph):
+        assert graph.critical_endpoints(10) <= graph.critical_endpoints(40)
+
+    def test_critical_fanin_count(self, graph):
+        # c's critical fanin from through-FFs: b->c (b is a through FF).
+        assert graph.critical_fanin_count("c", 10) == 1
+        # b's critical fanin a->b, but a is not a through FF.
+        assert graph.critical_fanin_count("b", 10) == 0
+
+
+class TestChains:
+    def test_two_stage_chain_found(self, graph):
+        chains = graph.critical_chains(10, max_length=3)
+        pairs = [
+            [(e.src, e.dst) for e in chain] for chain in chains
+        ]
+        assert [("a", "b"), ("b", "c")] in pairs
+
+    def test_chain_length_bound(self, graph):
+        chains = graph.critical_chains(10, max_length=1)
+        assert all(len(chain) == 1 for chain in chains)
+
+    def test_cycle_does_not_hang(self):
+        g = TimingGraph("loop", 1000)
+        g.add_ff("x")
+        g.add_ff("y")
+        g.add_edge("x", "y", 950)
+        g.add_edge("y", "x", 960)
+        chains = g.critical_chains(10, max_length=5)
+        assert chains  # terminates and finds the chains
+        assert max(len(c) for c in chains) <= 5

@@ -1,0 +1,112 @@
+"""Unit tests for workload traces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.graph_sim import GraphPipelineSimulation
+from repro.processor.trace import Phase, WorkloadTrace, synthetic_trace
+from repro.timing.graph import TimingGraph
+from repro.variability import ConstantVariation
+
+
+class TestPhase:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Phase(name="p", cycles=0, sensitization_scale=1.0)
+        with pytest.raises(ConfigurationError):
+            Phase(name="p", cycles=10, sensitization_scale=-1.0)
+
+
+class TestTrace:
+    @pytest.fixture
+    def trace(self):
+        return WorkloadTrace([
+            Phase("a", 100, 2.0),
+            Phase("b", 300, 0.5),
+        ])
+
+    def test_phase_lookup(self, trace):
+        assert trace.phase_at(0).name == "a"
+        assert trace.phase_at(99).name == "a"
+        assert trace.phase_at(100).name == "b"
+        assert trace.phase_at(399).name == "b"
+
+    def test_repeats(self, trace):
+        assert trace.phase_at(400).name == "a"
+        assert trace.phase_at(500).name == "b"
+
+    def test_scale_at(self, trace):
+        assert trace.scale_at(50) == 2.0
+        assert trace.scale_at(200) == 0.5
+
+    def test_mean_scale(self, trace):
+        assert trace.mean_scale() == pytest.approx(
+            (100 * 2.0 + 300 * 0.5) / 400)
+
+    def test_negative_cycle_rejected(self, trace):
+        with pytest.raises(ConfigurationError):
+            trace.phase_at(-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadTrace([])
+
+
+class TestSyntheticTraces:
+    @pytest.mark.parametrize("kind", ["compute", "memory", "mixed"])
+    def test_kinds_build(self, kind):
+        trace = synthetic_trace(kind)
+        assert trace.total_cycles > 0
+        assert len(trace.phases) >= 3
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_trace("video")
+
+    def test_seeded_jitter_changes_lengths(self):
+        a = synthetic_trace("mixed", seed=1)
+        b = synthetic_trace("mixed", seed=2)
+        assert [p.cycles for p in a.phases] != \
+            [p.cycles for p in b.phases]
+
+    def test_unseeded_is_canonical(self):
+        a = synthetic_trace("mixed")
+        b = synthetic_trace("mixed")
+        assert [p.cycles for p in a.phases] == \
+            [p.cycles for p in b.phases]
+
+
+class TestGraphSimIntegration:
+    @pytest.fixture
+    def graph(self):
+        g = TimingGraph("t", 1000)
+        g.add_ff("a")
+        g.add_ff("b")
+        g.add_edge("a", "b", 980)
+        return g
+
+    def test_trace_modulates_violation_pressure(self, graph):
+        hot = WorkloadTrace([Phase("hot", 100, 5.0)])
+        cold = WorkloadTrace([Phase("cold", 100, 0.1)])
+
+        def run(trace):
+            sim = GraphPipelineSimulation(
+                graph, scheme="plain", percent_checking=30.0,
+                sensitization_prob=0.1,
+                variability=ConstantVariation(1.05),
+                trace=trace, seed=4,
+            )
+            return sim.run(1000)
+
+        assert run(hot).failed_unprotected > run(cold).failed_unprotected
+
+    def test_trace_scale_clamped_to_probability_one(self, graph):
+        trace = WorkloadTrace([Phase("max", 10, 1000.0)])
+        sim = GraphPipelineSimulation(
+            graph, scheme="plain", percent_checking=30.0,
+            sensitization_prob=0.5,
+            variability=ConstantVariation(1.05),
+            trace=trace, seed=4,
+        )
+        result = sim.run(100)
+        assert result.failed_unprotected == 100  # every cycle violates

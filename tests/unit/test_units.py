@@ -1,0 +1,44 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_ns_to_ps(self):
+        assert units.ns(1.5) == 1500
+
+    def test_ps_rounds(self):
+        assert units.ps(10.6) == 11
+
+    def test_mhz_round_trip(self):
+        period = units.mhz_to_period_ps(1000.0)
+        assert period == 1000
+        assert units.period_ps_to_mhz(period) == pytest.approx(1000.0)
+
+    def test_mhz_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.mhz_to_period_ps(0)
+
+    def test_period_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.period_ps_to_mhz(0)
+
+
+class TestPercent:
+    def test_percent_of(self):
+        assert units.percent_of(1000, 30) == 300
+
+    def test_percent_of_rounds(self):
+        assert units.percent_of(1001, 10) == 100
+
+    def test_percent_of_rejects_negative_period(self):
+        with pytest.raises(ValueError):
+            units.percent_of(-1, 10)
+
+    def test_as_percent(self):
+        assert units.as_percent(1, 4) == pytest.approx(25.0)
+
+    def test_as_percent_zero_whole(self):
+        assert units.as_percent(1, 0) == 0.0

@@ -1,0 +1,154 @@
+"""Unit tests for variability models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.variability import (
+    AgingVariation,
+    CompositeVariation,
+    ConstantVariation,
+    DroopEvent,
+    LocalVariation,
+    ProcessVariation,
+    TemperatureDriftVariation,
+    VoltageDroopVariation,
+)
+
+
+class TestConstantAndComposite:
+    def test_constant(self):
+        assert ConstantVariation(1.1).factor(5, "p") == 1.1
+
+    def test_constant_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantVariation(0)
+
+    def test_composite_multiplies(self):
+        model = CompositeVariation([ConstantVariation(1.1),
+                                    ConstantVariation(2.0)])
+        assert model.factor(0, "p") == pytest.approx(2.2)
+
+    def test_composite_needs_models(self):
+        with pytest.raises(ConfigurationError):
+            CompositeVariation([])
+
+
+class TestLocal:
+    def test_deterministic_per_pair(self):
+        model = LocalVariation(sigma=0.05, seed=3)
+        assert model.factor(10, "a") == model.factor(10, "a")
+
+    def test_varies_across_cycles_and_paths(self):
+        model = LocalVariation(sigma=0.05, seed=3)
+        assert model.factor(10, "a") != model.factor(11, "a")
+        assert model.factor(10, "a") != model.factor(10, "b")
+
+    def test_zero_sigma_returns_mean(self):
+        model = LocalVariation(sigma=0.0, mean=1.02)
+        assert model.factor(0, "x") == 1.02
+
+    def test_min_factor_clips(self):
+        model = LocalVariation(sigma=5.0, min_factor=0.9, seed=1)
+        samples = [model.factor(c, "p") for c in range(100)]
+        assert min(samples) >= 0.9
+
+    def test_mean_roughly_centred(self):
+        model = LocalVariation(sigma=0.03, seed=9)
+        samples = [model.factor(c, "p") for c in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(1.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LocalVariation(sigma=-0.1)
+
+
+class TestDroop:
+    def test_event_profile_shape(self):
+        event = DroopEvent(start_cycle=10, duration_cycles=8,
+                           amplitude=0.1)
+        assert event.factor_at(9) == 1.0
+        assert event.factor_at(13) == pytest.approx(1.1)   # plateau
+        assert event.factor_at(18) == 1.0
+        assert 1.0 < event.factor_at(10) <= 1.1            # ramp up
+
+    def test_factor_applies_to_all_paths(self):
+        model = VoltageDroopVariation(event_probability=1.0,
+                                      amplitude=0.1, amplitude_jitter=0.0,
+                                      seed=2)
+        assert model.factor(5, "a") == model.factor(5, "b")
+
+    def test_zero_probability_always_nominal(self):
+        model = VoltageDroopVariation(event_probability=0.0, seed=2)
+        assert all(model.factor(c, "p") == 1.0 for c in range(50))
+
+    def test_events_in_window_deterministic(self):
+        model = VoltageDroopVariation(event_probability=0.05, seed=4)
+        assert [e.start_cycle for e in model.events_in(500)] == \
+            [e.start_cycle for e in model.events_in(500)]
+
+    def test_event_rate_matches_probability(self):
+        model = VoltageDroopVariation(event_probability=0.02, seed=8)
+        count = len(model.events_in(10_000))
+        assert count == pytest.approx(200, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VoltageDroopVariation(event_probability=2.0)
+
+
+class TestSlowGlobal:
+    def test_temperature_range(self):
+        model = TemperatureDriftVariation(amplitude=0.06,
+                                          period_cycles=1000)
+        samples = [model.factor(c, "p") for c in range(0, 2000, 10)]
+        assert min(samples) >= 1.0
+        assert max(samples) == pytest.approx(1.06, abs=0.002)
+
+    def test_temperature_starts_cool(self):
+        model = TemperatureDriftVariation(amplitude=0.06,
+                                          period_cycles=1000)
+        assert model.factor(0, "p") == pytest.approx(1.0, abs=1e-9)
+
+    def test_aging_monotone(self):
+        model = AgingVariation(max_degradation=0.1,
+                               time_constant_cycles=1e6)
+        factors = [model.factor(c, "p")
+                   for c in (0, 10, 1000, 100_000, 10_000_000)]
+        assert factors == sorted(factors)
+        assert factors[0] == 1.0
+        assert factors[-1] <= 1.1
+
+    def test_aging_saturates(self):
+        model = AgingVariation(max_degradation=0.1,
+                               time_constant_cycles=100)
+        assert model.factor(10**9, "p") == pytest.approx(1.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureDriftVariation(amplitude=-0.1)
+        with pytest.raises(ConfigurationError):
+            AgingVariation(exponent=0)
+
+
+class TestProcess:
+    def test_time_invariant(self):
+        model = ProcessVariation(seed=5)
+        assert model.factor(0, "p") == model.factor(999, "p")
+
+    def test_path_specific(self):
+        model = ProcessVariation(sigma=0.05, seed=5)
+        values = {model.factor(0, f"p{i}") for i in range(20)}
+        assert len(values) > 1
+
+    def test_chip_factor_shared(self):
+        model = ProcessVariation(sigma=0.0, chip_sigma=0.05, seed=5)
+        assert model.factor(0, "a") == model.factor(0, "b")
+
+    def test_different_chips_differ(self):
+        a = ProcessVariation(chip_sigma=0.05, seed=1)
+        b = ProcessVariation(chip_sigma=0.05, seed=2)
+        assert a.chip_factor != b.chip_factor
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariation(sigma=-1)

@@ -1,0 +1,88 @@
+"""Unit tests for VCD export."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.errors import ConfigurationError
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+from repro.sim.vcd import dump_vcd, write_vcd
+from repro.sim.waveform import Waveform, WaveformRecorder
+
+
+def make_waveform():
+    wave = Waveform("sig", initial=Logic.ZERO)
+    wave.record(10, Logic.ONE)
+    wave.record(30, Logic.ZERO)
+    return {"sig": wave}
+
+
+class TestDump:
+    def test_header(self):
+        text = dump_vcd(make_waveform())
+        assert "$timescale 1ps $end" in text
+        assert "$var wire 1 ! sig $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_initial_values_in_dumpvars(self):
+        text = dump_vcd(make_waveform())
+        dumpvars = text.split("$dumpvars")[1].split("$end")[0]
+        assert "0!" in dumpvars
+
+    def test_changes_in_time_order(self):
+        text = dump_vcd(make_waveform())
+        body = text.split("$enddefinitions $end")[1]
+        assert body.index("#10") < body.index("#30")
+        assert "1!" in body and "0!" in body
+
+    def test_x_values(self):
+        wave = Waveform("s", initial=Logic.X)
+        wave.record(5, Logic.ONE)
+        text = dump_vcd({"s": wave})
+        assert "x!" in text
+
+    def test_multiple_signals_share_timestamps(self):
+        a = Waveform("a", initial=Logic.ZERO)
+        b = Waveform("b", initial=Logic.ZERO)
+        a.record(10, Logic.ONE)
+        b.record(10, Logic.ONE)
+        text = dump_vcd({"a": a, "b": b})
+        assert text.count("#10") == 1
+
+    def test_end_ps_extends(self):
+        text = dump_vcd(make_waveform(), end_ps=500)
+        assert "#500" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dump_vcd({})
+
+    def test_recorder_accepted(self):
+        sim = Simulator()
+        ClockGenerator(sim, "clk", 100)
+        recorder = WaveformRecorder(["clk"])
+        recorder.attach(sim)
+        sim.run(250)
+        text = dump_vcd(recorder)
+        assert "clk" in text
+        assert "#100" in text
+
+
+class TestWrite:
+    def test_round_trip_to_file(self, tmp_path):
+        path = tmp_path / "out.vcd"
+        write_vcd(str(path), make_waveform())
+        assert path.read_text().startswith("$timescale")
+
+
+class TestIdentifiers:
+    def test_many_signals_get_unique_ids(self):
+        waves = {}
+        for index in range(200):
+            wave = Waveform(f"s{index}", initial=Logic.ZERO)
+            wave.record(1, Logic.ONE)
+            waves[f"s{index}"] = wave
+        text = dump_vcd(waves)
+        ids = [line.split()[3] for line in text.splitlines()
+               if line.startswith("$var")]
+        assert len(ids) == len(set(ids)) == 200

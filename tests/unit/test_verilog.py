@@ -1,0 +1,69 @@
+"""Unit tests for Verilog export."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.generate import inverter_chain, random_stage
+from repro.circuit.netlist import Netlist
+from repro.circuit.verilog import to_verilog, write_verilog
+
+
+class TestBasicExport:
+    def test_module_shape(self):
+        chain = inverter_chain(3, name="chain3")
+        text = to_verilog(chain)
+        assert "module chain3 (" in text
+        assert "input  wire in" in text
+        assert text.strip().endswith("endmodule")
+
+    def test_primitive_mapping(self):
+        chain = inverter_chain(2)
+        text = to_verilog(chain)
+        assert text.count("not ") == 2
+
+    def test_custom_module_name(self):
+        chain = inverter_chain(1)
+        text = to_verilog(chain, module_name="my top!")
+        assert "module my_top_ (" in text
+
+    def test_internal_wires_declared(self):
+        chain = inverter_chain(3)
+        text = to_verilog(chain)
+        # n0 and n1 are internal; n2 is the output port.
+        assert "  wire n0;" in text
+        assert "  wire n1;" in text
+        assert "  wire n2;" not in text
+
+    def test_named_cell_instantiation(self):
+        netlist = Netlist("muxy", default_library())
+        netlist.add_input("a", registered=True)
+        netlist.add_input("b", registered=True)
+        netlist.add_input("s", registered=True)
+        netlist.add_gate("m", "MUX2", ["a", "b", "s"], "y")
+        netlist.add_output("y", registered=True)
+        text = to_verilog(netlist)
+        assert "MUX2 m (.Y(y), .A0(a), .A1(b), .A2(s));" in text
+
+    def test_random_stage_exports_all_gates(self):
+        stage = random_stage(num_inputs=4, num_outputs=2, depth=3,
+                             width=5, seed=6)
+        text = to_verilog(stage)
+        instance_lines = [
+            line for line in text.splitlines()
+            if line.strip().startswith(("nand", "nor", "and", "or",
+                                        "xor", "xnor", "not", "buf"))
+        ]
+        assert len(instance_lines) == len(stage)
+
+    def test_gates_emitted_in_topological_order(self):
+        chain = inverter_chain(4)
+        text = to_verilog(chain)
+        positions = [text.index(f"not inv{i} ") for i in range(4)]
+        assert positions == sorted(positions)
+
+
+class TestWrite:
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "design.v"
+        write_verilog(str(path), inverter_chain(2))
+        assert "endmodule" in path.read_text()

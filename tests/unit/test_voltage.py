@@ -1,0 +1,95 @@
+"""Unit tests for the voltage/energy conversion model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.voltage import (
+    EnergySavings,
+    VoltageModel,
+    margin_to_energy_savings,
+)
+
+
+class TestVoltageModel:
+    def test_nominal_delay_factor_is_one(self):
+        model = VoltageModel()
+        assert model.delay_factor(model.nominal_vdd) == pytest.approx(1.0)
+
+    def test_lower_vdd_slower(self):
+        model = VoltageModel()
+        assert model.delay_factor(0.8) > 1.0
+        assert model.delay_factor(0.7) > model.delay_factor(0.8)
+
+    def test_vdd_for_delay_factor_inverts(self):
+        model = VoltageModel()
+        for factor in (1.05, 1.2, 1.5):
+            vdd = model.vdd_for_delay_factor(factor)
+            if vdd > model.min_vdd:
+                assert model.delay_factor(vdd) == pytest.approx(
+                    factor, rel=1e-3)
+
+    def test_vdd_clamped_at_min(self):
+        model = VoltageModel(min_vdd=0.9)
+        assert model.vdd_for_delay_factor(100.0) == 0.9
+
+    def test_energy_factors_quadratic_cubic(self):
+        model = VoltageModel()
+        assert model.dynamic_energy_factor(0.5) == pytest.approx(0.25)
+        assert model.leakage_factor(0.5) == pytest.approx(0.125)
+
+    def test_total_power_mixes_components(self):
+        model = VoltageModel()
+        total = model.total_power_factor(0.8, leakage_fraction=0.5)
+        expected = 0.5 * 0.64 + 0.5 * 0.512
+        assert total == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VoltageModel(threshold_v=1.5)
+        with pytest.raises(ConfigurationError):
+            VoltageModel().delay_factor(0.2)  # below threshold
+        with pytest.raises(ConfigurationError):
+            VoltageModel().vdd_for_delay_factor(0.5)
+        with pytest.raises(ConfigurationError):
+            VoltageModel().total_power_factor(0.8, leakage_fraction=2.0)
+
+
+class TestMarginConversion:
+    def test_zero_margin_zero_savings(self):
+        savings = margin_to_energy_savings(0.0)
+        assert savings.scaled_vdd == pytest.approx(1.0, abs=1e-3)
+        assert savings.gross_savings_percent == pytest.approx(0.0,
+                                                              abs=0.5)
+
+    def test_savings_grow_with_margin(self):
+        small = margin_to_energy_savings(5.0)
+        large = margin_to_energy_savings(15.0)
+        assert large.gross_savings_percent > small.gross_savings_percent
+        assert large.scaled_vdd < small.scaled_vdd
+
+    def test_net_savings_charge_overhead(self):
+        gross = margin_to_energy_savings(10.0)
+        net = margin_to_energy_savings(10.0,
+                                       element_overhead_percent=8.0)
+        assert net.net_savings_percent < gross.net_savings_percent
+        assert net.gross_savings_percent == pytest.approx(
+            gross.gross_savings_percent)
+
+    def test_overhead_can_erase_savings(self):
+        savings = margin_to_energy_savings(
+            1.0, element_overhead_percent=50.0)
+        assert savings.net_savings_percent < 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            margin_to_energy_savings(-1.0)
+        with pytest.raises(ConfigurationError):
+            margin_to_energy_savings(100.0)
+
+    def test_savings_dataclass_math(self):
+        savings = EnergySavings(margin_percent=10.0, scaled_vdd=0.9,
+                                power_factor=0.8,
+                                element_overhead_percent=10.0)
+        assert savings.gross_savings_percent == pytest.approx(20.0)
+        assert savings.net_savings_percent == pytest.approx(
+            100 * (1 - 0.8 * 1.1))

@@ -1,0 +1,100 @@
+"""Unit tests for waveform capture."""
+
+import pytest
+
+from repro.circuit.logic import Logic
+from repro.sim.clocks import ClockGenerator
+from repro.sim.engine import Simulator
+from repro.sim.waveform import Waveform, WaveformRecorder
+
+
+class TestWaveform:
+    def test_value_at_before_any_change(self):
+        wave = Waveform("s", initial=Logic.ZERO)
+        assert wave.value_at(100) is Logic.ZERO
+
+    def test_value_at_change_points(self):
+        wave = Waveform("s", initial=Logic.ZERO)
+        wave.record(10, Logic.ONE)
+        wave.record(20, Logic.ZERO)
+        assert wave.value_at(9) is Logic.ZERO
+        assert wave.value_at(10) is Logic.ONE
+        assert wave.value_at(15) is Logic.ONE
+        assert wave.value_at(20) is Logic.ZERO
+
+    def test_monotonic_time_enforced(self):
+        wave = Waveform("s")
+        wave.record(10, Logic.ONE)
+        with pytest.raises(ValueError):
+            wave.record(5, Logic.ZERO)
+
+    def test_same_instant_overwrites(self):
+        wave = Waveform("s", initial=Logic.ZERO)
+        wave.record(10, Logic.ONE)
+        wave.record(10, Logic.ZERO)
+        assert wave.value_at(10) is Logic.ZERO
+        assert len(wave.changes()) == 1
+
+    def test_edges_skip_redundant_writes(self):
+        wave = Waveform("s", initial=Logic.ZERO)
+        wave.record(10, Logic.ONE)
+        wave.record(20, Logic.ONE)   # redundant
+        wave.record(30, Logic.ZERO)
+        edges = wave.edges()
+        assert [(e.time_ps, e.new) for e in edges] == [
+            (10, Logic.ONE), (30, Logic.ZERO)]
+
+    def test_rising_falling_classification(self):
+        wave = Waveform("s", initial=Logic.ZERO)
+        wave.record(10, Logic.ONE)
+        wave.record(30, Logic.ZERO)
+        assert wave.rising_edges() == [10]
+        assert wave.falling_edges() == [30]
+
+    def test_x_transitions_are_neither_rising_nor_falling(self):
+        wave = Waveform("s", initial=Logic.X)
+        wave.record(10, Logic.ONE)
+        assert wave.rising_edges() == []
+        assert wave.edges()[0].new is Logic.ONE
+
+    def test_final_value(self):
+        wave = Waveform("s", initial=Logic.ZERO)
+        assert wave.final_value() is Logic.ZERO
+        wave.record(5, Logic.ONE)
+        assert wave.final_value() is Logic.ONE
+
+    def test_time_of_last_change_before(self):
+        wave = Waveform("s", initial=Logic.ZERO)
+        wave.record(10, Logic.ONE)
+        wave.record(30, Logic.ZERO)
+        assert wave.time_of_last_change_before(20) == 10
+        assert wave.time_of_last_change_before(5) is None
+
+
+class TestRecorder:
+    def test_records_clock(self, sim):
+        ClockGenerator(sim, "clk", 100)
+        recorder = WaveformRecorder(["clk"])
+        recorder.attach(sim)
+        sim.run(250)
+        assert recorder["clk"].rising_edges() == [0, 100, 200]
+
+    def test_initial_value_seeded_at_attach(self, sim):
+        sim.set_initial("a", 1)
+        recorder = WaveformRecorder(["a"])
+        recorder.attach(sim)
+        assert recorder["a"].value_at(0) is Logic.ONE
+
+    def test_render_ascii_shape(self, sim):
+        ClockGenerator(sim, "clk", 100)
+        sim.set_initial("d", 0)
+        recorder = WaveformRecorder(["clk", "d"])
+        recorder.attach(sim)
+        sim.run(400)
+        art = recorder.render_ascii(end_ps=400, step_ps=25,
+                                    order=["clk", "d"])
+        lines = art.splitlines()
+        assert len(lines) == 3  # header + 2 signals
+        assert lines[1].startswith("clk")
+        assert "#" in lines[1] and "_" in lines[1]
+        assert set(lines[2].split()[-1]) == {"_"}

@@ -1,0 +1,101 @@
+"""Unit tests for workload sensitization and multi-stage error rates."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.processor.workload import (
+    SensitizationModel,
+    multi_stage_error_probability,
+    sample_multi_stage_events,
+)
+from repro.timing.graph import TimingEdge, TimingGraph
+
+
+class TestSensitizationModel:
+    def test_base_probability_at_full_criticality(self):
+        model = SensitizationModel(base_probability=1e-3, period_ps=1000)
+        edge = TimingEdge("a", "b", 1000)
+        assert model.probability(edge) == pytest.approx(1e-3)
+
+    def test_scales_with_criticality(self):
+        model = SensitizationModel(base_probability=1e-3, period_ps=1000)
+        critical = TimingEdge("a", "b", 1000)
+        relaxed = TimingEdge("a", "b", 500)
+        assert model.probability(relaxed) == pytest.approx(
+            0.5 * model.probability(critical))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SensitizationModel(base_probability=0)
+        with pytest.raises(ConfigurationError):
+            SensitizationModel(period_ps=0)
+
+
+class TestClosedForm:
+    def test_single_stage(self):
+        assert multi_stage_error_probability(1e-3, 0.5, 1) == \
+            pytest.approx(5e-4)
+
+    def test_geometric_decay(self):
+        p1 = multi_stage_error_probability(1e-3, 0.5, 1)
+        p2 = multi_stage_error_probability(1e-3, 0.5, 2)
+        p3 = multi_stage_error_probability(1e-3, 0.5, 3)
+        assert p2 == pytest.approx(p1 ** 2)
+        assert p3 == pytest.approx(p1 ** 3)
+
+    def test_paper_negligibility_claim(self):
+        # With the paper's ~1e-3 sensitization, a 2-stage error is ~1e6x
+        # rarer than a single-stage error.
+        p1 = multi_stage_error_probability(1e-3, 1.0, 1)
+        p2 = multi_stage_error_probability(1e-3, 1.0, 2)
+        assert p2 / p1 == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            multi_stage_error_probability(0.5, 0.5, 0)
+        with pytest.raises(ConfigurationError):
+            multi_stage_error_probability(1.5, 0.5, 1)
+
+
+class TestMonteCarlo:
+    @pytest.fixture
+    def chain_graph(self):
+        g = TimingGraph("chain", 1000)
+        for name in ("a", "b", "c", "d"):
+            g.add_ff(name)
+        g.add_edge("a", "b", 950)
+        g.add_edge("b", "c", 950)
+        g.add_edge("c", "d", 950)
+        return g
+
+    def test_counts_decay_with_stage_depth(self, chain_graph):
+        model = SensitizationModel(base_probability=0.3, period_ps=1000)
+        counts = sample_multi_stage_events(
+            chain_graph, percent_threshold=10.0, model=model,
+            violation_probability=1.0, num_cycles=4000, seed=5)
+        assert counts[1] > counts[2] > counts[3] >= 0
+
+    def test_single_stage_rate_matches_expectation(self, chain_graph):
+        model = SensitizationModel(base_probability=0.2, period_ps=1000)
+        num_cycles = 5000
+        counts = sample_multi_stage_events(
+            chain_graph, percent_threshold=10.0, model=model,
+            violation_probability=1.0, num_cycles=num_cycles, seed=5)
+        expected = sum(
+            model.probability(e) for e in chain_graph.critical_edges(10.0)
+        ) * num_cycles
+        assert counts[1] == pytest.approx(expected, rel=0.2)
+
+    def test_zero_violation_probability_no_events(self, chain_graph):
+        model = SensitizationModel(base_probability=0.5, period_ps=1000)
+        counts = sample_multi_stage_events(
+            chain_graph, percent_threshold=10.0, model=model,
+            violation_probability=0.0, num_cycles=500, seed=5)
+        assert all(count == 0 for count in counts.values())
+
+    def test_validation(self, chain_graph):
+        model = SensitizationModel()
+        with pytest.raises(ConfigurationError):
+            sample_multi_stage_events(
+                chain_graph, percent_threshold=10.0, model=model,
+                violation_probability=1.5, num_cycles=10)
