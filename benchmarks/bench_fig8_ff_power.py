@@ -9,6 +9,15 @@ Shape checks: overhead grows with the checking period; for the same
 checking period the with-TB variant recovers exactly 2/3 of the margin
 at the same power; overhead magnitudes sit in the paper's low-double-
 digit band (its chart tops out around ~13%).
+
+Expected delta from the simulator toggle-energy fix (the initial
+X -> known settle no longer charges ``toggle_energy``): **none** — these
+overheads come from the analytic cost model in ``design.summary()``,
+not from event-simulation energy, so the numbers in this artefact are
+unchanged.  The event-simulator side of that fix is pinned by
+``tests/unit/test_engine.py::TestSettleAccounting`` (priming a netlist
+now reports exactly 0 dynamic energy; before the fix it reported one
+toggle per primed gate output).
 """
 
 import pytest

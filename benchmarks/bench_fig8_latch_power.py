@@ -5,6 +5,10 @@ latch design is strictly cheaper than the flip-flop design at every grid
 point (1.5x vs 2x element power and no relay network), overhead grows
 with the checking period, and the with/without-TB margin trade-off is
 identical to the flip-flop case.
+
+Expected delta from the simulator toggle-energy fix: none — see the
+note in ``bench_fig8_ff_power.py``; these rows are analytic and the
+X -> known settle never contributed to them.
 """
 
 from repro.analysis.experiments import fig8_experiment

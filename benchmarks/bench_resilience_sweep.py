@@ -7,25 +7,37 @@ silently as soon as droops push paths past the edge; TIMBER masks every
 violation within the recovered margin with near-unity throughput; Razor
 detects the same violations but pays replay; canary keeps state correct
 at a standing throughput cost.
+
+Runs through the parallel sweep runner with the on-disk result cache
+(``benchmarks/.sweep-cache``): the first run is cold and fans the grid
+out across worker processes; a rerun is served from the cache, and the
+run summary appended to the artefact shows the cache hits and per-task
+timings.
 """
+
+from conftest import make_sweep_runner
 
 from repro.analysis.experiments import resilience_sweep
 from repro.analysis.tables import format_table
+from repro.exec.telemetry import format_summary
 
 AMPLITUDES = (0.0, 0.04, 0.08)
 TECHNIQUES = ("plain", "timber-ff", "timber-latch", "razor", "canary")
 
 
-def _run():
+def _run(runner):
     return resilience_sweep(
         techniques=TECHNIQUES,
         droop_amplitudes=AMPLITUDES,
         num_cycles=12_000,
+        runner=runner,
     )
 
 
 def test_resilience_sweep(benchmark, report):
-    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    runner = make_sweep_runner()
+    points = benchmark.pedantic(_run, args=(runner,), rounds=1,
+                                iterations=1)
 
     rows = []
     for point in points:
@@ -61,4 +73,7 @@ def test_resilience_sweep(benchmark, report):
     # With no droops, nothing fails anywhere.
     assert all(by_key[(t, 0.0)].failed == 0 for t in TECHNIQUES)
 
+    assert runner.last_run is not None
+    table += "\n\nrun summary\n" + format_summary(
+        runner.last_run.summary)
     report("x1_resilience_sweep", table)

@@ -14,51 +14,29 @@ Shape checks (the paper's qualitative matrix, measured):
   a stall per error; canary predicts without ever borrowing;
 * the TIMBER variants and logical masking keep ~full throughput;
 * nobody flags a false error (flags only happen under violations).
+
+Runs through the parallel sweep runner (one task per architecture) with
+the shared on-disk result cache; the appended run summary shows cache
+hits and per-task timings.
 """
 
+from conftest import make_sweep_runner
+
+from repro.analysis.experiments import shootout_sweep
 from repro.analysis.tables import format_table
-from repro.baselines.architectures import ARCHITECTURES
-from repro.pipeline.controller import CentralErrorController
-from repro.pipeline.pipeline import PipelineSimulation
-from repro.pipeline.stage import PipelineStage
-from repro.variability import (
-    CompositeVariation,
-    LocalVariation,
-    VoltageDroopVariation,
-)
+from repro.exec.telemetry import format_summary
 
-PERIOD = 1000
-NUM_STAGES = 5
 NUM_CYCLES = 10_000
-CHECKING = 30.0
 
 
-def _run():
-    results = {}
-    for architecture in ARCHITECTURES:
-        stages = [
-            PipelineStage(name=f"so{i}", critical_delay_ps=950,
-                          typical_delay_ps=700,
-                          sensitization_prob=0.08, seed=300 + i)
-            for i in range(NUM_STAGES)
-        ]
-        stress = CompositeVariation([
-            LocalVariation(sigma=0.015, max_factor=1.03, seed=61),
-            VoltageDroopVariation(event_probability=3e-3, amplitude=0.07,
-                                  amplitude_jitter=0.0, seed=62),
-        ])
-        policy = architecture.build_policy(NUM_STAGES, PERIOD, CHECKING)
-        controller = CentralErrorController(
-            period_ps=PERIOD, consolidation_latency_ps=PERIOD)
-        sim = PipelineSimulation(stages, policy, period_ps=PERIOD,
-                                 controller=controller,
-                                 variability=stress)
-        results[architecture.key] = sim.run(NUM_CYCLES)
-    return results
+def _run(runner):
+    return shootout_sweep(num_cycles=NUM_CYCLES, runner=runner)
 
 
 def test_shootout(benchmark, report):
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    runner = make_sweep_runner()
+    results = benchmark.pedantic(_run, args=(runner,), rounds=1,
+                                 iterations=1)
 
     rows = []
     for key, result in results.items():
@@ -96,4 +74,7 @@ def test_shootout(benchmark, report):
     assert results["canary"].throughput_factor < \
         results["timber-ff"].throughput_factor
 
+    assert runner.last_run is not None
+    table += "\n\nrun summary\n" + format_summary(
+        runner.last_run.summary)
     report("x9_shootout", table)

@@ -5,25 +5,34 @@ Overclocks the pipeline past its sign-off frequency and measures the
 checks: the masking schemes convert most of the overclock into real
 speedup; Razor's replay and canary's guard-band slowdowns erode the
 gain; nobody corrupts state silently within the studied range.
+
+Runs through the parallel sweep runner with the shared on-disk result
+cache; the appended run summary shows cache hits and per-task timings.
 """
+
+from conftest import make_sweep_runner
 
 from repro.analysis.experiments import throughput_sweep
 from repro.analysis.tables import format_table
+from repro.exec.telemetry import format_summary
 
 OVERCLOCKS = (0.0, 4.0, 8.0)
 TECHNIQUES = ("timber-ff", "timber-latch", "razor", "canary")
 
 
-def _run():
+def _run(runner):
     return throughput_sweep(
         techniques=TECHNIQUES,
         overclock_percents=OVERCLOCKS,
         num_cycles=12_000,
+        runner=runner,
     )
 
 
 def test_throughput(benchmark, report):
-    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    runner = make_sweep_runner()
+    points = benchmark.pedantic(_run, args=(runner,), rounds=1,
+                                iterations=1)
 
     rows = []
     for point in sorted(points, key=lambda p: (p.technique,
@@ -55,4 +64,7 @@ def test_throughput(benchmark, report):
         for overclock in OVERCLOCKS:
             assert by_key[(technique, overclock)].result.failed == 0
 
+    assert runner.last_run is not None
+    table += "\n\nrun summary\n" + format_summary(
+        runner.last_run.summary)
     report("x3_throughput_payoff", table)

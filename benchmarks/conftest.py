@@ -9,11 +9,34 @@ output capture.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Shared on-disk result cache for the heavy sweep benchmarks — a rerun
+#: of an unchanged benchmark is served from here (delete the directory
+#: or set REPRO_BENCH_NO_CACHE=1 for a cold run).
+SWEEP_CACHE_DIR = pathlib.Path(__file__).parent / ".sweep-cache"
+
+
+def make_sweep_runner(workers: int | None = None):
+    """Build the sweep runner the heavy benchmarks share.
+
+    Parallel by default (capped at 4 workers), cached on disk, telemetry
+    collected; ``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_NO_CACHE``
+    override from the environment.
+    """
+    from repro.exec import ResultCache, SweepRunner
+
+    if workers is None:
+        workers = int(os.environ.get(
+            "REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1)))
+    cache = (None if os.environ.get("REPRO_BENCH_NO_CACHE")
+             else ResultCache(SWEEP_CACHE_DIR))
+    return SweepRunner(workers=workers, cache=cache)
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,8 @@ Gives quick terminal access to the headline experiments:
 * ``table1``     — technique comparison table.
 * ``deploy``     — deploy TIMBER on a synthetic processor and summarise.
 * ``energy``     — margin-to-energy conversion per scheme.
+* ``sweep``      — run an experiment grid through the parallel sweep
+  runner (``--workers``, on-disk result cache, run telemetry).
 """
 
 from __future__ import annotations
@@ -127,6 +129,101 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_rows(experiment: str, values) -> tuple[list[str], list[list]]:
+    """Render one sweep's results as (headers, rows)."""
+    if experiment == "resilience":
+        return (
+            ["scheme", "droop", "masked", "detected", "predicted",
+             "failed", "throughput"],
+            [[p.technique, f"{p.droop_amplitude * 100:.0f}%",
+              p.result.masked, p.result.detected, p.result.predicted,
+              p.result.failed, f"{p.result.throughput_factor:.4f}"]
+             for p in values],
+        )
+    if experiment == "throughput":
+        return (
+            ["scheme", "overclock", "effective speedup",
+             "silent failures"],
+            [[p.technique, f"+{p.overclock_percent:.0f}%",
+              f"{p.effective_speedup:.4f}", p.result.failed]
+             for p in values],
+        )
+    if experiment == "shootout":
+        return (
+            ["scheme", "masked", "detected", "predicted",
+             "failed (silent)", "recovery cycles", "throughput"],
+            [[key, r.masked, r.detected, r.predicted, r.failed,
+              r.replay_cycles, f"{r.throughput_factor:.4f}"]
+             for key, r in values.items()],
+        )
+    if experiment == "fig1":
+        return (
+            ["point", "threshold", "% FFs ending", "% FFs start+end"],
+            [[name, f"top {d.percent_threshold:.0f}%",
+              f"{d.pct_ffs_ending:.1f}", f"{d.pct_ffs_through:.1f}"]
+             for name, dists in values.items() for d in dists],
+        )
+    # fig8
+    return (
+        ["point", "checking", "style", "variant", "margin %",
+         "power ovh %", "relay area %", "relay slack %"],
+        [[r.point, f"{r.checking_percent:.0f}%", r.style,
+          "TB" if r.with_tb_interval else "no-TB",
+          f"{r.margin_percent:.1f}", f"{r.power_overhead_percent:.2f}",
+          f"{r.relay_area_overhead_percent:.2f}",
+          f"{r.relay_slack_percent:.0f}"]
+         for r in values],
+    )
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments
+    from repro.analysis.tables import format_table
+    from repro.exec import ResultCache, SweepRunner
+    from repro.exec.telemetry import format_summary
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(workers=args.workers, cache=cache,
+                         task_timeout_s=args.timeout)
+    extra: dict = {}
+    if args.experiment in ("resilience", "throughput", "shootout"):
+        if args.cycles is not None:
+            extra["num_cycles"] = args.cycles
+        if args.experiment != "shootout" and args.seed is not None:
+            extra["seed"] = args.seed
+    elif args.seed is not None:
+        extra["seed"] = args.seed
+
+    sweep = {
+        "resilience": experiments.resilience_sweep,
+        "throughput": experiments.throughput_sweep,
+        "shootout": experiments.shootout_sweep,
+        "fig1": experiments.fig1_experiment,
+        "fig8": experiments.fig8_experiment,
+    }[args.experiment]
+    values = sweep(runner=runner, **extra)
+
+    headers, rows = _sweep_rows(args.experiment, values)
+    print(format_table(headers, rows))
+    assert runner.last_run is not None
+    print()
+    print(format_summary(runner.last_run.summary))
+    if args.summary:
+        runner.telemetry.write_summary(args.summary)
+        print(f"wrote {args.summary}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -184,6 +281,29 @@ def build_parser() -> argparse.ArgumentParser:
                             help="margin-to-energy conversion per scheme")
     energy.add_argument("--checking", type=float, default=30.0)
     energy.set_defaults(func=_cmd_energy)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid through the parallel sweep runner")
+    sweep.add_argument("experiment",
+                       choices=("resilience", "throughput", "shootout",
+                                "fig1", "fig8"))
+    sweep.add_argument("--workers", type=_positive_int, default=1,
+                       help="process-pool size (1 = serial, default)")
+    sweep.add_argument("--cycles", type=int, default=None,
+                       help="simulated cycles per grid point")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="root seed for deterministic per-task seeds")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-task timeout in seconds")
+    sweep.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="result-cache directory "
+                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+    sweep.add_argument("--summary", metavar="PATH",
+                       help="write the machine-readable run summary JSON")
+    sweep.set_defaults(func=_cmd_sweep)
 
     rep = sub.add_parser("report",
                          help="assemble benchmark artefacts into markdown")

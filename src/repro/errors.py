@@ -25,6 +25,10 @@ class TimingViolationError(SimulationError):
     """
 
 
+class ExecutionError(ReproError):
+    """A sweep task failed (after retries) or the runner misbehaved."""
+
+
 class NetlistError(ReproError):
     """A netlist is malformed (dangling nets, combinational loops, ...)."""
 

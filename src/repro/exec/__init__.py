@@ -1,0 +1,41 @@
+"""Execution layer: parallel sweep running, result caching, telemetry.
+
+Every paper artefact is a sweep over an embarrassingly parallel grid of
+(technique x stress x configuration) points; this package is the
+substrate those sweeps run on.  Three layers:
+
+* :mod:`repro.exec.runner` — grid expansion, deterministic per-task
+  seeding, and execution across a process pool (with serial fallback,
+  per-task timeout, and retry-once semantics).
+* :mod:`repro.exec.cache` — an on-disk JSON result cache keyed by a
+  content hash of the task configuration plus the code version.
+* :mod:`repro.exec.telemetry` — per-task wall time, events processed,
+  cache hit/miss counts, and worker utilization, emitted as structured
+  logging records and a machine-readable run summary.
+"""
+
+from repro.exec.cache import ResultCache, decode_result, encode_result
+from repro.exec.runner import (
+    SweepRunner,
+    SweepRunResult,
+    SweepTask,
+    TaskOutcome,
+    TaskPayload,
+    derive_seed,
+    expand_grid,
+)
+from repro.exec.telemetry import RunTelemetry
+
+__all__ = [
+    "ResultCache",
+    "RunTelemetry",
+    "SweepRunResult",
+    "SweepRunner",
+    "SweepTask",
+    "TaskOutcome",
+    "TaskPayload",
+    "decode_result",
+    "derive_seed",
+    "encode_result",
+    "expand_grid",
+]

@@ -1,0 +1,337 @@
+"""Parallel sweep runner.
+
+A sweep is a list of independent :class:`SweepTask` grid points.  Each
+task names a module-level *task function* by its dotted path (so it can
+be resolved inside a worker process regardless of the multiprocessing
+start method), carries a JSON-able parameter mapping, and gets a
+deterministic seed derived from the sweep's root seed via SHA-256 — no
+global RNG state is consulted anywhere, which is what makes a parallel
+run byte-identical to a serial one.
+
+Execution semantics:
+
+* ``workers <= 1`` (the default) runs every task in-process, in order.
+* ``workers > 1`` fans the cache misses out across a
+  ``concurrent.futures.ProcessPoolExecutor``; if the pool cannot be
+  created (restricted platforms) the runner silently falls back to
+  serial execution.
+* Each task is given ``task_timeout_s`` (``None`` = unlimited) and is
+  retried once, serially in the parent, before the run fails with
+  :class:`~repro.errors.ExecutionError`.
+
+Results come back in task order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import importlib
+import itertools
+import json
+import os
+import time
+import typing
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.exec.cache import ResultCache
+from repro.exec.telemetry import RunTelemetry
+
+#: Task functions take the params mapping and return the result value —
+#: or a :class:`TaskPayload` when they also want to report work metrics.
+TaskFunction = typing.Callable[[dict], typing.Any]
+
+
+def derive_seed(root_seed: int, *parts: typing.Any) -> int:
+    """Derive a deterministic 63-bit seed from ``root_seed`` and a key.
+
+    Uses SHA-256 over a canonical JSON encoding, so the result is stable
+    across processes, platforms, and Python versions (unlike ``hash()``,
+    which is salted per process).
+    """
+    payload = json.dumps([root_seed, *parts], sort_keys=True,
+                         separators=(",", ":"), default=str)
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepTask:
+    """One independent grid point of a sweep.
+
+    Attributes:
+        experiment: Dotted path ``package.module:function`` of the task
+            function; also the cache-key namespace.
+        params: JSON-able keyword mapping handed to the task function.
+        index: Position in the sweep (results are returned in this
+            order).
+        seed: Deterministic per-task seed (see :func:`derive_seed`).
+        key: Stable human-readable identifier for logs and telemetry.
+    """
+
+    experiment: str
+    params: dict
+    index: int
+    seed: int
+    key: str
+
+    def resolve(self) -> TaskFunction:
+        """Import and return this task's function."""
+        module_name, _, func_name = self.experiment.partition(":")
+        if not func_name:
+            raise ConfigurationError(
+                f"task experiment must look like 'module:function', "
+                f"got {self.experiment!r}"
+            )
+        module = importlib.import_module(module_name)
+        try:
+            return getattr(module, func_name)
+        except AttributeError as error:
+            raise ConfigurationError(
+                f"no task function {func_name!r} in {module_name!r}"
+            ) from error
+
+
+@dataclasses.dataclass
+class TaskPayload:
+    """Optional rich return value of a task function.
+
+    Lets a task report how much simulated work it did (e.g.
+    ``Simulator.events_processed`` or pipeline cycles) alongside its
+    result value.
+    """
+
+    value: typing.Any
+    events_processed: int = 0
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """What happened to one task during a run."""
+
+    task: SweepTask
+    value: typing.Any
+    wall_time_s: float
+    events_processed: int
+    cached: bool
+    attempts: int
+    worker_pid: int
+
+
+@dataclasses.dataclass
+class SweepRunResult:
+    """Ordered outcomes plus the machine-readable run summary."""
+
+    outcomes: list[TaskOutcome]
+    summary: dict
+
+    @property
+    def values(self) -> list:
+        return [outcome.value for outcome in self.outcomes]
+
+
+def task_key(experiment: str, point: typing.Mapping) -> str:
+    """Render a stable human-readable task key for a grid point."""
+    name = experiment.rpartition(":")[2].strip("_")
+    inner = ",".join(f"{k}={point[k]}" for k in sorted(point))
+    return f"{name}[{inner}]"
+
+
+def expand_grid(
+    experiment: str,
+    axes: typing.Mapping[str, typing.Sequence],
+    base: typing.Mapping | None = None,
+    *,
+    root_seed: int = 0,
+) -> list[SweepTask]:
+    """Expand a cartesian grid of axis values into independent tasks.
+
+    ``axes`` iterates in insertion order (first axis outermost), so the
+    task order matches the equivalent nested ``for`` loops.  Each task's
+    seed derives from ``root_seed`` and the axis values alone — adding
+    or removing other grid points never changes it.
+    """
+    if not axes:
+        raise ConfigurationError("need at least one sweep axis")
+    names = list(axes)
+    tasks: list[SweepTask] = []
+    for index, values in enumerate(itertools.product(
+            *(axes[name] for name in names))):
+        point = dict(zip(names, values))
+        params = {**(dict(base) if base else {}), **point}
+        tasks.append(SweepTask(
+            experiment=experiment,
+            params=params,
+            index=index,
+            seed=derive_seed(root_seed, experiment, sorted(point.items())),
+            key=task_key(experiment, point),
+        ))
+    return tasks
+
+
+def execute_task(payload: dict) -> dict:
+    """Run one task (worker entry point; must stay module-level).
+
+    Takes and returns plain dicts plus the (picklable) result value so
+    the process-pool boundary stays simple.
+    """
+    task = SweepTask(**payload)
+    started = time.perf_counter()
+    raw = task.resolve()(dict(task.params))
+    wall = time.perf_counter() - started
+    if isinstance(raw, TaskPayload):
+        value, events = raw.value, raw.events_processed
+    else:
+        value, events = raw, 0
+    return {
+        "value": value,
+        "wall_time_s": wall,
+        "events_processed": events,
+        "worker_pid": os.getpid(),
+    }
+
+
+class SweepRunner:
+    """Executes sweep tasks with caching, parallelism, and telemetry."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        telemetry: RunTelemetry | None = None,
+        task_timeout_s: float | None = None,
+        retries: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        self.workers = workers
+        self.cache = cache
+        self.telemetry = telemetry or RunTelemetry()
+        self.task_timeout_s = task_timeout_s
+        self.retries = retries
+        #: Result of the most recent :meth:`run` (telemetry access for
+        #: callers that only see the experiment's return value).
+        self.last_run: SweepRunResult | None = None
+
+    # -- execution ---------------------------------------------------------
+    def run(self, tasks: typing.Sequence[SweepTask]) -> SweepRunResult:
+        """Run every task and return outcomes in task order."""
+        self.telemetry.start(workers=self.workers, num_tasks=len(tasks))
+        outcomes: dict[int, TaskOutcome] = {}
+
+        misses: list[SweepTask] = []
+        for task in tasks:
+            hit, value = self._cache_get(task)
+            if hit:
+                outcome = TaskOutcome(
+                    task=task, value=value, wall_time_s=0.0,
+                    events_processed=0, cached=True, attempts=0,
+                    worker_pid=os.getpid(),
+                )
+                outcomes[task.index] = outcome
+                self.telemetry.record_task(outcome)
+            else:
+                misses.append(task)
+
+        if misses:
+            if self.workers > 1 and len(misses) > 1:
+                executed = self._run_pool(misses)
+            else:
+                executed = [self._run_serial(task) for task in misses]
+            for outcome in executed:
+                outcomes[outcome.task.index] = outcome
+                self.telemetry.record_task(outcome)
+                self._cache_put(outcome)
+
+        ordered = [outcomes[task.index] for task in tasks]
+        result = SweepRunResult(outcomes=ordered,
+                                summary=self.telemetry.finish())
+        self.last_run = result
+        return result
+
+    def run_values(self, tasks: typing.Sequence[SweepTask]) -> list:
+        """Convenience wrapper: run and return just the values."""
+        return self.run(tasks).values
+
+    # -- internals ---------------------------------------------------------
+    def _cache_get(self, task: SweepTask) -> tuple[bool, typing.Any]:
+        if self.cache is None:
+            return False, None
+        return self.cache.get_task(task)
+
+    def _cache_put(self, outcome: TaskOutcome) -> None:
+        if self.cache is not None and not outcome.cached:
+            self.cache.put_task(outcome.task, outcome.value, meta={
+                "wall_time_s": outcome.wall_time_s,
+                "events_processed": outcome.events_processed,
+            })
+
+    def _run_serial(self, task: SweepTask, *, attempt_offset: int = 0,
+                    max_attempts: int | None = None) -> TaskOutcome:
+        payload = dataclasses.asdict(task)
+        last_error: BaseException | None = None
+        if max_attempts is None:
+            max_attempts = self.retries + 1
+        for attempt in range(1, max_attempts + 1):
+            try:
+                raw = execute_task(payload)
+            except Exception as error:  # noqa: BLE001 — retried, re-raised
+                last_error = error
+                self.telemetry.record_retry(task, error)
+                continue
+            return TaskOutcome(
+                task=task, value=raw["value"],
+                wall_time_s=raw["wall_time_s"],
+                events_processed=raw["events_processed"], cached=False,
+                attempts=attempt_offset + attempt,
+                worker_pid=raw["worker_pid"],
+            )
+        raise ExecutionError(
+            f"task {task.key} failed after "
+            f"{attempt_offset + max_attempts} attempt(s): {last_error}"
+        ) from last_error
+
+    def _run_pool(self, tasks: list[SweepTask]) -> list[TaskOutcome]:
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(tasks)))
+        except (OSError, ValueError, ImportError) as error:
+            self.telemetry.record_fallback(error)
+            return [self._run_serial(task) for task in tasks]
+
+        outcomes: list[TaskOutcome] = []
+        with pool:
+            futures = {
+                task.index: pool.submit(execute_task,
+                                        dataclasses.asdict(task))
+                for task in tasks
+            }
+            for task in tasks:
+                future = futures[task.index]
+                try:
+                    raw = future.result(timeout=self.task_timeout_s)
+                except Exception as error:  # noqa: BLE001 — retry serially
+                    # One failure (crash, timeout, exception) falls back
+                    # to an in-parent serial retry: guaranteed progress,
+                    # no pool poisoning.
+                    self.telemetry.record_retry(task, error)
+                    if self.retries < 1:
+                        raise ExecutionError(
+                            f"task {task.key} failed: {error}"
+                        ) from error
+                    outcomes.append(self._run_serial(
+                        task, attempt_offset=1,
+                        max_attempts=self.retries))
+                    continue
+                outcomes.append(TaskOutcome(
+                    task=task, value=raw["value"],
+                    wall_time_s=raw["wall_time_s"],
+                    events_processed=raw["events_processed"],
+                    cached=False, attempts=1,
+                    worker_pid=raw["worker_pid"],
+                ))
+        return outcomes

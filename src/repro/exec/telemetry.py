@@ -1,0 +1,184 @@
+"""Run telemetry: structured logging plus a machine-readable summary.
+
+Every sweep run records, per task: wall time, events processed, cache
+hit/miss, attempts, and the worker that ran it.  The aggregate summary
+adds run wall time, cache hit rate, and worker utilization (busy task
+seconds divided by ``run wall time x workers`` — 1.0 means the pool
+never idled).  Records are emitted through the ``repro.exec`` logger
+with the raw fields attached under ``extra`` so log processors can
+consume them without parsing message strings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import pathlib
+import time
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.runner import SweepTask, TaskOutcome
+
+logger = logging.getLogger("repro.exec")
+
+
+@dataclasses.dataclass
+class TaskRecord:
+    """Telemetry for one executed (or cache-served) task."""
+
+    key: str
+    index: int
+    wall_time_s: float
+    events_processed: int
+    cached: bool
+    attempts: int
+    worker_pid: int
+
+
+class RunTelemetry:
+    """Collects task records for one sweep run and summarises them."""
+
+    def __init__(self) -> None:
+        self.records: list[TaskRecord] = []
+        self.retries: list[dict] = []
+        self.fallbacks: list[str] = []
+        self.workers = 1
+        self.num_tasks = 0
+        self._started: float | None = None
+        self._wall_time_s = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, *, workers: int, num_tasks: int) -> None:
+        self.records = []
+        self.retries = []
+        self.fallbacks = []
+        self.workers = workers
+        self.num_tasks = num_tasks
+        self._started = time.perf_counter()
+        logger.info(
+            "sweep start: %d task(s) on %d worker(s)", num_tasks, workers,
+            extra={"repro_sweep": {"tasks": num_tasks,
+                                   "workers": workers}},
+        )
+
+    def record_task(self, outcome: "TaskOutcome") -> None:
+        record = TaskRecord(
+            key=outcome.task.key,
+            index=outcome.task.index,
+            wall_time_s=outcome.wall_time_s,
+            events_processed=outcome.events_processed,
+            cached=outcome.cached,
+            attempts=outcome.attempts,
+            worker_pid=outcome.worker_pid,
+        )
+        self.records.append(record)
+        logger.info(
+            "task %s: %s in %.3fs (%d events, attempt %d, pid %d)",
+            record.key, "cache hit" if record.cached else "executed",
+            record.wall_time_s, record.events_processed,
+            record.attempts, record.worker_pid,
+            extra={"repro_task": dataclasses.asdict(record)},
+        )
+
+    def record_retry(self, task: "SweepTask", error: BaseException) -> None:
+        self.retries.append({"key": task.key, "error": repr(error)})
+        logger.warning(
+            "task %s failed (%s); retrying", task.key, error,
+            extra={"repro_retry": {"key": task.key,
+                                   "error": repr(error)}},
+        )
+
+    def record_fallback(self, error: BaseException) -> None:
+        self.fallbacks.append(repr(error))
+        logger.warning(
+            "process pool unavailable (%s); falling back to serial",
+            error,
+            extra={"repro_fallback": {"error": repr(error)}},
+        )
+
+    def finish(self) -> dict:
+        """Freeze the run and return the machine-readable summary."""
+        if self._started is not None:
+            self._wall_time_s = time.perf_counter() - self._started
+            self._started = None
+        summary = self.summary()
+        logger.info(
+            "sweep done: %d task(s) in %.3fs — %d cache hit(s), "
+            "%d miss(es), %.0f%% worker utilization",
+            summary["tasks"], summary["wall_time_s"],
+            summary["cache_hits"], summary["cache_misses"],
+            100.0 * summary["worker_utilization"],
+            extra={"repro_summary": summary},
+        )
+        return summary
+
+    # -- aggregation -------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregate view of the run (JSON-able)."""
+        executed = [r for r in self.records if not r.cached]
+        busy = sum(r.wall_time_s for r in executed)
+        wall = self._wall_time_s
+        if self._started is not None:  # summary of a still-running sweep
+            wall = time.perf_counter() - self._started
+        utilization = (busy / (wall * self.workers)
+                       if wall > 0 and executed else 0.0)
+        return {
+            "tasks": len(self.records),
+            "workers": self.workers,
+            "wall_time_s": wall,
+            "cache_hits": sum(1 for r in self.records if r.cached),
+            "cache_misses": len(executed),
+            "events_processed": sum(r.events_processed
+                                    for r in self.records),
+            "task_wall_time_s": {
+                "total": busy,
+                "max": max((r.wall_time_s for r in executed),
+                           default=0.0),
+                "mean": busy / len(executed) if executed else 0.0,
+            },
+            "worker_utilization": min(1.0, utilization),
+            "retries": list(self.retries),
+            "serial_fallbacks": list(self.fallbacks),
+            "per_task": [dataclasses.asdict(r) for r in self.records],
+        }
+
+    def write_summary(self, path: str | os.PathLike) -> None:
+        """Write the summary JSON to ``path``."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.summary(), indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def format_summary(summary: dict, *, top_n: int = 5) -> str:
+    """Render a run summary for terminal output.
+
+    Shows the aggregate counters plus the ``top_n`` slowest executed
+    tasks, so per-task timings and cache behaviour are visible without
+    opening the JSON.
+    """
+    lines = [
+        f"tasks: {summary['tasks']}  "
+        f"(cache hits: {summary['cache_hits']}, "
+        f"misses: {summary['cache_misses']})",
+        f"wall time: {summary['wall_time_s']:.3f}s on "
+        f"{summary['workers']} worker(s), "
+        f"utilization {100.0 * summary['worker_utilization']:.0f}%",
+        f"events processed: {summary['events_processed']}  "
+        f"task time total/mean/max: "
+        f"{summary['task_wall_time_s']['total']:.3f}/"
+        f"{summary['task_wall_time_s']['mean']:.3f}/"
+        f"{summary['task_wall_time_s']['max']:.3f}s",
+    ]
+    if summary["retries"]:
+        lines.append(f"retries: {len(summary['retries'])}")
+    executed = [r for r in summary["per_task"] if not r["cached"]]
+    slowest = sorted(executed, key=lambda r: r["wall_time_s"],
+                     reverse=True)[:top_n]
+    for record in slowest:
+        lines.append(
+            f"  {record['wall_time_s']:8.3f}s  {record['key']}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Tiny task functions for exercising the sweep runner.
+
+Task functions must be importable by dotted path inside worker
+processes, so the test suite's fixtures live here rather than in a test
+module.  They are also handy smoke-test payloads for operators trying a
+new deployment (``repro.exec.testing:echo_task`` costs microseconds).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.errors import ExecutionError
+from repro.exec.runner import TaskPayload
+
+
+def echo_task(params: dict) -> dict:
+    """Return the params (plus the worker pid) — the no-op task."""
+    return {**params, "pid": os.getpid()}
+
+
+def square_task(params: dict) -> TaskPayload:
+    """Square ``params['x']``, reporting one processed event."""
+    return TaskPayload(value=params["x"] ** 2, events_processed=1)
+
+
+def sleep_task(params: dict) -> float:
+    """Sleep ``params['seconds']`` and return it (timeout tests)."""
+    time.sleep(params["seconds"])
+    return params["seconds"]
+
+
+def flaky_task(params: dict) -> int:
+    """Fail the first ``params['fail_times']`` attempts (retry tests).
+
+    Attempts are counted in ``params['counter_path']`` so the count
+    survives process boundaries.
+    """
+    path = params["counter_path"]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            attempts = int(handle.read() or 0)
+    except FileNotFoundError:
+        attempts = 0
+    attempts += 1
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(str(attempts))
+    if attempts <= params["fail_times"]:
+        raise ExecutionError(f"flaky_task failing attempt {attempts}")
+    return attempts

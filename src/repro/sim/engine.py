@@ -149,23 +149,31 @@ class Simulator:
 
     # -- execution ----------------------------------------------------------
     def run(self, until_ps: int, *, max_events: int = 5_000_000) -> None:
-        """Process events up to and including ``until_ps``."""
+        """Process events up to and including ``until_ps``.
+
+        ``max_events`` caps the events processed by *this* call, so long
+        simulations split across several ``run()`` invocations never trip
+        the runaway guard cumulatively.
+        """
         if until_ps < self.now:
             raise SimulationError(
                 f"cannot run to {until_ps} ps; now={self.now}"
             )
+        processed_this_run = 0
         while self._queue:
             next_time = self._queue.peek_time()
             if next_time is None or next_time > until_ps:
                 break
+            if processed_this_run >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events in one run(); "
+                    f"runaway simulation?"
+                )
             event = self._queue.pop()
             self.now = event.time_ps
             self._dispatch(event)
             self._events_processed += 1
-            if self._events_processed > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; runaway simulation?"
-                )
+            processed_this_run += 1
         self.now = until_ps
 
     def _dispatch(self, event: Event) -> None:
@@ -181,11 +189,18 @@ class Simulator:
         if old is value:
             return
         self._signals[signal] = value
-        self._toggle_counts[signal] = self._toggle_counts.get(signal, 0) + 1
-        if toggle_energy:
-            self._toggle_energy[signal] = (
-                self._toggle_energy.get(signal, 0.0) + toggle_energy
+        if old is not Logic.X:
+            # The initial X -> known settle (gate priming, first drive) is
+            # not a real transition: counting it would charge toggle
+            # energy for reaching the reset state and inflate
+            # dynamic_energy() and every downstream power number.
+            self._toggle_counts[signal] = (
+                self._toggle_counts.get(signal, 0) + 1
             )
+            if toggle_energy:
+                self._toggle_energy[signal] = (
+                    self._toggle_energy.get(signal, 0.0) + toggle_energy
+                )
         for listener in self._listeners.get(signal, ()):  # snapshot not
             # needed: listeners are registered up-front in this library.
             listener(self, signal, value, self.now)

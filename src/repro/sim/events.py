@@ -59,22 +59,28 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Event]] = []
         self._counter = itertools.count()
+        self._pending: set[int] = set()
         self._cancelled: set[int] = set()
-        self._live = 0
 
     def push(self, event: Event) -> int:
         """Schedule ``event``; returns a handle usable with :meth:`cancel`."""
         handle = next(self._counter)
         heapq.heappush(self._heap, (event.time_ps, handle, event))
-        self._live += 1
+        self._pending.add(handle)
         return handle
 
     def cancel(self, handle: int) -> None:
-        """Cancel a previously pushed event (idempotent)."""
-        if handle in self._cancelled:
+        """Cancel a previously pushed event.
+
+        A defined no-op for handles that were never issued, were already
+        popped, or were already cancelled — so a supersede path that
+        races a commit (inertial delay in ``add_netlist``) can never
+        corrupt the live-event bookkeeping by double-cancelling.
+        """
+        if handle not in self._pending:
             return
+        self._pending.discard(handle)
         self._cancelled.add(handle)
-        self._live -= 1
 
     def pop(self) -> Event:
         """Remove and return the earliest live event."""
@@ -83,7 +89,7 @@ class EventQueue:
             if handle in self._cancelled:
                 self._cancelled.discard(handle)
                 continue
-            self._live -= 1
+            self._pending.discard(handle)
             return event
         raise SimulationError("pop from empty event queue")
 
@@ -99,7 +105,7 @@ class EventQueue:
         return None
 
     def __len__(self) -> int:
-        return self._live
+        return len(self._pending)
 
     def __bool__(self) -> bool:
-        return self._live > 0
+        return bool(self._pending)

@@ -60,3 +60,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "TIMBER flip-flop" in out
         assert "scaled Vdd" in out
+
+
+class TestSweepCommand:
+    def test_sweep_resilience_no_cache(self, capsys):
+        assert main(["sweep", "resilience", "--cycles", "300",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "timber-ff" in out
+        assert "tasks: 20" in out        # run summary is printed
+        assert "misses: 20" in out
+
+    def test_sweep_uses_cache_and_writes_summary(self, tmp_path,
+                                                 capsys):
+        cache_dir = str(tmp_path / "cache")
+        summary_path = tmp_path / "summary.json"
+        argv = ["sweep", "shootout", "--cycles", "200",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--summary", str(summary_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache hits: 8" in out
+
+        import json
+
+        summary = json.loads(summary_path.read_text(encoding="utf-8"))
+        assert summary["cache_hits"] == 8
+        assert summary["tasks"] == 8
+
+    def test_sweep_parallel_workers(self, capsys):
+        assert main(["sweep", "throughput", "--cycles", "200",
+                     "--workers", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "effective speedup" in out
+        assert "2 worker(s)" in out

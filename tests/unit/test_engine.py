@@ -146,3 +146,64 @@ class TestNetlistSimulation:
         sim.at(0, oscillate)
         with pytest.raises(SimulationError, match="events"):
             sim.run(10, max_events=1000)
+
+
+class TestEventGuardPerRun:
+    """Regression: the runaway guard must count per run() invocation."""
+
+    def test_split_runs_do_not_trip_guard_cumulatively(self, sim):
+        # 60 events total, 20 per segment: a lifetime counter would
+        # blow the 25-event cap on the second segment.
+        for i in range(60):
+            sim.drive("a", i % 2, i + 1)
+        sim.run(20, max_events=25)
+        sim.run(40, max_events=25)
+        sim.run(60, max_events=25)
+        assert sim.events_processed == 60
+
+    def test_guard_raises_before_exceeding_cap(self, sim):
+        for i in range(10):
+            sim.drive("a", i % 2, i + 1)
+        with pytest.raises(SimulationError, match="in one run"):
+            sim.run(10, max_events=5)
+        # Exactly the cap was processed — not one event more.
+        assert sim.events_processed == 5
+
+    def test_cap_sized_run_completes(self, sim):
+        for i in range(5):
+            sim.drive("a", i % 2, i + 1)
+        sim.run(10, max_events=5)
+        assert sim.events_processed == 5
+
+
+class TestSettleAccounting:
+    """Regression: the X -> known settle is not a toggle."""
+
+    def test_first_drive_from_x_not_counted(self, sim):
+        sim.drive("a", 1, 10)   # X -> 1: settle, not a toggle
+        sim.drive("a", 0, 20)   # 1 -> 0: a real toggle
+        sim.run(30)
+        assert sim.toggle_count("a") == 1
+
+    def test_priming_charges_no_energy(self, sim):
+        # Settling a netlist out of X must leave dynamic_energy at zero;
+        # before the fix every primed gate output charged one toggle.
+        chain = inverter_chain(4)
+        sim.add_netlist(chain)
+        sim.set_initial("in", 0)
+        sim.run(1000)
+        assert sim.dynamic_energy() == 0.0
+        out = chain.capture_nets[0]
+        assert sim.toggle_count(out) == 0
+        # Real transitions still pay full price afterwards.
+        sim.drive("in", 1, 2000)
+        sim.run(3000)
+        inv_energy = chain.library["INV"].toggle_energy
+        assert sim.dynamic_energy() == pytest.approx(4 * inv_energy)
+
+    def test_listeners_still_fire_on_settle(self, sim):
+        seen = []
+        sim.on_change("a", lambda s, name, v, t: seen.append((t, v)))
+        sim.drive("a", 1, 10)
+        sim.run(20)
+        assert seen == [(10, Logic.ONE)]

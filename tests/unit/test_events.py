@@ -94,3 +94,40 @@ class TestCancellation:
 
     def test_peek_empty_returns_none(self):
         assert EventQueue().peek_time() is None
+
+    def test_cancel_unknown_handle_is_noop(self):
+        # Regression: cancelling a handle that was never issued used to
+        # corrupt the live-event count.
+        queue = EventQueue()
+        queue.push(sig(10))
+        queue.cancel(999)
+        assert len(queue) == 1
+        assert queue.pop().time_ps == 10
+
+    def test_cancel_after_pop_is_noop(self):
+        # Regression: the inertial-delay supersede path can race a
+        # commit and cancel a handle that already fired; that must not
+        # poison the queue's bookkeeping for later events.
+        queue = EventQueue()
+        h1 = queue.push(sig(10))
+        assert queue.pop().time_ps == 10
+        queue.cancel(h1)
+        assert len(queue) == 0
+        assert not queue
+        queue.push(sig(20, name="later"))
+        assert len(queue) == 1
+        assert queue.peek_time() == 20
+        assert queue.pop().signal == "later"
+
+    def test_double_cancel_then_continue(self):
+        queue = EventQueue()
+        h1 = queue.push(sig(10))
+        queue.push(sig(20, name="kept"))
+        queue.cancel(h1)
+        queue.cancel(h1)
+        queue.cancel(h1)
+        assert len(queue) == 1
+        assert queue.peek_time() == 20
+        assert queue.pop().signal == "kept"
+        with pytest.raises(SimulationError):
+            queue.pop()

@@ -1,0 +1,110 @@
+"""Unit tests for the on-disk result cache and its JSON encoding."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import (
+    Fig8Row,
+    ResiliencePoint,
+    ThroughputPoint,
+)
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache, decode_result, encode_result
+from repro.pipeline.pipeline import PipelineResult
+from repro.timing.distribution import CriticalPathDistribution
+
+
+def _pipeline_result() -> PipelineResult:
+    return PipelineResult(
+        scheme="timber-ff", cycles=1000, period_ps=1000, clean=900,
+        masked=50, masked_flagged=10, detected=20, predicted=5,
+        failed=0, replay_cycles=40, slow_cycles=12,
+        total_time_ps=1_010_000, max_borrow_ps=120, borrow_chain_max=3,
+    )
+
+
+#: One instance of every experiment result dataclass the sweeps cache.
+RESULT_SAMPLES = [
+    _pipeline_result(),
+    ResiliencePoint(technique="razor", droop_amplitude=0.08,
+                    result=_pipeline_result()),
+    ThroughputPoint(technique="canary", overclock_percent=4.0,
+                    result=_pipeline_result()),
+    Fig8Row(point="medium", checking_percent=30.0, style="ff",
+            with_tb_interval=True, margin_percent=10.0,
+            ffs_replaced=120, ffs_total=400,
+            power_overhead_percent=7.25,
+            relay_area_overhead_percent=1.5, relay_slack_percent=70.0),
+    CriticalPathDistribution(percent_threshold=20.0, num_ffs=400,
+                             num_endpoints=200, num_startpoints=90,
+                             num_through=60),
+]
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("sample", RESULT_SAMPLES,
+                             ids=lambda s: type(s).__name__)
+    def test_round_trip_every_result_dataclass(self, sample):
+        encoded = encode_result(sample)
+        json.dumps(encoded)  # must be pure JSON
+        assert decode_result(encoded) == sample
+
+    def test_round_trip_containers(self):
+        value = {"rows": [_pipeline_result()], "tag": (1, 2),
+                 "n": None, "ok": True}
+        decoded = decode_result(encode_result(value))
+        assert decoded == value
+        assert isinstance(decoded["tag"], tuple)
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_result({1: "x"})
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_result(object())
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("exp", {"x": 1}, seed=3)
+        assert cache.get(key) == (False, None)
+        cache.put(key, _pipeline_result(), experiment="exp")
+        hit, value = cache.get(key)
+        assert hit and value == _pipeline_result()
+        assert len(cache) == 1
+
+    def test_key_depends_on_config_and_seed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key_for("exp", {"x": 1}, seed=3)
+        assert cache.key_for("exp", {"x": 2}, seed=3) != base
+        assert cache.key_for("exp", {"x": 1}, seed=4) != base
+        assert cache.key_for("other", {"x": 1}, seed=3) != base
+
+    def test_code_version_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, version="v1")
+        key = old.key_for("exp", {}, seed=0)
+        old.put(key, _pipeline_result())
+        # Same key hashed under the new version differs...
+        new = ResultCache(tmp_path, version="v2")
+        assert new.key_for("exp", {}, seed=0) != key
+        # ...and even a colliding key is rejected by the entry check.
+        assert new.get(key) == (False, None)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("exp", {}, seed=0)
+        cache.put(key, _pipeline_result())
+        (tmp_path / f"{key}.json").write_text("{not json",
+                                              encoding="utf-8")
+        assert cache.get(key) == (False, None)
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(cache.key_for("exp", {"i": i}, seed=0), i)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.clear() == 0

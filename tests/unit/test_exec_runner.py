@@ -1,0 +1,197 @@
+"""Unit tests for the parallel sweep runner."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.exec import (
+    ResultCache,
+    SweepRunner,
+    SweepTask,
+    derive_seed,
+    expand_grid,
+)
+
+ECHO = "repro.exec.testing:echo_task"
+SQUARE = "repro.exec.testing:square_task"
+FLAKY = "repro.exec.testing:flaky_task"
+
+
+def _square_tasks(values, root_seed=7):
+    return expand_grid(SQUARE, {"x": values}, root_seed=root_seed)
+
+
+class TestDeriveSeed:
+    def test_stable_across_interpreters(self):
+        # SHA-256 over canonical JSON: these constants must never move
+        # (a salted hash() would change them every process).
+        assert derive_seed(0, "exp") == 5304603747316118249
+        assert derive_seed(
+            11, "repro.analysis.experiments:pipeline_point_task",
+            [("droop_amplitude", 0.04), ("technique", "razor")],
+        ) == 6655405220344259627
+
+    def test_sensitive_to_every_part(self):
+        base = derive_seed(1, "exp", "a")
+        assert derive_seed(2, "exp", "a") != base
+        assert derive_seed(1, "other", "a") != base
+        assert derive_seed(1, "exp", "b") != base
+
+    def test_non_negative_63_bit(self):
+        for seed in range(20):
+            value = derive_seed(seed, "exp")
+            assert 0 <= value < 2 ** 63
+
+
+class TestExpandGrid:
+    def test_nested_loop_order(self):
+        tasks = expand_grid(ECHO, {"a": (1, 2), "b": ("x", "y")})
+        points = [(t.params["a"], t.params["b"]) for t in tasks]
+        assert points == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+        assert [t.index for t in tasks] == [0, 1, 2, 3]
+
+    def test_base_params_merged(self):
+        tasks = expand_grid(ECHO, {"a": (1,)}, {"shared": 5})
+        assert tasks[0].params == {"shared": 5, "a": 1}
+
+    def test_seed_independent_of_other_grid_points(self):
+        # Shrinking an axis must not reseed the surviving points.
+        wide = expand_grid(ECHO, {"a": (1, 2, 3)}, root_seed=9)
+        narrow = expand_grid(ECHO, {"a": (2,)}, root_seed=9)
+        by_a = {t.params["a"]: t.seed for t in wide}
+        assert narrow[0].seed == by_a[2]
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid(ECHO, {})
+
+
+class TestSerialExecution:
+    def test_results_in_task_order(self):
+        runner = SweepRunner()
+        values = runner.run_values(_square_tasks((3, 1, 2)))
+        assert values == [9, 1, 4]
+
+    def test_events_and_timings_recorded(self):
+        runner = SweepRunner()
+        run = runner.run(_square_tasks((2, 5)))
+        assert run.summary["events_processed"] == 2
+        assert run.summary["cache_misses"] == 2
+        assert all(o.wall_time_s >= 0 for o in run.outcomes)
+
+    def test_retry_once_then_succeed(self, tmp_path):
+        task = SweepTask(
+            experiment=FLAKY,
+            params={"counter_path": str(tmp_path / "count"),
+                    "fail_times": 1},
+            index=0, seed=0, key="flaky[0]",
+        )
+        runner = SweepRunner()
+        run = runner.run([task])
+        assert run.outcomes[0].value == 2
+        assert run.outcomes[0].attempts == 2
+        assert len(run.summary["retries"]) == 1
+
+    def test_persistent_failure_raises(self, tmp_path):
+        task = SweepTask(
+            experiment=FLAKY,
+            params={"counter_path": str(tmp_path / "count"),
+                    "fail_times": 10},
+            index=0, seed=0, key="flaky[0]",
+        )
+        with pytest.raises(ExecutionError, match="flaky"):
+            SweepRunner().run([task])
+
+    def test_bad_experiment_path_rejected(self):
+        task = SweepTask(experiment="not-a-dotted-path", params={},
+                         index=0, seed=0, key="bad")
+        with pytest.raises(ExecutionError):
+            SweepRunner().run([task])
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(workers=0)
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial(self):
+        tasks = _square_tasks(tuple(range(8)))
+        serial = SweepRunner().run_values(tasks)
+        parallel = SweepRunner(workers=3).run_values(tasks)
+        assert parallel == serial
+
+    def test_pool_retry_after_worker_failure(self, tmp_path):
+        # First (pool) attempt fails; the in-parent serial retry wins.
+        tasks = [
+            SweepTask(
+                experiment=FLAKY,
+                params={"counter_path": str(tmp_path / f"count{i}"),
+                        "fail_times": 1},
+                index=i, seed=i, key=f"flaky[{i}]",
+            )
+            for i in range(2)
+        ]
+        run = SweepRunner(workers=2).run(tasks)
+        assert [o.value for o in run.outcomes] == [2, 2]
+        assert all(o.attempts == 2 for o in run.outcomes)
+
+    def test_cache_hits_skip_execution(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = _square_tasks((4, 6))
+        cold = SweepRunner(workers=2, cache=cache).run(tasks)
+        warm_runner = SweepRunner(workers=2, cache=cache)
+        warm = warm_runner.run(tasks)
+        assert warm.values == cold.values
+        assert warm.summary["cache_hits"] == 2
+        assert warm.summary["cache_misses"] == 0
+        assert all(o.cached for o in warm.outcomes)
+
+
+class TestSweepDeterminism:
+    """The acceptance bar: parallel == serial for the real sweeps."""
+
+    def test_resilience_sweep_parallel_equals_serial(self):
+        from repro.analysis.experiments import resilience_sweep
+
+        kwargs = dict(techniques=("plain", "timber-ff"),
+                      droop_amplitudes=(0.0, 0.08), num_cycles=1000)
+        serial = resilience_sweep(**kwargs)
+        parallel = resilience_sweep(**kwargs,
+                                    runner=SweepRunner(workers=2))
+        assert serial == parallel
+        # Byte-identical, not merely equal: the structured encodings of
+        # every result must match exactly.
+        from repro.exec.cache import encode_result
+        import json
+
+        assert json.dumps(encode_result(serial), sort_keys=True) == \
+            json.dumps(encode_result(parallel), sort_keys=True)
+
+    def test_throughput_sweep_parallel_equals_serial(self):
+        from repro.analysis.experiments import throughput_sweep
+
+        kwargs = dict(techniques=("timber-ff", "canary"),
+                      overclock_percents=(0.0, 8.0), num_cycles=1000)
+        assert throughput_sweep(**kwargs) == throughput_sweep(
+            **kwargs, runner=SweepRunner(workers=2))
+
+
+class TestTaskSpec:
+    def test_resolve_requires_module_colon_function(self):
+        task = SweepTask(experiment="repro.exec.testing", params={},
+                         index=0, seed=0, key="k")
+        with pytest.raises(ConfigurationError):
+            task.resolve()
+
+    def test_resolve_unknown_function(self):
+        task = SweepTask(experiment="repro.exec.testing:nope", params={},
+                         index=0, seed=0, key="k")
+        with pytest.raises(ConfigurationError):
+            task.resolve()
+
+    def test_tasks_are_plain_data(self):
+        task = _square_tasks((1,))[0]
+        payload = dataclasses.asdict(task)
+        assert payload["experiment"] == SQUARE
+        assert SweepTask(**payload) == task

@@ -1,0 +1,78 @@
+"""Unit tests for sweep run telemetry."""
+
+import json
+import logging
+
+from repro.exec import ResultCache, SweepRunner
+from repro.exec.runner import expand_grid
+from repro.exec.telemetry import RunTelemetry, format_summary
+
+SQUARE = "repro.exec.testing:square_task"
+
+
+def _run(**runner_kwargs):
+    runner = SweepRunner(**runner_kwargs)
+    runner.run(expand_grid(SQUARE, {"x": (1, 2, 3)}))
+    return runner
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        runner = _run()
+        summary = runner.last_run.summary
+        assert summary["tasks"] == 3
+        assert summary["cache_hits"] == 0
+        assert summary["cache_misses"] == 3
+        assert summary["events_processed"] == 3
+        assert summary["wall_time_s"] > 0
+        assert 0.0 <= summary["worker_utilization"] <= 1.0
+        assert len(summary["per_task"]) == 3
+        keys = {record["key"] for record in summary["per_task"]}
+        assert keys == {"square_task[x=1]", "square_task[x=2]",
+                        "square_task[x=3]"}
+
+    def test_cache_hits_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _run(cache=cache)
+        warm = _run(cache=cache)
+        summary = warm.last_run.summary
+        assert summary["cache_hits"] == 3
+        assert summary["cache_misses"] == 0
+        assert summary["task_wall_time_s"]["total"] == 0.0
+
+    def test_summary_is_json_able(self):
+        json.dumps(_run().last_run.summary)
+
+    def test_write_summary(self, tmp_path):
+        runner = _run()
+        path = tmp_path / "nested" / "summary.json"
+        runner.telemetry.write_summary(path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["tasks"] == 3
+
+    def test_idle_telemetry_summary(self):
+        summary = RunTelemetry().summary()
+        assert summary["tasks"] == 0
+        assert summary["worker_utilization"] == 0.0
+
+
+class TestLoggingAndRendering:
+    def test_structured_records_emitted(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.exec"):
+            _run()
+        task_records = [r for r in caplog.records
+                        if hasattr(r, "repro_task")]
+        assert len(task_records) == 3
+        assert task_records[0].repro_task["cached"] is False
+        summaries = [r for r in caplog.records
+                     if hasattr(r, "repro_summary")]
+        assert len(summaries) == 1
+
+    def test_format_summary_shows_hits_and_timings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _run(cache=cache)
+        text = format_summary(_run(cache=cache).last_run.summary)
+        assert "cache hits: 3" in text
+        cold = format_summary(_run().last_run.summary)
+        assert "square_task[x=" in cold  # slowest-task timings listed
+        assert "misses: 3" in cold
