@@ -8,12 +8,18 @@ the small number of flip-flops that are both start- and end-points of
 critical paths) and always meets the half-cycle budget.
 """
 
+import time
+
+from conftest import record_bench
+
 from repro.analysis.experiments import fig8_experiment
 from repro.analysis.tables import format_table
 
 
 def test_fig8_relay(benchmark, report):
+    start = time.perf_counter()
     rows = benchmark.pedantic(fig8_experiment, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
 
     relay_rows = [r for r in rows
                   if r.style == "ff" and r.with_tb_interval]
@@ -44,3 +50,11 @@ def test_fig8_relay(benchmark, report):
         assert all(r.relay_slack_percent > 50.0 for r in series)
 
     report("fig8i_relay_area_and_slack", table)
+    # Fig. 8 is static design analysis, not cycle simulation, so there
+    # is no cycle count; the grid size stands in as the work measure.
+    record_bench(
+        "fig8_relay",
+        simulated_cycles=None,
+        wall_time_s=wall,
+        extra={"grid_rows": len(rows)},
+    )

@@ -15,7 +15,7 @@ run summary appended to the artefact shows the cache hits and per-task
 timings.
 """
 
-from conftest import make_sweep_runner
+from conftest import make_sweep_runner, record_bench
 
 from repro.analysis.experiments import resilience_sweep
 from repro.analysis.tables import format_table
@@ -77,3 +77,9 @@ def test_resilience_sweep(benchmark, report):
     table += "\n\nrun summary\n" + format_summary(
         runner.last_run.summary)
     report("x1_resilience_sweep", table)
+    record_bench(
+        "x1_resilience_sweep",
+        simulated_cycles=len(points) * 12_000,
+        summary=runner.last_run.summary,
+        extra={"grid_points": len(points)},
+    )

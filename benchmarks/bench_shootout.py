@@ -20,7 +20,7 @@ the shared on-disk result cache; the appended run summary shows cache
 hits and per-task timings.
 """
 
-from conftest import make_sweep_runner
+from conftest import make_sweep_runner, record_bench
 
 from repro.analysis.experiments import shootout_sweep
 from repro.analysis.tables import format_table
@@ -78,3 +78,9 @@ def test_shootout(benchmark, report):
     table += "\n\nrun summary\n" + format_summary(
         runner.last_run.summary)
     report("x9_shootout", table)
+    record_bench(
+        "x9_shootout",
+        simulated_cycles=len(results) * NUM_CYCLES,
+        summary=runner.last_run.summary,
+        extra={"grid_points": len(results)},
+    )

@@ -9,12 +9,18 @@ output capture.
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 import pathlib
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Repo root — the ``BENCH_<name>.json`` perf-trajectory files live here
+#: (committed, one file per heavy bench; schema in DESIGN.md).
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 #: Shared on-disk result cache for the heavy sweep benchmarks — a rerun
 #: of an unchanged benchmark is served from here (delete the directory
@@ -37,6 +43,64 @@ def make_sweep_runner(workers: int | None = None):
     cache = (None if os.environ.get("REPRO_BENCH_NO_CACHE")
              else ResultCache(SWEEP_CACHE_DIR))
     return SweepRunner(workers=workers, cache=cache)
+
+
+def record_bench(
+    name: str,
+    *,
+    simulated_cycles: int | None,
+    summary: dict | None = None,
+    wall_time_s: float | None = None,
+    extra: dict | None = None,
+) -> pathlib.Path:
+    """Append one run to the bench's ``BENCH_<name>.json`` trajectory.
+
+    One file per bench at the repo root; each file holds one run entry
+    per kernel mode (re-running a mode replaces its entry, so the file
+    always shows the latest scalar-vs-vector comparison).  Wall time and
+    cache counters come from the sweep-runner ``summary``; throughput is
+    derived as simulated cycles per second of sweep wall time.  Schema
+    is documented in DESIGN.md.
+    """
+    from repro.kernels import kernel_mode
+
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    data = {"bench": name, "schema_version": 1, "runs": []}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            pass
+    mode = kernel_mode()
+    wall = wall_time_s
+    if wall is None and summary is not None:
+        wall = float(summary["wall_time_s"])
+    run: dict = {
+        "kernel_mode": mode,
+        "recorded_at": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "wall_time_s": wall,
+        "simulated_cycles": simulated_cycles,
+        "cycles_per_second": (
+            round(simulated_cycles / wall, 1)
+            if simulated_cycles and wall else None),
+    }
+    if summary is not None:
+        run["workers"] = summary["workers"]
+        run["cache_hits"] = summary["cache_hits"]
+        run["cache_misses"] = summary["cache_misses"]
+        run["point_wall_time_s"] = {
+            "mean": round(summary["task_wall_time_s"]["mean"], 6),
+            "max": round(summary["task_wall_time_s"]["max"], 6),
+        }
+    if extra:
+        run.update(extra)
+    runs = [r for r in data.get("runs", [])
+            if r.get("kernel_mode") != mode]
+    runs.append(run)
+    data["runs"] = sorted(runs, key=lambda r: r.get("kernel_mode", ""))
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 @pytest.fixture(scope="session")

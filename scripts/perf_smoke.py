@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Perf smoke test: scalar vs vectorized kernels on one small sweep.
+
+Runs the same (small) resilience sweep twice in one process — once with
+``REPRO_SCALAR_KERNELS=1`` and once on the default vectorized kernels —
+asserts the results are field-for-field identical, and records both
+timings to ``BENCH_perf_smoke.json`` (schema v1, DESIGN.md).  CI runs
+this on every push; it is also a convenient local sanity check:
+
+    PYTHONPATH=src python scripts/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+TECHNIQUES = ("plain", "timber-ff", "timber-latch", "razor", "canary")
+AMPLITUDES = (0.0, 0.08)
+NUM_CYCLES = 4_000
+
+
+def _run_sweep():
+    from repro.analysis.experiments import resilience_sweep
+    from repro.exec.runner import SweepRunner
+
+    # Serial and uncached so both modes execute in this process and
+    # measure pure kernel time.
+    runner = SweepRunner(workers=1, cache=None)
+    return resilience_sweep(
+        techniques=TECHNIQUES,
+        droop_amplitudes=AMPLITUDES,
+        num_cycles=NUM_CYCLES,
+        runner=runner,
+    )
+
+
+def _measure(mode: str):
+    from repro.kernels import SCALAR_ENV, kernel_mode
+
+    if mode == "scalar":
+        os.environ[SCALAR_ENV] = "1"
+    else:
+        os.environ.pop(SCALAR_ENV, None)
+    active = kernel_mode()
+    if active != mode:
+        raise SystemExit(
+            f"kernel mode is {active!r}, wanted {mode!r} "
+            "(is numpy importable?)")
+    start = time.perf_counter()
+    points = _run_sweep()
+    wall = time.perf_counter() - start
+    return points, wall
+
+
+def main() -> int:
+    scalar_points, scalar_wall = _measure("scalar")
+    vector_points, vector_wall = _measure("vector")
+
+    mismatches = []
+    for scalar, vector in zip(scalar_points, vector_points):
+        if dataclasses.asdict(scalar) != dataclasses.asdict(vector):
+            mismatches.append((dataclasses.asdict(scalar),
+                               dataclasses.asdict(vector)))
+    if mismatches:
+        for scalar, vector in mismatches:
+            print("MISMATCH")
+            print("  scalar:", scalar)
+            print("  vector:", vector)
+        return 1
+
+    cycles = len(scalar_points) * NUM_CYCLES
+    now = datetime.datetime.now(
+        datetime.timezone.utc).isoformat(timespec="seconds")
+    runs = []
+    for mode, wall in (("scalar", scalar_wall), ("vector", vector_wall)):
+        runs.append({
+            "kernel_mode": mode,
+            "recorded_at": now,
+            "wall_time_s": round(wall, 4),
+            "simulated_cycles": cycles,
+            "cycles_per_second": round(cycles / wall, 1),
+            "workers": 1,
+            "cache_hits": 0,
+            "cache_misses": len(scalar_points),
+            "grid_points": len(scalar_points),
+        })
+    path = REPO_ROOT / "BENCH_perf_smoke.json"
+    path.write_text(json.dumps(
+        {"bench": "perf_smoke", "schema_version": 1, "runs": runs},
+        indent=2) + "\n", encoding="utf-8")
+
+    speedup = scalar_wall / vector_wall if vector_wall > 0 else float("inf")
+    print(f"perf smoke OK: {len(scalar_points)} grid points x "
+          f"{NUM_CYCLES} cycles identical in both kernel modes")
+    print(f"  scalar: {scalar_wall:.3f}s   vector: {vector_wall:.3f}s   "
+          f"speedup: {speedup:.1f}x")
+    print(f"  trajectory written to {path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

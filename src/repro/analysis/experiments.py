@@ -3,6 +3,12 @@
 Each function reproduces one of the paper's artefacts (or one of the
 extension studies documented in DESIGN.md) and returns structured data;
 the benchmark harness and the examples render and assert on these.
+
+The Monte-Carlo engines underneath (pipeline, graph, SSTA) run on the
+vectorized ``repro.kernels`` path by default and fall back to the
+scalar reference under ``REPRO_SCALAR_KERNELS=1``; the two paths are
+bit-identical, so sweep results — and therefore on-disk cache entries —
+are valid regardless of the kernel mode they were produced in.
 """
 
 from __future__ import annotations

@@ -118,6 +118,8 @@ class RunTelemetry:
     # -- aggregation -------------------------------------------------------
     def summary(self) -> dict:
         """Aggregate view of the run (JSON-able)."""
+        from repro.kernels import kernel_mode
+
         executed = [r for r in self.records if not r.cached]
         busy = sum(r.wall_time_s for r in executed)
         wall = self._wall_time_s
@@ -128,6 +130,7 @@ class RunTelemetry:
         return {
             "tasks": len(self.records),
             "workers": self.workers,
+            "kernel_mode": kernel_mode(),
             "wall_time_s": wall,
             "cache_hits": sum(1 for r in self.records if r.cached),
             "cache_misses": len(executed),

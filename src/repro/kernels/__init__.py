@@ -1,0 +1,63 @@
+"""Vectorized Monte-Carlo kernels.
+
+The simulators in :mod:`repro.pipeline` and :mod:`repro.timing.ssta`
+draw millions of deterministic pseudo-random delay factors and
+sensitization decisions.  This package provides the two engines behind
+those draws:
+
+* :mod:`repro.kernels.rng` — a seeded 32-bit integer mixer and an
+  exact-arithmetic Gaussian built on it, implemented twice: once in
+  pure Python (the *scalar* reference) and once over numpy arrays (the
+  *vector* kernel).  Both paths are bit-identical by construction, so a
+  simulation may freely mix blocked vector evaluation with per-cycle
+  scalar bookkeeping and still produce one deterministic result.
+* :mod:`repro.kernels.pipeline`, :mod:`repro.kernels.graph`, and
+  :mod:`repro.kernels.ssta` — compiled array forms of the three hot
+  Monte-Carlo loops (linear pipeline, whole-graph simulation, and
+  statistical STA).
+
+Mode selection: the vector kernels are used whenever numpy imports and
+``REPRO_SCALAR_KERNELS`` is unset (or ``0``); setting
+``REPRO_SCALAR_KERNELS=1`` forces every simulator down the pure-Python
+reference path.  Results are identical either way — only wall time
+changes — which the equivalence test suite and the CI perf-smoke job
+both enforce.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised implicitly by every vector test
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - CI images always have numpy
+    HAVE_NUMPY = False
+
+#: Environment variable forcing the scalar reference implementations.
+SCALAR_ENV = "REPRO_SCALAR_KERNELS"
+
+
+def scalar_forced() -> bool:
+    """Whether the escape hatch pins simulations to the scalar path."""
+    return os.environ.get(SCALAR_ENV, "0") not in ("", "0")
+
+
+def vectorized_enabled() -> bool:
+    """Whether the numpy kernels should be used for new simulations."""
+    return HAVE_NUMPY and not scalar_forced()
+
+
+def kernel_mode() -> str:
+    """``"vector"`` or ``"scalar"`` — recorded in telemetry and benches."""
+    return "vector" if vectorized_enabled() else "scalar"
+
+
+__all__ = [
+    "HAVE_NUMPY",
+    "SCALAR_ENV",
+    "kernel_mode",
+    "scalar_forced",
+    "vectorized_enabled",
+]

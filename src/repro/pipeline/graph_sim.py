@@ -17,6 +17,14 @@ the synthetic processor, or any :class:`~repro.timing.graph.TimingGraph`
 For tractability, only *candidate* edges — those that could possibly
 arrive late given the worst borrow plus the variability headroom — are
 evaluated per cycle; the rest provably never violate and are skipped.
+
+With numpy available (and ``REPRO_SCALAR_KERNELS`` unset) the candidate
+edges are additionally compiled into flat arrays: sensitization and
+idle-state arrivals are evaluated for blocks of cycles at once, whole
+runs of provably clean cycles are skipped in bulk, and only the cycles
+whose screen shows a potentially late edge go through the dict-based
+borrow/relay bookkeeping — fed the precomputed rows, so vector and
+scalar runs are bit-identical.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro import kernels
 from repro.core.checking_period import CheckingPeriod
 from repro.core.masking import (
     CaptureOutcome,
@@ -32,13 +41,20 @@ from repro.core.masking import (
     timber_latch_capture,
 )
 from repro.errors import ConfigurationError
+from repro.kernels.rng import key_id, mix32, split64
 from repro.pipeline.controller import CentralErrorController
 from repro.timing.graph import TimingEdge, TimingGraph
 from repro.variability.base import (
     ConstantVariation,
     VariabilityModel,
-    stable_hash,
+    supports_batch,
 )
+
+#: Domain-separation salt for the edge-sensitization stream (shared
+#: with the vector kernel in :mod:`repro.kernels.graph`).
+_SENS_SALT = key_id("graph-sens")
+
+_M32 = 0xFFFFFFFF
 
 
 class WorkloadTraceLike(typing.Protocol):
@@ -142,29 +158,51 @@ class GraphPipelineSimulation:
             ]
             if edges:
                 self._candidates[ff] = edges
-        # Hot-loop precomputation: stable per-edge keys and an integer
-        # sensitization threshold so the per-(cycle, edge) draw is a
-        # single hash compare instead of an RNG construction.
-        self._edge_key: dict[TimingEdge, str] = {
-            e: f"{e.src}->{e.dst}#{e.delay_ps}"
-            for edges in self._candidates.values() for e in edges
-        }
+        # Hot-loop precomputation: per-edge sensitization key ids and
+        # variability path names (interned once, never rebuilt per
+        # cycle), flat-indexed so the vector kernel and the scalar loop
+        # address the same rows.
+        self._seed_lanes = split64(seed)
+        self._edge_sens_id: dict[TimingEdge, int] = {}
+        self._rows: list[tuple[str, list[tuple[int, TimingEdge, int,
+                                               str]]]] = []
+        flat = 0
+        for ff, edges in self._candidates.items():
+            entries = []
+            for edge in edges:
+                sens_id = key_id(f"{edge.src}->{edge.dst}#{edge.delay_ps}")
+                self._edge_sens_id[edge] = sens_id
+                entries.append((flat, edge, sens_id,
+                                f"{edge.src}->{edge.dst}"))
+                flat += 1
+            self._rows.append((ff, entries))
+        self._num_edges = flat
         self._sens_threshold = int(self.sensitization_prob * 2**32)
+        self._compiled = None
 
     # -- per-cycle machinery -----------------------------------------------
-    def _sensitized(self, cycle: int, edge: TimingEdge) -> bool:
-        threshold = self._sens_threshold
-        if self.trace is not None:
-            probability = min(
-                1.0, self.sensitization_prob * self.trace.scale_at(cycle))
-            threshold = int(probability * 2**32)
-        elif self.sensitization_prob >= 1.0:
-            return True
-        key = self._edge_key.get(edge)
-        if key is None:
-            key = f"{edge.src}->{edge.dst}#{edge.delay_ps}"
-        digest = stable_hash(self.seed, cycle, key)
+    def _sens_threshold_at(self, cycle: int) -> int:
+        """Integer sensitization threshold in effect on ``cycle``.
+
+        Computed once per cycle (not per edge): the workload trace only
+        depends on the cycle, so every edge shares the threshold.
+        """
+        if self.trace is None:
+            return self._sens_threshold
+        probability = min(
+            1.0, self.sensitization_prob * self.trace.scale_at(cycle))
+        return int(probability * 2**32)
+
+    def _edge_sensitized(self, cycle: int, sens_id: int,
+                         threshold: int) -> bool:
+        lo, hi = self._seed_lanes
+        digest = mix32(_SENS_SALT, lo, hi, cycle & _M32, cycle >> 32,
+                       sens_id)
         return digest < threshold
+
+    def _sensitized(self, cycle: int, edge: TimingEdge) -> bool:
+        return self._edge_sensitized(cycle, self._edge_sens_id[edge],
+                                     self._sens_threshold_at(cycle))
 
     def _capture(self, lateness: int, select_in: int) -> CaptureOutcome:
         if self.scheme == "timber-ff":
@@ -181,66 +219,167 @@ class GraphPipelineSimulation:
             cycles=num_cycles,
             num_ffs=self.graph.num_ffs,
             num_protected=len(self.protected),
-            candidate_edges=sum(len(e) for e in self._candidates.values()),
+            candidate_edges=self._num_edges,
         )
-        borrow: dict[str, int] = {}
-        select_out: dict[str, int] = {}
-        for cycle in range(num_cycles):
-            period = (self.controller.period_at(cycle)
-                      if self.controller is not None
-                      else self.graph.period_ps)
-            if period > self.graph.period_ps:
-                result.slow_cycles += 1
-            new_borrow: dict[str, int] = {}
-            new_select_out: dict[str, int] = {}
-            cycle_flagged = False
-            for ff, edges in self._candidates.items():
-                lateness = None
-                for edge in edges:
-                    launch_offset = borrow.get(edge.src, 0)
-                    if launch_offset == 0 and not self._sensitized(
-                            cycle, edge):
-                        continue
-                    factor = self.variability.factor(
-                        cycle, f"{edge.src}->{edge.dst}")
-                    arrival = launch_offset + int(
-                        round(edge.delay_ps * factor))
-                    late = arrival - period
-                    if lateness is None or late > lateness:
-                        lateness = late
-                if lateness is None or lateness <= 0:
-                    continue
-                if ff in self.protected:
-                    select_in = max(
-                        (select_out.get(src, 0)
-                         for src in self._relay_srcs.get(ff, ())),
-                        default=0,
-                    )
-                    outcome = self._capture(lateness, select_in)
-                else:
-                    outcome = plain_ff_capture(lateness)
-                if outcome.masked:
-                    result.masked += 1
-                    new_borrow[ff] = outcome.borrowed_ps
-                    result.max_borrow_ps = max(result.max_borrow_ps,
-                                               outcome.borrowed_ps)
-                    if outcome.borrowed_intervals:
-                        new_select_out[ff] = outcome.borrowed_intervals
-                    if outcome.flagged:
-                        result.masked_flagged += 1
-                        cycle_flagged = True
-                        result.flags_per_ff[ff] = (
-                            result.flags_per_ff.get(ff, 0) + 1)
-                elif outcome.failed:
-                    if ff in self.protected:
-                        result.failed += 1
-                    else:
-                        result.failed_unprotected += 1
-            if cycle_flagged and self.controller is not None:
-                self.controller.notify_flag(cycle)
-            borrow = new_borrow
-            select_out = new_select_out
+        if kernels.vectorized_enabled() and self._vectorizable():
+            self._run_vector(num_cycles, result)
+        else:
+            borrow: dict[str, int] = {}
+            select_out: dict[str, int] = {}
+            for cycle in range(num_cycles):
+                borrow, select_out = self._simulate_cycle(
+                    cycle, result, borrow, select_out, None, None)
         # Captures that saw no (evaluated) violation were clean.
         result.clean_captures = (
             num_cycles * self.graph.num_ffs - result.violations)
         return result
+
+    def _vectorizable(self) -> bool:
+        """Can this configuration run on the block kernel?
+
+        Needs batch-capable variability and, when a controller is
+        attached, the ``CentralErrorController`` window interface used
+        for bulk slow-cycle accounting; duck-typed feedback controllers
+        take the scalar loop.
+        """
+        if not supports_batch(self.variability):
+            return False
+        return (self.controller is None
+                or hasattr(self.controller, "windows"))
+
+    # -- shared per-cycle state machine ---------------------------------
+    def _period_at(self, cycle: int) -> int:
+        if self.controller is None:
+            return self.graph.period_ps
+        return self.controller.period_at(cycle)
+
+    def _simulate_cycle(
+        self,
+        cycle: int,
+        result: GraphPipelineResult,
+        borrow: dict[str, int],
+        select_out: dict[str, int],
+        sens_row,
+        arrival_row,
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """One cycle of arrival/capture/relay bookkeeping.
+
+        ``sens_row`` / ``arrival_row`` optionally supply the vector
+        kernel's precomputed per-edge decisions for this cycle; ``None``
+        computes them per edge (the scalar reference).
+        """
+        period = self._period_at(cycle)
+        if period > self.graph.period_ps:
+            result.slow_cycles += 1
+        threshold = (self._sens_threshold_at(cycle)
+                     if sens_row is None else 0)
+        new_borrow: dict[str, int] = {}
+        new_select_out: dict[str, int] = {}
+        cycle_flagged = False
+        for ff, entries in self._rows:
+            lateness = None
+            for flat, edge, sens_id, path in entries:
+                launch_offset = borrow.get(edge.src, 0)
+                if launch_offset == 0:
+                    sensitized = (bool(sens_row[flat])
+                                  if sens_row is not None
+                                  else self._edge_sensitized(
+                                      cycle, sens_id, threshold))
+                    if not sensitized:
+                        continue
+                base = (int(arrival_row[flat])
+                        if arrival_row is not None
+                        else int(round(edge.delay_ps
+                                       * self.variability.factor(cycle,
+                                                                 path))))
+                late = launch_offset + base - period
+                if lateness is None or late > lateness:
+                    lateness = late
+            if lateness is None or lateness <= 0:
+                continue
+            if ff in self.protected:
+                select_in = max(
+                    (select_out.get(src, 0)
+                     for src in self._relay_srcs.get(ff, ())),
+                    default=0,
+                )
+                outcome = self._capture(lateness, select_in)
+            else:
+                outcome = plain_ff_capture(lateness)
+            if outcome.masked:
+                result.masked += 1
+                new_borrow[ff] = outcome.borrowed_ps
+                result.max_borrow_ps = max(result.max_borrow_ps,
+                                           outcome.borrowed_ps)
+                if outcome.borrowed_intervals:
+                    new_select_out[ff] = outcome.borrowed_intervals
+                if outcome.flagged:
+                    result.masked_flagged += 1
+                    cycle_flagged = True
+                    result.flags_per_ff[ff] = (
+                        result.flags_per_ff.get(ff, 0) + 1)
+            elif outcome.failed:
+                if ff in self.protected:
+                    result.failed += 1
+                else:
+                    result.failed_unprotected += 1
+        if cycle_flagged and self.controller is not None:
+            self.controller.notify_flag(cycle)
+        return new_borrow, new_select_out
+
+    # -- vector main loop ------------------------------------------------
+    def _run_vector(self, num_cycles: int,
+                    result: GraphPipelineResult) -> None:
+        import numpy as np
+
+        from repro.kernels.graph import CompiledEdges
+        from repro.kernels.schedule import BlockSizer, slow_cycles_between
+
+        if self._compiled is None:
+            self._compiled = CompiledEdges(
+                [(edge.delay_ps, f"{edge.src}->{edge.dst}#{edge.delay_ps}",
+                  path)
+                 for _, entries in self._rows
+                 for _, edge, _, path in entries],
+                self.seed,
+            )
+        nominal = self.graph.period_ps
+        borrow: dict[str, int] = {}
+        select_out: dict[str, int] = {}
+        sizer = BlockSizer()
+        pos = 0
+        while pos < num_cycles:
+            count = min(sizer.size, num_cycles - pos)
+            cycles = np.arange(pos, pos + count, dtype=np.int64)
+            if self.trace is None:
+                thresholds = np.full(count, self._sens_threshold,
+                                     dtype=np.int64)
+            else:
+                thresholds = np.array(
+                    [self._sens_threshold_at(int(c)) for c in cycles],
+                    dtype=np.int64)
+            sens, arrival = self._compiled.block(cycles, self.variability,
+                                                 thresholds)
+            # Screen against the *nominal* period: a slowdown only makes
+            # arrivals less late, so this marks a superset of the cycles
+            # with any idle-state violation.
+            interesting = np.any(sens & (arrival > nominal), axis=1)
+            k = 0
+            while k < count:
+                if not borrow and not select_out:
+                    ahead = np.flatnonzero(interesting[k:])
+                    nxt = k + int(ahead[0]) if ahead.size else count
+                    if nxt > k:
+                        result.slow_cycles += (
+                            slow_cycles_between(self.controller.windows,
+                                                pos + k, pos + nxt)
+                            if self.controller is not None else 0)
+                        k = nxt
+                        if k >= count:
+                            break
+                borrow, select_out = self._simulate_cycle(
+                    pos + k, result, borrow, select_out, sens[k],
+                    arrival[k])
+                k += 1
+            sizer.update(float(interesting.mean()) if count else 0.0)
+            pos += count

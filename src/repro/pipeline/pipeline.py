@@ -11,18 +11,33 @@ predicted / failed), time borrowed at ``i`` becomes next cycle's launch
 offset, flags feed the central error controller, and the controller's
 temporary frequency reduction feeds back into ``period(n)`` — the full
 TIMBER control loop of the paper's Sec. 4.
+
+Two executions of that loop exist.  The scalar reference walks every
+cycle through :meth:`PipelineSimulation._simulate_cycle`.  The vector
+path (default when numpy is available; disable with
+``REPRO_SCALAR_KERNELS=1``) evaluates stage delays for whole blocks of
+cycles through :class:`repro.kernels.pipeline.CompiledStages`, screens
+each block for cycles that could capture anything but CLEAN, accounts
+the clean runs in bulk, and replays only the interesting cycles through
+the same scalar state machine — with the precomputed delays, so both
+paths produce bit-identical results.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
+from repro import kernels
 from repro.core.masking import CaptureOutcome
 from repro.errors import ConfigurationError, TimingViolationError
 from repro.pipeline.controller import CentralErrorController
 from repro.pipeline.schemes import CapturePolicy
 from repro.pipeline.stage import PipelineStage
-from repro.variability.base import ConstantVariation, VariabilityModel
+from repro.variability.base import (
+    ConstantVariation,
+    VariabilityModel,
+    supports_batch,
+)
 
 
 @dataclasses.dataclass
@@ -106,6 +121,7 @@ class PipelineSimulation:
         #: cycles: boundary i's borrow delays the data it launches into
         #: stage i+1 next cycle.
         self._borrow = [0] * len(stages)
+        self._compiled = None
 
     def run(self, num_cycles: int) -> PipelineResult:
         """Simulate ``num_cycles`` and aggregate the outcomes."""
@@ -115,49 +131,146 @@ class PipelineSimulation:
             scheme=self.policy.name, cycles=num_cycles,
             period_ps=self.period_ps,
         )
-        chain_length = 0
-        for cycle in range(num_cycles):
-            period = (self.controller.period_at(cycle)
-                      if self.controller is not None else self.period_ps)
-            slow = period > self.period_ps
-            if slow:
-                result.slow_cycles += 1
-            outcomes: list[CaptureOutcome] = []
-            new_borrow = [0] * len(self.stages)
-            cycle_flagged = False
-            cycle_masked = False
-            for index, stage in enumerate(self.stages):
-                upstream = (index - 1) % len(self.stages)
-                delay = stage.delay_ps(cycle, self.variability)
-                lateness = self._borrow[upstream] + delay - period
-                outcome = self.policy.capture(index, lateness)
-                outcomes.append(outcome)
-                self._account(result, outcome)
-                if outcome.masked:
-                    cycle_masked = True
-                    new_borrow[index] = outcome.borrowed_ps
-                    result.max_borrow_ps = max(result.max_borrow_ps,
-                                               outcome.borrowed_ps)
-                if outcome.flagged:
-                    cycle_flagged = True
-                if outcome.failed and self.fail_fast:
-                    raise TimingViolationError(
-                        f"unmaskable violation at boundary {index} "
-                        f"(stage {stage.name!r}) on cycle {cycle}: "
-                        f"lateness {lateness} ps"
-                    )
-                if outcome.detected:
-                    result.replay_cycles += self.policy.replay_penalty_cycles
-            chain_length = chain_length + 1 if cycle_masked else 0
-            result.borrow_chain_max = max(result.borrow_chain_max,
-                                          chain_length)
-            if cycle_flagged and self.controller is not None:
-                self.controller.notify_flag(cycle)
-            self.policy.end_of_cycle(outcomes)
-            self._borrow = new_borrow
-            result.total_time_ps += period
+        if kernels.vectorized_enabled() and self._vectorizable():
+            self._run_vector(num_cycles, result)
+        else:
+            chain = 0
+            for cycle in range(num_cycles):
+                chain = self._simulate_cycle(cycle, result, chain, None)
         result.total_time_ps += result.replay_cycles * self.period_ps
         return result
+
+    def _vectorizable(self) -> bool:
+        """Can this configuration run on the block kernel?
+
+        The vector path precomputes a whole block of stage delays and
+        accounts clean runs through the controller's slowdown windows,
+        so it needs batch-capable variability and (when a controller is
+        attached) the ``CentralErrorController`` window interface.
+        Duck-typed feedback controllers — e.g. the adaptive voltage
+        scaler, whose delay factor depends on flags raised earlier in
+        the block — must take the scalar loop.
+        """
+        if not supports_batch(self.variability):
+            return False
+        return self.controller is None or (
+            hasattr(self.controller, "slowdown_factor")
+            and hasattr(self.controller, "windows"))
+
+    # -- shared per-cycle state machine ---------------------------------
+    def _period_at(self, cycle: int) -> int:
+        if self.controller is None:
+            return self.period_ps
+        return self.controller.period_at(cycle)
+
+    def _simulate_cycle(
+        self,
+        cycle: int,
+        result: PipelineResult,
+        chain_length: int,
+        delay_row,
+    ) -> int:
+        """One cycle of capture/borrow/relay bookkeeping.
+
+        ``delay_row`` optionally supplies precomputed per-stage delays
+        (from the vector kernel); ``None`` computes them per stage.
+        Returns the updated borrow-chain length.
+        """
+        period = self._period_at(cycle)
+        if period > self.period_ps:
+            result.slow_cycles += 1
+        outcomes: list[CaptureOutcome] = []
+        new_borrow = [0] * len(self.stages)
+        cycle_flagged = False
+        cycle_masked = False
+        for index, stage in enumerate(self.stages):
+            upstream = (index - 1) % len(self.stages)
+            delay = (int(delay_row[index]) if delay_row is not None
+                     else stage.delay_ps(cycle, self.variability))
+            lateness = self._borrow[upstream] + delay - period
+            outcome = self.policy.capture(index, lateness)
+            outcomes.append(outcome)
+            self._account(result, outcome)
+            if outcome.masked:
+                cycle_masked = True
+                new_borrow[index] = outcome.borrowed_ps
+                result.max_borrow_ps = max(result.max_borrow_ps,
+                                           outcome.borrowed_ps)
+            if outcome.flagged:
+                cycle_flagged = True
+            if outcome.failed and self.fail_fast:
+                raise TimingViolationError(
+                    f"unmaskable violation at boundary {index} "
+                    f"(stage {stage.name!r}) on cycle {cycle}: "
+                    f"lateness {lateness} ps"
+                )
+            if outcome.detected:
+                result.replay_cycles += self.policy.replay_penalty_cycles
+        chain_length = chain_length + 1 if cycle_masked else 0
+        result.borrow_chain_max = max(result.borrow_chain_max,
+                                      chain_length)
+        if cycle_flagged and self.controller is not None:
+            self.controller.notify_flag(cycle)
+        self.policy.end_of_cycle(outcomes)
+        self._borrow = new_borrow
+        result.total_time_ps += period
+        return chain_length
+
+    # -- vector main loop ------------------------------------------------
+    def _idle(self) -> bool:
+        """No carried state: every lateness equals delay - period."""
+        return not any(self._borrow) and self.policy.relay_idle()
+
+    def _run_vector(self, num_cycles: int, result: PipelineResult) -> None:
+        import numpy as np
+
+        from repro.kernels.pipeline import CompiledStages
+        from repro.kernels.schedule import BlockSizer, slow_cycles_between
+
+        if self._compiled is None:
+            self._compiled = CompiledStages(self.stages)
+        threshold = self.policy.clean_lateness_threshold_ps()
+        num_stages = len(self.stages)
+        slow_period = (
+            int(round(self.period_ps * self.controller.slowdown_factor))
+            if self.controller is not None else self.period_ps)
+        sizer = BlockSizer()
+        chain = 0
+        pos = 0
+        while pos < num_cycles:
+            count = min(sizer.size, num_cycles - pos)
+            cycles = np.arange(pos, pos + count, dtype=np.int64)
+            delays = self._compiled.delay_block(cycles, self.variability)
+            # Screen against the *nominal* period: slowdown windows only
+            # lengthen the period, so this marks a superset of the
+            # cycles that could capture anything but CLEAN while idle.
+            interesting = np.any(delays - self.period_ps > threshold,
+                                 axis=1)
+            k = 0
+            while k < count:
+                if self._idle():
+                    ahead = np.flatnonzero(interesting[k:])
+                    nxt = k + int(ahead[0]) if ahead.size else count
+                    if nxt > k:
+                        clean = nxt - k
+                        slow = (slow_cycles_between(
+                                    self.controller.windows,
+                                    pos + k, pos + nxt)
+                                if self.controller is not None else 0)
+                        result.slow_cycles += slow
+                        result.clean += clean * num_stages
+                        result.total_time_ps += (
+                            (clean - slow) * self.period_ps
+                            + slow * slow_period)
+                        chain = 0
+                        k = nxt
+                        if k >= count:
+                            break
+                chain = self._simulate_cycle(pos + k, result, chain,
+                                             delays[k])
+                k += 1
+            sizer.update(float(interesting.mean()))
+            pos += count
 
     @staticmethod
     def _account(result: PipelineResult, outcome: CaptureOutcome) -> None:

@@ -54,6 +54,22 @@ class CapturePolicy(abc.ABC):
         (used for hold/short-path budgeting)."""
         return 0
 
+    # -- vector-kernel screening hooks ----------------------------------
+    def relay_idle(self) -> bool:
+        """No inter-cycle relay state pending.
+
+        When this holds (and no boundary carries borrowed time), a cycle
+        whose latenesses all stay at or below
+        :meth:`clean_lateness_threshold_ps` is provably all-CLEAN with
+        no state change, so the blocked vector loop may account whole
+        runs of such cycles without invoking :meth:`capture`.
+        """
+        return True
+
+    def clean_lateness_threshold_ps(self) -> int:
+        """Largest idle-state lateness that still captures CLEAN."""
+        return 0
+
 
 class PlainPolicy(CapturePolicy):
     """Conventional flip-flops: no tolerance at all."""
@@ -92,6 +108,9 @@ class TimberFFPolicy(CapturePolicy):
 
     def select_in(self, boundary: int) -> int:
         return self._select_in[boundary]
+
+    def relay_idle(self) -> bool:
+        return not any(self._select_in)
 
     def max_borrowable_ps(self) -> int:
         return self.cp.checking_ps
@@ -149,6 +168,11 @@ class CanaryPolicy(CapturePolicy):
 
     def capture(self, boundary: int, lateness_ps: int) -> CaptureOutcome:
         return canary_capture(lateness_ps, self.guard_ps)
+
+    def clean_lateness_threshold_ps(self) -> int:
+        # Arrivals inside the guard band predict (and flag) even though
+        # they meet timing, so "boring" starts a guard band early.
+        return -self.guard_ps
 
 
 class LogicalMaskingPolicy(CapturePolicy):

@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 import dataclasses
-import random
 
 from repro.errors import ConfigurationError
-from repro.variability.base import VariabilityModel, stable_hash
+from repro.kernels.rng import key_id, mix32, split64, uniform01
+from repro.variability.base import VariabilityModel
+
+#: Domain-separation salt for the stage-sensitization draw stream.
+SENS_SALT = key_id("stage-sens")
+
+_M32 = 0xFFFFFFFF
 
 
 @dataclasses.dataclass(frozen=True)
@@ -16,6 +21,10 @@ class PipelineStage:
     Per cycle, the stage either sensitizes its critical path (probability
     ``sensitization_prob``) or exercises a typical shorter path.  The
     chosen nominal delay is then scaled by the dynamic-variability model.
+
+    The sensitization draw is a single uniform from the integer-lane
+    mixer of :mod:`repro.kernels.rng` over (seed, name, cycle), so the
+    vector kernels reproduce it bit for bit in batch.
 
     Attributes:
         name: Stage label (also the variability path id).
@@ -53,8 +62,10 @@ class PipelineStage:
             return True
         if self.sensitization_prob <= 0.0:
             return False
-        rng = random.Random(stable_hash(self.seed, "sens", self.name, cycle))
-        return rng.random() < self.sensitization_prob
+        lo, hi = split64(self.seed)
+        h = mix32(SENS_SALT, lo, hi, key_id(self.name),
+                  cycle & _M32, cycle >> 32)
+        return uniform01(h) < self.sensitization_prob
 
     def delay_ps(self, cycle: int, variability: VariabilityModel) -> int:
         """Actual stage delay on ``cycle`` under ``variability``."""

@@ -44,6 +44,7 @@ class Simulator:
         self._listeners: dict[str, list[Listener]] = {}
         self._toggle_counts: dict[str, int] = {}
         self._toggle_energy: dict[str, float] = {}
+        self._dynamic_energy = 0.0
         self._events_processed = 0
 
     # -- signal state ------------------------------------------------------
@@ -144,8 +145,13 @@ class Simulator:
         return self._toggle_counts.get(signal, 0)
 
     def dynamic_energy(self) -> float:
-        """Total dynamic energy from recorded toggles (abstract units)."""
-        return sum(self._toggle_energy.values())
+        """Total dynamic energy from recorded toggles (abstract units).
+
+        Maintained as a running total in :meth:`_apply_signal`, so power
+        models may poll it per cycle without re-summing the per-signal
+        ledger each time.
+        """
+        return self._dynamic_energy
 
     # -- execution ----------------------------------------------------------
     def run(self, until_ps: int, *, max_events: int = 5_000_000) -> None:
@@ -201,6 +207,7 @@ class Simulator:
                 self._toggle_energy[signal] = (
                     self._toggle_energy.get(signal, 0.0) + toggle_energy
                 )
+                self._dynamic_energy += toggle_energy
         for listener in self._listeners.get(signal, ()):  # snapshot not
             # needed: listeners are registered up-front in this library.
             listener(self, signal, value, self.now)

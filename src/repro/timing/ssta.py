@@ -7,15 +7,22 @@ does each endpoint actually violate?*  It re-runs arrival propagation
 over a netlist with per-gate delay factors drawn from a variability
 model, one trial per simulated cycle, and aggregates per-endpoint
 violation statistics.
+
+When numpy is available (and ``REPRO_SCALAR_KERNELS`` is unset) the
+netlist is levelized once and a ``(trials, nets)`` arrival matrix is
+propagated level by level through
+:mod:`repro.kernels.ssta`; the scalar per-trial loop remains as the
+bit-identical reference implementation.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
+from repro import kernels
 from repro.circuit.netlist import Netlist
 from repro.errors import AnalysisError
-from repro.variability.base import VariabilityModel
+from repro.variability.base import VariabilityModel, supports_batch
 
 
 @dataclasses.dataclass
@@ -112,6 +119,28 @@ def run_ssta(
     }
     deadline = period_ps - setup_ps
     any_violations = 0
+    if kernels.vectorized_enabled() and supports_batch(variability):
+        from repro.kernels.ssta import CompiledNetlist
+
+        compiled = CompiledNetlist(netlist)
+        totals = compiled.propagate(
+            variability, trials,
+            clk_to_q_ps=clk_to_q_ps, deadline_ps=deadline,
+        )
+        for position, net in enumerate(captures):
+            entry = stats[net]
+            entry.violations += int(totals.violations[position])
+            entry.lateness_sum_ps += int(totals.lateness_sum[position])
+            entry.max_lateness_ps = max(
+                entry.max_lateness_ps, int(totals.max_lateness[position]))
+        result = SstaResult(
+            netlist_name=netlist.name,
+            period_ps=period_ps,
+            trials=trials,
+            endpoints=stats,
+        )
+        result._any_violations = totals.any_violations
+        return result
     for trial in range(trials):
         arrival: dict[str, int] = {net: clk_to_q_ps for net in launch}
         for gate in order:

@@ -15,16 +15,46 @@ class VariabilityModel(typing.Protocol):
     by this source on the given cycle for the given path.  1.0 means no
     effect; values must be positive.  Implementations must be
     deterministic functions of their construction seed.
+
+    ``factor_batch(cycles, path_ids)`` is the vectorized form: given an
+    int64 array of ``C`` cycles and a sequence of ``P`` path ids it
+    returns a float64 array broadcastable to shape ``(C, P)`` whose
+    element ``[i, j]`` bit-matches ``factor(cycles[i], path_ids[j])``.
+    Cycle-only models may return ``(C, 1)``, path-only models ``(1, P)``
+    — consumers combine factors with broadcasting operations only.
     """
 
     def factor(self, cycle: int, path_id: str) -> float:
         ...  # pragma: no cover - protocol
 
+    def factor_batch(self, cycles: typing.Any,
+                     path_ids: typing.Sequence[str]) -> typing.Any:
+        ...  # pragma: no cover - protocol
+
 
 def stable_hash(*parts: object) -> int:
-    """Deterministic 32-bit hash (Python's ``hash`` is salted per run)."""
+    """Deterministic 32-bit hash (Python's ``hash`` is salted per run).
+
+    Construction-time helper (coverage sets, cache keys).  The per-draw
+    hot paths use the integer-lane mixer in :mod:`repro.kernels.rng`
+    instead, which has a bit-identical numpy batch twin.
+    """
     text = "\x1f".join(repr(part) for part in parts)
     return zlib.crc32(text.encode("utf-8"))
+
+
+def supports_batch(model: object) -> bool:
+    """True if ``model`` can serve vectorized ``factor_batch`` queries.
+
+    Composites are checked recursively: every member must support
+    batching.  Stateful feedback models (e.g. the adaptive voltage
+    scaler, whose factor depends on flags raised earlier in the run)
+    deliberately implement only ``factor`` — simulations fall back to
+    the scalar reference loop for them.
+    """
+    if isinstance(model, CompositeVariation):
+        return all(supports_batch(member) for member in model.models)
+    return callable(getattr(model, "factor_batch", None))
 
 
 class ConstantVariation:
@@ -37,6 +67,11 @@ class ConstantVariation:
 
     def factor(self, cycle: int, path_id: str) -> float:
         return self.value
+
+    def factor_batch(self, cycles, path_ids):
+        import numpy as np
+
+        return np.full((1, 1), self.value)
 
 
 class CompositeVariation:
@@ -55,4 +90,15 @@ class CompositeVariation:
         result = 1.0
         for model in self.models:
             result *= model.factor(cycle, path_id)
+        return result
+
+    def factor_batch(self, cycles, path_ids):
+        # Multiply in model order starting from 1.0, mirroring the
+        # scalar loop operation for operation so every element rounds
+        # identically.
+        import numpy as np
+
+        result = np.ones((1, 1))
+        for model in self.models:
+            result = result * model.factor_batch(cycles, path_ids)
         return result

@@ -38,6 +38,9 @@ class TemperatureDriftVariation:
         )
         return 1.0 + self.amplitude * (1.0 + swing) / 2.0
 
+    def factor_batch(self, cycles, path_ids):
+        return _per_cycle_batch(self, cycles)
+
 
 class AgingVariation:
     """Monotonic wearout (NBTI-style) delay increase.
@@ -66,3 +69,25 @@ class AgingVariation:
             return 1.0
         progress = (cycle / self.time_constant_cycles) ** self.exponent
         return 1.0 + self.max_degradation * min(1.0, progress)
+
+    def factor_batch(self, cycles, path_ids):
+        return _per_cycle_batch(self, cycles)
+
+
+def _per_cycle_batch(model, cycles):
+    """Path-independent ``(C, 1)`` factors via the scalar transcendental.
+
+    The slow-global models are pure per-cycle functions built on libm
+    ``sin``/``pow``; evaluating them once per cycle through the *same*
+    scalar code guarantees bit-equality with the reference path (numpy's
+    SIMD transcendentals may differ in the last ulp), and the cost is
+    O(cycles), amortized over every path in the block.
+    """
+    import numpy as np
+
+    column = np.array(
+        [model.factor(int(cycle), "") for cycle in
+         np.asarray(cycles, dtype=np.int64)],
+        dtype=np.float64,
+    )
+    return column.reshape(-1, 1)

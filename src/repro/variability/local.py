@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-import random
-
 from repro.errors import ConfigurationError
-from repro.variability.base import stable_hash
+from repro.kernels.rng import key_id, split64, std_gauss
+
+#: Domain-separation salt so local draws never collide with the other
+#: stochastic streams sharing a (seed, cycle, path) tuple.
+_SALT = key_id("local-variation")
 
 
 class LocalVariation:
@@ -17,6 +19,10 @@ class LocalVariation:
     in (seed, cycle, path) — re-evaluating the same pair always returns
     the same factor, so simulations are reproducible and models can be
     queried out of order.
+
+    The draw is an Irwin-Hall Gaussian over the integer-lane mixer of
+    :mod:`repro.kernels.rng`, so :meth:`factor_batch` reproduces the
+    scalar stream bit for bit.
     """
 
     def __init__(
@@ -43,12 +49,36 @@ class LocalVariation:
         #: worst case, as the paper assumes in Sec. 4.
         self.max_factor = max_factor
         self.seed = seed
+        self._seed_lanes = split64(seed)
 
     def factor(self, cycle: int, path_id: str) -> float:
         if self.sigma == 0:
             return self.mean
-        rng = random.Random(stable_hash(self.seed, cycle, path_id))
-        value = max(self.min_factor, rng.gauss(self.mean, self.sigma))
+        lo, hi = self._seed_lanes
+        z = std_gauss(_SALT, lo, hi, cycle & 0xFFFFFFFF, cycle >> 32,
+                      key_id(path_id))
+        value = self.mean + self.sigma * z
+        value = max(self.min_factor, value)
         if self.max_factor is not None:
             value = min(value, self.max_factor)
+        return value
+
+    def factor_batch(self, cycles, path_ids):
+        import numpy as np
+
+        from repro.kernels.rng import cycle_lanes, std_gauss_batch
+
+        cycles = np.asarray(cycles, dtype=np.int64)
+        if self.sigma == 0:
+            return np.full((1, 1), self.mean)
+        lo, hi = self._seed_lanes
+        c_lo, c_hi = cycle_lanes(cycles)
+        keys = np.array([key_id(p) for p in path_ids], dtype=np.uint32)
+        z = std_gauss_batch([
+            _SALT, lo, hi, c_lo[:, None], c_hi[:, None], keys[None, :],
+        ])
+        value = self.mean + self.sigma * z
+        value = np.maximum(self.min_factor, value)
+        if self.max_factor is not None:
+            value = np.minimum(value, self.max_factor)
         return value

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-import random
-
 from repro.errors import ConfigurationError
-from repro.variability.base import stable_hash
+from repro.kernels.rng import key_id, split64, std_gauss
+
+_SALT_CHIP = key_id("process-chip")
+_SALT_PATH = key_id("process-path")
 
 
 class ProcessVariation:
@@ -32,20 +33,36 @@ class ProcessVariation:
         self.sigma = sigma
         self.min_factor = min_factor
         self.seed = seed
-        chip_rng = random.Random(stable_hash(seed, "chip"))
+        self._seed_lanes = split64(seed)
+        lo, hi = self._seed_lanes
         #: Chip-wide (die-to-die) component, one draw per model instance.
-        self.chip_factor = max(min_factor,
-                               chip_rng.gauss(1.0, chip_sigma))
+        self.chip_factor = max(
+            min_factor, 1.0 + chip_sigma * std_gauss(_SALT_CHIP, lo, hi))
         self._path_cache: dict[str, float] = {}
 
     def path_factor(self, path_id: str) -> float:
         """Within-die component for one path (time-invariant)."""
         cached = self._path_cache.get(path_id)
         if cached is None:
-            rng = random.Random(stable_hash(self.seed, "path", path_id))
-            cached = max(self.min_factor, rng.gauss(1.0, self.sigma))
+            lo, hi = self._seed_lanes
+            draw = std_gauss(_SALT_PATH, lo, hi, key_id(path_id))
+            cached = max(self.min_factor, 1.0 + self.sigma * draw)
             self._path_cache[path_id] = cached
         return cached
 
     def factor(self, cycle: int, path_id: str) -> float:
         return self.chip_factor * self.path_factor(path_id)
+
+    def factor_batch(self, cycles, path_ids):
+        """Cycle-invariant ``(1, P)`` factors, from the scalar draws.
+
+        Per-path values are computed (and memoized) by the scalar
+        reference — the work is O(paths) once per compile, so there is
+        nothing to vectorize, and reusing the scalar code makes
+        bit-equality trivial.
+        """
+        import numpy as np
+
+        row = np.array([self.path_factor(p) for p in path_ids],
+                       dtype=np.float64)
+        return (self.chip_factor * row).reshape(1, -1)

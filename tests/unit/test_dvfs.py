@@ -85,7 +85,7 @@ class TestClosedLoopWithTimber:
         stages = [
             PipelineStage(name=f"dv{i}", critical_delay_ps=900,
                           typical_delay_ps=800,
-                          sensitization_prob=0.5, seed=40 + i)
+                          sensitization_prob=0.5, seed=140 + i)
             for i in range(4)
         ]
         # Zero flag budget: any flagged window immediately backs off —

@@ -207,3 +207,24 @@ class TestSettleAccounting:
         sim.drive("a", 1, 10)
         sim.run(20)
         assert seen == [(10, Logic.ONE)]
+
+
+class TestDynamicEnergyRunningTotal:
+    """``dynamic_energy()`` is a running total, not a ledger re-sum."""
+
+    def test_total_matches_ledger_after_mixed_sequence(self, sim):
+        chain = inverter_chain(4)
+        sim.add_netlist(chain)
+        sim.set_initial("in", 0)
+        sim.run(1000)
+        # Mixed sequence: energy-free drives on an unconnected signal
+        # interleaved with real toggles through the chain.
+        sim.drive("loose", 1, 1500)
+        sim.drive("in", 1, 2000)
+        sim.drive("loose", 0, 2500)
+        sim.drive("in", 0, 3000)
+        sim.drive("in", 1, 4000)
+        sim.run(10_000)
+        assert sim.dynamic_energy() > 0.0
+        assert sim.dynamic_energy() == pytest.approx(
+            sum(sim._toggle_energy.values()))
