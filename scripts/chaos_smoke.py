@@ -1,0 +1,184 @@
+"""Chaos smoke: the campaign survives worker kills, process kills, and
+cache corruption, and ``--resume`` reproduces the reference results.
+
+The drill (run from the repo root with ``PYTHONPATH=src``):
+
+1. A reference campaign runs uninterrupted and writes its coverage
+   artefact.
+2. The same campaign runs again with a checkpoint and a result cache.
+   Mid-sweep, one worker process is SIGKILLed (the runner must absorb
+   the broken pool), and then the whole campaign process is SIGKILLed
+   (a hard crash with a partial checkpoint on disk).
+3. One cache entry is truncated — the corruption the integrity check
+   must catch rather than serve.
+4. The campaign is re-run with ``--resume``.  It must exit cleanly and
+   its coverage reports must be byte-identical to the reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SCHEME = "timber-ff"
+FAULTS = 1000
+CYCLES = 3000
+CHUNK = 10
+SEED = 99
+
+#: Checkpoint flushes every 8 records; wait for at least one flush so
+#: the kill provably lands mid-sweep with progress on disk.
+MIN_CHECKPOINTED = 8
+KILL_DEADLINE_S = 120.0
+
+
+def _cli(workdir: pathlib.Path, *extra: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro.cli", "campaign",
+        "--schemes", SCHEME, "--target", "pipeline",
+        "--faults", str(FAULTS), "--cycles", str(CYCLES),
+        "--chunk", str(CHUNK), "--seed", str(SEED),
+        "--workers", "2", *extra,
+    ]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (f"{src}{os.pathsep}{existing}"
+                         if existing else src)
+    return env
+
+
+def _worker_pids(pid: int) -> list[int]:
+    """Direct children of ``pid``, minus multiprocessing bookkeeping."""
+    workers = []
+    task_dir = pathlib.Path(f"/proc/{pid}/task")
+    try:
+        tids = list(task_dir.iterdir())
+    except OSError:
+        return []
+    for tid in tids:
+        try:
+            children = (tid / "children").read_text().split()
+        except OSError:  # thread exited mid-scan
+            continue
+        workers.extend(int(child) for child in children)
+    real = []
+    for child in workers:
+        try:
+            cmdline = pathlib.Path(
+                f"/proc/{child}/cmdline").read_bytes()
+        except OSError:
+            continue
+        if b"resource_tracker" not in cmdline:
+            real.append(child)
+    return real
+
+
+def _completed_records(checkpoint: pathlib.Path) -> int:
+    try:
+        return len(json.loads(
+            checkpoint.read_text(encoding="utf-8"))["completed"])
+    except (OSError, ValueError, KeyError):
+        return 0
+
+
+def main() -> int:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    env = _env()
+    cache_dir = workdir / "cache"
+    checkpoint_base = workdir / "cp.json"
+    # The CLI derives one checkpoint file per scheme from the base path.
+    checkpoint = workdir / f"cp-{SCHEME}.json"
+    ref_out = workdir / "reference.json"
+    resumed_out = workdir / "resumed.json"
+    try:
+        print("[1/4] reference campaign (uninterrupted)")
+        subprocess.run(
+            _cli(workdir, "--no-cache", "--out", str(ref_out)),
+            cwd=REPO_ROOT, env=env, check=True,
+            stdout=subprocess.DEVNULL)
+
+        print("[2/4] chaos campaign: SIGKILL a worker, then the run")
+        proc = subprocess.Popen(
+            _cli(workdir, "--cache-dir", str(cache_dir),
+                 "--checkpoint", str(checkpoint_base)),
+            cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL)
+        deadline = time.monotonic() + KILL_DEADLINE_S
+        interrupted = False
+        worker_killed = False
+        while time.monotonic() < deadline and proc.poll() is None:
+            if _completed_records(checkpoint) >= MIN_CHECKPOINTED:
+                for _ in range(20):  # workers may be between tasks
+                    for worker in _worker_pids(proc.pid)[:1]:
+                        try:
+                            os.kill(worker, signal.SIGKILL)
+                            worker_killed = True
+                            print(f"      killed worker {worker}")
+                        except OSError:
+                            pass
+                    if worker_killed or proc.poll() is not None:
+                        break
+                    time.sleep(0.01)
+                time.sleep(0.1)
+                if proc.poll() is None:
+                    proc.kill()
+                    interrupted = True
+                    print(f"      killed campaign process {proc.pid}")
+                break
+            time.sleep(0.01)
+        proc.wait()
+        if not interrupted:
+            print("      WARNING: campaign finished before the kill "
+                  "landed; resume will be a full replay")
+        if not worker_killed:
+            print("      WARNING: no worker was killed")
+        assert _completed_records(checkpoint) >= MIN_CHECKPOINTED, \
+            "no checkpointed progress survived the crash"
+
+        print("[3/4] corrupting one cache entry")
+        entries = sorted(cache_dir.glob("*.json"))
+        assert entries, "crashed run left no cache entries"
+        entries[0].write_bytes(
+            entries[0].read_bytes()[:20])
+        print(f"      truncated {entries[0].name}")
+
+        print("[4/4] resume and verify")
+        subprocess.run(
+            _cli(workdir, "--cache-dir", str(cache_dir),
+                 "--checkpoint", str(checkpoint_base), "--resume",
+                 "--out", str(resumed_out)),
+            cwd=REPO_ROOT, env=env, check=True,
+            stdout=subprocess.DEVNULL)
+
+        reference = json.loads(ref_out.read_text(encoding="utf-8"))
+        resumed = json.loads(resumed_out.read_text(encoding="utf-8"))
+        assert json.dumps(resumed["reports"], sort_keys=True) == \
+            json.dumps(reference["reports"], sort_keys=True), (
+                "resumed campaign diverged from the reference:\n"
+                f"reference: {reference['reports']}\n"
+                f"resumed:   {resumed['reports']}")
+        if interrupted:
+            assert resumed["telemetry"]["resumed_tasks"] > 0, \
+                resumed["telemetry"]
+            print(f"      {resumed['telemetry']['resumed_tasks']} "
+                  "task(s) replayed from the checkpoint")
+        print("chaos smoke PASSED: resumed results byte-identical")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

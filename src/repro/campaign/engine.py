@@ -1,0 +1,417 @@
+"""Campaign execution: per-fault simulation plus exec-layer fan-out.
+
+A campaign slices its seeded fault population into chunks, wraps every
+chunk as a :class:`~repro.exec.runner.SweepTask` (so it flows through
+the cache / retry / checkpoint machinery like any other sweep), and
+each worker re-generates the population deterministically, runs one
+simulation per fault, and classifies the observed capture events.
+
+Three targets are supported:
+
+* ``pipeline`` — :class:`~repro.pipeline.pipeline.PipelineSimulation`
+  with any registered architecture (``plain``, ``timber-ff``,
+  ``razor``, ``canary``, ...);
+* ``graph`` — :class:`~repro.pipeline.graph_sim.
+  GraphPipelineSimulation` on a synthetic near-critical chain
+  (``plain`` / ``timber-ff`` / ``timber-latch``);
+* ``netlist`` — the event-driven simulator with behavioural elements
+  (:class:`~repro.sequential.timber_ff.TimberFlipFlop` vs
+  :class:`~repro.sequential.flipflop.DFlipFlop`) and real
+  :class:`~repro.sim.faults.FaultInjector` pulses (``seu`` / ``delay``
+  kinds only — droop and correlated slowdowns are cycle-level notions).
+
+Every fault runs in its own simulation with variability pinned to 1.0,
+so the only violations (canary's intentional guard-band predictions
+aside) are the injected ones — attribution is exact, and the per-fault
+event stream is bit-identical between the scalar and vector kernel
+paths because injected cycles always replay through the scalar state
+machine (see :mod:`repro.pipeline.hooks`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.baselines.architectures import architecture_by_key
+from repro.campaign.faults import (
+    FAULT_KINDS,
+    FaultOverlay,
+    FaultSpec,
+    generate_population,
+)
+from repro.campaign.outcomes import (
+    CaptureEvent,
+    FaultOutcome,
+    outcome_from_events,
+)
+from repro.core.checking_period import CheckingPeriod
+from repro.errors import ConfigurationError
+from repro.exec.runner import (
+    SweepRunner,
+    SweepTask,
+    TaskPayload,
+    derive_seed,
+    task_key,
+)
+from repro.variability.base import ConstantVariation
+
+#: Dotted task-function name (module-level, worker-importable).
+CAMPAIGN_TASK = "repro.campaign.engine:campaign_chunk_task"
+
+_TARGETS = ("pipeline", "graph", "netlist")
+
+#: Kinds with an event-driven (pulse/transition) realisation.
+_NETLIST_KINDS = ("seu", "delay")
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that defines one campaign (JSON-able, seed included).
+
+    ``num_cycles`` bounds the cycle range faults land in; every fault
+    simulates only up to its own window end, so the per-fault cost is
+    independent of the population spread.
+    """
+
+    target: str = "pipeline"
+    scheme: str = "timber-ff"
+    num_faults: int = 1000
+    num_cycles: int = 2000
+    period_ps: int = 1000
+    checking_percent: float = 30.0
+    num_stages: int = 5
+    sensitization_prob: float = 0.4
+    seed: int = 2010
+    faults_per_task: int = 25
+    kinds: tuple[str, ...] = FAULT_KINDS
+    magnitude_range_ps: tuple[int, int] = (20, 220)
+    relay_horizon: int = 4
+
+    def __post_init__(self) -> None:
+        if self.target not in _TARGETS:
+            raise ConfigurationError(
+                f"target must be one of {_TARGETS}, got {self.target!r}")
+        if self.num_faults < 1:
+            raise ConfigurationError("need at least one fault")
+        if self.faults_per_task < 1:
+            raise ConfigurationError("faults_per_task must be >= 1")
+        if self.num_stages < 2:
+            raise ConfigurationError("need at least two stages")
+        if self.relay_horizon < 1:
+            raise ConfigurationError("relay_horizon must be >= 1")
+        if self.target == "pipeline":
+            try:
+                architecture_by_key(self.scheme)
+            except KeyError as error:
+                raise ConfigurationError(str(error)) from error
+        elif self.target == "graph":
+            if self.scheme not in ("plain", "timber-ff", "timber-latch"):
+                raise ConfigurationError(
+                    f"graph campaigns support plain/timber-ff/"
+                    f"timber-latch, got {self.scheme!r}")
+        elif self.scheme not in ("plain", "timber-ff"):
+            raise ConfigurationError(
+                f"netlist campaigns support plain/timber-ff, "
+                f"got {self.scheme!r}")
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def checking_period(self) -> CheckingPeriod:
+        return CheckingPeriod.with_tb(self.period_ps,
+                                      self.checking_percent)
+
+    @property
+    def margin_ps(self) -> int:
+        """The recovered margin ``t = c/k`` the report is keyed to."""
+        return self.checking_period.interval_ps
+
+    def sites(self) -> list[str]:
+        """Ordered injection sites of this campaign's target."""
+        if self.target == "pipeline":
+            return [f"cs{i}" for i in range(self.num_stages)]
+        if self.target == "graph":
+            # g0 only launches; faults land on capturing flip-flops.
+            return [f"g{i}" for i in range(1, self.num_stages + 1)]
+        return ["d"]
+
+    def effective_kinds(self) -> tuple[str, ...]:
+        if self.target != "netlist":
+            return tuple(self.kinds)
+        allowed = tuple(k for k in self.kinds if k in _NETLIST_KINDS)
+        return allowed or _NETLIST_KINDS
+
+    def population(self) -> list[FaultSpec]:
+        return generate_population(
+            num_faults=self.num_faults,
+            sites=self.sites(),
+            num_cycles=self.num_cycles,
+            seed=self.seed,
+            kinds=self.effective_kinds(),
+            magnitude_range_ps=self.magnitude_range_ps,
+        )
+
+    # -- (de)serialisation ----------------------------------------------
+    def to_params(self) -> dict:
+        params = dataclasses.asdict(self)
+        params["kinds"] = list(self.kinds)
+        params["magnitude_range_ps"] = list(self.magnitude_range_ps)
+        return params
+
+    @classmethod
+    def from_params(cls, params: typing.Mapping) -> "CampaignConfig":
+        fields = dict(params)
+        fields["kinds"] = tuple(fields["kinds"])
+        fields["magnitude_range_ps"] = tuple(
+            fields["magnitude_range_ps"])
+        return cls(**fields)
+
+
+# ---------------------------------------------------------------------------
+# Per-fault simulation, one function per target
+# ---------------------------------------------------------------------------
+
+def _window_end(config: CampaignConfig, spec: FaultSpec) -> int:
+    """Last cycle attributable to ``spec`` (relay effects included)."""
+    return min(config.num_cycles - 1,
+               spec.last_cycle + config.relay_horizon)
+
+
+def _collecting_observer(
+    config: CampaignConfig,
+    spec: FaultSpec,
+    events: list[CaptureEvent],
+    site_names: list[str] | None,
+) -> typing.Callable:
+    """Observer recording events inside the fault's influence window."""
+    end = _window_end(config, spec)
+
+    def observe(cycle: int, site: typing.Any, outcome: typing.Any,
+                lateness_ps: int) -> None:
+        if not spec.cycle <= cycle <= end:
+            return
+        name = site_names[site] if site_names is not None else str(site)
+        events.append(CaptureEvent(
+            cycle=cycle, site=name, lateness_ps=lateness_ps,
+            masked=outcome.masked, detected=outcome.detected,
+            predicted=outcome.predicted, flagged=outcome.flagged,
+            failed=outcome.failed,
+            borrowed_intervals=outcome.borrowed_intervals,
+        ))
+
+    return observe
+
+
+def _run_pipeline_fault(config: CampaignConfig,
+                        spec: FaultSpec) -> tuple[FaultOutcome, int]:
+    from repro.pipeline.pipeline import PipelineSimulation
+    from repro.pipeline.stage import PipelineStage
+
+    sites = config.sites()
+    stages = [
+        PipelineStage(
+            name=site,
+            critical_delay_ps=int(config.period_ps * 0.95),
+            typical_delay_ps=int(config.period_ps * 0.70),
+            sensitization_prob=config.sensitization_prob,
+            seed=config.seed + index,
+        )
+        for index, site in enumerate(sites)
+    ]
+    policy = architecture_by_key(config.scheme).build_policy(
+        config.num_stages, config.period_ps, config.checking_percent)
+    events: list[CaptureEvent] = []
+    simulation = PipelineSimulation(
+        stages, policy,
+        period_ps=config.period_ps,
+        variability=ConstantVariation(1.0),
+        faults=FaultOverlay([spec], sites),
+        capture_observer=_collecting_observer(config, spec, events,
+                                              sites),
+    )
+    result = simulation.run(_window_end(config, spec) + 1)
+    return outcome_from_events(spec, events), result.captures
+
+
+def _run_graph_fault(config: CampaignConfig,
+                     spec: FaultSpec) -> tuple[FaultOutcome, int]:
+    from repro.pipeline.graph_sim import GraphPipelineSimulation
+    from repro.timing.graph import TimingGraph
+
+    graph = TimingGraph("campaign-chain", config.period_ps)
+    graph.add_ff("g0")
+    for index in range(1, config.num_stages + 1):
+        graph.add_ff(f"g{index}")
+        graph.add_edge(f"g{index - 1}", f"g{index}",
+                       int(config.period_ps * 0.9))
+    sites = config.sites()
+    events: list[CaptureEvent] = []
+    simulation = GraphPipelineSimulation(
+        graph,
+        scheme=config.scheme,
+        percent_checking=config.checking_percent,
+        sensitization_prob=config.sensitization_prob,
+        variability=ConstantVariation(1.0),
+        seed=config.seed,
+        faults=FaultOverlay([spec], sites),
+        capture_observer=_collecting_observer(config, spec, events,
+                                              None),
+    )
+    result = simulation.run(_window_end(config, spec) + 1)
+    return (outcome_from_events(spec, events),
+            result.cycles * result.num_ffs)
+
+
+def _run_netlist_fault(config: CampaignConfig,
+                       spec: FaultSpec) -> tuple[FaultOutcome, int]:
+    from repro.circuit.logic import Logic
+    from repro.sequential.flipflop import DFlipFlop
+    from repro.sequential.timber_ff import TimberFlipFlop
+    from repro.sim.clocks import ClockGenerator
+    from repro.sim.engine import Simulator
+    from repro.sim.faults import FaultInjector
+
+    period = config.period_ps
+    cp = config.checking_period
+    end = _window_end(config, spec)
+    sim = Simulator()
+    ClockGenerator(sim, "clk", period)
+    sim.set_initial("d", 0)
+    if config.scheme == "timber-ff":
+        element: typing.Any = TimberFlipFlop(
+            sim, name="u1", d="d", clk="clk", q="q", err="err",
+            interval_ps=cp.interval_ps, num_intervals=cp.num_intervals,
+            num_tb_intervals=cp.num_tb,
+        )
+    else:
+        element = DFlipFlop(sim, name="u1", d="d", clk="clk", q="q")
+
+    # Functional stimulus: capture edge n (at n*period) samples the
+    # alternating value n & 1, normally driven a quarter period early.
+    # A delay fault postpones the affected cycles' arrivals past the
+    # edge instead; an SEU rides a pulse straddling the target edge.
+    lead = period // 4
+    faulty_cycles = (set(range(spec.cycle, spec.cycle
+                               + spec.duration_cycles))
+                     if spec.kind == "delay" else set())
+    for n in range(1, end + 2):
+        arrival = (n * period + spec.magnitude_ps if n in faulty_cycles
+                   else n * period - lead)
+        sim.drive("d", n & 1, arrival, label=f"stim:{n}")
+    injector = FaultInjector(sim)
+    if spec.kind == "seu":
+        edge = spec.cycle * period
+        injector.inject_seu("d", at_ps=edge - spec.magnitude_ps // 2,
+                            width_ps=spec.magnitude_ps)
+
+    # Sample Q after the whole capture window (M1 + mux, falling-edge
+    # error latch) has settled but before the next stimulus arrives.
+    checks: dict[int, Logic] = {}
+
+    def make_check(n: int) -> typing.Callable:
+        def check(inner: Simulator) -> None:
+            checks[n] = inner.value("q")
+        return check
+
+    for n in range(max(1, spec.cycle), end + 1):
+        sim.at(n * period + period // 2 + 100, make_check(n),
+               label=f"check:{n}")
+    sim.run((end + 1) * period)
+
+    events: list[CaptureEvent] = []
+    for n in sorted(checks):
+        if checks[n] is not Logic.from_value(n & 1):
+            events.append(CaptureEvent(
+                cycle=n, site=spec.site,
+                lateness_ps=spec.magnitude_ps, failed=True))
+    if config.scheme == "timber-ff":
+        for masking in element.events:
+            cycle = masking.cycle_edge_ps // period
+            if spec.cycle <= cycle <= end:
+                events.append(CaptureEvent(
+                    cycle=cycle, site=spec.site,
+                    lateness_ps=spec.magnitude_ps, masked=True,
+                    flagged=masking.flagged,
+                    borrowed_intervals=masking.borrowed_intervals,
+                ))
+    return outcome_from_events(spec, events), sim.events_processed
+
+
+_TARGET_RUNNERS = {
+    "pipeline": _run_pipeline_fault,
+    "graph": _run_graph_fault,
+    "netlist": _run_netlist_fault,
+}
+
+
+def run_one_fault(config: CampaignConfig,
+                  spec: FaultSpec) -> tuple[FaultOutcome, int]:
+    """Simulate one fault; returns (outcome, simulated-work units)."""
+    return _TARGET_RUNNERS[config.target](config, spec)
+
+
+# ---------------------------------------------------------------------------
+# Exec-layer integration
+# ---------------------------------------------------------------------------
+
+def campaign_chunk_task(params: dict) -> TaskPayload:
+    """Sweep task: classify one contiguous chunk of the population."""
+    config = CampaignConfig.from_params(params["config"])
+    population = config.population()
+    outcomes: list[FaultOutcome] = []
+    work = 0
+    for spec in population[params["start"]:params["stop"]]:
+        outcome, units = run_one_fault(config, spec)
+        outcomes.append(outcome)
+        work += units
+    return TaskPayload(value=outcomes, events_processed=work)
+
+
+def campaign_tasks(config: CampaignConfig) -> list[SweepTask]:
+    """Wrap the population chunks as exec-layer sweep tasks."""
+    tasks: list[SweepTask] = []
+    config_params = config.to_params()
+    for index, start in enumerate(range(0, config.num_faults,
+                                        config.faults_per_task)):
+        stop = min(start + config.faults_per_task, config.num_faults)
+        tasks.append(SweepTask(
+            experiment=CAMPAIGN_TASK,
+            params={"config": config_params, "start": start,
+                    "stop": stop},
+            index=index,
+            seed=derive_seed(config.seed, CAMPAIGN_TASK, start, stop),
+            key=task_key(CAMPAIGN_TASK, {
+                "target": config.target, "scheme": config.scheme,
+                "chunk": index,
+            }),
+        ))
+    return tasks
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Classified population plus the coverage report and run summary."""
+
+    config: CampaignConfig
+    outcomes: list[FaultOutcome]
+    report: "typing.Any"
+    summary: dict
+
+
+def run_campaign(config: CampaignConfig, *,
+                 runner: SweepRunner | None = None) -> CampaignResult:
+    """Run the full campaign through the exec layer and classify it."""
+    from repro.campaign.report import build_report
+
+    runner = runner or SweepRunner()
+    run = runner.run(campaign_tasks(config))
+    outcomes: list[FaultOutcome] = []
+    for value in run.values:
+        if value is not None:  # None = chunk quarantined as poisoned
+            outcomes.extend(value)
+    return CampaignResult(
+        config=config,
+        outcomes=outcomes,
+        report=build_report(config, outcomes),
+        summary=run.summary,
+    )

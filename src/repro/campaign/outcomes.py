@@ -1,0 +1,120 @@
+"""Outcome taxonomy for fault campaigns.
+
+Every injected fault is classified by what the deployed scheme did with
+it, mapped onto the paper's checking-period semantics (``c = k*t``,
+leading TB intervals mask silently, trailing ED intervals mask *and*
+flag, the error relay widens the downstream capture window):
+
+* ``masked_tb`` — absorbed silently in a time-borrowing interval: the
+  violation fit within the first borrowed interval and never reached
+  the central error-control unit (paper Sec. 4, the common case TIMBER
+  optimises for).
+* ``masked_ed`` — absorbed and flagged: the borrow reached an
+  error-detection interval (or a detection scheme like Razor caught and
+  recovered it), so the controller heard about it.
+* ``relayed`` — masked using a select *incremented downstream* per the
+  error-relay rules: the capture borrowed two or more intervals, which
+  only happens when an upstream element warned it in advance
+  (``select_out = select_in + 1``, paper Sec. 5.1).
+* ``escaped`` — silent data corruption: the violation exceeded what the
+  scheme tolerates and no flag was raised in time (a plain flip-flop's
+  only non-clean outcome).
+* ``false_positive`` — the scheme flagged or predicted without any
+  actual violation (canary guard bands do this by design).
+* ``benign`` — the fault had no architecturally visible effect at all
+  (landed on a path no data traversed, or too small to matter).
+
+Precedence is severity-ordered: one escaped capture poisons the whole
+fault regardless of how many others were masked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+MASKED_TB = "masked_tb"
+MASKED_ED = "masked_ed"
+RELAYED = "relayed"
+ESCAPED = "escaped"
+FALSE_POSITIVE = "false_positive"
+BENIGN = "benign"
+
+#: Report ordering: most desirable first, severity last.
+OUTCOME_CLASSES = (MASKED_TB, MASKED_ED, RELAYED, ESCAPED,
+                   FALSE_POSITIVE, BENIGN)
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureEvent:
+    """One non-clean capture observed during a fault's run.
+
+    A flattened, JSON-able projection of
+    :class:`repro.core.masking.CaptureOutcome` plus where/when it
+    happened — the raw material :func:`classify_events` consumes.
+    """
+
+    cycle: int
+    site: str
+    lateness_ps: int
+    masked: bool = False
+    detected: bool = False
+    predicted: bool = False
+    flagged: bool = False
+    failed: bool = False
+    borrowed_intervals: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultOutcome:
+    """Classification of one injected fault."""
+
+    fault_id: int
+    kind: str
+    site: str
+    cycle: int
+    magnitude_ps: int
+    classification: str
+    events: int = 0
+    worst_lateness_ps: int = 0
+    max_borrowed_intervals: int = 0
+
+
+def classify_events(events: typing.Sequence[CaptureEvent]) -> str:
+    """Collapse a fault's capture events into one taxonomy class.
+
+    ``escaped`` dominates (any silent corruption is fatal), then
+    ``relayed`` (a >= 2-interval borrow proves the relay fired), then
+    the flagged/silent masking split, then pure warnings."""
+    if any(event.failed for event in events):
+        return ESCAPED
+    if any(event.masked and event.borrowed_intervals >= 2
+           for event in events):
+        return RELAYED
+    if any(event.masked and event.flagged for event in events) or any(
+            event.detected for event in events):
+        return MASKED_ED
+    if any(event.masked for event in events):
+        return MASKED_TB
+    if any(event.predicted or event.flagged for event in events):
+        return FALSE_POSITIVE
+    return BENIGN
+
+
+def outcome_from_events(spec: typing.Any,
+                        events: typing.Sequence[CaptureEvent],
+                        ) -> FaultOutcome:
+    """Build the :class:`FaultOutcome` record for ``spec``."""
+    return FaultOutcome(
+        fault_id=spec.fault_id,
+        kind=spec.kind,
+        site=spec.site,
+        cycle=spec.cycle,
+        magnitude_ps=spec.magnitude_ps,
+        classification=classify_events(events),
+        events=len(events),
+        worst_lateness_ps=max(
+            (event.lateness_ps for event in events), default=0),
+        max_borrowed_intervals=max(
+            (event.borrowed_intervals for event in events), default=0),
+    )

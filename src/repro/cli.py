@@ -10,6 +10,9 @@ Gives quick terminal access to the headline experiments:
 * ``energy``     — margin-to-energy conversion per scheme.
 * ``sweep``      — run an experiment grid through the parallel sweep
   runner (``--workers``, on-disk result cache, run telemetry).
+* ``campaign``   — randomized fault-injection campaign with per-scheme
+  coverage reports (``--resume`` continues a killed run from its
+  checkpoint).
 """
 
 from __future__ import annotations
@@ -186,15 +189,32 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _make_runner(args: argparse.Namespace, *,
+                 checkpoint_path: str | None = None):
+    """Build a :class:`SweepRunner` from the shared execution flags."""
+    from repro.exec import ResultCache, SweepCheckpoint, SweepRunner
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    checkpoint = None
+    path = (checkpoint_path if checkpoint_path is not None
+            else args.checkpoint)
+    if path:
+        checkpoint = SweepCheckpoint(path, resume=args.resume)
+    return SweepRunner(
+        workers=args.workers, cache=cache,
+        task_timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_base_s=args.backoff,
+        checkpoint=checkpoint,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import experiments
     from repro.analysis.tables import format_table
-    from repro.exec import ResultCache, SweepRunner
     from repro.exec.telemetry import format_summary
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(workers=args.workers, cache=cache,
-                         task_timeout_s=args.timeout)
+    runner = _make_runner(args)
     extra: dict = {}
     if args.experiment in ("resilience", "throughput", "shootout"):
         if args.cycles is not None:
@@ -221,6 +241,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.summary:
         runner.telemetry.write_summary(args.summary)
         print(f"wrote {args.summary}")
+    return 0
+
+
+def _campaign_checkpoint_path(base: str, scheme: str) -> str:
+    """Per-scheme checkpoint file for a multi-scheme campaign run."""
+    import pathlib
+
+    path = pathlib.Path(base)
+    suffix = path.suffix or ".json"
+    return str(path.with_name(f"{path.stem}-{scheme}{suffix}"))
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignConfig,
+        render_reports,
+        run_campaign,
+        write_campaign_bench,
+    )
+    from repro.errors import ConfigurationError
+
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if not schemes:
+        print("error: no schemes given", file=sys.stderr)
+        return 2
+    reports = []
+    config = None
+    summary: dict | None = None
+    for scheme in schemes:
+        try:
+            config = CampaignConfig(
+                target=args.target, scheme=scheme,
+                num_faults=args.faults, num_cycles=args.cycles,
+                checking_percent=args.checking,
+                num_stages=args.stages, seed=args.seed,
+                faults_per_task=args.chunk,
+            )
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        checkpoint_path = None
+        if args.checkpoint:
+            checkpoint_path = _campaign_checkpoint_path(
+                args.checkpoint, scheme)
+        runner = _make_runner(args, checkpoint_path=checkpoint_path)
+        result = run_campaign(config, runner=runner)
+        reports.append(result.report)
+        summary = result.summary
+        poisoned = summary.get("poisoned", [])
+        line = (f"{scheme}: {len(result.outcomes)}/{config.num_faults} "
+                f"faults classified in {summary['wall_time_s']:.2f}s")
+        if summary.get("resumed_tasks"):
+            line += f" ({summary['resumed_tasks']} task(s) resumed)"
+        if poisoned:
+            line += f" ({len(poisoned)} chunk(s) poisoned)"
+        print(line)
+    print()
+    print(render_reports(reports))
+    if args.out:
+        write_campaign_bench(args.out, reports, config=config,
+                             telemetry=summary)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -282,28 +364,69 @@ def build_parser() -> argparse.ArgumentParser:
     energy.add_argument("--checking", type=float, default=30.0)
     energy.set_defaults(func=_cmd_energy)
 
+    def add_exec_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--workers", type=_positive_int, default=1,
+                         help="process-pool size (1 = serial, default)")
+        cmd.add_argument("--timeout", type=float, default=None,
+                         help="per-task timeout in seconds")
+        cmd.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="result-cache directory (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache)")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk result cache")
+        cmd.add_argument("--retries", type=int, default=1,
+                         help="extra attempts per failing task "
+                              "(default 1)")
+        cmd.add_argument("--backoff", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="base retry backoff; grows exponentially "
+                              "with seeded jitter (default 0 = none)")
+        cmd.add_argument("--checkpoint", metavar="PATH",
+                         help="periodically persist completed tasks to "
+                              "this file")
+        cmd.add_argument("--resume", action="store_true",
+                         help="replay completed tasks from the "
+                              "checkpoint file instead of re-running")
+
     sweep = sub.add_parser(
         "sweep",
         help="run an experiment grid through the parallel sweep runner")
     sweep.add_argument("experiment",
                        choices=("resilience", "throughput", "shootout",
                                 "fig1", "fig8"))
-    sweep.add_argument("--workers", type=_positive_int, default=1,
-                       help="process-pool size (1 = serial, default)")
     sweep.add_argument("--cycles", type=int, default=None,
                        help="simulated cycles per grid point")
     sweep.add_argument("--seed", type=int, default=None,
                        help="root seed for deterministic per-task seeds")
-    sweep.add_argument("--timeout", type=float, default=None,
-                       help="per-task timeout in seconds")
-    sweep.add_argument("--cache-dir", default=None, metavar="PATH",
-                       help="result-cache directory "
-                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="bypass the on-disk result cache")
+    add_exec_flags(sweep)
     sweep.add_argument("--summary", metavar="PATH",
                        help="write the machine-readable run summary JSON")
     sweep.set_defaults(func=_cmd_sweep)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="randomized fault-injection campaign with coverage report")
+    camp.add_argument("--target", default="pipeline",
+                      choices=("pipeline", "graph", "netlist"))
+    camp.add_argument("--schemes", default="plain,timber-ff",
+                      help="comma-separated scheme list "
+                           "(default: plain,timber-ff)")
+    camp.add_argument("--faults", type=_positive_int, default=1000,
+                      help="population size per scheme (default 1000)")
+    camp.add_argument("--cycles", type=_positive_int, default=2000,
+                      help="cycle range faults land in (default 2000)")
+    camp.add_argument("--checking", type=float, default=30.0,
+                      help="checking period, %% of the clock period")
+    camp.add_argument("--stages", type=_positive_int, default=5,
+                      help="pipeline depth / chain length (default 5)")
+    camp.add_argument("--seed", type=int, default=2010,
+                      help="campaign root seed (default 2010)")
+    camp.add_argument("--chunk", type=_positive_int, default=25,
+                      help="faults per sweep task (default 25)")
+    add_exec_flags(camp)
+    camp.add_argument("--out", metavar="PATH",
+                      help="write the BENCH_campaign.json artefact")
+    camp.set_defaults(func=_cmd_campaign)
 
     rep = sub.add_parser("report",
                          help="assemble benchmark artefacts into markdown")

@@ -2,19 +2,33 @@
 
 Every paper artefact is a sweep over an embarrassingly parallel grid of
 (technique x stress x configuration) points; this package is the
-substrate those sweeps run on.  Three layers:
+substrate those sweeps run on.  Four layers:
 
 * :mod:`repro.exec.runner` — grid expansion, deterministic per-task
   seeding, and execution across a process pool (with serial fallback,
-  per-task timeout, and retry-once semantics).
+  per-task timeout, retries with seeded exponential backoff, and
+  crash quarantine: a task that repeatedly kills its worker is recorded
+  as *poisoned* instead of sinking the sweep).
 * :mod:`repro.exec.cache` — an on-disk JSON result cache keyed by a
-  content hash of the task configuration plus the code version.
+  content hash of the task configuration plus the code version; entries
+  carry a checksum, so truncated or corrupted files are detected,
+  logged, deleted, and rebuilt instead of served.
+* :mod:`repro.exec.checkpoint` — periodic persistence of completed
+  outcomes, so a sweep killed mid-run resumes where it left off with
+  byte-identical results.
 * :mod:`repro.exec.telemetry` — per-task wall time, events processed,
-  cache hit/miss counts, and worker utilization, emitted as structured
-  logging records and a machine-readable run summary.
+  cache hit/miss counts, retries/backoff, crashes, and worker
+  utilization, emitted as structured logging records and a
+  machine-readable run summary.
 """
 
-from repro.exec.cache import ResultCache, decode_result, encode_result
+from repro.exec.cache import (
+    ResultCache,
+    decode_result,
+    encode_result,
+    result_checksum,
+)
+from repro.exec.checkpoint import SweepCheckpoint, compute_run_key
 from repro.exec.runner import (
     SweepRunner,
     SweepRunResult,
@@ -29,13 +43,16 @@ from repro.exec.telemetry import RunTelemetry
 __all__ = [
     "ResultCache",
     "RunTelemetry",
+    "SweepCheckpoint",
     "SweepRunResult",
     "SweepRunner",
     "SweepTask",
     "TaskOutcome",
     "TaskPayload",
+    "compute_run_key",
     "decode_result",
     "derive_seed",
     "encode_result",
     "expand_grid",
+    "result_checksum",
 ]

@@ -6,6 +6,11 @@ configuration (experiment name, params, seed) plus the *code version*
 or changing any input silently invalidates stale entries.  Result values
 are experiment dataclasses; they round-trip through a small tagged JSON
 encoding that reconstructs the exact dataclass types on load.
+
+Every entry carries a SHA-256 checksum of its canonical encoded result;
+a truncated, corrupted, or tampered file fails verification on read and
+is treated as a miss — logged, deleted, and rebuilt on the next store —
+never as silently wrong data.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import dataclasses
 import hashlib
 import importlib
 import json
+import logging
 import os
 import pathlib
 import tempfile
@@ -24,9 +30,12 @@ from repro.errors import ConfigurationError
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.exec.runner import SweepTask
 
+logger = logging.getLogger("repro.exec.cache")
+
 #: Bump to invalidate every existing cache entry on disk (result layout
 #: or semantics changed without a package-version bump).
-CACHE_SCHEMA_VERSION = 1
+#: 2: entries gained a result checksum for integrity verification.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default cache location; overridable per-cache or via environment.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -96,6 +105,12 @@ def decode_result(data: typing.Any) -> typing.Any:
     return data
 
 
+def result_checksum(encoded: typing.Any) -> str:
+    """SHA-256 of the canonical JSON form of an encoded result."""
+    payload = json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 # ---------------------------------------------------------------------------
 # The cache proper
 # ---------------------------------------------------------------------------
@@ -131,25 +146,56 @@ class ResultCache:
 
     # -- storage -----------------------------------------------------------
     def get(self, key: str) -> tuple[bool, typing.Any]:
-        """Return ``(hit, value)``; unreadable entries count as misses."""
+        """Return ``(hit, value)``; unreadable entries count as misses.
+
+        A file that exists but cannot be parsed, or whose checksum does
+        not match its payload (truncated write, disk corruption, manual
+        tampering), is logged, deleted, and reported as a miss so the
+        task recomputes and rebuilds the entry.
+        """
         path = self._path(key)
         try:
-            with open(path, encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            raw = path.read_bytes()
+        except OSError:
             return False, None
-        if entry.get("version") != self.version:
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not a JSON object")
+            version = entry["version"]
+            if version != self.version:
+                # Legitimately stale (older code / schema); a plain
+                # miss, not corruption — leave the file for inspection.
+                return False, None
+            checksum = entry["checksum"]
+            result = entry["result"]
+        except (ValueError, KeyError, TypeError) as error:
+            self._discard_corrupt(path, f"unparseable entry: {error}")
             return False, None
-        return True, decode_result(entry["result"])
+        if result_checksum(result) != checksum:
+            self._discard_corrupt(path, "checksum mismatch")
+            return False, None
+        return True, decode_result(result)
+
+    def _discard_corrupt(self, path: pathlib.Path, reason: str) -> None:
+        logger.warning(
+            "cache entry %s corrupted (%s); deleting and recomputing",
+            path.name, reason)
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, value: typing.Any, *,
             experiment: str = "", meta: dict | None = None) -> None:
         """Store ``value`` under ``key`` (atomic rename, last-write-wins)."""
         self.directory.mkdir(parents=True, exist_ok=True)
+        encoded = encode_result(value)
         entry = {
             "version": self.version,
             "experiment": experiment,
-            "result": encode_result(value),
+            "result": encoded,
+            "checksum": result_checksum(encoded),
             "meta": meta or {},
         }
         fd, tmp_name = tempfile.mkstemp(dir=self.directory,

@@ -15,9 +15,22 @@ Execution semantics:
   ``concurrent.futures.ProcessPoolExecutor``; if the pool cannot be
   created (restricted platforms) the runner silently falls back to
   serial execution.
-* Each task is given ``task_timeout_s`` (``None`` = unlimited) and is
-  retried once, serially in the parent, before the run fails with
+* Each task is given ``task_timeout_s`` (``None`` = unlimited) and up
+  to ``retries`` additional attempts — separated by exponential backoff
+  with *seeded* jitter (deterministic per task and attempt, so retry
+  schedules are reproducible) — before the run fails with
   :class:`~repro.errors.ExecutionError`.
+* A worker *crash* (the pool reports ``BrokenProcessPool``) is handled
+  separately from an ordinary exception: every task in flight is a
+  suspect, and each suspect is re-run alone in a fresh single-worker
+  pool so the crash is attributed precisely.  A task that kills its
+  isolated worker ``poison_after`` times is quarantined as *poisoned*
+  (outcome value ``None``, status ``"poisoned"``) instead of being
+  re-fanned-out forever or aborting the sweep.
+* With a :class:`~repro.exec.checkpoint.SweepCheckpoint` attached, every
+  completed outcome is periodically persisted; a killed run re-launched
+  with ``resume`` replays completed tasks from the checkpoint and only
+  executes what is missing.
 
 Results come back in task order regardless of completion order.
 """
@@ -34,9 +47,16 @@ import os
 import time
 import typing
 
+from concurrent.futures.process import BrokenProcessPool
+
 from repro.errors import ConfigurationError, ExecutionError
-from repro.exec.cache import ResultCache
+from repro.exec.cache import ResultCache, _code_version
+from repro.exec.checkpoint import SweepCheckpoint
 from repro.exec.telemetry import RunTelemetry
+from repro.kernels.rng import key_id, mix32, split64, uniform01
+
+#: Domain-separation salt for the backoff jitter stream.
+_BACKOFF_SALT = key_id("exec-backoff")
 
 #: Task functions take the params mapping and return the result value —
 #: or a :class:`TaskPayload` when they also want to report work metrics.
@@ -108,7 +128,14 @@ class TaskPayload:
 
 @dataclasses.dataclass
 class TaskOutcome:
-    """What happened to one task during a run."""
+    """What happened to one task during a run.
+
+    ``status`` is ``"done"`` for a computed (or cached/resumed) result
+    and ``"poisoned"`` for a task quarantined after repeatedly killing
+    its worker — poisoned outcomes carry ``value None`` and are never
+    written to the cache.  ``resumed`` marks outcomes replayed from a
+    sweep checkpoint rather than executed this run.
+    """
 
     task: SweepTask
     value: typing.Any
@@ -117,6 +144,8 @@ class TaskOutcome:
     cached: bool
     attempts: int
     worker_pid: int
+    status: str = "done"
+    resumed: bool = False
 
 
 @dataclasses.dataclass
@@ -203,16 +232,33 @@ class SweepRunner:
         telemetry: RunTelemetry | None = None,
         task_timeout_s: float | None = None,
         retries: int = 1,
+        backoff_base_s: float = 0.0,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.5,
+        poison_after: int = 2,
+        checkpoint: SweepCheckpoint | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if retries < 0:
             raise ConfigurationError("retries must be >= 0")
+        if backoff_base_s < 0 or backoff_factor < 1:
+            raise ConfigurationError(
+                "backoff base must be >= 0 and factor >= 1")
+        if not 0 <= backoff_jitter <= 1:
+            raise ConfigurationError("backoff jitter must be in [0, 1]")
+        if poison_after < 1:
+            raise ConfigurationError("poison_after must be >= 1")
         self.workers = workers
         self.cache = cache
         self.telemetry = telemetry or RunTelemetry()
         self.task_timeout_s = task_timeout_s
         self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        self.poison_after = poison_after
+        self.checkpoint = checkpoint
         #: Result of the most recent :meth:`run` (telemetry access for
         #: callers that only see the experiment's return value).
         self.last_run: SweepRunResult | None = None
@@ -223,8 +269,18 @@ class SweepRunner:
         self.telemetry.start(workers=self.workers, num_tasks=len(tasks))
         outcomes: dict[int, TaskOutcome] = {}
 
+        resumed_records: dict[int, dict] = {}
+        if self.checkpoint is not None:
+            resumed_records = self.checkpoint.load(tasks, _code_version())
+
         misses: list[SweepTask] = []
         for task in tasks:
+            record = resumed_records.get(task.index)
+            if record is not None:
+                outcome = SweepCheckpoint.outcome_from_record(task, record)
+                outcomes[task.index] = outcome
+                self.telemetry.record_task(outcome)
+                continue
             hit, value = self._cache_get(task)
             if hit:
                 outcome = TaskOutcome(
@@ -234,18 +290,33 @@ class SweepRunner:
                 )
                 outcomes[task.index] = outcome
                 self.telemetry.record_task(outcome)
+                if self.checkpoint is not None:
+                    self.checkpoint.record(outcome)
             else:
                 misses.append(task)
 
+        # Executed outcomes are recorded the moment they arrive — not
+        # after the whole batch — so a crash mid-sweep leaves the
+        # checkpoint and cache holding every task finished so far.
+        def record(outcome: TaskOutcome) -> None:
+            outcomes[outcome.task.index] = outcome
+            self.telemetry.record_task(outcome)
+            self._cache_put(outcome)
+            if self.checkpoint is not None:
+                self.checkpoint.record(outcome)
+
         if misses:
-            if self.workers > 1 and len(misses) > 1:
-                executed = self._run_pool(misses)
+            if self.workers > 1:
+                # Crash-prone tasks must never execute in the parent
+                # process, so any multi-worker run uses the pool even
+                # for a single miss.
+                self._run_pool(misses, record)
             else:
-                executed = [self._run_serial(task) for task in misses]
-            for outcome in executed:
-                outcomes[outcome.task.index] = outcome
-                self.telemetry.record_task(outcome)
-                self._cache_put(outcome)
+                for task in misses:
+                    record(self._run_serial(task))
+
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
 
         ordered = [outcomes[task.index] for task in tasks]
         result = SweepRunResult(outcomes=ordered,
@@ -264,11 +335,27 @@ class SweepRunner:
         return self.cache.get_task(task)
 
     def _cache_put(self, outcome: TaskOutcome) -> None:
-        if self.cache is not None and not outcome.cached:
+        if (self.cache is not None and not outcome.cached
+                and not outcome.resumed and outcome.status == "done"):
             self.cache.put_task(outcome.task, outcome.value, meta={
                 "wall_time_s": outcome.wall_time_s,
                 "events_processed": outcome.events_processed,
             })
+
+    def _backoff_delay_s(self, task: SweepTask, attempt: int) -> float:
+        """Backoff before retry ``attempt + 1``: exponential, with
+        multiplicative jitter drawn deterministically from the task seed
+        and attempt number (reproducible, but de-synchronised across
+        tasks so retry storms don't stampede a shared resource)."""
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        delay = self.backoff_base_s * self.backoff_factor ** max(
+            0, attempt - 1)
+        if self.backoff_jitter > 0.0:
+            lo, hi = split64(task.seed)
+            draw = uniform01(mix32(_BACKOFF_SALT, lo, hi, attempt))
+            delay *= 1.0 - self.backoff_jitter + 2.0 * self.backoff_jitter * draw
+        return delay
 
     def _run_serial(self, task: SweepTask, *, attempt_offset: int = 0,
                     max_attempts: int | None = None) -> TaskOutcome:
@@ -281,7 +368,13 @@ class SweepRunner:
                 raw = execute_task(payload)
             except Exception as error:  # noqa: BLE001 — retried, re-raised
                 last_error = error
-                self.telemetry.record_retry(task, error)
+                delay = 0.0
+                if attempt < max_attempts:
+                    delay = self._backoff_delay_s(
+                        task, attempt_offset + attempt)
+                self.telemetry.record_retry(task, error, backoff_s=delay)
+                if delay > 0.0:
+                    time.sleep(delay)
                 continue
             return TaskOutcome(
                 task=task, value=raw["value"],
@@ -295,15 +388,23 @@ class SweepRunner:
             f"{attempt_offset + max_attempts} attempt(s): {last_error}"
         ) from last_error
 
-    def _run_pool(self, tasks: list[SweepTask]) -> list[TaskOutcome]:
+    def _run_pool(
+        self,
+        tasks: list[SweepTask],
+        record: typing.Callable[[TaskOutcome], None],
+    ) -> None:
+        """Run ``tasks`` in a worker pool, recording each outcome as it
+        completes (in task order, so a crash leaves a clean prefix)."""
         try:
             pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(self.workers, len(tasks)))
         except (OSError, ValueError, ImportError) as error:
             self.telemetry.record_fallback(error)
-            return [self._run_serial(task) for task in tasks]
+            for task in tasks:
+                record(self._run_serial(task))
+            return
 
-        outcomes: list[TaskOutcome] = []
+        suspects: list[SweepTask] = []
         with pool:
             futures = {
                 task.index: pool.submit(execute_task,
@@ -314,24 +415,104 @@ class SweepRunner:
                 future = futures[task.index]
                 try:
                     raw = future.result(timeout=self.task_timeout_s)
+                except BrokenProcessPool:
+                    # A worker died.  Every task still in flight fails
+                    # with this error, but only one of them is guilty —
+                    # re-run each alone so the crash is attributed to
+                    # the task that actually causes it.
+                    suspects.append(task)
+                    continue
                 except Exception as error:  # noqa: BLE001 — retry serially
-                    # One failure (crash, timeout, exception) falls back
-                    # to an in-parent serial retry: guaranteed progress,
-                    # no pool poisoning.
-                    self.telemetry.record_retry(task, error)
+                    # An ordinary failure (timeout, exception) falls
+                    # back to an in-parent serial retry: guaranteed
+                    # progress, no pool poisoning.
+                    delay = (self._backoff_delay_s(task, 1)
+                             if self.retries >= 1 else 0.0)
+                    self.telemetry.record_retry(task, error,
+                                                backoff_s=delay)
                     if self.retries < 1:
                         raise ExecutionError(
                             f"task {task.key} failed: {error}"
                         ) from error
-                    outcomes.append(self._run_serial(
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    record(self._run_serial(
                         task, attempt_offset=1,
                         max_attempts=self.retries))
                     continue
-                outcomes.append(TaskOutcome(
+                record(TaskOutcome(
                     task=task, value=raw["value"],
                     wall_time_s=raw["wall_time_s"],
                     events_processed=raw["events_processed"],
                     cached=False, attempts=1,
                     worker_pid=raw["worker_pid"],
                 ))
-        return outcomes
+        for task in suspects:
+            record(self._run_isolated(task))
+
+    def _run_isolated(self, task: SweepTask) -> TaskOutcome:
+        """Re-run a crash suspect alone in fresh single-worker pools.
+
+        In isolation a dead worker is definitely this task's doing;
+        after ``poison_after`` such deaths the task is quarantined as
+        *poisoned* rather than retried forever.  Tasks that merely
+        shared a pool with the real crasher succeed here on the first
+        attempt.
+        """
+        payload = dataclasses.asdict(task)
+        crashes = 0
+        attempt = 1  # the shared-pool attempt that sent us here
+        while crashes < self.poison_after:
+            attempt += 1
+            try:
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=1)
+            except (OSError, ValueError, ImportError) as error:
+                # No isolation available; running a crash suspect in
+                # the parent would risk the whole sweep — quarantine.
+                self.telemetry.record_fallback(error)
+                break
+            with pool:
+                future = pool.submit(execute_task, payload)
+                try:
+                    raw = future.result(timeout=self.task_timeout_s)
+                except BrokenProcessPool as error:
+                    crashes += 1
+                    self.telemetry.record_crash(task, error)
+                    if crashes >= self.poison_after:
+                        break
+                    delay = self._backoff_delay_s(task, attempt)
+                    self.telemetry.record_retry(task, error,
+                                                backoff_s=delay)
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                except Exception as error:  # noqa: BLE001 — retry policy
+                    # Ordinary failure once isolated: hand the task to
+                    # the normal in-parent retry loop (it did not kill
+                    # this worker, so the parent is safe).
+                    delay = (self._backoff_delay_s(task, attempt)
+                             if self.retries >= 1 else 0.0)
+                    self.telemetry.record_retry(task, error,
+                                                backoff_s=delay)
+                    if self.retries < 1:
+                        raise ExecutionError(
+                            f"task {task.key} failed: {error}"
+                        ) from error
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    return self._run_serial(
+                        task, attempt_offset=attempt,
+                        max_attempts=self.retries)
+                return TaskOutcome(
+                    task=task, value=raw["value"],
+                    wall_time_s=raw["wall_time_s"],
+                    events_processed=raw["events_processed"],
+                    cached=False, attempts=attempt,
+                    worker_pid=raw["worker_pid"],
+                )
+        return TaskOutcome(
+            task=task, value=None, wall_time_s=0.0,
+            events_processed=0, cached=False, attempts=attempt,
+            worker_pid=os.getpid(), status="poisoned",
+        )

@@ -36,6 +36,8 @@ class TaskRecord:
     cached: bool
     attempts: int
     worker_pid: int
+    status: str = "done"
+    resumed: bool = False
 
 
 class RunTelemetry:
@@ -45,6 +47,7 @@ class RunTelemetry:
         self.records: list[TaskRecord] = []
         self.retries: list[dict] = []
         self.fallbacks: list[str] = []
+        self.crashes: list[dict] = []
         self.workers = 1
         self.num_tasks = 0
         self._started: float | None = None
@@ -55,6 +58,7 @@ class RunTelemetry:
         self.records = []
         self.retries = []
         self.fallbacks = []
+        self.crashes = []
         self.workers = workers
         self.num_tasks = num_tasks
         self._started = time.perf_counter()
@@ -73,21 +77,45 @@ class RunTelemetry:
             cached=outcome.cached,
             attempts=outcome.attempts,
             worker_pid=outcome.worker_pid,
+            status=outcome.status,
+            resumed=outcome.resumed,
         )
         self.records.append(record)
+        if record.status == "poisoned":
+            verb = "poisoned"
+        elif record.resumed:
+            verb = "resumed from checkpoint"
+        elif record.cached:
+            verb = "cache hit"
+        else:
+            verb = "executed"
         logger.info(
             "task %s: %s in %.3fs (%d events, attempt %d, pid %d)",
-            record.key, "cache hit" if record.cached else "executed",
+            record.key, verb,
             record.wall_time_s, record.events_processed,
             record.attempts, record.worker_pid,
             extra={"repro_task": dataclasses.asdict(record)},
         )
 
-    def record_retry(self, task: "SweepTask", error: BaseException) -> None:
-        self.retries.append({"key": task.key, "error": repr(error)})
+    def record_retry(self, task: "SweepTask", error: BaseException, *,
+                     backoff_s: float = 0.0) -> None:
+        self.retries.append({"key": task.key, "error": repr(error),
+                             "backoff_s": backoff_s})
         logger.warning(
-            "task %s failed (%s); retrying", task.key, error,
+            "task %s failed (%s); retrying after %.3fs backoff",
+            task.key, error, backoff_s,
             extra={"repro_retry": {"key": task.key,
+                                   "error": repr(error),
+                                   "backoff_s": backoff_s}},
+        )
+
+    def record_crash(self, task: "SweepTask",
+                     error: BaseException) -> None:
+        """One definite worker death attributed to ``task``."""
+        self.crashes.append({"key": task.key, "error": repr(error)})
+        logger.warning(
+            "task %s killed its worker (%s)", task.key, error,
+            extra={"repro_crash": {"key": task.key,
                                    "error": repr(error)}},
         )
 
@@ -120,7 +148,8 @@ class RunTelemetry:
         """Aggregate view of the run (JSON-able)."""
         from repro.kernels import kernel_mode
 
-        executed = [r for r in self.records if not r.cached]
+        executed = [r for r in self.records
+                    if not r.cached and not r.resumed]
         busy = sum(r.wall_time_s for r in executed)
         wall = self._wall_time_s
         if self._started is not None:  # summary of a still-running sweep
@@ -144,7 +173,13 @@ class RunTelemetry:
             },
             "worker_utilization": min(1.0, utilization),
             "retries": list(self.retries),
+            "backoff_s_total": sum(r.get("backoff_s", 0.0)
+                                   for r in self.retries),
             "serial_fallbacks": list(self.fallbacks),
+            "crashes": list(self.crashes),
+            "poisoned": [r.key for r in self.records
+                         if r.status == "poisoned"],
+            "resumed_tasks": sum(1 for r in self.records if r.resumed),
             "per_task": [dataclasses.asdict(r) for r in self.records],
         }
 
@@ -177,7 +212,16 @@ def format_summary(summary: dict, *, top_n: int = 5) -> str:
         f"{summary['task_wall_time_s']['max']:.3f}s",
     ]
     if summary["retries"]:
-        lines.append(f"retries: {len(summary['retries'])}")
+        lines.append(
+            f"retries: {len(summary['retries'])} "
+            f"(backoff total {summary.get('backoff_s_total', 0.0):.3f}s)")
+    if summary.get("poisoned"):
+        lines.append(
+            f"poisoned: {len(summary['poisoned'])} "
+            f"({', '.join(summary['poisoned'])})")
+    if summary.get("resumed_tasks"):
+        lines.append(f"resumed from checkpoint: "
+                     f"{summary['resumed_tasks']}")
     executed = [r for r in summary["per_task"] if not r["cached"]]
     slowest = sorted(executed, key=lambda r: r["wall_time_s"],
                      reverse=True)[:top_n]

@@ -9,6 +9,7 @@ new deployment (``repro.exec.testing:echo_task`` costs microseconds).
 from __future__ import annotations
 
 import os
+import signal
 import time
 
 from repro.errors import ExecutionError
@@ -48,4 +49,28 @@ def flaky_task(params: dict) -> int:
         handle.write(str(attempts))
     if attempts <= params["fail_times"]:
         raise ExecutionError(f"flaky_task failing attempt {attempts}")
+    return attempts
+
+
+def kill_worker_task(params: dict) -> int:
+    """SIGKILL the worker on the first ``params['kill_times']`` attempts.
+
+    Exercises the crash-quarantine path: the process pool sees a dead
+    worker (``BrokenProcessPool``), not an exception.  Attempts are
+    counted in ``params['counter_path']`` so the count survives the
+    worker deaths; once the quota is exhausted the task returns its
+    attempt number.  Only meaningful under ``workers > 1`` — in a
+    serial run it would kill the parent process.
+    """
+    path = params["counter_path"]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            attempts = int(handle.read() or 0)
+    except FileNotFoundError:
+        attempts = 0
+    attempts += 1
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(str(attempts))
+    if attempts <= params["kill_times"]:
+        os.kill(os.getpid(), signal.SIGKILL)
     return attempts

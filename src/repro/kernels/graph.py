@@ -24,6 +24,26 @@ from repro.kernels.rng import cycle_lanes, key_id, mix32_batch, split64
 GRAPH_SENS_SALT = key_id("graph-sens")
 
 
+def screen_block(
+    sens: "np.ndarray",
+    arrival: "np.ndarray",
+    nominal_period_ps: int,
+    forced: "np.ndarray | None" = None,
+) -> "np.ndarray":
+    """Per-cycle screen: which cycles have any idle-state violation?
+
+    ``sens`` / ``arrival`` are the ``(C, E)`` blocks from
+    :meth:`CompiledEdges.block`.  ``forced`` optionally ORs in cycles
+    that must replay through the dict-based bookkeeping regardless of
+    the screen — fault campaigns pin injected cycles this way, because
+    the screen sees only the fault-free arrivals.
+    """
+    interesting = np.any(sens & (arrival > nominal_period_ps), axis=1)
+    if forced is not None:
+        interesting = interesting | forced
+    return interesting
+
+
 class CompiledEdges:
     """Flat-array view of a graph simulator's candidate edges."""
 

@@ -37,6 +37,28 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.variability.base import VariabilityModel
 
 
+def screen_block(
+    delays: "np.ndarray",
+    period_ps: int,
+    threshold_ps: int,
+    forced: "np.ndarray | None" = None,
+) -> "np.ndarray":
+    """Per-cycle screen: which cycles could capture anything but CLEAN?
+
+    ``delays`` is the ``(C, S)`` block from :meth:`CompiledStages.
+    delay_block`; a cycle is *interesting* when any stage's idle-state
+    lateness ``delay - period`` exceeds ``threshold_ps``.  ``forced``
+    optionally ORs in cycles that must replay through the scalar state
+    machine regardless of the screen — fault-injection campaigns use it
+    to pin every injected cycle, since the screen sees only the
+    fault-free delays.
+    """
+    interesting = np.any(delays - period_ps > threshold_ps, axis=1)
+    if forced is not None:
+        interesting = interesting | forced
+    return interesting
+
+
 class CompiledStages:
     """Flat-array view of a pipeline's stages for blocked evaluation."""
 

@@ -43,6 +43,7 @@ from repro.core.masking import (
 from repro.errors import ConfigurationError
 from repro.kernels.rng import key_id, mix32, split64
 from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.hooks import CaptureObserver, FaultOverlayLike
 from repro.timing.graph import TimingEdge, TimingGraph
 from repro.variability.base import (
     ConstantVariation,
@@ -109,6 +110,8 @@ class GraphPipelineSimulation:
         controller: CentralErrorController | None = None,
         trace: "WorkloadTraceLike | None" = None,
         seed: int = 0,
+        faults: "FaultOverlayLike | None" = None,
+        capture_observer: "CaptureObserver | None" = None,
     ) -> None:
         if scheme not in ("plain", "timber-ff", "timber-latch"):
             raise ConfigurationError(
@@ -127,6 +130,14 @@ class GraphPipelineSimulation:
         self.controller = controller
         #: Optional workload trace scaling the sensitization per cycle.
         self.trace = trace
+        #: Optional fault overlay adding extra delay on selected
+        #: (cycle, flip-flop) pairs; keys are destination FF names.  The
+        #: extra applies only when at least one in-edge was evaluated —
+        #: a fault on a path no data traversed this cycle is benign.
+        self.faults = faults
+        #: Optional callback invoked for every violating capture as
+        #: ``observer(cycle, ff_name, outcome, lateness_ps)``.
+        self.capture_observer = capture_observer
         if with_tb_interval:
             self.cp = CheckingPeriod.with_tb(graph.period_ps,
                                              percent_checking)
@@ -295,7 +306,15 @@ class GraphPipelineSimulation:
                 late = launch_offset + base - period
                 if lateness is None or late > lateness:
                     lateness = late
-            if lateness is None or lateness <= 0:
+            if lateness is None:
+                continue
+            if self.faults is not None:
+                # Same reasoning as the linear pipeline: the vector
+                # kernel's rows are fault-free and overlay-active
+                # cycles always replay here, so adding the extra in
+                # the scalar state machine keeps both paths bit-equal.
+                lateness += self.faults.extra_delay_ps(cycle, ff)
+            if lateness <= 0:
                 continue
             if ff in self.protected:
                 select_in = max(
@@ -306,6 +325,11 @@ class GraphPipelineSimulation:
                 outcome = self._capture(lateness, select_in)
             else:
                 outcome = plain_ff_capture(lateness)
+            if self.capture_observer is not None:
+                # Every outcome here is a violation (lateness > 0), so
+                # the observer stream matches the non-clean-only
+                # contract shared with the vector path.
+                self.capture_observer(cycle, ff, outcome, lateness)
             if outcome.masked:
                 result.masked += 1
                 new_borrow[ff] = outcome.borrowed_ps
@@ -332,7 +356,7 @@ class GraphPipelineSimulation:
                     result: GraphPipelineResult) -> None:
         import numpy as np
 
-        from repro.kernels.graph import CompiledEdges
+        from repro.kernels.graph import CompiledEdges, screen_block
         from repro.kernels.schedule import BlockSizer, slow_cycles_between
 
         if self._compiled is None:
@@ -362,8 +386,12 @@ class GraphPipelineSimulation:
                                                  thresholds)
             # Screen against the *nominal* period: a slowdown only makes
             # arrivals less late, so this marks a superset of the cycles
-            # with any idle-state violation.
-            interesting = np.any(sens & (arrival > nominal), axis=1)
+            # with any idle-state violation.  Fault-bearing cycles are
+            # forced interesting — the screen sees only the fault-free
+            # arrivals.
+            forced = (self.faults.active_mask(cycles)
+                      if self.faults is not None else None)
+            interesting = screen_block(sens, arrival, nominal, forced)
             k = 0
             while k < count:
                 if not borrow and not select_out:

@@ -31,6 +31,7 @@ from repro import kernels
 from repro.core.masking import CaptureOutcome
 from repro.errors import ConfigurationError, TimingViolationError
 from repro.pipeline.controller import CentralErrorController
+from repro.pipeline.hooks import CaptureObserver, FaultOverlayLike
 from repro.pipeline.schemes import CapturePolicy
 from repro.pipeline.stage import PipelineStage
 from repro.variability.base import (
@@ -101,6 +102,8 @@ class PipelineSimulation:
         controller: CentralErrorController | None = None,
         variability: VariabilityModel | None = None,
         fail_fast: bool = False,
+        faults: "FaultOverlayLike | None" = None,
+        capture_observer: "CaptureObserver | None" = None,
     ) -> None:
         if not stages:
             raise ConfigurationError("need at least one stage")
@@ -117,6 +120,15 @@ class PipelineSimulation:
         self.controller = controller
         self.variability = variability or ConstantVariation(1.0)
         self.fail_fast = fail_fast
+        #: Optional fault overlay adding extra delay on selected
+        #: (cycle, stage) pairs; keys are stage names.
+        self.faults = faults
+        #: Optional callback invoked for every non-clean capture as
+        #: ``observer(cycle, boundary_index, outcome, lateness_ps)``.
+        #: Clean captures never fire it, so the event stream is
+        #: identical between the scalar and vector paths (bulk-skipped
+        #: cycles are provably clean).
+        self.capture_observer = capture_observer
         #: Launch offset (time borrowed) at each boundary, carried across
         #: cycles: boundary i's borrow delays the data it launches into
         #: stage i+1 next cycle.
@@ -187,10 +199,22 @@ class PipelineSimulation:
             upstream = (index - 1) % len(self.stages)
             delay = (int(delay_row[index]) if delay_row is not None
                      else stage.delay_ps(cycle, self.variability))
+            if self.faults is not None:
+                # The overlay rides on top of the base delay in both
+                # execution modes: the vector kernel precomputes only
+                # the fault-free rows and forces overlay-active cycles
+                # onto this scalar replay, so adding the extra here
+                # keeps the two paths bit-identical.
+                delay += self.faults.extra_delay_ps(cycle, stage.name)
             lateness = self._borrow[upstream] + delay - period
             outcome = self.policy.capture(index, lateness)
             outcomes.append(outcome)
             self._account(result, outcome)
+            if self.capture_observer is not None and (
+                    outcome.masked or outcome.detected
+                    or outcome.predicted or outcome.flagged
+                    or outcome.failed):
+                self.capture_observer(cycle, index, outcome, lateness)
             if outcome.masked:
                 cycle_masked = True
                 new_borrow[index] = outcome.borrowed_ps
@@ -224,7 +248,7 @@ class PipelineSimulation:
     def _run_vector(self, num_cycles: int, result: PipelineResult) -> None:
         import numpy as np
 
-        from repro.kernels.pipeline import CompiledStages
+        from repro.kernels.pipeline import CompiledStages, screen_block
         from repro.kernels.schedule import BlockSizer, slow_cycles_between
 
         if self._compiled is None:
@@ -244,8 +268,12 @@ class PipelineSimulation:
             # Screen against the *nominal* period: slowdown windows only
             # lengthen the period, so this marks a superset of the
             # cycles that could capture anything but CLEAN while idle.
-            interesting = np.any(delays - self.period_ps > threshold,
-                                 axis=1)
+            # Fault-bearing cycles are forced interesting — the screen
+            # sees only the fault-free delays.
+            forced = (self.faults.active_mask(cycles)
+                      if self.faults is not None else None)
+            interesting = screen_block(delays, self.period_ps, threshold,
+                                       forced)
             k = 0
             while k < count:
                 if self._idle():

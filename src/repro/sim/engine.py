@@ -44,6 +44,8 @@ class Simulator:
         self._listeners: dict[str, list[Listener]] = {}
         self._toggle_counts: dict[str, int] = {}
         self._toggle_energy: dict[str, float] = {}
+        self._last_change_ps: dict[str, int] = {}
+        self._last_drive_ps: dict[str, int] = {}
         self._dynamic_energy = 0.0
         self._events_processed = 0
 
@@ -58,6 +60,25 @@ class Simulator:
 
     def signals(self) -> dict[str, Logic]:
         return dict(self._signals)
+
+    def last_change_ps(self, signal: str) -> int | None:
+        """Time of ``signal``'s most recent value change, or ``None``.
+
+        Only changes applied through the event loop count;
+        :meth:`set_initial` does not register (it models the reset
+        state, not a transition).  Fault machinery uses this to tell
+        whether a functional driver re-drove a signal during an injected
+        pulse."""
+        return self._last_change_ps.get(signal)
+
+    def last_drive_ps(self, signal: str) -> int | None:
+        """Time of the most recent *applied* drive of ``signal``.
+
+        Unlike :meth:`last_change_ps` this registers even when the
+        driven value equals the current one — a driver re-asserting a
+        level is real circuit activity (an SEU restore must yield to
+        it even though no transition was visible)."""
+        return self._last_drive_ps.get(signal)
 
     # -- scheduling ----------------------------------------------------------
     def drive(self, signal: str, value: Logic | int, time_ps: int,
@@ -191,10 +212,12 @@ class Simulator:
 
     def _apply_signal(self, signal: str, value: Logic,
                       toggle_energy: float) -> None:
+        self._last_drive_ps[signal] = self.now
         old = self._signals.get(signal, Logic.X)
         if old is value:
             return
         self._signals[signal] = value
+        self._last_change_ps[signal] = self.now
         if old is not Logic.X:
             # The initial X -> known settle (gate priming, first drive) is
             # not a real transition: counting it would charge toggle

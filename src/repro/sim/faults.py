@@ -18,10 +18,13 @@ cites as [9]).
 from __future__ import annotations
 
 import dataclasses
+import logging
 
 from repro.circuit.logic import Logic
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
+
+logger = logging.getLogger("repro.sim.faults")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,26 +44,48 @@ class FaultInjector:
         self.simulator = simulator
         self.log: list[InjectedFault] = []
 
+    def _check_not_past(self, kind: str, signal: str, time_ps: int) -> None:
+        if time_ps < self.simulator.now:
+            raise ConfigurationError(
+                f"cannot inject {kind} on {signal!r} at {time_ps} ps: "
+                f"the simulator is already at {self.simulator.now} ps"
+            )
+
     # -- SEU ---------------------------------------------------------------
     def inject_seu(self, signal: str, at_ps: int, width_ps: int) -> None:
         """Flip ``signal`` at ``at_ps`` for ``width_ps`` picoseconds.
 
         The pulse value is the inverse of whatever the signal holds when
-        the strike lands; the original value is restored afterwards
-        (unless the functional circuit drives it meanwhile — later
-        drives win, as in silicon).
+        the strike lands.  The original value is restored afterwards —
+        unless the functional circuit re-drove the signal mid-pulse, in
+        which case the restore *yields* (later drives win, as in
+        silicon) and the yield is logged.
         """
         if width_ps <= 0:
             raise ConfigurationError("SEU width must be > 0")
-        if at_ps < self.simulator.now:
-            raise SimulationError("cannot inject in the past")
+        self._check_not_past("SEU", signal, at_ps)
 
         def strike(sim: Simulator) -> None:
             original = sim.value(signal)
             flipped = ~original if original is not Logic.X else Logic.ONE
+            strike_ps = sim.now
             sim.drive(signal, flipped, sim.now, label=f"seu:{signal}")
-            sim.drive(signal, original, sim.now + width_ps,
-                      label=f"seu-recover:{signal}")
+
+            def restore(inner: Simulator) -> None:
+                last = inner.last_drive_ps(signal)
+                if last is not None and last > strike_ps:
+                    # A functional driver re-drove the signal after the
+                    # strike landed; restoring the pre-strike value now
+                    # would overwrite real circuit activity.
+                    logger.info(
+                        "seu restore on %r yields: signal re-driven at "
+                        "%d ps (pulse started %d ps)",
+                        signal, last, strike_ps)
+                    return
+                inner.drive(signal, original, inner.now,
+                            label=f"seu-recover:{signal}")
+
+            sim.after(width_ps, restore, label=f"seu-recover@{signal}")
 
         self.simulator.at(at_ps, strike, label=f"seu@{signal}")
         self.log.append(InjectedFault(
@@ -79,6 +104,7 @@ class FaultInjector:
         """
         if extra_delay_ps <= 0:
             raise ConfigurationError("extra delay must be > 0")
+        self._check_not_past("delay fault", signal, from_ps)
         shadow = self.delayed_name(signal)
         sim = self.simulator
         sim.set_initial(shadow, sim.value(signal))
@@ -106,6 +132,7 @@ class FaultInjector:
 
         Any later functional drive is immediately overridden (the fault
         keeps re-asserting), modelling a hard defect."""
+        self._check_not_past("stuck-at", signal, at_ps)
         level = Logic.from_value(value)
         sim = self.simulator
 

@@ -1,0 +1,61 @@
+"""Property: campaign outcomes are kernel-independent.
+
+The fault-campaign engine degrades from the numpy kernels to scalar
+replay for injected cycles; clean cycles may still run vectorized.  The
+taxonomy must not depend on which path executed: a campaign run with
+``REPRO_SCALAR_KERNELS=1`` must produce *byte-identical* encoded
+outcomes to the default (vectorized) run — the same classification, the
+same capture events, the same lateness numbers, for every fault.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import CampaignConfig, run_campaign
+from repro.exec.cache import encode_result
+from repro.kernels import HAVE_NUMPY, SCALAR_ENV
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="no numpy: both paths are already scalar")
+
+#: (target, scheme) pairs with a vectorizable clean-cycle path.
+CONFIGURATIONS = [
+    ("pipeline", "plain"),
+    ("pipeline", "timber-ff"),
+    ("pipeline", "timber-latch"),
+    ("graph", "plain"),
+    ("graph", "timber-ff"),
+]
+
+
+def _encoded_outcomes(config: CampaignConfig, *, scalar: bool) -> str:
+    saved = os.environ.get(SCALAR_ENV)
+    os.environ[SCALAR_ENV] = "1" if scalar else "0"
+    try:
+        result = run_campaign(config)
+    finally:
+        if saved is None:
+            os.environ.pop(SCALAR_ENV, None)
+        else:
+            os.environ[SCALAR_ENV] = saved
+    return json.dumps(encode_result(result.outcomes), sort_keys=True)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    configuration=st.sampled_from(CONFIGURATIONS),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    checking=st.sampled_from([20.0, 30.0, 40.0]),
+)
+def test_scalar_and_vector_campaigns_bit_identical(configuration, seed,
+                                                   checking):
+    target, scheme = configuration
+    config = CampaignConfig(
+        target=target, scheme=scheme, num_faults=12, num_cycles=150,
+        faults_per_task=6, checking_percent=checking, seed=seed,
+    )
+    assert _encoded_outcomes(config, scalar=True) == \
+        _encoded_outcomes(config, scalar=False)

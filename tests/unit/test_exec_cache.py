@@ -108,3 +108,70 @@ class TestResultCache:
         assert cache.clear() == 3
         assert len(cache) == 0
         assert cache.clear() == 0
+
+
+class TestCorruptionInjection:
+    """A damaged entry is logged, deleted, and rebuilt — never served."""
+
+    def _stored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("exp", {"x": 1}, seed=0)
+        cache.put(key, _pipeline_result(), experiment="exp")
+        return cache, key, tmp_path / f"{key}.json"
+
+    def test_truncated_entry_deleted_and_logged(self, tmp_path, caplog):
+        import logging
+
+        cache, key, path = self._stored(tmp_path)
+        path.write_text(path.read_text(encoding="utf-8")[:37],
+                        encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.exec.cache"):
+            assert cache.get(key) == (False, None)
+        assert not path.exists()
+        assert any("corrupted" in record.message
+                   for record in caplog.records)
+
+    def test_non_json_entry_deleted(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        path.write_bytes(b"\x00\xffgarbage")
+        assert cache.get(key) == (False, None)
+        assert not path.exists()
+
+    def test_json_non_object_entry_deleted(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        assert cache.get(key) == (False, None)
+        assert not path.exists()
+
+    def test_tampered_result_fails_checksum(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["result"]["fields"]["failed"] = 999  # silent bit-flip
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(key) == (False, None)
+        assert not path.exists()
+
+    def test_missing_checksum_field_deleted(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        del entry["checksum"]
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(key) == (False, None)
+        assert not path.exists()
+
+    def test_stale_version_is_plain_miss_not_deleted(self, tmp_path):
+        # A version mismatch is legitimate staleness, not corruption.
+        old = ResultCache(tmp_path, version="v1")
+        key = old.key_for("exp", {}, seed=0)
+        old.put(key, _pipeline_result())
+        new = ResultCache(tmp_path, version="v2")
+        assert new.get(key) == (False, None)
+        assert (tmp_path / f"{key}.json").exists()
+
+    def test_rebuild_after_corruption(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        path.write_text("oops", encoding="utf-8")
+        assert cache.get(key) == (False, None)
+        cache.put(key, _pipeline_result(), experiment="exp")
+        hit, value = cache.get(key)
+        assert hit and value == _pipeline_result()

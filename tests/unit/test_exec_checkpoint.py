@@ -1,0 +1,137 @@
+"""Unit tests for sweep checkpointing and resume."""
+
+import json
+import logging
+
+import pytest
+
+from repro.exec import (
+    SweepCheckpoint,
+    SweepRunner,
+    SweepTask,
+    compute_run_key,
+    expand_grid,
+)
+from repro.exec.cache import _code_version
+
+SQUARE = "repro.exec.testing:square_task"
+KILLER = "repro.exec.testing:kill_worker_task"
+
+
+def _tasks(values=(1, 2, 3, 4), root_seed=5):
+    return expand_grid(SQUARE, {"x": values}, root_seed=root_seed)
+
+
+class TestRunKey:
+    def test_stable_for_same_tasks(self):
+        assert compute_run_key(_tasks(), "v") == \
+            compute_run_key(_tasks(), "v")
+
+    def test_sensitive_to_grid_seed_and_version(self):
+        base = compute_run_key(_tasks(), "v")
+        assert compute_run_key(_tasks((1, 2, 3)), "v") != base
+        assert compute_run_key(_tasks(root_seed=6), "v") != base
+        assert compute_run_key(_tasks(), "v2") != base
+
+
+class TestCheckpointFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cp.json"
+        tasks = _tasks()
+        runner = SweepRunner(checkpoint=SweepCheckpoint(path, every=2))
+        run = runner.run(tasks)
+        assert path.exists()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["run_key"] == compute_run_key(tasks,
+                                                  _code_version())
+        assert len(data["completed"]) == 4
+        # Resume replays every task without executing anything.
+        resumed = SweepRunner(
+            checkpoint=SweepCheckpoint(path, resume=True)).run(tasks)
+        assert resumed.values == run.values
+        assert resumed.summary["resumed_tasks"] == 4
+        assert all(o.resumed for o in resumed.outcomes)
+
+    def test_partial_checkpoint_fills_the_gap(self, tmp_path):
+        path = tmp_path / "cp.json"
+        tasks = _tasks()
+        reference = SweepRunner(
+            checkpoint=SweepCheckpoint(path)).run(tasks)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        del data["completed"]["1"]
+        del data["completed"]["3"]
+        path.write_text(json.dumps(data), encoding="utf-8")
+        resumed = SweepRunner(
+            checkpoint=SweepCheckpoint(path, resume=True)).run(tasks)
+        assert resumed.values == reference.values
+        assert resumed.summary["resumed_tasks"] == 2
+        # The checkpoint is healed: all four tasks recorded again.
+        final = json.loads(path.read_text(encoding="utf-8"))
+        assert len(final["completed"]) == 4
+
+    def test_without_resume_flag_file_is_ignored(self, tmp_path):
+        path = tmp_path / "cp.json"
+        tasks = _tasks()
+        SweepRunner(checkpoint=SweepCheckpoint(path)).run(tasks)
+        rerun = SweepRunner(checkpoint=SweepCheckpoint(path)).run(tasks)
+        assert rerun.summary["resumed_tasks"] == 0
+
+    def test_mismatched_run_key_ignored(self, tmp_path, caplog):
+        path = tmp_path / "cp.json"
+        SweepRunner(checkpoint=SweepCheckpoint(path)).run(_tasks())
+        other = _tasks(root_seed=99)
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.exec.checkpoint"):
+            run = SweepRunner(
+                checkpoint=SweepCheckpoint(path, resume=True)).run(other)
+        assert run.summary["resumed_tasks"] == 0
+        assert any("different run" in record.message
+                   for record in caplog.records)
+
+    def test_corrupt_checkpoint_ignored(self, tmp_path, caplog):
+        path = tmp_path / "cp.json"
+        tasks = _tasks()
+        SweepRunner(checkpoint=SweepCheckpoint(path)).run(tasks)
+        path.write_text("{truncated", encoding="utf-8")
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.exec.checkpoint"):
+            run = SweepRunner(
+                checkpoint=SweepCheckpoint(path, resume=True)).run(tasks)
+        assert run.summary["resumed_tasks"] == 0
+        assert run.values == [1, 4, 9, 16]
+        assert any("unreadable" in record.message
+                   for record in caplog.records)
+
+    def test_missing_file_with_resume_is_fresh_start(self, tmp_path):
+        path = tmp_path / "nope.json"
+        run = SweepRunner(
+            checkpoint=SweepCheckpoint(path, resume=True)).run(_tasks())
+        assert run.summary["resumed_tasks"] == 0
+        assert path.exists()  # written by the end of the run
+
+    def test_flush_before_load_rejected(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "cp.json")
+        with pytest.raises(RuntimeError):
+            checkpoint.flush()
+
+
+class TestPoisonedResume:
+    def test_poisoned_status_survives_resume(self, tmp_path):
+        task = SweepTask(
+            experiment=KILLER,
+            params={"counter_path": str(tmp_path / "kc"),
+                    "kill_times": 99},
+            index=0, seed=0, key="killer[0]",
+        )
+        path = tmp_path / "cp.json"
+        first = SweepRunner(workers=2, poison_after=2,
+                            checkpoint=SweepCheckpoint(path)).run([task])
+        assert first.outcomes[0].status == "poisoned"
+        resumed = SweepRunner(
+            workers=2,
+            checkpoint=SweepCheckpoint(path, resume=True)).run([task])
+        # The quarantine verdict is replayed, not re-litigated (no
+        # worker is sacrificed again).
+        assert resumed.outcomes[0].status == "poisoned"
+        assert resumed.outcomes[0].value is None
+        assert resumed.summary["crashes"] == []

@@ -16,6 +16,7 @@ from repro.exec import (
 ECHO = "repro.exec.testing:echo_task"
 SQUARE = "repro.exec.testing:square_task"
 FLAKY = "repro.exec.testing:flaky_task"
+KILLER = "repro.exec.testing:kill_worker_task"
 
 
 def _square_tasks(values, root_seed=7):
@@ -175,6 +176,110 @@ class TestSweepDeterminism:
                       overclock_percents=(0.0, 8.0), num_cycles=1000)
         assert throughput_sweep(**kwargs) == throughput_sweep(
             **kwargs, runner=SweepRunner(workers=2))
+
+
+class TestBackoff:
+    def test_disabled_by_default(self):
+        runner = SweepRunner()
+        task = _square_tasks((1,))[0]
+        assert runner._backoff_delay_s(task, 1) == 0.0
+        assert runner._backoff_delay_s(task, 5) == 0.0
+
+    def test_exponential_growth(self):
+        runner = SweepRunner(backoff_base_s=0.1, backoff_jitter=0.0)
+        task = _square_tasks((1,))[0]
+        delays = [runner._backoff_delay_s(task, a) for a in (1, 2, 3)]
+        assert delays == [pytest.approx(0.1), pytest.approx(0.2),
+                          pytest.approx(0.4)]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        runner = SweepRunner(backoff_base_s=1.0, backoff_jitter=0.25)
+        task = _square_tasks((1,))[0]
+        first = runner._backoff_delay_s(task, 1)
+        # Deterministic: same task + attempt -> same delay, always.
+        assert runner._backoff_delay_s(task, 1) == first
+        assert 0.75 <= first <= 1.25
+        # Different attempts and different task seeds de-synchronise.
+        assert runner._backoff_delay_s(task, 2) != 2.0 * first
+        other = _square_tasks((1,), root_seed=8)[0]
+        assert runner._backoff_delay_s(other, 1) != first
+
+    def test_backoff_surfaced_in_telemetry(self, tmp_path):
+        task = SweepTask(
+            experiment=FLAKY,
+            params={"counter_path": str(tmp_path / "count"),
+                    "fail_times": 1},
+            index=0, seed=0, key="flaky[0]",
+        )
+        runner = SweepRunner(backoff_base_s=0.01, backoff_jitter=0.0)
+        run = runner.run([task])
+        assert run.summary["retries"][0]["backoff_s"] == \
+            pytest.approx(0.01)
+        assert run.summary["backoff_s_total"] == pytest.approx(0.01)
+
+    def test_invalid_backoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(backoff_base_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            SweepRunner(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            SweepRunner(backoff_jitter=2.0)
+
+
+class TestCrashQuarantine:
+    def _killer(self, tmp_path, kill_times, index=0):
+        return SweepTask(
+            experiment=KILLER,
+            params={"counter_path": str(tmp_path / f"kc{index}"),
+                    "kill_times": kill_times},
+            index=index, seed=100 + index, key=f"killer[{index}]",
+        )
+
+    def test_single_crash_recovers_in_isolation(self, tmp_path):
+        # One worker death, then the task completes on the isolated
+        # retry — the sweep finishes with a real value.
+        tasks = [self._killer(tmp_path, kill_times=1),
+                 _square_tasks((3,))[0]]
+        tasks[1] = dataclasses.replace(tasks[1], index=1)
+        run = SweepRunner(workers=2).run(tasks)
+        assert run.outcomes[0].status == "done"
+        assert run.outcomes[0].value == 2  # succeeded on attempt 2
+        assert run.outcomes[1].value == 9
+
+    def test_persistent_crasher_poisoned_not_fatal(self, tmp_path):
+        tasks = [self._killer(tmp_path, kill_times=99),
+                 _square_tasks((3,))[0]]
+        tasks[1] = dataclasses.replace(tasks[1], index=1)
+        run = SweepRunner(workers=2, poison_after=2).run(tasks)
+        poisoned = run.outcomes[0]
+        assert poisoned.status == "poisoned"
+        assert poisoned.value is None
+        assert run.summary["poisoned"] == ["killer[0]"]
+        assert len(run.summary["crashes"]) == 2
+        # Innocent bystanders still complete.
+        assert run.outcomes[1].value == 9
+
+    def test_innocent_neighbor_not_poisoned(self, tmp_path):
+        # Several clean tasks share the pool with the crasher; all of
+        # them must come back with values, not poison.
+        tasks = [self._killer(tmp_path, kill_times=99)]
+        for i, x in enumerate((2, 3, 4), start=1):
+            tasks.append(dataclasses.replace(
+                _square_tasks((x,))[0], index=i))
+        run = SweepRunner(workers=2, poison_after=2).run(tasks)
+        assert [o.status for o in run.outcomes] == \
+            ["poisoned", "done", "done", "done"]
+        assert run.values[1:] == [4, 9, 16]
+
+    def test_poisoned_outcome_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = self._killer(tmp_path, kill_times=99)
+        SweepRunner(workers=2, cache=cache, poison_after=2).run([task])
+        assert cache.get_task(task) == (False, None)
+
+    def test_invalid_poison_after_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(poison_after=0)
 
 
 class TestTaskSpec:

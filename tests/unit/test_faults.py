@@ -111,3 +111,71 @@ class TestStuckAt:
         sim.drive("a", 1, 200)
         sim.run(250)
         assert sim.value("a") is Logic.ZERO
+
+
+class TestPastTimeValidation:
+    """Injecting behind the simulator clock is a configuration error,
+    not a silently dropped (or time-travelling) event."""
+
+    def test_seu_in_the_past_rejected(self, sim):
+        sim.set_initial("a", 0)
+        sim.drive("a", 1, 100)
+        sim.run(500)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(sim).inject_seu("a", at_ps=400, width_ps=50)
+
+    def test_delay_fault_in_the_past_rejected(self, sim):
+        sim.set_initial("a", 0)
+        sim.drive("a", 1, 100)
+        sim.run(500)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(sim).inject_delay_fault("a", from_ps=100,
+                                                  extra_delay_ps=70)
+
+    def test_stuck_at_in_the_past_rejected(self, sim):
+        sim.set_initial("a", 0)
+        sim.drive("a", 1, 100)
+        sim.run(500)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(sim).inject_stuck_at("a", at_ps=499, value=0)
+
+    def test_at_current_time_still_allowed(self, sim):
+        sim.set_initial("a", 0)
+        sim.run(500)
+        FaultInjector(sim).inject_seu("a", at_ps=500, width_ps=50)
+        sim.run(520)
+        assert sim.value("a") is Logic.ONE
+
+
+class TestSeuRestoreYields:
+    """An SEU pulse must not clobber a functional drive that lands
+    mid-pulse: the restore event detects the re-drive and yields."""
+
+    def test_mid_pulse_redrive_wins(self, sim):
+        sim.set_initial("a", 0)
+        injector = FaultInjector(sim)
+        injector.inject_seu("a", at_ps=100, width_ps=200)
+        sim.drive("a", 1, 200)  # functional drive inside the pulse
+        sim.run(150)
+        assert sim.value("a") is Logic.ONE  # flipped by the strike
+        sim.run(400)
+        # Without yielding, the restore at 300 would rewrite 'a' back
+        # to the pre-strike value and lose the functional drive.
+        assert sim.value("a") is Logic.ONE
+
+    def test_restore_still_applies_without_redrive(self, sim):
+        sim.set_initial("a", 0)
+        FaultInjector(sim).inject_seu("a", at_ps=100, width_ps=200)
+        sim.run(400)
+        assert sim.value("a") is Logic.ZERO
+
+    def test_yield_logged(self, sim, caplog):
+        import logging
+
+        sim.set_initial("a", 0)
+        FaultInjector(sim).inject_seu("a", at_ps=100, width_ps=200)
+        sim.drive("a", 1, 200)
+        with caplog.at_level(logging.INFO, logger="repro.sim.faults"):
+            sim.run(400)
+        assert any("yields" in record.message
+                   for record in caplog.records)
