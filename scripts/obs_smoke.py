@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Observability smoke test: exports parse, counters agree across modes.
+
+Three checks, exercising the full ``--obs-out`` path end to end:
+
+1. Run a tiny fault campaign through the real CLI with ``--obs-out``
+   and validate the artefacts: the Chrome trace is JSON with well-formed
+   ``traceEvents`` (Perfetto-loadable), and the Prometheus text parses
+   line by line and contains the expected counter families.
+2. Merge the trace through ``repro-timber obs --chrome`` and validate
+   the merged output too.
+3. Run the same campaign in-process under vectorized and scalar kernels
+   and assert :func:`repro.obs.semantic_snapshot` is bit-identical —
+   the determinism contract the property suite pins, checked here on
+   every CI push without hypothesis in the loop.
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+CAMPAIGN_ARGS = ("--faults", "40", "--cycles", "300", "--chunk", "10",
+                 "--seed", "2010", "--no-cache")
+
+EXPECTED_FAMILIES = (
+    "repro_campaign_outcomes_total",
+    "repro_pipeline_outcomes_total",
+    "repro_exec_tasks_total",
+    "repro_sim_events_total",
+)
+
+#: One Prometheus exposition line: comment, or ``name{labels} value``.
+_PROM_LINE = re.compile(
+    r"^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+)$")
+
+
+def _cli(*args: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_OBS", None)
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, env=env, timeout=600)
+    if result.returncode != 0:
+        raise SystemExit(
+            f"CLI failed ({result.returncode}): {' '.join(args)}\n"
+            f"{result.stdout}\n{result.stderr}")
+    return result.stdout
+
+
+def _check_chrome_trace(path: pathlib.Path) -> int:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    events = doc.get("traceEvents")
+    if not events:
+        raise SystemExit(f"{path}: no traceEvents")
+    for event in events:
+        missing = {"name", "ph", "ts", "dur", "pid", "tid"} - set(event)
+        if missing:
+            raise SystemExit(f"{path}: event missing keys {missing}")
+        if event["ph"] != "X" or event["ts"] < 0 or event["dur"] < 0:
+            raise SystemExit(f"{path}: malformed event {event}")
+    return len(events)
+
+
+def _check_prometheus(path: pathlib.Path) -> int:
+    text = path.read_text(encoding="utf-8")
+    families = set()
+    for line in text.splitlines():
+        if not _PROM_LINE.match(line):
+            raise SystemExit(f"{path}: unparseable line {line!r}")
+        if line.startswith("# TYPE "):
+            families.add(line.split()[2])
+    missing = [name for name in EXPECTED_FAMILIES
+               if name not in families]
+    if missing:
+        raise SystemExit(f"{path}: missing metric families {missing}")
+    return len(families)
+
+
+def _semantic_snapshot_identity() -> int:
+    from repro import obs
+    from repro.campaign import CampaignConfig, run_campaign
+    from repro.kernels import SCALAR_ENV
+
+    config = CampaignConfig(num_faults=40, num_cycles=300,
+                            faults_per_task=10, seed=2010)
+    snapshots = {}
+    for mode in ("vector", "scalar"):
+        if mode == "scalar":
+            os.environ[SCALAR_ENV] = "1"
+        else:
+            os.environ.pop(SCALAR_ENV, None)
+        obs.reset()
+        obs.enable()
+        run_campaign(config)
+        snapshots[mode] = json.dumps(obs.semantic_snapshot(),
+                                     sort_keys=True)
+    os.environ.pop(SCALAR_ENV, None)
+    obs.reset()
+    obs.disable()
+    if snapshots["vector"] != snapshots["scalar"]:
+        raise SystemExit(
+            "semantic snapshot differs between kernel modes")
+    return len(json.loads(snapshots["vector"]))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+        obs_dir = pathlib.Path(tmp) / "obs"
+        _cli("campaign", *CAMPAIGN_ARGS, "--obs-out", str(obs_dir))
+        events = _check_chrome_trace(obs_dir / "trace.json")
+        families = _check_prometheus(obs_dir / "metrics.prom")
+
+        merged = pathlib.Path(tmp) / "merged.json"
+        out = _cli("obs", str(obs_dir / "trace.jsonl"),
+                   "--chrome", str(merged), "--flame")
+        _check_chrome_trace(merged)
+        if "campaign.run" not in out:
+            raise SystemExit("flame summary missing campaign.run span")
+
+    metrics = _semantic_snapshot_identity()
+    print(f"obs smoke OK: {events} trace event(s), "
+          f"{families} metric families, "
+          f"{metrics} semantic metrics identical across kernel modes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

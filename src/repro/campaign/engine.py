@@ -31,8 +31,10 @@ machine (see :mod:`repro.pipeline.hooks`).
 from __future__ import annotations
 
 import dataclasses
+import time
 import typing
 
+from repro import obs
 from repro.baselines.architectures import architecture_by_key
 from repro.campaign.faults import (
     FAULT_KINDS,
@@ -63,6 +65,20 @@ _TARGETS = ("pipeline", "graph", "netlist")
 
 #: Kinds with an event-driven (pulse/transition) realisation.
 _NETLIST_KINDS = ("seu", "delay")
+
+# Per-fault observability.  The outcome counter is semantic (classes
+# are a pure function of the seeded population and the simulators);
+# the latency histogram is wall-clock, hence the ``_seconds`` suffix
+# that excludes it from determinism checks.
+_OBS_OUTCOMES = obs.REGISTRY.counter(
+    "repro_campaign_outcomes_total",
+    "Classified fault outcomes",
+    labelnames=("target", "scheme", "classification"))
+_OBS_FAULT_SECONDS = obs.REGISTRY.histogram(
+    "repro_campaign_fault_seconds",
+    "Wall time to simulate and classify one fault",
+    buckets=(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+             0.25, 0.5, 1.0)).labels()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -347,7 +363,16 @@ _TARGET_RUNNERS = {
 def run_one_fault(config: CampaignConfig,
                   spec: FaultSpec) -> tuple[FaultOutcome, int]:
     """Simulate one fault; returns (outcome, simulated-work units)."""
-    return _TARGET_RUNNERS[config.target](config, spec)
+    if not obs.REGISTRY.enabled:
+        return _TARGET_RUNNERS[config.target](config, spec)
+    started = time.perf_counter()
+    outcome, units = _TARGET_RUNNERS[config.target](config, spec)
+    _OBS_FAULT_SECONDS.observe(time.perf_counter() - started)
+    _OBS_OUTCOMES.labels(
+        target=config.target, scheme=config.scheme,
+        classification=outcome.classification,
+    ).inc()
+    return outcome, units
 
 
 # ---------------------------------------------------------------------------
@@ -360,10 +385,13 @@ def campaign_chunk_task(params: dict) -> TaskPayload:
     population = config.population()
     outcomes: list[FaultOutcome] = []
     work = 0
-    for spec in population[params["start"]:params["stop"]]:
-        outcome, units = run_one_fault(config, spec)
-        outcomes.append(outcome)
-        work += units
+    with obs.trace_span("campaign.chunk", target=config.target,
+                        scheme=config.scheme, start=params["start"],
+                        stop=params["stop"]):
+        for spec in population[params["start"]:params["stop"]]:
+            outcome, units = run_one_fault(config, spec)
+            outcomes.append(outcome)
+            work += units
     return TaskPayload(value=outcomes, events_processed=work)
 
 
@@ -404,7 +432,10 @@ def run_campaign(config: CampaignConfig, *,
     from repro.campaign.report import build_report
 
     runner = runner or SweepRunner()
-    run = runner.run(campaign_tasks(config))
+    with obs.trace_span("campaign.run", target=config.target,
+                        scheme=config.scheme,
+                        faults=config.num_faults):
+        run = runner.run(campaign_tasks(config))
     outcomes: list[FaultOutcome] = []
     for value in run.values:
         if value is not None:  # None = chunk quarantined as poisoned

@@ -13,6 +13,10 @@ Gives quick terminal access to the headline experiments:
 * ``campaign``   — randomized fault-injection campaign with per-scheme
   coverage reports (``--resume`` continues a killed run from its
   checkpoint).
+* ``obs``        — render or merge observability trace files (JSONL
+  spans in, Chrome trace-event JSON and/or a terminal flame summary
+  out).  ``sweep`` and ``campaign`` take ``--obs-out DIR`` to collect
+  metrics and spans while they run.
 """
 
 from __future__ import annotations
@@ -209,11 +213,37 @@ def _make_runner(args: argparse.Namespace, *,
     )
 
 
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable observability when ``--obs-out`` was given.
+
+    Sets ``REPRO_OBS`` in the environment too, so process-pool workers
+    inherit the setting and their metrics/spans ship back to us.
+    """
+    if not getattr(args, "obs_out", None):
+        return False
+    import os
+
+    from repro import obs
+
+    os.environ[obs.OBS_ENV] = "1"
+    obs.enable()
+    return True
+
+
+def _obs_finish(args: argparse.Namespace) -> None:
+    from repro import obs
+    from repro.obs.exporters import write_obs_dir
+
+    for path in write_obs_dir(args.obs_out, obs.REGISTRY, obs.TRACER):
+        print(f"wrote {path}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import experiments
     from repro.analysis.tables import format_table
     from repro.exec.telemetry import format_summary
 
+    observing = _obs_begin(args)
     runner = _make_runner(args)
     extra: dict = {}
     if args.experiment in ("resilience", "throughput", "shootout"):
@@ -241,6 +271,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.summary:
         runner.telemetry.write_summary(args.summary)
         print(f"wrote {args.summary}")
+    if observing:
+        _obs_finish(args)
     return 0
 
 
@@ -266,6 +298,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if not schemes:
         print("error: no schemes given", file=sys.stderr)
         return 2
+    observing = _obs_begin(args)
     reports = []
     config = None
     summary: dict | None = None
@@ -303,6 +336,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         write_campaign_bench(args.out, reports, config=config,
                              telemetry=summary)
         print(f"wrote {args.out}")
+    if observing:
+        _obs_finish(args)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import (
+        load_spans_jsonl,
+        render_flame,
+        write_chrome_trace,
+    )
+
+    try:
+        spans = load_spans_jsonl(args.traces)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not spans:
+        print("no spans found", file=sys.stderr)
+        return 1
+    if args.chrome:
+        write_chrome_trace(spans, args.chrome)
+        print(f"wrote {args.chrome} ({len(spans)} span(s))")
+    if args.flame or not args.chrome:
+        print(render_flame(spans))
     return 0
 
 
@@ -387,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--resume", action="store_true",
                          help="replay completed tasks from the "
                               "checkpoint file instead of re-running")
+        cmd.add_argument("--obs-out", metavar="DIR",
+                         help="enable observability and write metrics "
+                              "(Prometheus text + JSON snapshot) and "
+                              "spans (JSONL + Chrome trace) to DIR")
 
     sweep = sub.add_parser(
         "sweep",
@@ -427,6 +489,18 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--out", metavar="PATH",
                       help="write the BENCH_campaign.json artefact")
     camp.set_defaults(func=_cmd_campaign)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="render or merge observability trace files")
+    obs_cmd.add_argument("traces", nargs="+", metavar="TRACE",
+                         help="span JSONL file(s), e.g. obs/trace.jsonl")
+    obs_cmd.add_argument("--chrome", metavar="PATH",
+                         help="write the merged spans as a Chrome "
+                              "trace-event JSON (Perfetto-loadable)")
+    obs_cmd.add_argument("--flame", action="store_true",
+                         help="print the terminal flame summary (the "
+                              "default when --chrome is not given)")
+    obs_cmd.set_defaults(func=_cmd_obs)
 
     rep = sub.add_parser("report",
                          help="assemble benchmark artefacts into markdown")

@@ -27,12 +27,24 @@ from __future__ import annotations
 import dataclasses
 import math
 
+from repro import obs
 from repro.circuit.logic import Logic
 from repro.errors import ConfigurationError
 from repro.sequential.timber_ff import TimberFlipFlop
 from repro.sim.engine import Simulator
 from repro.timing.graph import TimingGraph
 from repro.units import as_percent
+
+# Event-driven relay activity (deterministic: the simulator is).  Only
+# non-zero selects count — an idle relay applying zeros is the
+# error-free common case and would swamp the signal.
+_OBS_SELECTS = obs.REGISTRY.counter(
+    "repro_relay_selects_applied_total",
+    "Non-zero selects applied by the event-driven error relay").labels()
+_OBS_SELECT_DEPTH = obs.REGISTRY.histogram(
+    "repro_relay_select_depth",
+    "Select values applied by the event-driven relay (non-zero only)",
+    buckets=(1, 2, 3, 4, 6, 8)).labels()
 
 #: Gate-equivalents of one 2-bit max node (comparator + 2:1 muxes).
 MAX_NODE_AREA = 7.0
@@ -89,6 +101,9 @@ class ErrorRelay:
             for dst, select in snapshot.items():
                 dst.set_select(select)
                 self.applied.append((sim_inner.now, dst.name, select))
+                if select:
+                    _OBS_SELECTS.inc()
+                    _OBS_SELECT_DEPTH.observe(select)
 
         sim.after(self.relay_delay_ps, apply, label="relay.apply")
 

@@ -49,6 +49,7 @@ import typing
 
 from concurrent.futures.process import BrokenProcessPool
 
+from repro import obs
 from repro.errors import ConfigurationError, ExecutionError
 from repro.exec.cache import ResultCache, _code_version
 from repro.exec.checkpoint import SweepCheckpoint
@@ -206,6 +207,15 @@ def execute_task(payload: dict) -> dict:
     the process-pool boundary stays simple.
     """
     task = SweepTask(**payload)
+    # Workers inherit REPRO_OBS through the environment, so their
+    # registries enable themselves at import; ship the metric deltas and
+    # spans this task produced back across the pool boundary.  The
+    # parent merges them only for genuine workers (pid check) — in
+    # serial execution they already landed in the live registry.
+    observing = obs.REGISTRY.enabled
+    if observing:
+        metrics_before = obs.REGISTRY.snapshot()
+        spans_before = len(obs.TRACER.spans)
     started = time.perf_counter()
     raw = task.resolve()(dict(task.params))
     wall = time.perf_counter() - started
@@ -213,12 +223,18 @@ def execute_task(payload: dict) -> dict:
         value, events = raw.value, raw.events_processed
     else:
         value, events = raw, 0
-    return {
+    result = {
         "value": value,
         "wall_time_s": wall,
         "events_processed": events,
         "worker_pid": os.getpid(),
     }
+    if observing:
+        result["obs"] = obs.snapshot_delta(metrics_before,
+                                           obs.REGISTRY.snapshot())
+        result["obs_spans"] = [span.to_record() for span
+                               in obs.TRACER.spans[spans_before:]]
+    return result
 
 
 class SweepRunner:
@@ -266,6 +282,11 @@ class SweepRunner:
     # -- execution ---------------------------------------------------------
     def run(self, tasks: typing.Sequence[SweepTask]) -> SweepRunResult:
         """Run every task and return outcomes in task order."""
+        with obs.trace_span("sweep.run", tasks=len(tasks),
+                            workers=self.workers):
+            return self._run(tasks)
+
+    def _run(self, tasks: typing.Sequence[SweepTask]) -> SweepRunResult:
         self.telemetry.start(workers=self.workers, num_tasks=len(tasks))
         outcomes: dict[int, TaskOutcome] = {}
 
@@ -329,6 +350,20 @@ class SweepRunner:
         return self.run(tasks).values
 
     # -- internals ---------------------------------------------------------
+    @staticmethod
+    def _merge_worker_obs(raw: dict) -> None:
+        """Adopt a genuine worker's metric deltas and span records.
+
+        Serial (in-parent) execution already accumulated into the live
+        registry, so merging again would double-count — the pid check
+        tells the two apart."""
+        if raw.get("worker_pid") == os.getpid():
+            return
+        if raw.get("obs"):
+            obs.REGISTRY.merge(raw["obs"])
+        if raw.get("obs_spans"):
+            obs.TRACER.add_records(raw["obs_spans"])
+
     def _cache_get(self, task: SweepTask) -> tuple[bool, typing.Any]:
         if self.cache is None:
             return False, None
@@ -440,6 +475,7 @@ class SweepRunner:
                         task, attempt_offset=1,
                         max_attempts=self.retries))
                     continue
+                self._merge_worker_obs(raw)
                 record(TaskOutcome(
                     task=task, value=raw["value"],
                     wall_time_s=raw["wall_time_s"],
@@ -504,6 +540,7 @@ class SweepRunner:
                     return self._run_serial(
                         task, attempt_offset=attempt,
                         max_attempts=self.retries)
+                self._merge_worker_obs(raw)
                 return TaskOutcome(
                     task=task, value=raw["value"],
                     wall_time_s=raw["wall_time_s"],

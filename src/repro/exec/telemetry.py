@@ -19,10 +19,43 @@ import pathlib
 import time
 import typing
 
+from repro import obs
+
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.exec.runner import SweepTask, TaskOutcome
 
 logger = logging.getLogger("repro.exec")
+
+# Shared-registry mirrors of the summary's aggregates: record_* feeds
+# both from the same call sites, so ``summary()`` and the obs exporters
+# can never drift apart.  (``repro_exec_`` metrics depend on cache and
+# checkpoint state, so they sit outside the determinism contract.)
+_OBS_TASKS = obs.REGISTRY.counter(
+    "repro_exec_tasks_total",
+    "Sweep task outcomes by disposition",
+    labelnames=("status",))
+_OBS_EXECUTED = _OBS_TASKS.labels(status="executed")
+_OBS_CACHED = _OBS_TASKS.labels(status="cached")
+_OBS_RESUMED = _OBS_TASKS.labels(status="resumed")
+_OBS_POISONED = _OBS_TASKS.labels(status="poisoned")
+_OBS_RETRIES = obs.REGISTRY.counter(
+    "repro_exec_retries_total", "Task retry attempts").labels()
+_OBS_CRASHES = obs.REGISTRY.counter(
+    "repro_exec_crashes_total", "Definite worker deaths").labels()
+_OBS_FALLBACKS = obs.REGISTRY.counter(
+    "repro_exec_serial_fallbacks_total",
+    "Process-pool failures that fell back to serial execution").labels()
+_OBS_EVENTS = obs.REGISTRY.counter(
+    "repro_exec_events_processed_total",
+    "Simulated-work units reported by executed tasks").labels()
+_OBS_WORKERS = obs.REGISTRY.gauge(
+    "repro_exec_workers", "Worker-pool size of the most recent sweep",
+).labels()
+_OBS_TASK_SECONDS = obs.REGISTRY.histogram(
+    "repro_exec_task_seconds",
+    "Wall time per executed (non-cached, non-resumed) task",
+    buckets=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+             30.0, 60.0)).labels()
 
 
 @dataclasses.dataclass
@@ -50,17 +83,24 @@ class RunTelemetry:
         self.crashes: list[dict] = []
         self.workers = 1
         self.num_tasks = 0
+        self.kernel_mode: str | None = None
         self._started: float | None = None
         self._wall_time_s = 0.0
 
     # -- lifecycle ---------------------------------------------------------
     def start(self, *, workers: int, num_tasks: int) -> None:
+        from repro.kernels import kernel_mode
+
         self.records = []
         self.retries = []
         self.fallbacks = []
         self.crashes = []
         self.workers = workers
         self.num_tasks = num_tasks
+        # Capture once: kernel_mode() reads the environment, which a
+        # long-running process may mutate between run and summary.
+        self.kernel_mode = kernel_mode()
+        _OBS_WORKERS.set(workers)
         self._started = time.perf_counter()
         logger.info(
             "sweep start: %d task(s) on %d worker(s)", num_tasks, workers,
@@ -83,12 +123,18 @@ class RunTelemetry:
         self.records.append(record)
         if record.status == "poisoned":
             verb = "poisoned"
+            _OBS_POISONED.inc()
         elif record.resumed:
             verb = "resumed from checkpoint"
+            _OBS_RESUMED.inc()
         elif record.cached:
             verb = "cache hit"
+            _OBS_CACHED.inc()
         else:
             verb = "executed"
+            _OBS_EXECUTED.inc()
+            _OBS_EVENTS.inc(record.events_processed)
+            _OBS_TASK_SECONDS.observe(record.wall_time_s)
         logger.info(
             "task %s: %s in %.3fs (%d events, attempt %d, pid %d)",
             record.key, verb,
@@ -101,6 +147,7 @@ class RunTelemetry:
                      backoff_s: float = 0.0) -> None:
         self.retries.append({"key": task.key, "error": repr(error),
                              "backoff_s": backoff_s})
+        _OBS_RETRIES.inc()
         logger.warning(
             "task %s failed (%s); retrying after %.3fs backoff",
             task.key, error, backoff_s,
@@ -113,6 +160,7 @@ class RunTelemetry:
                      error: BaseException) -> None:
         """One definite worker death attributed to ``task``."""
         self.crashes.append({"key": task.key, "error": repr(error)})
+        _OBS_CRASHES.inc()
         logger.warning(
             "task %s killed its worker (%s)", task.key, error,
             extra={"repro_crash": {"key": task.key,
@@ -121,6 +169,7 @@ class RunTelemetry:
 
     def record_fallback(self, error: BaseException) -> None:
         self.fallbacks.append(repr(error))
+        _OBS_FALLBACKS.inc()
         logger.warning(
             "process pool unavailable (%s); falling back to serial",
             error,
@@ -146,8 +195,10 @@ class RunTelemetry:
     # -- aggregation -------------------------------------------------------
     def summary(self) -> dict:
         """Aggregate view of the run (JSON-able)."""
-        from repro.kernels import kernel_mode
+        if self.kernel_mode is None:  # summary before any start()
+            from repro.kernels import kernel_mode
 
+            self.kernel_mode = kernel_mode()
         executed = [r for r in self.records
                     if not r.cached and not r.resumed]
         busy = sum(r.wall_time_s for r in executed)
@@ -159,7 +210,7 @@ class RunTelemetry:
         return {
             "tasks": len(self.records),
             "workers": self.workers,
-            "kernel_mode": kernel_mode(),
+            "kernel_mode": self.kernel_mode,
             "wall_time_s": wall,
             "cache_hits": sum(1 for r in self.records if r.cached),
             "cache_misses": len(executed),
@@ -222,7 +273,8 @@ def format_summary(summary: dict, *, top_n: int = 5) -> str:
     if summary.get("resumed_tasks"):
         lines.append(f"resumed from checkpoint: "
                      f"{summary['resumed_tasks']}")
-    executed = [r for r in summary["per_task"] if not r["cached"]]
+    executed = [r for r in summary["per_task"]
+                if not r["cached"] and not r.get("resumed")]
     slowest = sorted(executed, key=lambda r: r["wall_time_s"],
                      reverse=True)[:top_n]
     for record in slowest:

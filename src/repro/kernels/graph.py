@@ -17,11 +17,29 @@ import typing
 
 import numpy as np
 
+from repro import obs
 from repro.kernels.rng import cycle_lanes, key_id, mix32_batch, split64
 
 #: Domain-separation salt for the graph edge-sensitization stream (must
 #: match the scalar draw in ``GraphPipelineSimulation``).
 GRAPH_SENS_SALT = key_id("graph-sens")
+
+# Vector-path internals; see the pipeline kernel's twin series for the
+# screened/replayed semantics.
+_OBS_SCREENED = obs.REGISTRY.counter(
+    "repro_kernel_cycles_screened_total",
+    "Cycles retired by the block screen without scalar replay",
+    labelnames=("kernel",)).labels(kernel="graph")
+_OBS_REPLAYED = obs.REGISTRY.counter(
+    "repro_kernel_cycles_replayed_total",
+    "Cycles the block screen marked for scalar replay",
+    labelnames=("kernel",)).labels(kernel="graph")
+_OBS_BATCH = obs.REGISTRY.histogram(
+    "repro_kernel_batch_cycles",
+    "Block sizes fed to the screen (adaptive block sizer output)",
+    labelnames=("kernel",),
+    buckets=(64, 128, 256, 512, 1024, 2048, 4096, 8192),
+).labels(kernel="graph")
 
 
 def screen_block(
@@ -41,6 +59,11 @@ def screen_block(
     interesting = np.any(sens & (arrival > nominal_period_ps), axis=1)
     if forced is not None:
         interesting = interesting | forced
+    if obs.REGISTRY.enabled:
+        hot = int(interesting.sum())
+        _OBS_REPLAYED.inc(hot)
+        _OBS_SCREENED.inc(int(interesting.size) - hot)
+        _OBS_BATCH.observe(int(interesting.size))
     return interesting
 
 

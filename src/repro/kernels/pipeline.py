@@ -23,6 +23,7 @@ import typing
 
 import numpy as np
 
+from repro import obs
 from repro.kernels.rng import (
     cycle_lanes,
     key_id,
@@ -35,6 +36,25 @@ from repro.pipeline.stage import SENS_SALT
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.stage import PipelineStage
     from repro.variability.base import VariabilityModel
+
+# Vector-path internals (``repro_kernel_`` namespace: zero on scalar
+# runs, excluded from cross-mode byte-identity checks).  Screened =
+# cycles the block screen retired without scalar replay; replayed =
+# cycles the screen marked interesting (forced cycles included).
+_OBS_SCREENED = obs.REGISTRY.counter(
+    "repro_kernel_cycles_screened_total",
+    "Cycles retired by the block screen without scalar replay",
+    labelnames=("kernel",)).labels(kernel="pipeline")
+_OBS_REPLAYED = obs.REGISTRY.counter(
+    "repro_kernel_cycles_replayed_total",
+    "Cycles the block screen marked for scalar replay",
+    labelnames=("kernel",)).labels(kernel="pipeline")
+_OBS_BATCH = obs.REGISTRY.histogram(
+    "repro_kernel_batch_cycles",
+    "Block sizes fed to the screen (adaptive block sizer output)",
+    labelnames=("kernel",),
+    buckets=(64, 128, 256, 512, 1024, 2048, 4096, 8192),
+).labels(kernel="pipeline")
 
 
 def screen_block(
@@ -56,6 +76,11 @@ def screen_block(
     interesting = np.any(delays - period_ps > threshold_ps, axis=1)
     if forced is not None:
         interesting = interesting | forced
+    if obs.REGISTRY.enabled:
+        hot = int(interesting.sum())
+        _OBS_REPLAYED.inc(hot)
+        _OBS_SCREENED.inc(int(interesting.size) - hot)
+        _OBS_BATCH.observe(int(interesting.size))
     return interesting
 
 

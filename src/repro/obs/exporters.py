@@ -1,0 +1,249 @@
+"""Exporters: Prometheus text, span JSONL loading, Chrome trace, flame.
+
+Three consumers, three formats:
+
+* **Prometheus text exposition** (``render_prometheus``) for scraping
+  or diffing counter state — deterministic ordering (families by name,
+  series by label values), so two runs with identical metric values
+  produce byte-identical text.
+* **Chrome trace-event JSON** (``chrome_trace`` /
+  ``write_chrome_trace``) — loadable in ``chrome://tracing`` and
+  Perfetto.  Spans become complete (``"ph": "X"``) events with
+  microsecond timestamps relative to the earliest span, so merged
+  multi-process traces align at zero.
+* **Terminal flame summary** (``render_flame``) — spans aggregated by
+  call path, sorted by inclusive time, with proportional bars; the
+  "where did the wall time go" view without leaving the terminal.
+
+``write_obs_dir`` bundles everything a run produced into one directory
+(the CLI's ``--obs-out``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracing import Tracer
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: dict[str, str],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(name, str(value)) for name, value in labels.items()]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"'
+                     for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """The registry's live state in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if not family.series():
+            continue
+        if family.help:
+            lines.append(f"# HELP {family.name} "
+                         f"{_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for series in family.series():
+            if family.kind == "histogram":
+                cumulative = 0
+                for edge, count in zip(series.edges, series.counts):
+                    cumulative += count
+                    labels = _format_labels(
+                        series.labels, (("le", _format_value(edge)),))
+                    lines.append(f"{family.name}_bucket{labels} "
+                                 f"{cumulative}")
+                total = cumulative + series.counts[-1]
+                labels = _format_labels(series.labels, (("le", "+Inf"),))
+                lines.append(f"{family.name}_bucket{labels} {total}")
+                plain = _format_labels(series.labels)
+                lines.append(f"{family.name}_sum{plain} "
+                             f"{_format_value(series.sum)}")
+                lines.append(f"{family.name}_count{plain} {total}")
+            else:
+                labels = _format_labels(series.labels)
+                lines.append(f"{family.name}{labels} "
+                             f"{_format_value(series.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: "MetricsRegistry",
+                     path: str | os.PathLike) -> None:
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_prometheus(registry), encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Span loading and Chrome trace-event export
+# ---------------------------------------------------------------------------
+
+def load_spans_jsonl(
+    paths: typing.Iterable[str | os.PathLike],
+) -> list[dict]:
+    """Load and concatenate span records from JSONL trace files."""
+    spans: list[dict] = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    spans.append(json.loads(line))
+    return spans
+
+
+def chrome_trace(spans: typing.Sequence[dict]) -> dict:
+    """Span records as a Chrome trace-event document.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    traces merged from several processes share one origin.  Each span
+    becomes a complete event (``"ph": "X"``); attribute dicts ride in
+    ``args``.
+    """
+    origin_ns = min((span["start_ns"] for span in spans), default=0)
+    events = []
+    for span in spans:
+        events.append({
+            "name": span["name"],
+            "ph": "X",
+            "ts": (span["start_ns"] - origin_ns) / 1000.0,
+            "dur": max(0, span["end_ns"] - span["start_ns"]) / 1000.0,
+            "pid": span.get("pid", 0),
+            "tid": 1,
+            "args": dict(span.get("attrs", {})),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: typing.Sequence[dict],
+                       path: str | os.PathLike) -> None:
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(chrome_trace(spans), indent=2,
+                                 default=str) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Terminal flame summary
+# ---------------------------------------------------------------------------
+
+def _span_paths(spans: typing.Sequence[dict]) -> dict[tuple[str, ...],
+                                                      list[int]]:
+    """Aggregate spans into ``path -> [total_ns, count]``.
+
+    A span's path is its chain of ancestor names; spans whose parent is
+    missing from the record set (e.g. a file holding only a subtree)
+    root at their own name.  Span ids are per-process, so identity is
+    ``(pid, span_id)`` — a worker's ids must not resolve against the
+    parent process's spans.
+    """
+    by_id = {(span.get("pid", 0), span["span_id"]): span
+             for span in spans}
+    path_cache: dict[tuple[int, int], tuple[str, ...]] = {}
+
+    def path_of(span: dict) -> tuple[str, ...]:
+        key = (span.get("pid", 0), span["span_id"])
+        cached = path_cache.get(key)
+        if cached is not None:
+            return cached
+        parent = by_id.get((key[0], span.get("parent_id", 0)))
+        path = ((path_of(parent) + (span["name"],)) if parent is not None
+                else (span["name"],))
+        path_cache[key] = path
+        return path
+
+    totals: dict[tuple[str, ...], list[int]] = {}
+    for span in spans:
+        bucket = totals.setdefault(path_of(span), [0, 0])
+        bucket[0] += max(0, span["end_ns"] - span["start_ns"])
+        bucket[1] += 1
+    return totals
+
+
+def render_flame(spans: typing.Sequence[dict], *,
+                 width: int = 30) -> str:
+    """A flamegraph-ish terminal tree of where the span time went.
+
+    Children render indented under their parent path, sorted by
+    inclusive time; the bar is proportional to the total root time.
+    """
+    if not spans:
+        return "(no spans)"
+    totals = _span_paths(spans)
+    root_total = sum(ns for path, (ns, _) in totals.items()
+                     if len(path) == 1)
+    lines = []
+
+    def render(prefix: tuple[str, ...], depth: int) -> None:
+        children = sorted(
+            ((path, ns, count) for path, (ns, count) in totals.items()
+             if path[:-1] == prefix),
+            key=lambda item: (-item[1], item[0]))
+        for path, ns, count in children:
+            share = ns / root_total if root_total else 0.0
+            bar = "#" * max(1, round(share * width))
+            lines.append(
+                f"{'  ' * depth}{path[-1]:<{max(1, 34 - 2 * depth)}} "
+                f"{ns / 1e9:9.4f}s {100 * share:5.1f}% x{count:<5d} {bar}")
+            render(path, depth + 1)
+
+    render((), 0)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# One-stop output directory
+# ---------------------------------------------------------------------------
+
+def write_obs_dir(directory: str | os.PathLike,
+                  registry: "MetricsRegistry",
+                  tracer: "Tracer") -> list[pathlib.Path]:
+    """Write every export this process accumulated into ``directory``.
+
+    Produces ``metrics.prom`` (Prometheus text), ``metrics.json``
+    (registry snapshot), ``trace.jsonl`` (span records), and
+    ``trace.json`` (Chrome trace-event).  Returns the written paths.
+    """
+    base = pathlib.Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    prom = base / "metrics.prom"
+    write_prometheus(registry, prom)
+    snap = base / "metrics.json"
+    snap.write_text(json.dumps(registry.snapshot(), indent=2,
+                               default=str) + "\n", encoding="utf-8")
+    jsonl = base / "trace.jsonl"
+    tracer.write_jsonl(jsonl)
+    chrome = base / "trace.json"
+    write_chrome_trace(tracer.records(), chrome)
+    return [prom, snap, jsonl, chrome]

@@ -32,7 +32,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro import kernels
+from repro import kernels, obs
 from repro.core.checking_period import CheckingPeriod
 from repro.core.masking import (
     CaptureOutcome,
@@ -56,6 +56,32 @@ from repro.variability.base import (
 _SENS_SALT = key_id("graph-sens")
 
 _M32 = 0xFFFFFFFF
+
+# Semantic counters, incremented only inside the shared per-cycle state
+# machine (which every violating cycle of both execution modes runs
+# through), so scalar and vector runs agree bit-for-bit.  ``tb`` masks
+# were absorbed silently in a time-borrowing interval; ``ed`` masks
+# reached an error-detection interval and flagged the controller.
+_OBS_MASKED = obs.REGISTRY.counter(
+    "repro_graph_masked_total",
+    "Masked graph captures by checking-period interval class",
+    labelnames=("interval",))
+_OBS_MASKED_TB = _OBS_MASKED.labels(interval="tb")
+_OBS_MASKED_ED = _OBS_MASKED.labels(interval="ed")
+_OBS_RELAYED = obs.REGISTRY.counter(
+    "repro_graph_relayed_total",
+    "Masked captures whose >=2-interval borrow proves an upstream "
+    "relay increment").labels()
+_OBS_ESCAPED = obs.REGISTRY.counter(
+    "repro_graph_escaped_total",
+    "Failed (unmasked) graph captures",
+    labelnames=("protected",))
+_OBS_ESCAPED_PROT = _OBS_ESCAPED.labels(protected="yes")
+_OBS_ESCAPED_UNPROT = _OBS_ESCAPED.labels(protected="no")
+_OBS_RELAY_DEPTH = obs.REGISTRY.histogram(
+    "repro_graph_relay_depth_intervals",
+    "Borrowed intervals per masked capture (select-chain depth)",
+    buckets=(1, 2, 3, 4, 6, 8)).labels()
 
 
 class WorkloadTraceLike(typing.Protocol):
@@ -232,14 +258,17 @@ class GraphPipelineSimulation:
             num_protected=len(self.protected),
             candidate_edges=self._num_edges,
         )
-        if kernels.vectorized_enabled() and self._vectorizable():
-            self._run_vector(num_cycles, result)
-        else:
-            borrow: dict[str, int] = {}
-            select_out: dict[str, int] = {}
-            for cycle in range(num_cycles):
-                borrow, select_out = self._simulate_cycle(
-                    cycle, result, borrow, select_out, None, None)
+        with obs.trace_span("graph.run", scheme=self.scheme,
+                            cycles=num_cycles,
+                            kernel=kernels.kernel_mode()):
+            if kernels.vectorized_enabled() and self._vectorizable():
+                self._run_vector(num_cycles, result)
+            else:
+                borrow: dict[str, int] = {}
+                select_out: dict[str, int] = {}
+                for cycle in range(num_cycles):
+                    borrow, select_out = self._simulate_cycle(
+                        cycle, result, borrow, select_out, None, None)
         # Captures that saw no (evaluated) violation were clean.
         result.clean_captures = (
             num_cycles * self.graph.num_ffs - result.violations)
@@ -337,16 +366,24 @@ class GraphPipelineSimulation:
                                            outcome.borrowed_ps)
                 if outcome.borrowed_intervals:
                     new_select_out[ff] = outcome.borrowed_intervals
+                    _OBS_RELAY_DEPTH.observe(outcome.borrowed_intervals)
+                    if outcome.borrowed_intervals >= 2:
+                        _OBS_RELAYED.inc()
                 if outcome.flagged:
+                    _OBS_MASKED_ED.inc()
                     result.masked_flagged += 1
                     cycle_flagged = True
                     result.flags_per_ff[ff] = (
                         result.flags_per_ff.get(ff, 0) + 1)
+                else:
+                    _OBS_MASKED_TB.inc()
             elif outcome.failed:
                 if ff in self.protected:
                     result.failed += 1
+                    _OBS_ESCAPED_PROT.inc()
                 else:
                     result.failed_unprotected += 1
+                    _OBS_ESCAPED_UNPROT.inc()
         if cycle_flagged and self.controller is not None:
             self.controller.notify_flag(cycle)
         return new_borrow, new_select_out

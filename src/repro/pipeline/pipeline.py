@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro import kernels
+from repro import kernels, obs
 from repro.core.masking import CaptureOutcome
 from repro.errors import ConfigurationError, TimingViolationError
 from repro.pipeline.controller import CentralErrorController
@@ -39,6 +39,19 @@ from repro.variability.base import (
     VariabilityModel,
     supports_batch,
 )
+
+# Semantic outcome counters: incremented only in the shared scalar
+# state machine, which both execution modes route every non-clean
+# capture through — so scalar and vector runs agree bit-for-bit.
+_OBS_OUTCOMES = obs.REGISTRY.counter(
+    "repro_pipeline_outcomes_total",
+    "Non-clean pipeline capture outcomes",
+    labelnames=("outcome",))
+_OBS_MASKED = _OBS_OUTCOMES.labels(outcome="masked")
+_OBS_MASKED_FLAGGED = _OBS_OUTCOMES.labels(outcome="masked_flagged")
+_OBS_DETECTED = _OBS_OUTCOMES.labels(outcome="detected")
+_OBS_PREDICTED = _OBS_OUTCOMES.labels(outcome="predicted")
+_OBS_FAILED = _OBS_OUTCOMES.labels(outcome="failed")
 
 
 @dataclasses.dataclass
@@ -143,12 +156,16 @@ class PipelineSimulation:
             scheme=self.policy.name, cycles=num_cycles,
             period_ps=self.period_ps,
         )
-        if kernels.vectorized_enabled() and self._vectorizable():
-            self._run_vector(num_cycles, result)
-        else:
-            chain = 0
-            for cycle in range(num_cycles):
-                chain = self._simulate_cycle(cycle, result, chain, None)
+        with obs.trace_span("pipeline.run", scheme=self.policy.name,
+                            cycles=num_cycles,
+                            kernel=kernels.kernel_mode()):
+            if kernels.vectorized_enabled() and self._vectorizable():
+                self._run_vector(num_cycles, result)
+            else:
+                chain = 0
+                for cycle in range(num_cycles):
+                    chain = self._simulate_cycle(cycle, result, chain,
+                                                 None)
         result.total_time_ps += result.replay_cycles * self.period_ps
         return result
 
@@ -304,13 +321,18 @@ class PipelineSimulation:
     def _account(result: PipelineResult, outcome: CaptureOutcome) -> None:
         if outcome.failed:
             result.failed += 1
+            _OBS_FAILED.inc()
         elif outcome.masked:
             result.masked += 1
+            _OBS_MASKED.inc()
             if outcome.flagged:
                 result.masked_flagged += 1
+                _OBS_MASKED_FLAGGED.inc()
         elif outcome.detected:
             result.detected += 1
+            _OBS_DETECTED.inc()
         elif outcome.predicted:
             result.predicted += 1
+            _OBS_PREDICTED.inc()
         else:
             result.clean += 1

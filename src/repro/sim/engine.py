@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro import obs
 from repro.circuit.logic import Logic
 from repro.circuit.netlist import Gate, Netlist
 from repro.errors import SimulationError
@@ -24,6 +25,19 @@ from repro.sim.events import Action, Event, EventQueue
 
 #: Listener signature: (simulator, signal, new_value, time_ps).
 Listener = typing.Callable[["Simulator", str, Logic, int], None]
+
+# Observability series, bound once: metric cost in run() is one guarded
+# call per run() invocation, never per event.
+_OBS_EVENTS = obs.REGISTRY.counter(
+    "repro_sim_events_total",
+    "Events dispatched by Simulator.run()").labels()
+_OBS_TOGGLES = obs.REGISTRY.counter(
+    "repro_sim_toggles_total",
+    "Signal toggles applied (initial X->known settles excluded)",
+).labels()
+_OBS_QUEUE_DEPTH = obs.REGISTRY.gauge(
+    "repro_sim_queue_depth",
+    "Live events still queued after the most recent run()").labels()
 
 
 @dataclasses.dataclass
@@ -48,6 +62,7 @@ class Simulator:
         self._last_drive_ps: dict[str, int] = {}
         self._dynamic_energy = 0.0
         self._events_processed = 0
+        self._toggles_applied = 0
 
     # -- signal state ------------------------------------------------------
     def value(self, signal: str) -> Logic:
@@ -186,22 +201,29 @@ class Simulator:
             raise SimulationError(
                 f"cannot run to {until_ps} ps; now={self.now}"
             )
+        toggles_before = self._toggles_applied
         processed_this_run = 0
-        while self._queue:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > until_ps:
-                break
-            if processed_this_run >= max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events in one run(); "
-                    f"runaway simulation?"
-                )
-            event = self._queue.pop()
-            self.now = event.time_ps
-            self._dispatch(event)
-            self._events_processed += 1
-            processed_this_run += 1
+        span = obs.trace_span("sim.run", until_ps=until_ps)
+        with span:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > until_ps:
+                    break
+                if processed_this_run >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events in one run(); "
+                        f"runaway simulation?"
+                    )
+                event = self._queue.pop()
+                self.now = event.time_ps
+                self._dispatch(event)
+                self._events_processed += 1
+                processed_this_run += 1
+            span.set(events=processed_this_run)
         self.now = until_ps
+        _OBS_EVENTS.inc(processed_this_run)
+        _OBS_TOGGLES.inc(self._toggles_applied - toggles_before)
+        _OBS_QUEUE_DEPTH.set(len(self._queue))
 
     def _dispatch(self, event: Event) -> None:
         if event.action is not None:
@@ -226,6 +248,7 @@ class Simulator:
             self._toggle_counts[signal] = (
                 self._toggle_counts.get(signal, 0) + 1
             )
+            self._toggles_applied += 1
             if toggle_energy:
                 self._toggle_energy[signal] = (
                     self._toggle_energy.get(signal, 0.0) + toggle_energy

@@ -1,0 +1,81 @@
+"""Property: semantic observability metrics are kernel-independent.
+
+The determinism contract (DESIGN.md, ``repro.obs`` docstring): every
+metric outside the ``repro_exec_``/``repro_kernel_`` namespaces whose
+name does not end in ``_seconds`` is a pure function of the simulated
+work.  A seeded campaign therefore produces a **bit-identical**
+:func:`repro.obs.semantic_snapshot` whether the kernels run vectorized
+or with ``REPRO_SCALAR_KERNELS=1`` — the TB/ED mask counters, relay
+depth histograms, escape counters, and campaign outcome counters must
+all agree exactly, because the instrument sites live in the shared
+scalar state machines that both execution modes route every
+"interesting" cycle through.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.campaign import CampaignConfig, run_campaign
+from repro.kernels import HAVE_NUMPY, SCALAR_ENV
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="no numpy: both paths are already scalar")
+
+CONFIGURATIONS = [
+    ("pipeline", "plain"),
+    ("pipeline", "timber-ff"),
+    ("graph", "timber-ff"),
+]
+
+
+def _semantic_metrics(config: CampaignConfig, *, scalar: bool) -> str:
+    saved_scalar = os.environ.get(SCALAR_ENV)
+    was_enabled = obs.enabled()
+    os.environ[SCALAR_ENV] = "1" if scalar else "0"
+    obs.reset()
+    obs.enable()
+    try:
+        run_campaign(config)
+        return json.dumps(obs.semantic_snapshot(), sort_keys=True)
+    finally:
+        if saved_scalar is None:
+            os.environ.pop(SCALAR_ENV, None)
+        else:
+            os.environ[SCALAR_ENV] = saved_scalar
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    configuration=st.sampled_from(CONFIGURATIONS),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    num_faults=st.integers(min_value=4, max_value=10),
+    num_cycles=st.integers(min_value=60, max_value=120),
+)
+def test_semantic_snapshot_kernel_independent(configuration, seed,
+                                              num_faults, num_cycles):
+    target, scheme = configuration
+    config = CampaignConfig(
+        target=target, scheme=scheme, num_faults=num_faults,
+        num_cycles=num_cycles, seed=seed, faults_per_task=4,
+    )
+    vector = _semantic_metrics(config, scalar=False)
+    scalar = _semantic_metrics(config, scalar=True)
+    assert vector == scalar
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_semantic_snapshot_repeatable(seed):
+    """Two identical runs in one process give identical snapshots."""
+    config = CampaignConfig(num_faults=6, num_cycles=80, seed=seed,
+                            faults_per_task=3)
+    first = _semantic_metrics(config, scalar=False)
+    second = _semantic_metrics(config, scalar=False)
+    assert first == second

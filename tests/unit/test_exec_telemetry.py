@@ -3,11 +3,13 @@
 import json
 import logging
 
+from repro.errors import ExecutionError
 from repro.exec import ResultCache, SweepRunner
 from repro.exec.runner import expand_grid
 from repro.exec.telemetry import RunTelemetry, format_summary
 
 SQUARE = "repro.exec.testing:square_task"
+FLAKY = "repro.exec.testing:flaky_task"
 
 
 def _run(**runner_kwargs):
@@ -55,6 +57,18 @@ class TestSummary:
         assert summary["tasks"] == 0
         assert summary["worker_utilization"] == 0.0
 
+    def test_kernel_mode_captured_at_start(self, monkeypatch):
+        """``summary()`` reports the mode the run *started* under, even
+        if the environment changes before the summary is taken."""
+        from repro.kernels import SCALAR_ENV, kernel_mode
+
+        monkeypatch.delenv(SCALAR_ENV, raising=False)
+        telemetry = RunTelemetry()
+        telemetry.start(workers=1, num_tasks=0)
+        started_mode = kernel_mode()
+        monkeypatch.setenv(SCALAR_ENV, "1")
+        assert telemetry.summary()["kernel_mode"] == started_mode
+
 
 class TestLoggingAndRendering:
     def test_structured_records_emitted(self, caplog):
@@ -76,3 +90,60 @@ class TestLoggingAndRendering:
         cold = format_summary(_run().last_run.summary)
         assert "square_task[x=" in cold  # slowest-task timings listed
         assert "misses: 3" in cold
+
+    def test_format_summary_excludes_resumed_from_slowest(self):
+        """Resumed tasks replay with their *original* wall time, which
+        must not crowd this run's genuinely slowest tasks."""
+        summary = _run().last_run.summary
+        for record in summary["per_task"]:
+            record["resumed"] = True
+            record["wall_time_s"] = 999.0
+        text = format_summary(summary)
+        assert "999.000s" not in text
+
+
+class TestStructuredLogPayloads:
+    """Every ``extra`` payload must survive ``json.dumps`` — log
+    processors consume these records without parsing message text."""
+
+    @staticmethod
+    def _payloads(caplog, attr):
+        return [getattr(r, attr) for r in caplog.records
+                if hasattr(r, attr)]
+
+    def test_task_and_summary_payloads(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.exec"):
+            _run()
+        tasks = self._payloads(caplog, "repro_task")
+        assert len(tasks) == 3
+        for payload in tasks:
+            assert isinstance(payload, dict)
+            json.dumps(payload)
+        (summary,) = self._payloads(caplog, "repro_summary")
+        assert isinstance(summary, dict)
+        json.dumps(summary)
+
+    def test_retry_payloads(self, caplog, tmp_path):
+        counter = tmp_path / "attempts"
+        tasks = expand_grid(
+            FLAKY, {"fail_times": (2,)},
+            {"counter_path": str(counter)})
+        with caplog.at_level(logging.WARNING, logger="repro.exec"):
+            SweepRunner(retries=2).run(tasks)
+        retries = self._payloads(caplog, "repro_retry")
+        assert len(retries) == 2
+        for payload in retries:
+            assert isinstance(payload, dict)
+            assert payload["key"].startswith("flaky_task[")
+            json.dumps(payload)
+
+    def test_crash_payloads(self, caplog):
+        telemetry = RunTelemetry()
+        task = expand_grid(SQUARE, {"x": (1,)})[0]
+        with caplog.at_level(logging.WARNING, logger="repro.exec"):
+            telemetry.record_crash(
+                task, ExecutionError("worker died"))
+        (crash,) = self._payloads(caplog, "repro_crash")
+        assert isinstance(crash, dict)
+        assert crash["key"] == task.key
+        json.dumps(crash)

@@ -1,0 +1,290 @@
+"""Unit tests for repro.obs: registry, tracing, exporters, wiring."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.exporters import (
+    chrome_trace,
+    load_spans_jsonl,
+    render_flame,
+    render_prometheus,
+    write_obs_dir,
+)
+from repro.obs.registry import MetricsRegistry, snapshot_delta
+from repro.obs.tracing import NOOP_SPAN, Tracer
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestRegistry:
+    def test_disabled_calls_are_noops(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total").labels()
+        gauge = registry.gauge("g").labels()
+        hist = registry.histogram("h", buckets=(1.0,)).labels()
+        counter.inc()
+        gauge.set(5)
+        hist.observe(0.5)
+        assert counter.value == 0
+        assert gauge.value == 0
+        assert hist.counts == [0, 0]
+
+    def test_enabled_counting(self, registry):
+        counter = registry.counter("c_total").labels()
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+        gauge = registry.gauge("g").labels()
+        gauge.set(7)
+        gauge.dec(2)
+        gauge.inc()
+        assert gauge.value == 6
+
+    def test_histogram_buckets(self, registry):
+        hist = registry.histogram("h", buckets=(1, 2, 4)).labels()
+        for value in (0, 1, 2, 3, 100):
+            hist.observe(value)
+        # bisect_left: <=1, <=1, <=2, <=4, overflow
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.sum == 106
+
+    def test_labels_cached_and_validated(self, registry):
+        family = registry.counter("c_total", labelnames=("stage",))
+        assert family.labels(stage="a") is family.labels(stage="a")
+        assert family.labels(stage="a") is not family.labels(stage="b")
+        with pytest.raises(ConfigurationError):
+            family.labels(wrong="a")
+
+    def test_reregistration_idempotent(self, registry):
+        first = registry.counter("c_total", labelnames=("x",))
+        assert registry.counter("c_total", labelnames=("x",)) is first
+        with pytest.raises(ConfigurationError):
+            registry.gauge("c_total")
+        with pytest.raises(ConfigurationError):
+            registry.counter("c_total", labelnames=("y",))
+
+    def test_reset_keeps_handles_valid(self, registry):
+        counter = registry.counter("c_total").labels()
+        counter.inc(5)
+        registry.reset()
+        assert counter.value == 0
+        counter.inc()
+        assert counter.value == 1
+
+    def test_snapshot_merge_roundtrip(self, registry):
+        registry.counter("c_total", labelnames=("k",)) \
+            .labels(k="a").inc(2)
+        registry.gauge("g").labels().set(3)
+        registry.histogram("h", buckets=(1, 2)).labels().observe(1.5)
+        snap = registry.snapshot()
+        json.dumps(snap)
+
+        other = MetricsRegistry()
+        other.merge(snap)
+        other.merge(snap)
+        merged = other.snapshot()
+        assert merged["c_total"]["series"][0]["value"] == 4
+        assert merged["g"]["series"][0]["value"] == 3  # gauges take max
+        assert merged["h"]["series"][0]["counts"] == [0, 2, 0]
+
+    def test_snapshot_delta(self, registry):
+        counter = registry.counter("c_total").labels()
+        idle = registry.counter("idle_total").labels()
+        counter.inc(2)
+        idle.inc()
+        before = registry.snapshot()
+        counter.inc(5)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["c_total"]["series"][0]["value"] == 5
+        assert "idle_total" not in delta  # zero-delta series dropped
+
+    def test_delta_then_merge_equals_direct(self, registry):
+        counter = registry.counter("c_total").labels()
+        before = registry.snapshot()
+        counter.inc(7)
+        parent = MetricsRegistry(enabled=True)
+        parent.counter("c_total").labels().inc(1)
+        parent.merge(snapshot_delta(before, registry.snapshot()))
+        assert parent.snapshot()["c_total"]["series"][0]["value"] == 8
+
+
+class TestTracer:
+    def test_disabled_returns_shared_noop(self):
+        tracer = Tracer()
+        assert tracer.span("a") is NOOP_SPAN
+        with tracer.span("a") as span:
+            span.set(x=1)
+        assert tracer.spans == []
+
+    def test_nesting_and_records(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", kind="test") as outer:
+            with tracer.span("inner"):
+                pass
+            outer.set(extra=2)
+        inner, outer = tracer.spans
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == 0
+        assert outer.attrs == {"kind": "test", "extra": 2}
+        assert outer.end_ns >= outer.start_ns
+        for record in tracer.records():
+            json.dumps(record)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        spans = load_spans_jsonl([path])
+        assert [s["name"] for s in spans] == ["a"]
+
+    def test_foreign_records_adopted(self):
+        tracer = Tracer(enabled=True)
+        tracer.add_records([{"span_id": 1, "parent_id": 0, "name": "w",
+                             "start_ns": 0, "end_ns": 10, "attrs": {},
+                             "pid": 99}])
+        assert [r["name"] for r in tracer.records()] == ["w"]
+        tracer.reset()
+        assert tracer.records() == []
+
+
+class TestExporters:
+    def test_prometheus_rendering(self, registry):
+        registry.counter("c_total", "a counter",
+                         labelnames=("k",)).labels(k="a").inc(2)
+        registry.histogram("h", buckets=(1, 2)).labels().observe(1.5)
+        text = render_prometheus(registry)
+        assert "# HELP c_total a counter" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{k="a"} 2' in text
+        assert 'h_bucket{le="1"} 0' in text
+        assert 'h_bucket{le="2"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 1.5" in text
+        assert "h_count 1" in text
+
+    def test_prometheus_deterministic(self, registry):
+        family = registry.counter("c_total", labelnames=("k",))
+        family.labels(k="b").inc()
+        family.labels(k="a").inc()
+        other = MetricsRegistry(enabled=True)
+        fam2 = other.counter("c_total", labelnames=("k",))
+        fam2.labels(k="a").inc()
+        fam2.labels(k="b").inc()
+        assert render_prometheus(registry) == render_prometheus(other)
+
+    def test_chrome_trace_schema(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        doc = chrome_trace(tracer.records())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 2
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert {"name", "pid", "tid", "args"} <= set(event)
+        json.dumps(doc)
+
+    def test_flame_render(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        text = render_flame(tracer.records())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert render_flame([]) == "(no spans)"
+
+    def test_flame_separates_pids(self):
+        """A worker's span ids must not resolve against parent spans."""
+        records = [
+            {"span_id": 1, "parent_id": 0, "name": "parent",
+             "start_ns": 0, "end_ns": 100, "attrs": {}, "pid": 1},
+            {"span_id": 2, "parent_id": 1, "name": "work",
+             "start_ns": 10, "end_ns": 90, "attrs": {}, "pid": 2},
+        ]
+        text = render_flame(records)
+        assert not any(line.startswith("  work")
+                       for line in text.splitlines())
+
+    def test_write_obs_dir(self, tmp_path, registry):
+        registry.counter("c_total").labels().inc()
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        paths = write_obs_dir(tmp_path / "obs", registry, tracer)
+        names = sorted(p.name for p in paths)
+        assert names == ["metrics.json", "metrics.prom", "trace.json",
+                         "trace.jsonl"]
+        for path in paths:
+            assert path.exists()
+        doc = json.loads((tmp_path / "obs" / "trace.json").read_text())
+        assert doc["traceEvents"]
+
+
+@pytest.fixture()
+def live_obs():
+    """Enable the process-wide registry/tracer, restoring after."""
+    obs.reset()
+    obs.enable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestInstrumentation:
+    def test_simulator_metrics_and_span(self, live_obs):
+        from repro.circuit.logic import Logic
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        sim.drive("a", Logic.ZERO, 0)
+        sim.drive("a", Logic.ONE, 10)
+        sim.run(100)
+        snap = obs.REGISTRY.snapshot()
+        assert snap["repro_sim_events_total"]["series"][0]["value"] >= 2
+        assert snap["repro_sim_toggles_total"]["series"][0]["value"] >= 1
+        assert snap["repro_sim_queue_depth"]["series"][0]["value"] == 0
+        assert any(s.name == "sim.run" for s in obs.TRACER.spans)
+
+    def test_exec_counters(self, live_obs, tmp_path):
+        from repro.exec import ResultCache, SweepRunner
+        from repro.exec.runner import expand_grid
+
+        cache = ResultCache(tmp_path)
+        tasks = expand_grid("repro.exec.testing:square_task",
+                            {"x": (1, 2)})
+        SweepRunner(cache=cache).run(tasks)
+        SweepRunner(cache=cache).run(tasks)
+        snap = obs.REGISTRY.snapshot()
+        by_status = {
+            s["labels"]["status"]: s["value"]
+            for s in snap["repro_exec_tasks_total"]["series"]}
+        assert by_status.get("executed") == 2
+        assert by_status.get("cached") == 2
+        assert snap["repro_exec_events_processed_total"][
+            "series"][0]["value"] == 2
+        assert any(s.name == "sweep.run" for s in obs.TRACER.spans)
+
+    def test_semantic_snapshot_excludes_nonsemantic(self, live_obs):
+        obs.REGISTRY.counter("repro_exec_x_total").labels().inc()
+        obs.REGISTRY.counter("repro_kernel_x_total").labels().inc()
+        obs.REGISTRY.histogram("repro_x_seconds").labels().observe(1)
+        obs.REGISTRY.counter("repro_graph_x_total").labels().inc()
+        names = set(obs.semantic_snapshot())
+        assert "repro_graph_x_total" in names
+        assert "repro_exec_x_total" not in names
+        assert "repro_kernel_x_total" not in names
+        assert "repro_x_seconds" not in names
