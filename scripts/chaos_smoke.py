@@ -6,8 +6,10 @@ The drill (run from the repo root with ``PYTHONPATH=src``):
 1. A reference campaign runs uninterrupted and writes its coverage
    artefact.
 2. The same campaign runs again with a checkpoint and a result cache.
-   Mid-sweep, one worker process is SIGKILLed (the runner must absorb
-   the broken pool), and then the whole campaign process is SIGKILLed
+   Mid-sweep — and, since the dispatch layer chunks the ~31 ms chunk
+   tasks into multi-task batches, mid-*batch* — one worker process is
+   SIGKILLed (the runner must absorb the broken pool with the whole
+   batch in flight), and then the campaign process itself is SIGKILLed
    (a hard crash with a partial checkpoint on disk).
 3. One cache entry is truncated — the corruption the integrity check
    must catch rather than serve.
@@ -111,13 +113,18 @@ def main() -> int:
             stdout=subprocess.DEVNULL)
 
         print("[2/4] chaos campaign: SIGKILL a worker, then the run")
+        # Devnull stderr too: pool workers orphaned by the SIGKILL
+        # below inherit it, and an inherited pipe end would wedge any
+        # harness waiting for this script's output to hit EOF.
         proc = subprocess.Popen(
             _cli(workdir, "--cache-dir", str(cache_dir),
                  "--checkpoint", str(checkpoint_base)),
-            cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL)
+            cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
         deadline = time.monotonic() + KILL_DEADLINE_S
         interrupted = False
         worker_killed = False
+        orphans: list[int] = []
         while time.monotonic() < deadline and proc.poll() is None:
             if _completed_records(checkpoint) >= MIN_CHECKPOINTED:
                 for _ in range(20):  # workers may be between tasks
@@ -133,12 +140,22 @@ def main() -> int:
                     time.sleep(0.01)
                 time.sleep(0.1)
                 if proc.poll() is None:
+                    # Workers get reparented to init by the SIGKILL and
+                    # block forever on the dead pool's call queue (every
+                    # fork worker holds a write end, so no reader ever
+                    # sees EOF) — snapshot them first so we can reap.
+                    orphans = _worker_pids(proc.pid)
                     proc.kill()
                     interrupted = True
                     print(f"      killed campaign process {proc.pid}")
                 break
             time.sleep(0.01)
         proc.wait()
+        for orphan in orphans:
+            try:
+                os.kill(orphan, signal.SIGKILL)
+            except OSError:
+                pass
         if not interrupted:
             print("      WARNING: campaign finished before the kill "
                   "landed; resume will be a full replay")
@@ -164,6 +181,12 @@ def main() -> int:
 
         reference = json.loads(ref_out.read_text(encoding="utf-8"))
         resumed = json.loads(resumed_out.read_text(encoding="utf-8"))
+        # The drill only proves mid-batch resilience if batching was
+        # actually in play on both sides of the crash.
+        assert reference["telemetry"]["batches"] >= 1, \
+            reference["telemetry"]
+        assert resumed["telemetry"]["batches"] >= 1, \
+            resumed["telemetry"]
         assert json.dumps(resumed["reports"], sort_keys=True) == \
             json.dumps(reference["reports"], sort_keys=True), (
                 "resumed campaign diverged from the reference:\n"

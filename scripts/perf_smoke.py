@@ -6,8 +6,12 @@ Runs the same (small) resilience sweep in one process — once with
 once vectorized with observability enabled — asserts all three produce
 field-for-field identical results, and records the timings to
 ``BENCH_perf_smoke.json`` and ``BENCH_obs_overhead.json`` (schema v1,
-DESIGN.md).  CI runs this on every push; it is also a convenient local
-sanity check:
+DESIGN.md).  A dispatch-overhead gate then pits batched against
+per-task dispatch on a many-tiny-tasks sweep (batched must be >= 3x
+tasks/s), checks the warm compile cache actually hits on a real
+pipeline sweep, and records both runs to ``BENCH_dispatch.json``.
+CI runs this on every push; it is also a convenient local sanity
+check:
 
     PYTHONPATH=src python scripts/perf_smoke.py
 
@@ -45,6 +49,13 @@ OBS_OVERHEAD_LIMIT_PERCENT = 25.0
 #: Disabled ``Counter.inc`` budget per call (structural no-op check).
 NOOP_BUDGET_US = 1.0
 NOOP_CALLS = 200_000
+
+#: Dispatch-overhead gate: many tiny tasks, where the process-pool
+#: round-trip dominates the work itself.  Batched dispatch must beat
+#: one-future-per-task dispatch by at least this factor in tasks/s.
+DISPATCH_TASKS = 600
+DISPATCH_WORKERS = 2
+DISPATCH_SPEEDUP_FLOOR = 3.0
 
 
 def _run_sweep():
@@ -100,6 +111,81 @@ def _noop_inc_microbench() -> float:
     if counter.value != 0:
         raise SystemExit("disabled counter accumulated — no-op broken")
     return wall / NOOP_CALLS * 1e6
+
+
+def _dispatch_bench(now: str) -> tuple[dict | None, str | None]:
+    """Tiny-task microbench: per-task vs batched dispatch on one pool.
+
+    Returns ``(bench_payload, failure_message)``; the payload records
+    both runs so ``BENCH_dispatch.json`` keeps the before/after
+    trajectory even on a failing gate.
+    """
+    from repro.exec import SweepRunner, expand_grid
+
+    tasks = expand_grid("repro.exec.testing:square_task",
+                        {"x": tuple(range(DISPATCH_TASKS))},
+                        root_seed=5)
+    expected = [x * x for x in range(DISPATCH_TASKS)]
+    runs = []
+    walls = {}
+    for label, target_s in (("per_task", 0.0), ("batched", 0.25)):
+        with SweepRunner(workers=DISPATCH_WORKERS, cache=None,
+                         batch_target_s=target_s) as runner:
+            runner.run(tasks[:DISPATCH_WORKERS * 4])  # warm the pool
+            start = time.perf_counter()
+            run = runner.run(tasks)
+            wall = time.perf_counter() - start
+        if run.values != expected:
+            return None, f"dispatch bench ({label}) computed wrong values"
+        walls[label] = wall
+        summary = run.summary
+        runs.append({
+            "dispatch": label,
+            "recorded_at": now,
+            "wall_time_s": round(wall, 4),
+            "tasks": DISPATCH_TASKS,
+            "tasks_per_second": round(DISPATCH_TASKS / wall, 1),
+            "workers": DISPATCH_WORKERS,
+            "batches": summary["batches"],
+            "mean_batch_tasks": round(
+                summary["batch_tasks"]["mean"], 2),
+        })
+    speedup = (walls["per_task"] / walls["batched"]
+               if walls["batched"] > 0 else float("inf"))
+
+    # Warm compile-cache check: a real (pipeline) sweep through the
+    # same dispatch layer must reuse compiled stage arrays across
+    # tasks and batches inside the workers.
+    from repro.analysis.experiments import resilience_sweep
+
+    with SweepRunner(workers=DISPATCH_WORKERS, cache=None) as runner:
+        resilience_sweep(
+            techniques=("plain", "timber-ff"),
+            droop_amplitudes=(0.0, 0.04, 0.08), num_cycles=500,
+            runner=runner)
+        assert runner.last_run is not None
+        warm = runner.last_run.summary["warm_cache"]
+
+    payload = {
+        "bench": "dispatch",
+        "schema_version": 1,
+        "speedup": round(speedup, 2),
+        "speedup_floor": DISPATCH_SPEEDUP_FLOOR,
+        "warm_cache": warm,
+        "runs": runs,
+    }
+    if speedup < DISPATCH_SPEEDUP_FLOOR:
+        return payload, (
+            f"batched dispatch only {speedup:.2f}x faster than "
+            f"per-task dispatch (floor {DISPATCH_SPEEDUP_FLOOR:.0f}x; "
+            f"per-task {walls['per_task']:.3f}s, "
+            f"batched {walls['batched']:.3f}s)")
+    compiled = warm.get("compiled", {"hits": 0})
+    if compiled["hits"] <= 0:
+        return payload, (
+            "warm compile cache recorded no hits on the pipeline "
+            f"sweep (warm stats: {warm})")
+    return payload, None
 
 
 def main() -> int:
@@ -180,6 +266,17 @@ def main() -> int:
         "runs": obs_runs,
     }, indent=2) + "\n", encoding="utf-8")
 
+    # -- dispatch-overhead gate ------------------------------------------
+    dispatch, dispatch_failure = _dispatch_bench(now)
+    if dispatch is not None:
+        dispatch_path = REPO_ROOT / "BENCH_dispatch.json"
+        dispatch_path.write_text(
+            json.dumps(dispatch, indent=2) + "\n", encoding="utf-8")
+    if dispatch_failure is not None:
+        print(f"FAIL: {dispatch_failure}")
+        return 1
+    assert dispatch is not None
+
     speedup = scalar_wall / vector_wall if vector_wall > 0 else float("inf")
     print(f"perf smoke OK: {len(scalar_points)} grid points x "
           f"{NUM_CYCLES} cycles identical in both kernel modes "
@@ -188,7 +285,16 @@ def main() -> int:
           f"speedup: {speedup:.1f}x")
     print(f"  obs enabled: {obs_wall:.3f}s ({overhead:+.1f}%)   "
           f"disabled inc(): {noop_us:.3f}us/call")
-    print(f"  trajectories written to {path.name} and {obs_path.name}")
+    batched = next(r for r in dispatch["runs"]
+                   if r["dispatch"] == "batched")
+    per_task = next(r for r in dispatch["runs"]
+                    if r["dispatch"] == "per_task")
+    print(f"  dispatch: {per_task['tasks_per_second']:.0f} -> "
+          f"{batched['tasks_per_second']:.0f} tasks/s "
+          f"({dispatch['speedup']:.1f}x batched, mean batch "
+          f"{batched['mean_batch_tasks']:.1f} tasks)")
+    print(f"  trajectories written to {path.name}, {obs_path.name} "
+          "and BENCH_dispatch.json")
     return 0
 
 

@@ -310,12 +310,22 @@ def _build_stages(num_stages: int, period_ps: int, *,
 
 
 def _variability_from_spec(spec: list[dict]) -> object:
-    """Build a variability model from its JSON-able task spec.
+    """Variability model for a JSON-able task spec, warm-cached.
 
     Every model is deterministic in (seed, cycle, path), so rebuilding
     one inside a worker process reproduces exactly the draws a shared
-    instance would have produced serially.
+    instance would have produced serially — which is also what makes it
+    safe to share one instance across every task with the same spec.
     """
+    from repro.exec.cache import stable_key
+    from repro.exec.worker import WARM
+
+    return WARM.get_or_build("variability",
+                             stable_key("variability", spec),
+                             lambda: _build_variability(spec))
+
+
+def _build_variability(spec: list[dict]) -> object:
     models: list = []
     for item in spec:
         kind = item["kind"]

@@ -379,10 +379,25 @@ def run_one_fault(config: CampaignConfig,
 # Exec-layer integration
 # ---------------------------------------------------------------------------
 
+def _warm_population(config_params: dict, config: CampaignConfig) -> list:
+    """The config's fault population, via the process warm cache.
+
+    Population expansion is pure in the config and the specs are frozen,
+    so every chunk task of a campaign shares one expansion per worker
+    instead of regenerating the full population per chunk.
+    """
+    from repro.exec.cache import stable_key
+    from repro.exec.worker import WARM
+
+    return WARM.get_or_build(
+        "population", stable_key("campaign-population", config_params),
+        config.population)
+
+
 def campaign_chunk_task(params: dict) -> TaskPayload:
     """Sweep task: classify one contiguous chunk of the population."""
     config = CampaignConfig.from_params(params["config"])
-    population = config.population()
+    population = _warm_population(params["config"], config)
     outcomes: list[FaultOutcome] = []
     work = 0
     with obs.trace_span("campaign.chunk", target=config.target,

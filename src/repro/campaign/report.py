@@ -164,6 +164,8 @@ def write_campaign_bench(
             "retries": len(telemetry.get("retries", [])),
             "resumed_tasks": telemetry.get("resumed_tasks", 0),
             "poisoned": len(telemetry.get("poisoned", [])),
+            "batches": telemetry.get("batches", 0),
+            "warm_cache": telemetry.get("warm_cache", {}),
         }
     target.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n",
                       encoding="utf-8")

@@ -195,7 +195,12 @@ def _positive_int(text: str) -> int:
 
 def _make_runner(args: argparse.Namespace, *,
                  checkpoint_path: str | None = None):
-    """Build a :class:`SweepRunner` from the shared execution flags."""
+    """Build a :class:`SweepRunner` from the shared execution flags.
+
+    Callers that run multiple phases (the campaign command) reassign
+    ``runner.checkpoint`` per phase instead of building a runner — and
+    hence a worker pool — per phase.
+    """
     from repro.exec import ResultCache, SweepCheckpoint, SweepRunner
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -210,6 +215,8 @@ def _make_runner(args: argparse.Namespace, *,
         retries=args.retries,
         backoff_base_s=args.backoff,
         checkpoint=checkpoint,
+        batch_target_s=max(0.0, args.batch_target_ms / 1000.0),
+        warm_cache_size=args.warm_cache_size,
     )
 
 
@@ -239,12 +246,19 @@ def _obs_finish(args: argparse.Namespace) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    observing = _obs_begin(args)
+    runner = _make_runner(args)
+    try:
+        return _run_sweep(args, runner, observing)
+    finally:
+        runner.close()
+
+
+def _run_sweep(args: argparse.Namespace, runner, observing: bool) -> int:
     from repro.analysis import experiments
     from repro.analysis.tables import format_table
     from repro.exec.telemetry import format_summary
 
-    observing = _obs_begin(args)
-    runner = _make_runner(args)
     extra: dict = {}
     if args.experiment in ("resilience", "throughput", "shootout"):
         if args.cycles is not None:
@@ -302,34 +316,44 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     reports = []
     config = None
     summary: dict | None = None
-    for scheme in schemes:
-        try:
-            config = CampaignConfig(
-                target=args.target, scheme=scheme,
-                num_faults=args.faults, num_cycles=args.cycles,
-                checking_percent=args.checking,
-                num_stages=args.stages, seed=args.seed,
-                faults_per_task=args.chunk,
-            )
-        except ConfigurationError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-        checkpoint_path = None
-        if args.checkpoint:
-            checkpoint_path = _campaign_checkpoint_path(
-                args.checkpoint, scheme)
-        runner = _make_runner(args, checkpoint_path=checkpoint_path)
-        result = run_campaign(config, runner=runner)
-        reports.append(result.report)
-        summary = result.summary
-        poisoned = summary.get("poisoned", [])
-        line = (f"{scheme}: {len(result.outcomes)}/{config.num_faults} "
-                f"faults classified in {summary['wall_time_s']:.2f}s")
-        if summary.get("resumed_tasks"):
-            line += f" ({summary['resumed_tasks']} task(s) resumed)"
-        if poisoned:
-            line += f" ({len(poisoned)} chunk(s) poisoned)"
-        print(line)
+    # One runner — hence one warm worker pool and one adaptive sizer —
+    # shared across every scheme phase; only the checkpoint is
+    # per-scheme, so each phase stays independently resumable.
+    runner = _make_runner(args)
+    try:
+        for scheme in schemes:
+            try:
+                config = CampaignConfig(
+                    target=args.target, scheme=scheme,
+                    num_faults=args.faults, num_cycles=args.cycles,
+                    checking_percent=args.checking,
+                    num_stages=args.stages, seed=args.seed,
+                    faults_per_task=args.chunk,
+                )
+            except ConfigurationError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            runner.checkpoint = None
+            if args.checkpoint:
+                from repro.exec import SweepCheckpoint
+
+                runner.checkpoint = SweepCheckpoint(
+                    _campaign_checkpoint_path(args.checkpoint, scheme),
+                    resume=args.resume)
+            result = run_campaign(config, runner=runner)
+            reports.append(result.report)
+            summary = result.summary
+            poisoned = summary.get("poisoned", [])
+            line = (f"{scheme}: "
+                    f"{len(result.outcomes)}/{config.num_faults} "
+                    f"faults classified in {summary['wall_time_s']:.2f}s")
+            if summary.get("resumed_tasks"):
+                line += f" ({summary['resumed_tasks']} task(s) resumed)"
+            if poisoned:
+                line += f" ({len(poisoned)} chunk(s) poisoned)"
+            print(line)
+    finally:
+        runner.close()
     print()
     print(render_reports(reports))
     if args.out:
@@ -426,7 +450,22 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--workers", type=_positive_int, default=1,
                          help="process-pool size (1 = serial, default)")
         cmd.add_argument("--timeout", type=float, default=None,
-                         help="per-task timeout in seconds")
+                         help="per-task timeout in seconds, counted "
+                              "from dispatch to a worker (queue wait "
+                              "is never charged)")
+        cmd.add_argument("--batch-target-ms", type=float, default=250.0,
+                         metavar="MS",
+                         help="target wall time per dispatched task "
+                              "batch, sized adaptively from observed "
+                              "task durations (0 = one task per "
+                              "dispatch; default 250)")
+        cmd.add_argument("--warm-cache-size", type=int, default=None,
+                         metavar="N",
+                         help="per-worker warm-cache entries for "
+                              "compiled kernels, variability models, "
+                              "and task functions (default: "
+                              "$REPRO_WARM_CACHE_SIZE or 64; 0 "
+                              "disables)")
         cmd.add_argument("--cache-dir", default=None, metavar="PATH",
                          help="result-cache directory (default: "
                               "$REPRO_CACHE_DIR or .repro-cache)")

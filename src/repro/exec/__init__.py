@@ -1,14 +1,20 @@
-"""Execution layer: parallel sweep running, result caching, telemetry.
+"""Execution layer: batched parallel dispatch, caching, telemetry.
 
 Every paper artefact is a sweep over an embarrassingly parallel grid of
 (technique x stress x configuration) points; this package is the
-substrate those sweeps run on.  Four layers:
+substrate those sweeps run on.  Five layers:
 
 * :mod:`repro.exec.runner` — grid expansion, deterministic per-task
-  seeding, and execution across a process pool (with serial fallback,
-  per-task timeout, retries with seeded exponential backoff, and
-  crash quarantine: a task that repeatedly kills its worker is recorded
-  as *poisoned* instead of sinking the sweep).
+  seeding, and batched dispatch across one persistent warm process pool
+  (adaptive batch sizing, completion-order result streaming, per-attempt
+  deadlines accounted from dispatch, pool-side retries with seeded
+  exponential backoff, serial fallback, and crash quarantine: a task
+  that repeatedly kills its worker is recorded as *poisoned* instead of
+  sinking the sweep).
+* :mod:`repro.exec.worker` — the per-worker warm cache: an LRU keyed on
+  content hashes that memoizes resolved task functions, compiled kernel
+  arrays, variability models, and campaign populations across tasks and
+  batches for the lifetime of the worker.
 * :mod:`repro.exec.cache` — an on-disk JSON result cache keyed by a
   content hash of the task configuration plus the code version; entries
   carry a checksum, so truncated or corrupted files are detected,
@@ -17,9 +23,9 @@ substrate those sweeps run on.  Four layers:
   outcomes, so a sweep killed mid-run resumes where it left off with
   byte-identical results.
 * :mod:`repro.exec.telemetry` — per-task wall time, events processed,
-  cache hit/miss counts, retries/backoff, crashes, and worker
-  utilization, emitted as structured logging records and a
-  machine-readable run summary.
+  cache hit/miss counts, batch sizes, warm-cache hit rates,
+  retries/backoff, crashes, and worker utilization, emitted as
+  structured logging records and a machine-readable run summary.
 """
 
 from repro.exec.cache import (
@@ -27,20 +33,25 @@ from repro.exec.cache import (
     decode_result,
     encode_result,
     result_checksum,
+    stable_key,
 )
 from repro.exec.checkpoint import SweepCheckpoint, compute_run_key
 from repro.exec.runner import (
+    DispatchSizer,
     SweepRunner,
     SweepRunResult,
     SweepTask,
     TaskOutcome,
     TaskPayload,
     derive_seed,
+    exec_mp_context,
     expand_grid,
 )
 from repro.exec.telemetry import RunTelemetry
+from repro.exec.worker import WARM, WarmCache
 
 __all__ = [
+    "DispatchSizer",
     "ResultCache",
     "RunTelemetry",
     "SweepCheckpoint",
@@ -49,10 +60,14 @@ __all__ = [
     "SweepTask",
     "TaskOutcome",
     "TaskPayload",
+    "WARM",
+    "WarmCache",
     "compute_run_key",
     "decode_result",
     "derive_seed",
     "encode_result",
+    "exec_mp_context",
     "expand_grid",
     "result_checksum",
+    "stable_key",
 ]

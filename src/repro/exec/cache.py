@@ -47,6 +47,19 @@ def _code_version() -> str:
     return f"{__version__}+schema{CACHE_SCHEMA_VERSION}"
 
 
+def stable_key(*parts: typing.Any) -> str:
+    """SHA-256 content hash of a canonical JSON encoding of ``parts``.
+
+    The same construction as the result-cache key and the sweep run
+    key: stable across processes, platforms, and Python versions, so it
+    is safe to address shared state (e.g. the per-worker warm cache)
+    by it.  Non-JSON values fall back to ``str()``.
+    """
+    payload = json.dumps(parts, sort_keys=True, separators=(",", ":"),
+                         default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 # ---------------------------------------------------------------------------
 # Tagged JSON encoding of experiment result dataclasses
 # ---------------------------------------------------------------------------

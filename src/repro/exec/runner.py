@@ -1,4 +1,4 @@
-"""Parallel sweep runner.
+"""Parallel sweep runner with batched, warm-worker dispatch.
 
 A sweep is a list of independent :class:`SweepTask` grid points.  Each
 task names a module-level *task function* by its dotted path (so it can
@@ -11,41 +11,70 @@ run byte-identical to a serial one.
 Execution semantics:
 
 * ``workers <= 1`` (the default) runs every task in-process, in order.
-* ``workers > 1`` fans the cache misses out across a
-  ``concurrent.futures.ProcessPoolExecutor``; if the pool cannot be
-  created (restricted platforms) the runner silently falls back to
-  serial execution.
-* Each task is given ``task_timeout_s`` (``None`` = unlimited) and up
-  to ``retries`` additional attempts — separated by exponential backoff
-  with *seeded* jitter (deterministic per task and attempt, so retry
-  schedules are reproducible) — before the run fails with
+* ``workers > 1`` fans the cache misses out across one persistent
+  ``concurrent.futures.ProcessPoolExecutor`` — created with an explicit
+  multiprocessing context (:func:`exec_mp_context`) and a worker
+  initializer that sizes the per-worker warm cache — and reused across
+  :meth:`SweepRunner.run` calls, so multi-phase drivers (the campaign
+  CLI runs one sweep per scheme) pay pool construction once.  If the
+  pool cannot be created the runner falls back to serial execution.
+* Cache-miss tasks are dispatched in **batches**: one submit/return
+  round-trip executes a whole chunk of tasks, sized adaptively by
+  :class:`DispatchSizer` so each batch targets ``batch_target_s`` of
+  work (sized from observed task durations; cache hits never feed the
+  sizer).  Results stream back in completion order — a slow batch no
+  longer head-of-line-blocks recording, retries, or checkpointing —
+  and are re-ordered in the parent, which is free because outcomes are
+  keyed by task index.  Worker-side metric deltas, spans, and
+  warm-cache stats ship once per batch instead of once per task.
+* Inside each worker a process-wide LRU (:mod:`repro.exec.worker`)
+  keyed on content hashes caches resolved task functions, variability
+  models, compiled stage/edge arrays, and campaign populations across
+  tasks in a batch and across batches.  A warm hit can only skip
+  redundant construction of a deterministic artefact, never change a
+  result — pinned by the batched-vs-serial byte-identity properties.
+* ``task_timeout_s`` (``None`` = unlimited) budgets each *attempt* from
+  the moment its batch is dispatched to a worker — queue wait is never
+  charged, so tasks late in submission order cannot spuriously time out
+  on a busy pool.  A batch of ``n`` tasks gets ``n`` budgets; retries
+  are re-dispatched to the pool (with the existing seeded exponential
+  backoff) so the other workers keep draining the sweep, and the serial
+  in-parent path remains only as the fallback when no pool is
+  available.  After ``retries`` additional attempts the run fails with
   :class:`~repro.errors.ExecutionError`.
 * A worker *crash* (the pool reports ``BrokenProcessPool``) is handled
   separately from an ordinary exception: every task in flight is a
   suspect, and each suspect is re-run alone in a fresh single-worker
-  pool so the crash is attributed precisely.  A task that kills its
-  isolated worker ``poison_after`` times is quarantined as *poisoned*
-  (outcome value ``None``, status ``"poisoned"``) instead of being
-  re-fanned-out forever or aborting the sweep.
+  pool so the crash is attributed precisely — batch-mates of a poisoned
+  task are innocent and complete there.  A task that kills its isolated
+  worker ``poison_after`` times is quarantined as *poisoned* (outcome
+  value ``None``, status ``"poisoned"``) instead of being re-fanned-out
+  forever or aborting the sweep; the main pool is then rebuilt and the
+  sweep continues.
 * With a :class:`~repro.exec.checkpoint.SweepCheckpoint` attached, every
-  completed outcome is periodically persisted; a killed run re-launched
-  with ``resume`` replays completed tasks from the checkpoint and only
-  executes what is missing.
+  completed outcome is persisted the moment it arrives (completion
+  order); a killed run re-launched with ``resume`` replays exactly the
+  completed prefix and only executes what is missing.
 
 Results come back in task order regardless of completion order.
 """
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures
 import dataclasses
 import hashlib
+import heapq
 import importlib
 import itertools
 import json
+import math
+import multiprocessing
 import os
 import time
 import typing
+import weakref
 
 from concurrent.futures.process import BrokenProcessPool
 
@@ -54,14 +83,40 @@ from repro.errors import ConfigurationError, ExecutionError
 from repro.exec.cache import ResultCache, _code_version
 from repro.exec.checkpoint import SweepCheckpoint
 from repro.exec.telemetry import RunTelemetry
+from repro.exec.worker import WARM
 from repro.kernels.rng import key_id, mix32, split64, uniform01
 
 #: Domain-separation salt for the backoff jitter stream.
 _BACKOFF_SALT = key_id("exec-backoff")
 
+#: Environment variable overriding the multiprocessing start method used
+#: for every pool the exec layer builds.
+MP_START_ENV = "REPRO_MP_START"
+
 #: Task functions take the params mapping and return the result value —
 #: or a :class:`TaskPayload` when they also want to report work metrics.
 TaskFunction = typing.Callable[[dict], typing.Any]
+
+
+def exec_mp_context(method: str | None = None):
+    """The explicit multiprocessing context for exec-layer pools.
+
+    Every ``ProcessPoolExecutor`` the runner constructs — the shared
+    dispatch pool and the single-worker isolation pools — uses this one
+    context instead of silently inheriting the platform default.  The
+    choice is ``method`` (the runner's ``mp_start``), else
+    ``REPRO_MP_START``, else ``fork`` where available (cheap warm-worker
+    startup; pools are created before the runner spawns any threads)
+    and ``spawn`` elsewhere.  The dispatch layer itself is spawn-safe —
+    task functions resolve by dotted path, worker configuration travels
+    through the initializer and inherited environment — which the test
+    suite pins by running a sweep under ``mp_start="spawn"``.
+    """
+    name = method or os.environ.get(MP_START_ENV) or None
+    if not name:
+        name = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+    return multiprocessing.get_context(name)
 
 
 def derive_seed(root_seed: int, *parts: typing.Any) -> int:
@@ -161,6 +216,15 @@ class SweepRunResult:
         return [outcome.value for outcome in self.outcomes]
 
 
+class RemoteTaskError(ExecutionError):
+    """An exception reported by a worker-side task, by repr.
+
+    Worker exceptions cross the pool boundary as strings (their types
+    may not be picklable); the parent re-wraps them so retry telemetry
+    and the final :class:`ExecutionError` carry the original message.
+    """
+
+
 def task_key(experiment: str, point: typing.Mapping) -> str:
     """Render a stable human-readable task key for a grid point."""
     name = experiment.rpartition(":")[2].strip("_")
@@ -200,41 +264,398 @@ def expand_grid(
     return tasks
 
 
-def execute_task(payload: dict) -> dict:
-    """Run one task (worker entry point; must stay module-level).
+def _worker_init(warm_capacity: int | None) -> None:
+    """Pool-worker initializer: size this process's warm cache.
 
-    Takes and returns plain dicts plus the (picklable) result value so
-    the process-pool boundary stays simple.
+    Runs once per worker regardless of start method; everything else a
+    worker needs (observability enablement, kernel mode) travels
+    through the inherited environment.
     """
-    task = SweepTask(**payload)
-    # Workers inherit REPRO_OBS through the environment, so their
-    # registries enable themselves at import; ship the metric deltas and
-    # spans this task produced back across the pool boundary.  The
-    # parent merges them only for genuine workers (pid check) — in
-    # serial execution they already landed in the live registry.
-    observing = obs.REGISTRY.enabled
-    if observing:
-        metrics_before = obs.REGISTRY.snapshot()
-        spans_before = len(obs.TRACER.spans)
+    if warm_capacity is not None:
+        WARM.configure(warm_capacity)
+
+
+def _resolve_warm(task: SweepTask) -> TaskFunction:
+    """Resolve a task function through the process warm cache."""
+    return WARM.get_or_build("task-func", task.experiment, task.resolve)
+
+
+def _run_payload(task: SweepTask) -> dict:
+    """Execute one task and package its result entry (no error guard)."""
     started = time.perf_counter()
-    raw = task.resolve()(dict(task.params))
+    raw = _resolve_warm(task)(dict(task.params))
     wall = time.perf_counter() - started
     if isinstance(raw, TaskPayload):
         value, events = raw.value, raw.events_processed
     else:
         value, events = raw, 0
-    result = {
+    return {
+        "ok": True,
         "value": value,
         "wall_time_s": wall,
         "events_processed": events,
-        "worker_pid": os.getpid(),
     }
-    if observing:
-        result["obs"] = obs.snapshot_delta(metrics_before,
-                                           obs.REGISTRY.snapshot())
-        result["obs_spans"] = [span.to_record() for span
-                               in obs.TRACER.spans[spans_before:]]
+
+
+def execute_task(payload: dict) -> dict:
+    """Run one task (worker entry point; must stay module-level).
+
+    Takes and returns plain dicts plus the (picklable) result value so
+    the process-pool boundary stays simple.  Ships the task's metric
+    deltas, spans, and warm-cache stats alongside the value; the parent
+    merges metric deltas only for genuine workers (pid check) — in
+    serial execution they already landed in the live registry.
+    """
+    task = SweepTask(**payload)
+    token = obs.begin_capture()
+    warm_before = WARM.counters()
+    entry = _run_payload(task)
+    result = {
+        "value": entry["value"],
+        "wall_time_s": entry["wall_time_s"],
+        "events_processed": entry["events_processed"],
+        "worker_pid": os.getpid(),
+        "warm": WARM.stats_delta(warm_before),
+    }
+    if token is not None:
+        result["obs"], result["obs_spans"] = obs.end_capture(token)
     return result
+
+
+def execute_batch(payloads: list[dict]) -> dict:
+    """Run a batch of tasks in one pool round-trip (worker entry point).
+
+    Per-task failures are captured as ``{"ok": False, "error": ...}``
+    entries rather than raised, so one bad task cannot take down its
+    batch-mates; the parent applies the retry policy per task.  Metric
+    deltas, spans, and warm-cache stats ship once for the whole batch.
+    """
+    token = obs.begin_capture()
+    warm_before = WARM.counters()
+    results: list[dict] = []
+    for payload in payloads:
+        task = SweepTask(**payload)
+        try:
+            results.append(_run_payload(task))
+        except Exception as error:  # noqa: BLE001 — parent retries per task
+            results.append({"ok": False, "error": repr(error)})
+    out = {
+        "worker_pid": os.getpid(),
+        "results": results,
+        "warm": WARM.stats_delta(warm_before),
+    }
+    if token is not None:
+        out["obs"], out["obs_spans"] = obs.end_capture(token)
+    return out
+
+
+class DispatchSizer:
+    """Adaptive batch size targeting a fixed wall time per batch.
+
+    Tracks an exponential moving average of *executed* task durations
+    (cache hits are served in the parent and never observed, so they
+    cannot skew the estimate) and sizes the next batch so it should
+    take about ``target_s``.  ``target_s <= 0`` disables batching —
+    every dispatch carries exactly one task.
+    """
+
+    #: EMA weight of the newest executed-task duration.
+    ALPHA = 0.4
+    #: Floor for observed durations, so microsecond tasks don't explode
+    #: the size estimate past ``max_batch`` worth of useful precision.
+    MIN_TASK_S = 1e-6
+    #: With no observations yet, assume the target splits into this
+    #: many tasks — first batches are modest, then adapt.
+    INITIAL_TASKS = 8
+
+    def __init__(self, target_s: float, max_batch: int) -> None:
+        self.target_s = target_s
+        self.max_batch = max_batch
+        self._ema_s = (target_s / self.INITIAL_TASKS
+                       if target_s > 0 else 0.0)
+
+    @property
+    def observed_task_s(self) -> float:
+        """Current per-task duration estimate (the EMA)."""
+        return self._ema_s
+
+    def observe(self, wall_s: float) -> None:
+        """Feed one *executed* task duration into the estimate."""
+        if self.target_s <= 0:
+            return
+        wall = max(float(wall_s), self.MIN_TASK_S)
+        self._ema_s = (1.0 - self.ALPHA) * self._ema_s + self.ALPHA * wall
+
+    def size(self) -> int:
+        """Tasks to put in the next batch."""
+        if self.target_s <= 0 or self._ema_s <= 0:
+            return 1
+        return max(1, min(self.max_batch,
+                          int(self.target_s / self._ema_s)))
+
+
+@dataclasses.dataclass
+class _Flight:
+    """One dispatched batch: its (task, attempt) pairs and deadline."""
+
+    batch: list[tuple[SweepTask, int]]
+    deadline: float | None
+
+
+def _shutdown_pool(pool) -> None:
+    """Best-effort executor shutdown (finalizer-safe, never raises)."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - interpreter-teardown races
+        pass
+
+
+class _Dispatcher:
+    """One ``_run_pool`` invocation's streaming dispatch state machine.
+
+    Keeps at most ``workers`` batches in flight so a submitted batch is
+    picked up immediately — which is what lets per-attempt deadlines
+    start at dispatch time without charging queue wait.  Completions
+    are consumed in completion order (``concurrent.futures.wait``);
+    failed tasks re-enter the queue as retry batches after their seeded
+    backoff elapses, and timed-out batches are abandoned to the
+    *ghosts* set: their worker still counts as busy until the future
+    resolves, and a late success is adopted if the task has not been
+    recorded by a retry in the meantime.
+    """
+
+    def __init__(self, runner: "SweepRunner",
+                 record: typing.Callable[[TaskOutcome], None]) -> None:
+        self.runner = runner
+        self.record = record
+        self.pending: collections.deque[tuple[SweepTask, int]] = \
+            collections.deque()
+        self.retries: list[tuple[float, int, SweepTask, int]] = []
+        self.in_flight: dict[typing.Any, _Flight] = {}
+        self.ghosts: dict[typing.Any, _Flight] = {}
+        self.recorded: set[int] = set()
+        self._seq = itertools.count()
+        self._suspects: list[tuple[SweepTask, int]] = []
+
+    def run(self, tasks: typing.Sequence[SweepTask]) -> None:
+        self.pending.extend((task, 1) for task in tasks)
+        while self.pending or self.retries or self.in_flight:
+            now = time.monotonic()
+            self._promote_retries(now)
+            broken = self._fill(now)
+            if not broken:
+                broken = self._collect()
+            if broken:
+                self._recover_from_broken_pool()
+            self._expire(time.monotonic())
+
+    # -- submission --------------------------------------------------------
+    def _promote_retries(self, now: float) -> None:
+        """Move backoff-expired retries to the front of the queue."""
+        due: list[tuple[SweepTask, int]] = []
+        while self.retries and self.retries[0][0] <= now:
+            _, _, task, attempt = heapq.heappop(self.retries)
+            if task.index not in self.recorded:
+                due.append((task, attempt))
+        self.pending.extendleft(reversed(due))
+
+    def _free_slots(self) -> int:
+        ghosts_busy = sum(1 for future in self.ghosts
+                          if not future.done())
+        return self.runner.workers - len(self.in_flight) - ghosts_busy
+
+    def _fill(self, now: float) -> bool:
+        """Dispatch batches onto free workers; True if the pool broke."""
+        free = self._free_slots()
+        while self.pending and free > 0:
+            # Split what's left across the free workers, capped by the
+            # sizer's wall-time target, so the tail of a sweep doesn't
+            # pile onto one worker while others idle.
+            limit = max(1, min(
+                self.runner._sizer.size(),
+                math.ceil(len(self.pending) / free)))
+            batch: list[tuple[SweepTask, int]] = []
+            while self.pending and len(batch) < limit:
+                task, attempt = self.pending.popleft()
+                if task.index not in self.recorded:
+                    batch.append((task, attempt))
+            if not batch:
+                continue
+            payloads = [dataclasses.asdict(task) for task, _ in batch]
+            try:
+                future = self.runner._pool.submit(execute_batch, payloads)
+            except (BrokenProcessPool, RuntimeError):
+                # Never dispatched — requeue untouched (not suspects,
+                # no attempt charged) and let the recovery path rebuild
+                # the pool.
+                self.pending.extendleft(reversed(batch))
+                return True
+            deadline = None
+            if self.runner.task_timeout_s is not None:
+                deadline = (time.monotonic()
+                            + self.runner.task_timeout_s * len(batch))
+            self.in_flight[future] = _Flight(batch, deadline)
+            free -= 1
+        return False
+
+    # -- completion --------------------------------------------------------
+    def _collect(self) -> bool:
+        """Wait for the next completion/deadline; True if pool broke."""
+        waitables = list(self.in_flight) + list(self.ghosts)
+        now = time.monotonic()
+        if not waitables:
+            if self.retries:
+                time.sleep(max(0.0, self.retries[0][0] - now))
+            return False
+        bounds = [flight.deadline for flight in self.in_flight.values()
+                  if flight.deadline is not None]
+        if self.retries:
+            bounds.append(self.retries[0][0])
+        timeout = max(0.0, min(bounds) - now) if bounds else None
+        done, _ = concurrent.futures.wait(
+            waitables, timeout=timeout,
+            return_when=concurrent.futures.FIRST_COMPLETED)
+        broken = False
+        for future in done:
+            if future in self.ghosts:
+                self._adopt_late(future)
+                continue
+            flight = self.in_flight.pop(future)
+            error = future.exception()
+            if isinstance(error, BrokenProcessPool):
+                self._suspects.extend(flight.batch)
+                broken = True
+            elif error is not None:
+                # Infrastructure failure (e.g. an unpicklable result):
+                # charge every task in the batch one attempt.
+                for task, attempt in flight.batch:
+                    if task.index not in self.recorded:
+                        self._after_failure(task, attempt, error)
+            else:
+                self._absorb(flight, future.result())
+        return broken
+
+    def _absorb(self, flight: _Flight, raw: dict) -> None:
+        """Record one completed batch's outcomes and telemetry."""
+        runner = self.runner
+        runner._merge_worker_obs(raw)
+        runner.telemetry.record_batch(size=len(flight.batch),
+                                      warm=raw.get("warm"))
+        for (task, attempt), entry in zip(flight.batch, raw["results"]):
+            if task.index in self.recorded:
+                continue
+            if entry.get("ok"):
+                self.recorded.add(task.index)
+                self.record(TaskOutcome(
+                    task=task, value=entry["value"],
+                    wall_time_s=entry["wall_time_s"],
+                    events_processed=entry["events_processed"],
+                    cached=False, attempts=attempt,
+                    worker_pid=raw["worker_pid"],
+                ))
+                runner._sizer.observe(entry["wall_time_s"])
+            else:
+                self._after_failure(task, attempt,
+                                    RemoteTaskError(entry["error"]))
+
+    def _adopt_late(self, future) -> None:
+        """A timed-out batch finally resolved; adopt unclaimed results.
+
+        The values are deterministic, so a late success is identical to
+        what the scheduled retry would compute — adopting it just saves
+        the re-execution.  Failures are ignored: the timeout already
+        charged the attempt and queued the retry.
+        """
+        flight = self.ghosts.pop(future)
+        if future.exception() is not None:
+            return
+        raw = future.result()
+        self.runner._merge_worker_obs(raw)
+        for (task, attempt), entry in zip(flight.batch, raw["results"]):
+            if entry.get("ok") and task.index not in self.recorded:
+                self.recorded.add(task.index)
+                self.record(TaskOutcome(
+                    task=task, value=entry["value"],
+                    wall_time_s=entry["wall_time_s"],
+                    events_processed=entry["events_processed"],
+                    cached=False, attempts=attempt,
+                    worker_pid=raw["worker_pid"],
+                ))
+
+    def _after_failure(self, task: SweepTask, attempt: int,
+                       error: BaseException) -> None:
+        """Apply the retry policy to one failed attempt."""
+        runner = self.runner
+        if attempt > runner.retries:
+            raise ExecutionError(
+                f"task {task.key} failed after {attempt} attempt(s): "
+                f"{error}"
+            ) from error
+        delay = runner._backoff_delay_s(task, attempt)
+        runner.telemetry.record_retry(task, error, backoff_s=delay)
+        heapq.heappush(self.retries, (time.monotonic() + delay,
+                                      next(self._seq), task, attempt + 1))
+
+    # -- timeouts ----------------------------------------------------------
+    def _expire(self, now: float) -> None:
+        """Abandon batches whose per-attempt deadline has passed."""
+        if self.runner.task_timeout_s is None:
+            return
+        for future, flight in list(self.in_flight.items()):
+            if (flight.deadline is None or now < flight.deadline
+                    or future.done()):
+                continue
+            del self.in_flight[future]
+            if future.cancel():
+                # Still queued (a wedged worker was hogging the slot):
+                # it never dispatched, so requeue without charging the
+                # attempt — that is the whole point of deadline-from-
+                # dispatch accounting.
+                self.pending.extendleft(reversed(flight.batch))
+                continue
+            self.ghosts[future] = flight
+            budget = self.runner.task_timeout_s * len(flight.batch)
+            error = TimeoutError(
+                f"no result within {budget:.3f}s "
+                f"(batch of {len(flight.batch)}, "
+                f"{self.runner.task_timeout_s:.3f}s per task)")
+            for task, attempt in flight.batch:
+                if task.index not in self.recorded:
+                    self._after_failure(task, attempt, error)
+
+    # -- crash recovery ----------------------------------------------------
+    def _recover_from_broken_pool(self) -> None:
+        """Attribute the crash in isolation, rebuild the pool, go on."""
+        suspects = list(self._suspects)
+        self._suspects.clear()
+        for flight in self.in_flight.values():
+            suspects.extend(flight.batch)
+        self.in_flight.clear()
+        # Ghost batches died with the pool; their retries are already
+        # queued (or their tasks recorded), so just drop the futures.
+        self.ghosts.clear()
+        self.runner._reset_pool()
+        for task, _ in suspects:
+            if task.index in self.recorded:
+                continue
+            self.recorded.add(task.index)
+            self.record(self.runner._run_isolated(task))
+        if (self.pending or self.retries) \
+                and self.runner._ensure_pool() is None:
+            self._drain_serial()
+
+    def _drain_serial(self) -> None:
+        """Final fallback: no pool can be built — finish in-parent."""
+        leftovers = list(self.pending)
+        self.pending.clear()
+        while self.retries:
+            _, _, task, attempt = heapq.heappop(self.retries)
+            leftovers.append((task, attempt))
+        for task, _ in sorted(leftovers, key=lambda item: item[0].index):
+            if task.index in self.recorded:
+                continue
+            self.recorded.add(task.index)
+            self.record(self.runner._run_serial(task))
 
 
 class SweepRunner:
@@ -253,6 +674,10 @@ class SweepRunner:
         backoff_jitter: float = 0.5,
         poison_after: int = 2,
         checkpoint: SweepCheckpoint | None = None,
+        batch_target_s: float = 0.25,
+        max_batch: int = 64,
+        warm_cache_size: int | None = None,
+        mp_start: str | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -265,6 +690,10 @@ class SweepRunner:
             raise ConfigurationError("backoff jitter must be in [0, 1]")
         if poison_after < 1:
             raise ConfigurationError("poison_after must be >= 1")
+        if batch_target_s < 0:
+            raise ConfigurationError("batch_target_s must be >= 0")
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
         self.workers = workers
         self.cache = cache
         self.telemetry = telemetry or RunTelemetry()
@@ -275,9 +704,76 @@ class SweepRunner:
         self.backoff_jitter = backoff_jitter
         self.poison_after = poison_after
         self.checkpoint = checkpoint
+        self.batch_target_s = batch_target_s
+        self.max_batch = max_batch
+        self.warm_cache_size = warm_cache_size
+        self.mp_start = mp_start
         #: Result of the most recent :meth:`run` (telemetry access for
         #: callers that only see the experiment's return value).
         self.last_run: SweepRunResult | None = None
+        #: The adaptive sizer persists across runs, so a later sweep
+        #: phase starts from the durations the previous phase observed.
+        self._sizer = DispatchSizer(batch_target_s, max_batch)
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self):
+        """The persistent dispatch pool, created on first use.
+
+        Reused across :meth:`run` calls until :meth:`close` (or a
+        worker crash forces a rebuild).  Returns ``None`` — after
+        recording the fallback — when no pool can be created.
+        """
+        if self._pool is not None:
+            return self._pool
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=exec_mp_context(self.mp_start),
+                initializer=_worker_init,
+                initargs=(self.warm_cache_size,),
+            )
+        except (OSError, ValueError, ImportError) as error:
+            self.telemetry.record_fallback(error)
+            return None
+        self._pool = pool
+        self._pool_finalizer = weakref.finalize(self, _shutdown_pool,
+                                                pool)
+        return pool
+
+    def _reset_pool(self) -> None:
+        """Drop the current pool (crashed or being closed)."""
+        if self._pool is None:
+            return
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        _shutdown_pool(self._pool)
+        self._pool = None
+
+    def close(self, *, wait: bool = False) -> None:
+        """Shut the persistent worker pool down.
+
+        ``wait=True`` blocks until the workers exit; the default lets
+        them finish their current batch and exit on their own.
+        """
+        if self._pool is None:
+            return
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        pool, self._pool = self._pool, None
+        try:
+            pool.shutdown(wait=wait, cancel_futures=True)
+        except Exception:  # pragma: no cover - teardown races
+            pass
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- execution ---------------------------------------------------------
     def run(self, tasks: typing.Sequence[SweepTask]) -> SweepRunResult:
@@ -316,9 +812,10 @@ class SweepRunner:
             else:
                 misses.append(task)
 
-        # Executed outcomes are recorded the moment they arrive — not
-        # after the whole batch — so a crash mid-sweep leaves the
-        # checkpoint and cache holding every task finished so far.
+        # Executed outcomes are recorded the moment they arrive — in
+        # completion order, not batch order — so a crash mid-sweep
+        # leaves the checkpoint and cache holding every task finished
+        # so far, even when its batch-mates were still running.
         def record(outcome: TaskOutcome) -> None:
             outcomes[outcome.task.index] = outcome
             self.telemetry.record_task(outcome)
@@ -326,18 +823,21 @@ class SweepRunner:
             if self.checkpoint is not None:
                 self.checkpoint.record(outcome)
 
-        if misses:
-            if self.workers > 1:
-                # Crash-prone tasks must never execute in the parent
-                # process, so any multi-worker run uses the pool even
-                # for a single miss.
-                self._run_pool(misses, record)
-            else:
-                for task in misses:
-                    record(self._run_serial(task))
-
-        if self.checkpoint is not None:
-            self.checkpoint.flush()
+        try:
+            if misses:
+                if self.workers > 1:
+                    # Crash-prone tasks must never execute in the parent
+                    # process, so any multi-worker run uses the pool even
+                    # for a single miss.
+                    self._run_pool(misses, record)
+                else:
+                    for task in misses:
+                        record(self._run_serial(task))
+        finally:
+            # Flush even when a task ultimately fails: everything that
+            # completed before the failure stays resumable.
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
 
         ordered = [outcomes[task.index] for task in tasks]
         result = SweepRunResult(outcomes=ordered,
@@ -411,6 +911,7 @@ class SweepRunner:
                 if delay > 0.0:
                     time.sleep(delay)
                 continue
+            self.telemetry.record_warm(raw.get("warm"))
             return TaskOutcome(
                 task=task, value=raw["value"],
                 wall_time_s=raw["wall_time_s"],
@@ -428,63 +929,13 @@ class SweepRunner:
         tasks: list[SweepTask],
         record: typing.Callable[[TaskOutcome], None],
     ) -> None:
-        """Run ``tasks`` in a worker pool, recording each outcome as it
-        completes (in task order, so a crash leaves a clean prefix)."""
-        try:
-            pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.workers, len(tasks)))
-        except (OSError, ValueError, ImportError) as error:
-            self.telemetry.record_fallback(error)
+        """Dispatch ``tasks`` over the warm pool in adaptive batches,
+        recording each outcome as its batch completes."""
+        if self._ensure_pool() is None:
             for task in tasks:
                 record(self._run_serial(task))
             return
-
-        suspects: list[SweepTask] = []
-        with pool:
-            futures = {
-                task.index: pool.submit(execute_task,
-                                        dataclasses.asdict(task))
-                for task in tasks
-            }
-            for task in tasks:
-                future = futures[task.index]
-                try:
-                    raw = future.result(timeout=self.task_timeout_s)
-                except BrokenProcessPool:
-                    # A worker died.  Every task still in flight fails
-                    # with this error, but only one of them is guilty —
-                    # re-run each alone so the crash is attributed to
-                    # the task that actually causes it.
-                    suspects.append(task)
-                    continue
-                except Exception as error:  # noqa: BLE001 — retry serially
-                    # An ordinary failure (timeout, exception) falls
-                    # back to an in-parent serial retry: guaranteed
-                    # progress, no pool poisoning.
-                    delay = (self._backoff_delay_s(task, 1)
-                             if self.retries >= 1 else 0.0)
-                    self.telemetry.record_retry(task, error,
-                                                backoff_s=delay)
-                    if self.retries < 1:
-                        raise ExecutionError(
-                            f"task {task.key} failed: {error}"
-                        ) from error
-                    if delay > 0.0:
-                        time.sleep(delay)
-                    record(self._run_serial(
-                        task, attempt_offset=1,
-                        max_attempts=self.retries))
-                    continue
-                self._merge_worker_obs(raw)
-                record(TaskOutcome(
-                    task=task, value=raw["value"],
-                    wall_time_s=raw["wall_time_s"],
-                    events_processed=raw["events_processed"],
-                    cached=False, attempts=1,
-                    worker_pid=raw["worker_pid"],
-                ))
-        for task in suspects:
-            record(self._run_isolated(task))
+        _Dispatcher(self, record).run(tasks)
 
     def _run_isolated(self, task: SweepTask) -> TaskOutcome:
         """Re-run a crash suspect alone in fresh single-worker pools.
@@ -492,8 +943,8 @@ class SweepRunner:
         In isolation a dead worker is definitely this task's doing;
         after ``poison_after`` such deaths the task is quarantined as
         *poisoned* rather than retried forever.  Tasks that merely
-        shared a pool with the real crasher succeed here on the first
-        attempt.
+        shared a pool (or a batch) with the real crasher succeed here
+        on the first attempt.
         """
         payload = dataclasses.asdict(task)
         crashes = 0
@@ -502,7 +953,11 @@ class SweepRunner:
             attempt += 1
             try:
                 pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=1)
+                    max_workers=1,
+                    mp_context=exec_mp_context(self.mp_start),
+                    initializer=_worker_init,
+                    initargs=(self.warm_cache_size,),
+                )
             except (OSError, ValueError, ImportError) as error:
                 # No isolation available; running a crash suspect in
                 # the parent would risk the whole sweep — quarantine.
@@ -541,6 +996,7 @@ class SweepRunner:
                         task, attempt_offset=attempt,
                         max_attempts=self.retries)
                 self._merge_worker_obs(raw)
+                self.telemetry.record_warm(raw.get("warm"))
                 return TaskOutcome(
                     task=task, value=raw["value"],
                     wall_time_s=raw["wall_time_s"],

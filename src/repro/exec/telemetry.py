@@ -56,6 +56,17 @@ _OBS_TASK_SECONDS = obs.REGISTRY.histogram(
     "Wall time per executed (non-cached, non-resumed) task",
     buckets=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
              30.0, 60.0)).labels()
+_OBS_BATCHES = obs.REGISTRY.counter(
+    "repro_exec_batches_total",
+    "Task batches dispatched to pool workers").labels()
+_OBS_BATCH_TASKS = obs.REGISTRY.histogram(
+    "repro_exec_batch_tasks",
+    "Tasks per dispatched batch",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256)).labels()
+_OBS_WARM = obs.REGISTRY.counter(
+    "repro_exec_warm_cache_total",
+    "Warm-cache lookups inside workers, by artefact kind and result",
+    labelnames=("kind", "result"))
 
 
 @dataclasses.dataclass
@@ -81,6 +92,8 @@ class RunTelemetry:
         self.retries: list[dict] = []
         self.fallbacks: list[str] = []
         self.crashes: list[dict] = []
+        self.batch_sizes: list[int] = []
+        self.warm: dict[str, dict[str, int]] = {}
         self.workers = 1
         self.num_tasks = 0
         self.kernel_mode: str | None = None
@@ -95,6 +108,8 @@ class RunTelemetry:
         self.retries = []
         self.fallbacks = []
         self.crashes = []
+        self.batch_sizes = []
+        self.warm = {}
         self.workers = workers
         self.num_tasks = num_tasks
         # Capture once: kernel_mode() reads the environment, which a
@@ -142,6 +157,31 @@ class RunTelemetry:
             record.attempts, record.worker_pid,
             extra={"repro_task": dataclasses.asdict(record)},
         )
+
+    def record_batch(self, *, size: int,
+                     warm: dict | None = None) -> None:
+        """One batch round-trip completed (``size`` tasks dispatched)."""
+        self.batch_sizes.append(size)
+        _OBS_BATCHES.inc()
+        _OBS_BATCH_TASKS.observe(size)
+        logger.debug(
+            "batch of %d task(s) returned", size,
+            extra={"repro_batch": {"size": size, "warm": warm or {}}},
+        )
+        self.record_warm(warm)
+
+    def record_warm(self, delta: dict | None) -> None:
+        """Fold a worker's warm-cache ``{kind: [hits, misses]}`` delta."""
+        if not delta:
+            return
+        for kind, (hits, misses) in delta.items():
+            entry = self.warm.setdefault(kind, {"hits": 0, "misses": 0})
+            entry["hits"] += hits
+            entry["misses"] += misses
+            if hits:
+                _OBS_WARM.labels(kind=kind, result="hit").inc(hits)
+            if misses:
+                _OBS_WARM.labels(kind=kind, result="miss").inc(misses)
 
     def record_retry(self, task: "SweepTask", error: BaseException, *,
                      backoff_s: float = 0.0) -> None:
@@ -223,6 +263,14 @@ class RunTelemetry:
                 "mean": busy / len(executed) if executed else 0.0,
             },
             "worker_utilization": min(1.0, utilization),
+            "batches": len(self.batch_sizes),
+            "batch_tasks": {
+                "max": max(self.batch_sizes, default=0),
+                "mean": (sum(self.batch_sizes) / len(self.batch_sizes)
+                         if self.batch_sizes else 0.0),
+            },
+            "warm_cache": {kind: dict(self.warm[kind])
+                           for kind in sorted(self.warm)},
             "retries": list(self.retries),
             "backoff_s_total": sum(r.get("backoff_s", 0.0)
                                    for r in self.retries),
@@ -262,6 +310,18 @@ def format_summary(summary: dict, *, top_n: int = 5) -> str:
         f"{summary['task_wall_time_s']['mean']:.3f}/"
         f"{summary['task_wall_time_s']['max']:.3f}s",
     ]
+    if summary.get("batches"):
+        lines.append(
+            f"batches: {summary['batches']} "
+            f"(mean {summary['batch_tasks']['mean']:.1f} tasks, "
+            f"max {summary['batch_tasks']['max']})")
+    warm = summary.get("warm_cache") or {}
+    if warm:
+        hits = sum(entry["hits"] for entry in warm.values())
+        total = hits + sum(entry["misses"] for entry in warm.values())
+        lines.append(
+            f"warm cache: {hits}/{total} hit(s) across "
+            f"{len(warm)} kind(s)")
     if summary["retries"]:
         lines.append(
             f"retries: {len(summary['retries'])} "

@@ -85,6 +85,25 @@ class CompiledEdges:
         self.paths = [path for _, _, path in entries]
         self.seed_lo, self.seed_hi = split64(seed)
 
+    @classmethod
+    def for_entries(
+        cls,
+        entries: "typing.Sequence[tuple[int, str, str]]",
+        seed: int,
+    ) -> "CompiledEdges":
+        """A compiled view for ``entries``, via the process warm cache.
+
+        Compilation is pure in ``(entries, seed)`` and the arrays are
+        immutable, so identically parameterised graph simulations share
+        one compilation per worker across tasks and batches.
+        """
+        from repro.exec.cache import stable_key
+        from repro.exec.worker import WARM
+
+        key = stable_key("graph-edges", seed, [list(e) for e in entries])
+        return WARM.get_or_build("compiled", key,
+                                 lambda: cls(entries, seed))
+
     def block(
         self,
         cycles: "np.ndarray",

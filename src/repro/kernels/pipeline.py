@@ -104,6 +104,27 @@ class CompiledStages:
         self.keys = np.array([key_id(stage.name) for stage in stages],
                              dtype=np.uint32)[None, :]
 
+    @classmethod
+    def for_stages(
+        cls, stages: "typing.Sequence[PipelineStage]",
+    ) -> "CompiledStages":
+        """A compiled view for ``stages``, via the process warm cache.
+
+        Compilation is a pure function of the stage parameters and the
+        result is immutable, so identically parameterised pipelines —
+        every task of a sweep grid point, across batches — share one
+        compilation per worker instead of recompiling per task.
+        """
+        from repro.exec.cache import stable_key
+        from repro.exec.worker import WARM
+
+        key = stable_key("pipeline-stages", [
+            (stage.name, stage.critical_delay_ps, stage.typical_delay_ps,
+             stage.sensitization_prob, stage.seed)
+            for stage in stages
+        ])
+        return WARM.get_or_build("compiled", key, lambda: cls(stages))
+
     def delay_block(
         self,
         cycles: "np.ndarray",

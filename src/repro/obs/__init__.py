@@ -93,6 +93,28 @@ def env_enabled() -> bool:
     return os.environ.get(OBS_ENV, "0") not in ("", "0")
 
 
+def begin_capture() -> tuple | None:
+    """Open a metrics/spans capture window on the process registry.
+
+    Returns an opaque token for :func:`end_capture`, or ``None`` when
+    observability is off (the common case — callers skip the end call).
+    The exec layer brackets each worker-side *batch* with one capture
+    so the deltas ship across the pool boundary once per batch rather
+    than once per task.
+    """
+    if not REGISTRY.enabled:
+        return None
+    return (REGISTRY.snapshot(), len(TRACER.spans))
+
+
+def end_capture(token: tuple) -> tuple[dict, list]:
+    """Close a capture window: (metric deltas, span records) since."""
+    metrics_before, spans_before = token
+    delta = snapshot_delta(metrics_before, REGISTRY.snapshot())
+    records = [span.to_record() for span in TRACER.spans[spans_before:]]
+    return delta, records
+
+
 def semantic_snapshot(
     registry: MetricsRegistry | None = None,
 ) -> dict:
@@ -124,7 +146,9 @@ __all__ = [
     "Span",
     "TRACER",
     "Tracer",
+    "begin_capture",
     "disable",
+    "end_capture",
     "enable",
     "enabled",
     "env_enabled",

@@ -397,7 +397,7 @@ class GraphPipelineSimulation:
         from repro.kernels.schedule import BlockSizer, slow_cycles_between
 
         if self._compiled is None:
-            self._compiled = CompiledEdges(
+            self._compiled = CompiledEdges.for_entries(
                 [(edge.delay_ps, f"{edge.src}->{edge.dst}#{edge.delay_ps}",
                   path)
                  for _, entries in self._rows

@@ -269,7 +269,7 @@ class PipelineSimulation:
         from repro.kernels.schedule import BlockSizer, slow_cycles_between
 
         if self._compiled is None:
-            self._compiled = CompiledStages(self.stages)
+            self._compiled = CompiledStages.for_stages(self.stages)
         threshold = self.policy.clean_lateness_threshold_ps()
         num_stages = len(self.stages)
         slow_period = (
