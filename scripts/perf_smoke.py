@@ -10,6 +10,10 @@ DESIGN.md).  A dispatch-overhead gate then pits batched against
 per-task dispatch on a many-tiny-tasks sweep (batched must be >= 3x
 tasks/s), checks the warm compile cache actually hits on a real
 pipeline sweep, and records both runs to ``BENCH_dispatch.json``.
+A Fig. 8 relay gate then times the pre-index scan-per-endpoint relay
+analysis against the memoized criticality index on a reduced grid
+(must be >= 20x, with a warm-cache hit on a second graph instance)
+and merges the result into ``BENCH_fig8_relay.json``.
 CI runs this on every push; it is also a convenient local sanity
 check:
 
@@ -56,6 +60,13 @@ NOOP_CALLS = 200_000
 DISPATCH_TASKS = 600
 DISPATCH_WORKERS = 2
 DISPATCH_SPEEDUP_FLOOR = 3.0
+
+#: Fig. 8 relay-analysis gate: criticality queries through the memoized
+#: index must beat the pre-index scan-per-endpoint pattern by at least
+#: this factor on a reduced grid (one performance point, two checking
+#: percents), and the second graph instance must hit the warm cache.
+FIG8_PERCENTS = (10.0, 20.0)
+FIG8_SPEEDUP_FLOOR = 20.0
 
 
 def _run_sweep():
@@ -188,6 +199,78 @@ def _dispatch_bench(now: str) -> tuple[dict | None, str | None]:
     return payload, None
 
 
+def _fig8_relay_bench(now: str) -> tuple[dict | None, str | None]:
+    """Criticality-index gate on a reduced Fig. 8 grid.
+
+    Times the pre-index relay analysis (``naive_relay_inputs``, one
+    full through-set recomputation per endpoint — the pattern behind
+    the recorded 142 s scalar baseline) against ``relay_cost`` through
+    the memoized index, on the medium performance point at two checking
+    percents.  A second, content-identical graph instance must be
+    served from the warm cache.  Returns ``(gate_payload,
+    failure_message)``; the payload is merged into
+    ``BENCH_fig8_relay.json`` alongside the full-grid trajectory.
+    """
+    from repro.core.relay import relay_cost
+    from repro.exec.worker import WARM
+    from repro.processor.generator import generate_processor
+    from repro.processor.perfpoints import MEDIUM_PERFORMANCE
+    from repro.timing.criticality import naive_relay_inputs
+
+    graphs = [generate_processor(MEDIUM_PERFORMANCE, seed=2010)
+              for _ in range(2)]
+
+    start = time.perf_counter()
+    naive = {percent: naive_relay_inputs(graphs[0], percent)
+             for percent in FIG8_PERCENTS}
+    naive_wall = time.perf_counter() - start
+
+    before = WARM.counters()
+    start = time.perf_counter()
+    cold = {percent: relay_cost(graphs[0], percent)
+            for percent in FIG8_PERCENTS}
+    cold_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = {percent: relay_cost(graphs[1], percent)
+            for percent in FIG8_PERCENTS}
+    warm_wall = time.perf_counter() - start
+    delta = WARM.stats_delta(before)
+
+    for percent in FIG8_PERCENTS:
+        fanins = naive[percent]
+        for cost in (cold[percent], warm[percent]):
+            if (cost.num_protected_ffs != len(fanins)
+                    or cost.num_relayed_inputs != sum(fanins.values())):
+                return None, (
+                    f"indexed relay_cost diverged from the naive scan "
+                    f"at {percent}% checking")
+
+    speedup = naive_wall / cold_wall if cold_wall > 0 else float("inf")
+    payload = {
+        "recorded_at": now,
+        "point": MEDIUM_PERFORMANCE.name,
+        "checking_percents": list(FIG8_PERCENTS),
+        "edges": graphs[0].num_edges,
+        "naive_wall_s": round(naive_wall, 4),
+        "indexed_wall_s": round(cold_wall, 4),
+        "indexed_warm_wall_s": round(warm_wall, 6),
+        "speedup": round(speedup, 1),
+        "speedup_floor": FIG8_SPEEDUP_FLOOR,
+        "warm_cache": delta,
+    }
+    if speedup < FIG8_SPEEDUP_FLOOR:
+        return payload, (
+            f"criticality index only {speedup:.1f}x faster than the "
+            f"naive relay scan (floor {FIG8_SPEEDUP_FLOOR:.0f}x; naive "
+            f"{naive_wall:.3f}s, indexed {cold_wall:.3f}s)")
+    hits = delta.get("criticality", [0, 0])[0]
+    if hits < 1:
+        return payload, (
+            "second graph instance did not hit the warm criticality "
+            f"cache (warm stats delta: {delta})")
+    return payload, None
+
+
 def main() -> int:
     scalar_points, scalar_wall = _measure("scalar")
     vector_points, vector_wall = _measure("vector")
@@ -277,6 +360,23 @@ def main() -> int:
         return 1
     assert dispatch is not None
 
+    # -- Fig. 8 relay-analysis (criticality index) gate ------------------
+    fig8, fig8_failure = _fig8_relay_bench(now)
+    if fig8 is not None:
+        fig8_path = REPO_ROOT / "BENCH_fig8_relay.json"
+        if fig8_path.exists():
+            fig8_doc = json.loads(fig8_path.read_text(encoding="utf-8"))
+        else:
+            fig8_doc = {"bench": "fig8_relay", "schema_version": 1,
+                        "runs": []}
+        fig8_doc["criticality_gate"] = fig8
+        fig8_path.write_text(json.dumps(fig8_doc, indent=2) + "\n",
+                             encoding="utf-8")
+    if fig8_failure is not None:
+        print(f"FAIL: {fig8_failure}")
+        return 1
+    assert fig8 is not None
+
     speedup = scalar_wall / vector_wall if vector_wall > 0 else float("inf")
     print(f"perf smoke OK: {len(scalar_points)} grid points x "
           f"{NUM_CYCLES} cycles identical in both kernel modes "
@@ -293,8 +393,11 @@ def main() -> int:
           f"{batched['tasks_per_second']:.0f} tasks/s "
           f"({dispatch['speedup']:.1f}x batched, mean batch "
           f"{batched['mean_batch_tasks']:.1f} tasks)")
-    print(f"  trajectories written to {path.name}, {obs_path.name} "
-          "and BENCH_dispatch.json")
+    print(f"  fig8 relay: naive {fig8['naive_wall_s']:.3f}s -> indexed "
+          f"{fig8['indexed_wall_s']:.3f}s ({fig8['speedup']:.0f}x, warm "
+          f"repeat {fig8['indexed_warm_wall_s'] * 1e3:.1f}ms)")
+    print(f"  trajectories written to {path.name}, {obs_path.name}, "
+          "BENCH_dispatch.json and BENCH_fig8_relay.json")
     return 0
 
 

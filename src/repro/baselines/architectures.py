@@ -23,6 +23,11 @@ import typing
 
 from repro.core.checking_period import CheckingPeriod
 from repro.errors import ConfigurationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.power.models import DesignCostModel
+    from repro.power.overhead import DeploymentOverhead
+    from repro.timing.graph import TimingGraph
 from repro.pipeline.schemes import (
     CanaryPolicy,
     ClockStallPolicy,
@@ -68,6 +73,33 @@ class TechniqueArchitecture:
             return checking_percent / intervals
         # Razor/DCF tolerate the full window but only one stage deep.
         return checking_percent
+
+    def deployment(
+        self,
+        graph: "TimingGraph",
+        checking_percent: float,
+        *,
+        cost_model: "DesignCostModel | None" = None,
+    ) -> "DeploymentOverhead":
+        """Price this technique deployed on ``graph``'s critical cones.
+
+        Every technique replaces the flip-flops terminating top-c%
+        critical paths with its own sequential cell; only relay-bearing
+        techniques additionally pay for the select network.  The
+        endpoint set and relay pricing come from the graph's memoized
+        criticality index, so comparing all architectures on one graph
+        compiles the criticality structure once instead of rescanning
+        the edge list per technique.
+        """
+        from repro.power.overhead import deployment_overhead
+
+        return deployment_overhead(
+            graph,
+            percent_checking=checking_percent,
+            style="ff" if self.needs_relay else "latch",
+            cost_model=cost_model,
+            element_cell=self.element_cell,
+        )
 
 
 def _timber_ff(n: int, period_ps: int, percent: float) -> CapturePolicy:

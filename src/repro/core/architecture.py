@@ -76,14 +76,19 @@ class TimberDesign:
 
     # -- deployment ------------------------------------------------------
     @property
+    def _criticality_view(self):
+        """The memoized criticality view at the checking threshold."""
+        return self.graph.criticality().view(self.percent_checking)
+
+    @property
     def protected_ffs(self) -> set[str]:
         """Flip-flops replaced by TIMBER elements."""
-        return self.graph.critical_endpoints(self.percent_checking)
+        return set(self._criticality_view.endpoints)
 
     @property
     def through_ffs(self) -> set[str]:
         """Protected FFs susceptible to multi-stage errors."""
-        return self.graph.critical_through_ffs(self.percent_checking)
+        return set(self._criticality_view.through)
 
     def relay(self) -> RelayCost | None:
         """Relay network cost (None for the latch style)."""

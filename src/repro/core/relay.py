@@ -24,6 +24,7 @@ needs those inputs — the structural reason the relay is cheap (Fig. 8(i)).
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import math
 
@@ -69,7 +70,16 @@ class ErrorRelay:
     flip-flops in its fanin cone.  On every falling clock edge the relay
     samples the sources' ``select_out`` values and, ``relay_delay_ps``
     later, applies the max to each destination's ``select_in``.
+
+    ``applied`` keeps the most recent ``history_limit`` applications as
+    ``(time_ps, dst_name, select)`` entries.  The bound exists because
+    the relay applies one entry per destination per falling edge — an
+    unbounded log is a memory leak over soak-length runs; pass ``None``
+    to opt in to a full history, or ``0`` to keep none.
     """
+
+    #: Default number of ``applied`` entries retained.
+    DEFAULT_HISTORY_LIMIT = 1024
 
     def __init__(
         self,
@@ -78,13 +88,17 @@ class ErrorRelay:
         connections: dict[TimberFlipFlop, list[TimberFlipFlop]],
         *,
         relay_delay_ps: int = 100,
+        history_limit: int | None = DEFAULT_HISTORY_LIMIT,
     ) -> None:
         if relay_delay_ps < 0:
             raise ConfigurationError("relay delay must be >= 0")
+        if history_limit is not None and history_limit < 0:
+            raise ConfigurationError("history limit must be >= 0 or None")
         self.simulator = simulator
         self.connections = connections
         self.relay_delay_ps = relay_delay_ps
-        self.applied: list[tuple[int, str, int]] = []
+        self.applied: "collections.deque[tuple[int, str, int]]" = (
+            collections.deque(maxlen=history_limit))
         simulator.on_change(clk, self._on_clk)
 
     def _on_clk(self, sim: Simulator, _signal: str, value: Logic,
@@ -137,16 +151,20 @@ def relay_cost(graph: TimingGraph, percent: float) -> RelayCost:
 
     Every critical endpoint gets a TIMBER flip-flop (flag logic).  Only
     endpoints with critical fanin launched by *through* FFs need a
-    max-tree; through FFs additionally carry increment logic.
+    max-tree; through FFs additionally carry increment logic.  All
+    counts come from the graph's memoized criticality view — one index
+    build per graph instead of the former two full edge scans per
+    endpoint.
     """
-    endpoints = graph.critical_endpoints(percent)
-    through = graph.critical_through_ffs(percent)
+    view = graph.criticality().view(percent)
+    endpoints = view.endpoints
+    through = view.through
 
     num_max_nodes = 0
     num_relayed = 0
     worst_fanin = 0
     for ff in endpoints:
-        fanin = graph.critical_fanin_count(ff, percent)
+        fanin = view.fanin_count(ff)
         num_relayed += fanin
         if fanin > 1:
             num_max_nodes += fanin - 1

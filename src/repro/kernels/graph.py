@@ -25,15 +25,25 @@ from repro.kernels.rng import cycle_lanes, key_id, mix32_batch, split64
 GRAPH_SENS_SALT = key_id("graph-sens")
 
 # Vector-path internals; see the pipeline kernel's twin series for the
-# screened/replayed semantics.
+# screened/replayed semantics.  Replays are attributed by *reason*:
+# ``screen`` = the block screen marked the cycle interesting;
+# ``carryover`` = the screen cleared it but borrow/select_out state
+# carried over from a violating predecessor forced a scalar replay
+# anyway (incremented by the simulator's main loop — these cycles
+# escape the screen and were previously invisible).
 _OBS_SCREENED = obs.REGISTRY.counter(
     "repro_kernel_cycles_screened_total",
     "Cycles retired by the block screen without scalar replay",
     labelnames=("kernel",)).labels(kernel="graph")
-_OBS_REPLAYED = obs.REGISTRY.counter(
+_REPLAYED_FAMILY = obs.REGISTRY.counter(
     "repro_kernel_cycles_replayed_total",
-    "Cycles the block screen marked for scalar replay",
-    labelnames=("kernel",)).labels(kernel="graph")
+    "Cycles replayed through the scalar state machine, by reason",
+    labelnames=("kernel", "reason"))
+_OBS_REPLAYED = _REPLAYED_FAMILY.labels(kernel="graph", reason="screen")
+#: Cycles replayed despite a clean screen, because of borrow/select_out
+#: carryover (bound here, incremented by the graph simulator).
+REPLAYED_CARRYOVER = _REPLAYED_FAMILY.labels(kernel="graph",
+                                             reason="carryover")
 _OBS_BATCH = obs.REGISTRY.histogram(
     "repro_kernel_batch_cycles",
     "Block sizes fed to the screen (adaptive block sizer output)",

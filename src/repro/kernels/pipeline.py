@@ -47,8 +47,9 @@ _OBS_SCREENED = obs.REGISTRY.counter(
     labelnames=("kernel",)).labels(kernel="pipeline")
 _OBS_REPLAYED = obs.REGISTRY.counter(
     "repro_kernel_cycles_replayed_total",
-    "Cycles the block screen marked for scalar replay",
-    labelnames=("kernel",)).labels(kernel="pipeline")
+    "Cycles replayed through the scalar state machine, by reason",
+    labelnames=("kernel", "reason")).labels(kernel="pipeline",
+                                            reason="screen")
 _OBS_BATCH = obs.REGISTRY.histogram(
     "repro_kernel_batch_cycles",
     "Block sizes fed to the screen (adaptive block sizer output)",

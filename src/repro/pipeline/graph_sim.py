@@ -170,17 +170,17 @@ class GraphPipelineSimulation:
         else:
             self.cp = CheckingPeriod.without_tb(graph.period_ps,
                                                 percent_checking)
-        self.protected = (
-            set() if scheme == "plain"
-            else graph.critical_endpoints(percent_checking)
-        )
-        # Critical-fanin adjacency for the relay (FF style only).
-        threshold = graph.critical_threshold_ps(percent_checking)
+        # Protected set and relay adjacency come from the graph's
+        # memoized criticality view (built once per graph, shared with
+        # relay pricing) instead of per-simulation edge rescans.  A
+        # critical edge's source that is protected is by construction a
+        # through FF, so the view's relay map is exactly the old
+        # "critical in-edge from a protected source" adjacency.
+        view = graph.criticality().view(percent_checking)
+        self.protected = (set() if scheme == "plain"
+                          else set(view.endpoints))
         self._relay_srcs: dict[str, list[str]] = {
-            ff: sorted({
-                e.src for e in graph.in_edges(ff)
-                if e.delay_ps >= threshold and e.src in self.protected
-            })
+            ff: list(view.relay_srcs.get(ff, ()))
             for ff in self.protected
         }
         # Candidate edges: could the arrival ever exceed the period?
@@ -393,7 +393,11 @@ class GraphPipelineSimulation:
                     result: GraphPipelineResult) -> None:
         import numpy as np
 
-        from repro.kernels.graph import CompiledEdges, screen_block
+        from repro.kernels.graph import (
+            CompiledEdges,
+            REPLAYED_CARRYOVER,
+            screen_block,
+        )
         from repro.kernels.schedule import BlockSizer, slow_cycles_between
 
         if self._compiled is None:
@@ -429,6 +433,7 @@ class GraphPipelineSimulation:
             forced = (self.faults.active_mask(cycles)
                       if self.faults is not None else None)
             interesting = screen_block(sens, arrival, nominal, forced)
+            replayed = 0
             k = 0
             while k < count:
                 if not borrow and not select_out:
@@ -442,9 +447,19 @@ class GraphPipelineSimulation:
                         k = nxt
                         if k >= count:
                             break
+                if not interesting[k]:
+                    # Replayed only because of borrow/select_out
+                    # carryover from a violating predecessor — invisible
+                    # to the screen's own counters, so account it here.
+                    REPLAYED_CARRYOVER.inc()
                 borrow, select_out = self._simulate_cycle(
                     pos + k, result, borrow, select_out, sens[k],
                     arrival[k])
+                replayed += 1
                 k += 1
-            sizer.update(float(interesting.mean()) if count else 0.0)
+            # Feed the sizer the *actual* replayed fraction: carryover
+            # replays escape the screen, and sizing on the screen's
+            # interesting fraction alone grew blocks during exactly the
+            # error storms that degrade to scalar stepping.
+            sizer.update(replayed / count if count else 0.0)
             pos += count

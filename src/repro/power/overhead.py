@@ -81,6 +81,7 @@ def deployment_overhead(
     cost_model: DesignCostModel | None = None,
     include_hold_buffers: bool = False,
     hold_buffers_per_replaced_ff: float = 2.0,
+    element_cell: str | None = None,
 ) -> DeploymentOverhead:
     """Price a TIMBER deployment on ``graph``.
 
@@ -91,6 +92,10 @@ def deployment_overhead(
             paths are replaced (paper Sec. 6).
         style: ``"ff"`` (TIMBER flip-flop + relay) or ``"latch"``.
         cost_model: Cost model (defaults to :class:`DesignCostModel`).
+        element_cell: Sequential cell replacing the DFF at protected
+            endpoints; defaults to the TIMBER cell of ``style``.  The
+            baseline architectures pass their own cells (Razor, canary)
+            to price rival schemes on the same criticality index.
         include_hold_buffers: Add the short-path padding cost.  The paper
             reports element+relay overhead; padding is listed as a design
             requirement (Table 1) but not priced, so this defaults off.
@@ -100,8 +105,11 @@ def deployment_overhead(
     if style not in ("ff", "latch"):
         raise ConfigurationError(f"style must be 'ff' or 'latch', got {style}")
     model = cost_model or DesignCostModel()
-    replaced = len(graph.critical_endpoints(percent_checking))
-    element_cell = "TIMBER_FF" if style == "ff" else "TIMBER_LATCH"
+    # Endpoint count and relay pricing share the graph's memoized
+    # criticality view — no per-call edge rescans.
+    replaced = len(graph.criticality().view(percent_checking).endpoints)
+    if element_cell is None:
+        element_cell = "TIMBER_FF" if style == "ff" else "TIMBER_LATCH"
     element_delta = model.sequential_delta("DFF", element_cell, replaced)
     relay = relay_cost(graph, percent_checking) if style == "ff" else None
 

@@ -1,6 +1,7 @@
 """Timing analysis: FF-level timing graphs, gate-level STA, constraints."""
 
 from repro.timing.graph import TimingEdge, TimingGraph
+from repro.timing.criticality import CriticalityIndex, CriticalityView
 from repro.timing.sta import (
     StaResult,
     netlist_to_timing_graph,
@@ -38,6 +39,8 @@ from repro.timing.distribution import (
 __all__ = [
     "TimingEdge",
     "TimingGraph",
+    "CriticalityIndex",
+    "CriticalityView",
     "StaResult",
     "netlist_to_timing_graph",
     "register_to_register_delays",

@@ -11,9 +11,14 @@ netlists can be reduced to one through :func:`repro.timing.sta.run_sta`.
 from __future__ import annotations
 
 import dataclasses
+import typing
 from collections.abc import Iterable, Iterator
 
-from repro.errors import AnalysisError, ConfigurationError
+from repro.errors import ConfigurationError
+from repro.timing.criticality import critical_threshold_ps
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.timing.criticality import CriticalityIndex
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,6 +51,8 @@ class TimingGraph:
         self._ffs: dict[str, int] = {}  # ff name -> stage index
         self._out: dict[str, list[TimingEdge]] = {}
         self._in: dict[str, list[TimingEdge]] = {}
+        # Memoized criticality index; rebuilt lazily after any mutation.
+        self._criticality: "CriticalityIndex | None" = None
 
     # -- construction ----------------------------------------------------
     def add_ff(self, name: str, stage: int = 0) -> str:
@@ -54,6 +61,7 @@ class TimingGraph:
         self._ffs[name] = stage
         self._out[name] = []
         self._in[name] = []
+        self._criticality = None
         return name
 
     def add_edge(self, src: str, dst: str, delay_ps: int) -> TimingEdge:
@@ -69,6 +77,7 @@ class TimingGraph:
         edge = TimingEdge(src, dst, delay_ps)
         self._out[src].append(edge)
         self._in[dst].append(edge)
+        self._criticality = None
         return edge
 
     # -- queries -------------------------------------------------------------
@@ -108,27 +117,37 @@ class TimingGraph:
         return max((e.delay_ps for e in edges), default=0)
 
     # -- criticality -----------------------------------------------------------
+    def criticality(self) -> "CriticalityIndex":
+        """The memoized criticality index for the graph's current edges.
+
+        Compiled once (delay-sorted edge order, shared per worker via
+        the warm cache) and invalidated by ``add_ff``/``add_edge``;
+        every ``critical_*`` query below is served from it.
+        """
+        if self._criticality is None:
+            from repro.timing.criticality import CriticalityIndex
+
+            self._criticality = CriticalityIndex.for_graph(self)
+        return self._criticality
+
     def critical_threshold_ps(self, percent: float) -> int:
         """Delay above which a path is 'top ``percent``%' critical.
 
         The paper classifies a path as top-c% critical when its slack is
         within c% of the clock period, i.e. ``delay >= (1 - c/100) * T``.
         """
-        if not 0 < percent <= 100:
-            raise AnalysisError(f"percent must be in (0, 100], got {percent}")
-        return int(round(self.period_ps * (1.0 - percent / 100.0)))
+        return critical_threshold_ps(self.period_ps, percent)
 
     def critical_edges(self, percent: float) -> list[TimingEdge]:
-        threshold = self.critical_threshold_ps(percent)
-        return [e for e in self.edges() if e.delay_ps >= threshold]
+        return list(self.criticality().view(percent).edges)
 
     def critical_endpoints(self, percent: float) -> set[str]:
         """FFs at which at least one top-``percent``% path terminates."""
-        return {e.dst for e in self.critical_edges(percent)}
+        return set(self.criticality().view(percent).endpoints)
 
     def critical_startpoints(self, percent: float) -> set[str]:
         """FFs from which at least one top-``percent``% path originates."""
-        return {e.src for e in self.critical_edges(percent)}
+        return set(self.criticality().view(percent).startpoints)
 
     def critical_through_ffs(self, percent: float) -> set[str]:
         """FFs that are both start- and end-points of critical paths.
@@ -136,20 +155,16 @@ class TimingGraph:
         These are the only FFs susceptible to multi-stage timing errors,
         and the only ones whose error relay must actually do work.
         """
-        return self.critical_endpoints(percent) & self.critical_startpoints(
-            percent)
+        return set(self.criticality().view(percent).through)
 
     def critical_fanin_count(self, ff: str, percent: float) -> int:
         """Number of distinct critical-fanin *flip-flops* of ``ff`` that
         are critical *through* FFs — the inputs the error-relay max-tree
         at ``ff`` must combine.  Multiple critical paths from the same
         source share one select signal, so sources are deduplicated."""
-        threshold = self.critical_threshold_ps(percent)
-        through = self.critical_through_ffs(percent)
-        return len({
-            e.src for e in self._in[ff]
-            if e.delay_ps >= threshold and e.src in through
-        })
+        if ff not in self._in:
+            raise KeyError(ff)
+        return self.criticality().view(percent).fanin_count(ff)
 
     # -- chains (multi-stage error structure) --------------------------------
     def critical_chains(self, percent: float, max_length: int = 4,

@@ -1,0 +1,23 @@
+"""Golden test: the criticality index must not change Fig. 8 output.
+
+``tests/golden/fig8_rows.json`` was captured from ``fig8_experiment``
+*before* ``CriticalityIndex`` replaced the per-query edge scans (serial
+runner, no cache, default points, seed 2010).  The index is a pure
+performance structure — every row must match the pre-index output
+exactly, field for field.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+from repro.analysis.experiments import fig8_experiment
+from repro.exec.runner import SweepRunner
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "golden" / "fig8_rows.json"
+
+
+def test_fig8_rows_match_pre_index_golden():
+    golden = json.loads(GOLDEN.read_text())
+    rows = fig8_experiment(runner=SweepRunner(workers=1, cache=None))
+    assert [dataclasses.asdict(row) for row in rows] == golden["rows"]

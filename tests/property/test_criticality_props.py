@@ -1,0 +1,94 @@
+"""Property tests pinning ``CriticalityIndex`` to the naive scans.
+
+The index is a pure performance structure: every query must agree with
+the pre-index scan-per-call implementations (preserved as the
+``naive_*`` executable specification in ``repro.timing.criticality``)
+on any graph, including threshold-boundary delays and graphs with no
+critical edges at all.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.relay import relay_cost
+from repro.timing import criticality as crit
+from repro.timing.graph import TimingGraph
+
+PERIOD = 1000
+
+
+@st.composite
+def random_graphs(draw):
+    """Random multigraphs, biased toward threshold-boundary delays.
+
+    Thresholds for the sampled percents land exactly on round delay
+    values (e.g. 900 for 10% of a 1000 ps period), so drawing delays
+    from a pool that includes those values exercises the ``>=``
+    boundary on both sides.
+    """
+    num_ffs = draw(st.integers(min_value=2, max_value=20))
+    graph = TimingGraph("g", PERIOD)
+    for index in range(num_ffs):
+        graph.add_ff(f"f{index}")
+    boundary_pool = st.sampled_from(
+        (0, 100, 500, 600, 750, 899, 900, 901, 950, 999, 1000))
+    delays = st.one_of(st.integers(min_value=0, max_value=PERIOD),
+                       boundary_pool)
+    num_edges = draw(st.integers(min_value=0, max_value=60))
+    for _ in range(num_edges):
+        src = draw(st.integers(min_value=0, max_value=num_ffs - 1))
+        dst = draw(st.integers(min_value=0, max_value=num_ffs - 1))
+        graph.add_edge(f"f{src}", f"f{dst}", draw(delays))
+    return graph
+
+
+PERCENTS = st.one_of(
+    st.sampled_from((0.05, 10.0, 25.0, 40.0, 50.0, 100.0)),
+    st.floats(min_value=0.01, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs(), PERCENTS)
+def test_index_matches_naive_reference(graph, percent):
+    # Low percents often select *no* edges — the empty-view case.
+    assert graph.critical_threshold_ps(percent) == \
+        crit.critical_threshold_ps(PERIOD, percent)
+    assert graph.critical_edges(percent) == \
+        crit.naive_critical_edges(graph, percent)
+    assert graph.critical_endpoints(percent) == \
+        crit.naive_critical_endpoints(graph, percent)
+    assert graph.critical_startpoints(percent) == \
+        crit.naive_critical_startpoints(graph, percent)
+    assert graph.critical_through_ffs(percent) == \
+        crit.naive_critical_through_ffs(graph, percent)
+    for ff in graph.ffs:
+        assert graph.critical_fanin_count(ff, percent) == \
+            crit.naive_critical_fanin_count(graph, ff, percent)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs(), PERCENTS)
+def test_view_relay_adjacency_matches_naive_scan(graph, percent):
+    """The relay map equals the simulator's old per-FF rescan."""
+    view = graph.criticality().view(percent)
+    threshold = graph.critical_threshold_ps(percent)
+    protected = crit.naive_critical_endpoints(graph, percent)
+    for ff in graph.ffs:
+        expected = sorted({
+            e.src for e in graph.in_edges(ff)
+            if e.delay_ps >= threshold and e.src in protected
+        })
+        assert list(view.relay_srcs.get(ff, ())) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs(), PERCENTS)
+def test_relay_cost_matches_naive_fanin_accounting(graph, percent):
+    cost = relay_cost(graph, percent)
+    fanins = crit.naive_relay_inputs(graph, percent)
+    assert cost.num_protected_ffs == len(fanins)
+    assert cost.num_relayed_inputs == sum(fanins.values())
+    assert cost.worst_fanin == max(fanins.values(), default=0)
+    assert cost.num_max_nodes == sum(
+        fanin - 1 for fanin in fanins.values() if fanin > 1)

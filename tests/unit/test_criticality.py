@@ -1,0 +1,150 @@
+"""Unit tests for the memoized criticality index."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.exec.worker import WARM
+from repro.pipeline.graph_sim import GraphPipelineSimulation
+from repro.timing.criticality import (
+    CriticalityIndex,
+    critical_threshold_ps,
+    naive_critical_endpoints,
+)
+from repro.timing.graph import TimingGraph
+
+
+def chain_graph() -> TimingGraph:
+    graph = TimingGraph("t", 1000)
+    for name in ("a", "b", "c", "d", "e"):
+        graph.add_ff(name)
+    graph.add_edge("a", "b", 950)
+    graph.add_edge("b", "c", 930)
+    graph.add_edge("b", "d", 910)
+    graph.add_edge("e", "c", 920)
+    graph.add_edge("c", "e", 905)
+    return graph
+
+
+class TestView:
+    def test_view_contents(self):
+        view = chain_graph().criticality().view(10)
+        assert view.threshold_ps == 900
+        # edges() groups by source FF: a->b, b->c, b->d, c->e, e->c.
+        assert [e.delay_ps for e in view.edges] == [950, 930, 910, 905,
+                                                    920]
+        assert view.endpoints == {"b", "c", "d", "e"}
+        assert view.startpoints == {"a", "b", "c", "e"}
+        assert view.through == {"b", "c", "e"}
+        # Relay adjacency: deduplicated critical fanin from through FFs.
+        assert view.relay_srcs == {"c": ("b", "e"), "d": ("b",),
+                                   "e": ("c",)}
+        assert view.fanin_count("c") == 2
+        assert view.fanin_count("b") == 0  # a is not a through FF
+        assert view.fanin_count("nope") == 0
+
+    def test_edges_keep_graph_order(self):
+        graph = chain_graph()
+        assert graph.critical_edges(10) == [
+            e for e in graph.edges() if e.delay_ps >= 900]
+
+    def test_empty_view(self):
+        graph = TimingGraph("cold", 1000)
+        graph.add_ff("x")
+        graph.add_ff("y")
+        graph.add_edge("x", "y", 100)
+        view = graph.criticality().view(10)
+        assert view.edges == ()
+        assert view.endpoints == frozenset()
+        assert view.relay_srcs == {}
+
+    def test_views_are_cached_per_percent(self):
+        index = chain_graph().criticality()
+        assert index.view(10) is index.view(10)
+        assert index.view(10) is not index.view(20)
+
+    def test_percent_validation(self):
+        graph = chain_graph()
+        for bad in (0, -1, 101):
+            with pytest.raises(AnalysisError):
+                graph.criticality().view(bad)
+            with pytest.raises(AnalysisError):
+                graph.critical_threshold_ps(bad)
+
+    def test_threshold_matches_graph_formula(self):
+        for percent in (0.5, 10, 33.3, 50, 100):
+            assert critical_threshold_ps(1000, percent) == \
+                int(round(1000 * (1 - percent / 100.0)))
+
+    def test_fanin_count_unknown_ff_raises(self):
+        with pytest.raises(KeyError):
+            chain_graph().critical_fanin_count("ghost", 10)
+
+
+class TestInvalidation:
+    def test_add_edge_after_query_invalidates_cache(self):
+        graph = chain_graph()
+        before = graph.critical_endpoints(10)
+        assert "a" not in before
+        graph.add_edge("d", "a", 990)  # new critical edge into a
+        after = graph.critical_endpoints(10)
+        assert "a" in after
+        assert after == naive_critical_endpoints(graph, 10)
+        # The through set gains d (ends b->d, now starts d->a).
+        assert "d" in graph.critical_through_ffs(10)
+
+    def test_add_ff_after_query_invalidates_cache(self):
+        graph = chain_graph()
+        graph.critical_endpoints(10)
+        first = graph.criticality()
+        graph.add_ff("f")
+        graph.add_edge("f", "a", 970)
+        assert graph.criticality() is not first
+        assert graph.critical_endpoints(10) == \
+            naive_critical_endpoints(graph, 10)
+
+
+class TestWarmCache:
+    def test_identical_graphs_share_one_index(self):
+        graphs = [chain_graph(), chain_graph()]
+        # Bypass the per-graph memo on both: fresh instances.
+        before = WARM.counters()
+        first = graphs[0].criticality()
+        second = graphs[1].criticality()
+        delta = WARM.stats_delta(before)
+        hits, misses = delta.get("criticality", [0, 0])
+        assert hits >= 1
+        assert second is first
+
+    def test_different_content_misses(self):
+        graph = chain_graph()
+        other = chain_graph()
+        other.add_edge("a", "e", 999)
+        before = WARM.counters()
+        assert graph.criticality() is not other.criticality()
+        delta = WARM.stats_delta(before)
+        hits, misses = delta.get("criticality", [0, 0])
+        assert misses >= 1
+
+
+class TestGraphSimWiring:
+    def test_simulator_relay_adjacency_matches_view(self):
+        graph = chain_graph()
+        sim = GraphPipelineSimulation(
+            graph, scheme="timber-ff", percent_checking=10)
+        view = graph.criticality().view(10)
+        assert sim.protected == set(view.endpoints)
+        assert sim._relay_srcs == {
+            ff: list(view.relay_srcs.get(ff, ()))
+            for ff in view.endpoints
+        }
+
+    def test_plain_scheme_protects_nothing_but_validates(self):
+        graph = chain_graph()
+        sim = GraphPipelineSimulation(
+            graph, scheme="plain", percent_checking=10)
+        assert sim.protected == set()
+        assert sim._relay_srcs == {}
+        # CheckingPeriod rejects the percent before the view is built.
+        with pytest.raises(ConfigurationError):
+            GraphPipelineSimulation(
+                graph, scheme="plain", percent_checking=0)
