@@ -82,5 +82,10 @@ def test_campaign_shootout(benchmark, report):
         "x12_campaign_perf",
         simulated_cycles=len(SCHEMES) * NUM_FAULTS * NUM_CYCLES,
         summary=summary,
-        extra={"schemes": list(SCHEMES), "num_faults": NUM_FAULTS},
+        extra={
+            "schemes": list(SCHEMES),
+            "num_faults": NUM_FAULTS,
+            "faults_per_second": round(
+                NUM_FAULTS / float(summary["wall_time_s"]), 1),
+        },
     )

@@ -11,10 +11,17 @@ The drill (run from the repo root with ``PYTHONPATH=src``):
    SIGKILLed (the runner must absorb the broken pool with the whole
    batch in flight), and then the campaign process itself is SIGKILLed
    (a hard crash with a partial checkpoint on disk).
-3. One cache entry is truncated — the corruption the integrity check
-   must catch rather than serve.
-4. The campaign is re-run with ``--resume``.  It must exit cleanly and
-   its coverage reports must be byte-identical to the reference.
+3. One result-cache entry is truncated — the corruption the integrity
+   check must catch rather than serve.
+4. One cached background-trajectory entry (the snapshot chain the
+   forked fault evaluator restores from, persisted under
+   ``<cache-dir>/trajectories`` by the CLI) is truncated too — the
+   checksum-on-read must log the corruption, discard the entry, and
+   rebuild it from simulation rather than fork from bogus state.
+5. The campaign is re-run with ``--resume``.  It must exit cleanly,
+   report the trajectory corruption on stderr, leave a valid rebuilt
+   trajectory entry behind, and its coverage reports must be
+   byte-identical to the reference.
 """
 
 from __future__ import annotations
@@ -106,13 +113,13 @@ def main() -> int:
     ref_out = workdir / "reference.json"
     resumed_out = workdir / "resumed.json"
     try:
-        print("[1/4] reference campaign (uninterrupted)")
+        print("[1/5] reference campaign (uninterrupted)")
         subprocess.run(
             _cli(workdir, "--no-cache", "--out", str(ref_out)),
             cwd=REPO_ROOT, env=env, check=True,
             stdout=subprocess.DEVNULL)
 
-        print("[2/4] chaos campaign: SIGKILL a worker, then the run")
+        print("[2/5] chaos campaign: SIGKILL a worker, then the run")
         # Devnull stderr too: pool workers orphaned by the SIGKILL
         # below inherit it, and an inherited pipe end would wedge any
         # harness waiting for this script's output to hit EOF.
@@ -164,20 +171,34 @@ def main() -> int:
         assert _completed_records(checkpoint) >= MIN_CHECKPOINTED, \
             "no checkpointed progress survived the crash"
 
-        print("[3/4] corrupting one cache entry")
+        print("[3/5] corrupting one result-cache entry")
         entries = sorted(cache_dir.glob("*.json"))
         assert entries, "crashed run left no cache entries"
         entries[0].write_bytes(
             entries[0].read_bytes()[:20])
         print(f"      truncated {entries[0].name}")
 
-        print("[4/4] resume and verify")
-        subprocess.run(
+        print("[4/5] corrupting one cached trajectory entry")
+        # The CLI points REPRO_TRAJECTORY_CACHE_DIR here whenever
+        # --cache-dir is given; the crashed run's workers persisted the
+        # background snapshots before the kill landed.
+        trajectory_dir = cache_dir / "trajectories"
+        trajectory_entries = sorted(trajectory_dir.glob("*.json"))
+        assert trajectory_entries, \
+            "crashed run left no cached trajectory (snapshots not warm)"
+        trajectory_entry = trajectory_entries[0]
+        trajectory_entry.write_bytes(
+            trajectory_entry.read_bytes()[:40])
+        print(f"      truncated {trajectory_entry.name}")
+
+        print("[5/5] resume and verify")
+        resume = subprocess.run(
             _cli(workdir, "--cache-dir", str(cache_dir),
                  "--checkpoint", str(checkpoint_base), "--resume",
                  "--out", str(resumed_out)),
             cwd=REPO_ROOT, env=env, check=True,
-            stdout=subprocess.DEVNULL)
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+        stderr = resume.stderr.decode("utf-8", errors="replace")
 
         reference = json.loads(ref_out.read_text(encoding="utf-8"))
         resumed = json.loads(resumed_out.read_text(encoding="utf-8"))
@@ -197,6 +218,18 @@ def main() -> int:
                 resumed["telemetry"]
             print(f"      {resumed['telemetry']['resumed_tasks']} "
                   "task(s) replayed from the checkpoint")
+            # The replayed tasks needed the trajectory we corrupted:
+            # the checksum-on-read must have flagged it and fallen
+            # through to a rebuild, not forked from bogus state.
+            assert "corrupted" in stderr, (
+                "resume never reported the corrupted trajectory entry "
+                f"(stderr was: {stderr[-500:]!r})")
+            print("      trajectory corruption detected and logged")
+        rebuilt = json.loads(
+            trajectory_entry.read_text(encoding="utf-8"))
+        assert {"version", "result", "checksum"} <= set(rebuilt), \
+            "corrupted trajectory entry was not rebuilt"
+        print("      trajectory entry rebuilt with a valid checksum")
         print("chaos smoke PASSED: resumed results byte-identical")
         return 0
     finally:

@@ -13,7 +13,11 @@ pipeline sweep, and records both runs to ``BENCH_dispatch.json``.
 A Fig. 8 relay gate then times the pre-index scan-per-endpoint relay
 analysis against the memoized criticality index on a reduced grid
 (must be >= 20x, with a warm-cache hit on a second graph instance)
-and merges the result into ``BENCH_fig8_relay.json``.
+and merges the result into ``BENCH_fig8_relay.json``.  A campaign
+fork gate finally pits snapshot-forked fault evaluation against the
+full-run reference on an X12-scale graph campaign (byte-identical
+outcomes required, forked must be >= 5x faults/s, scalar baseline
+recorded) and merges the result into ``BENCH_x12_campaign_perf.json``.
 CI runs this on every push; it is also a convenient local sanity
 check:
 
@@ -67,6 +71,17 @@ DISPATCH_SPEEDUP_FLOOR = 3.0
 #: percents), and the second graph instance must hit the warm cache.
 FIG8_PERCENTS = (10.0, 20.0)
 FIG8_SPEEDUP_FLOOR = 20.0
+
+#: Campaign fork gate: snapshot-forked evaluation must beat the
+#: full-run reference (every fault re-simulated from cycle 0) by at
+#: least this factor at X12 scale, with byte-identical outcomes.  The
+#: measured advantage is ~10x at 4000 cycles; the floor absorbs CI
+#: noise.  The scalar baseline is recorded (on a subset — it is two
+#: orders of magnitude slower) but not gated.
+CAMPAIGN_CYCLES = 4_000
+CAMPAIGN_FAULTS = 200
+CAMPAIGN_SCALAR_FAULTS = 20
+CAMPAIGN_SPEEDUP_FLOOR = 5.0
 
 
 def _run_sweep():
@@ -271,6 +286,105 @@ def _fig8_relay_bench(now: str) -> tuple[dict | None, str | None]:
     return payload, None
 
 
+def _campaign_fork_bench(now: str) -> tuple[dict | None, str | None]:
+    """Snapshot-forking gate on an X12-scale graph campaign.
+
+    Evaluates the same seeded population three ways — scalar full runs
+    (subset, recorded as the baseline), vectorized full runs (the
+    executable spec), and the forked evaluator (nearest background
+    snapshot + fault window only) — asserts the encoded outcomes are
+    byte-identical, then gates forked against full-run throughput.  A
+    second evaluator for the same config must be served from the warm
+    trajectory cache.  Returns ``(gate_payload, failure_message)``;
+    the payload is merged into ``BENCH_x12_campaign_perf.json``
+    alongside the campaign-shootout trajectory.
+    """
+    from repro.campaign import CampaignConfig, fault_runner
+    from repro.campaign.engine import FULL_RUN_TARGETS
+    from repro.exec.cache import encode_result
+    from repro.exec.worker import WARM
+    from repro.kernels import SCALAR_ENV
+
+    config = CampaignConfig(
+        target="graph", scheme="timber-ff",
+        num_faults=CAMPAIGN_FAULTS, num_cycles=CAMPAIGN_CYCLES)
+    population = list(config.iter_population())
+    reference = FULL_RUN_TARGETS[config.target]
+
+    def encoded(outcomes):
+        return json.dumps(encode_result(outcomes), sort_keys=True)
+
+    saved = os.environ.get(SCALAR_ENV)
+    os.environ[SCALAR_ENV] = "1"
+    try:
+        start = time.perf_counter()
+        scalar = [reference(config, spec)[0]
+                  for spec in population[:CAMPAIGN_SCALAR_FAULTS]]
+        scalar_wall = time.perf_counter() - start
+    finally:
+        if saved is None:
+            os.environ.pop(SCALAR_ENV, None)
+        else:
+            os.environ[SCALAR_ENV] = saved
+
+    start = time.perf_counter()
+    full = [reference(config, spec)[0] for spec in population]
+    full_wall = time.perf_counter() - start
+
+    before = WARM.counters()
+    start = time.perf_counter()
+    runner = fault_runner(config)
+    forked: list = [None] * len(population)
+    for index in runner.evaluation_order(population):
+        forked[index] = runner.evaluate(population[index])[0]
+    forked_wall = time.perf_counter() - start
+    fault_runner(config)  # same config again: must hit the warm cache
+    delta = WARM.stats_delta(before)
+
+    if encoded(scalar) != encoded(full[:CAMPAIGN_SCALAR_FAULTS]):
+        return None, ("scalar and vectorized full-run campaign "
+                      "outcomes diverged")
+    if encoded(full) != encoded(forked):
+        return None, ("snapshot-forked campaign outcomes diverged "
+                      "from the full-run reference")
+
+    speedup = full_wall / forked_wall if forked_wall > 0 else float("inf")
+    runs = []
+    for label, wall, faults in (
+            ("scalar_full_run", scalar_wall, CAMPAIGN_SCALAR_FAULTS),
+            ("vector_full_run", full_wall, CAMPAIGN_FAULTS),
+            ("vector_forked", forked_wall, CAMPAIGN_FAULTS)):
+        runs.append({
+            "evaluation": label,
+            "recorded_at": now,
+            "wall_time_s": round(wall, 4),
+            "faults": faults,
+            "num_cycles": CAMPAIGN_CYCLES,
+            "faults_per_second": round(faults / wall, 1),
+        })
+    payload = {
+        "recorded_at": now,
+        "target": config.target,
+        "scheme": config.scheme,
+        "snapshot_stride": config.snapshot_stride,
+        "speedup": round(speedup, 1),
+        "speedup_floor": CAMPAIGN_SPEEDUP_FLOOR,
+        "warm_cache": delta,
+        "runs": runs,
+    }
+    if speedup < CAMPAIGN_SPEEDUP_FLOOR:
+        return payload, (
+            f"forked campaign evaluation only {speedup:.1f}x faster "
+            f"than full runs (floor {CAMPAIGN_SPEEDUP_FLOOR:.0f}x; "
+            f"full {full_wall:.3f}s, forked {forked_wall:.3f}s)")
+    hits = delta.get("trajectory", [0, 0])[0]
+    if hits < 1:
+        return payload, (
+            "second evaluator did not hit the warm trajectory cache "
+            f"(warm stats delta: {delta})")
+    return payload, None
+
+
 def main() -> int:
     scalar_points, scalar_wall = _measure("scalar")
     vector_points, vector_wall = _measure("vector")
@@ -377,6 +491,24 @@ def main() -> int:
         return 1
     assert fig8 is not None
 
+    # -- campaign snapshot-forking gate ----------------------------------
+    campaign, campaign_failure = _campaign_fork_bench(now)
+    if campaign is not None:
+        campaign_path = REPO_ROOT / "BENCH_x12_campaign_perf.json"
+        if campaign_path.exists():
+            campaign_doc = json.loads(
+                campaign_path.read_text(encoding="utf-8"))
+        else:
+            campaign_doc = {"bench": "x12_campaign_perf",
+                            "schema_version": 1, "runs": []}
+        campaign_doc["fork_gate"] = campaign
+        campaign_path.write_text(
+            json.dumps(campaign_doc, indent=2) + "\n", encoding="utf-8")
+    if campaign_failure is not None:
+        print(f"FAIL: {campaign_failure}")
+        return 1
+    assert campaign is not None
+
     speedup = scalar_wall / vector_wall if vector_wall > 0 else float("inf")
     print(f"perf smoke OK: {len(scalar_points)} grid points x "
           f"{NUM_CYCLES} cycles identical in both kernel modes "
@@ -396,8 +528,17 @@ def main() -> int:
     print(f"  fig8 relay: naive {fig8['naive_wall_s']:.3f}s -> indexed "
           f"{fig8['indexed_wall_s']:.3f}s ({fig8['speedup']:.0f}x, warm "
           f"repeat {fig8['indexed_warm_wall_s'] * 1e3:.1f}ms)")
+    forked_run = next(r for r in campaign["runs"]
+                      if r["evaluation"] == "vector_forked")
+    full_run = next(r for r in campaign["runs"]
+                    if r["evaluation"] == "vector_full_run")
+    print(f"  campaign: {full_run['faults_per_second']:.0f} -> "
+          f"{forked_run['faults_per_second']:.0f} faults/s forked "
+          f"({campaign['speedup']:.1f}x at {CAMPAIGN_CYCLES} cycles, "
+          "outcomes byte-identical)")
     print(f"  trajectories written to {path.name}, {obs_path.name}, "
-          "BENCH_dispatch.json and BENCH_fig8_relay.json")
+          "BENCH_dispatch.json, BENCH_fig8_relay.json and "
+          "BENCH_x12_campaign_perf.json")
     return 0
 
 

@@ -13,9 +13,11 @@ keyed to the recovered timing margin ``c/k``.
 
 from repro.campaign.engine import (
     CAMPAIGN_TASK,
+    FULL_RUN_TARGETS,
     CampaignConfig,
     CampaignResult,
     campaign_chunk_task,
+    fault_runner,
     run_campaign,
 )
 from repro.campaign.faults import (
@@ -23,6 +25,12 @@ from repro.campaign.faults import (
     FaultOverlay,
     FaultSpec,
     generate_population,
+    iter_population,
+)
+from repro.campaign.trajectory import (
+    BackgroundTrajectory,
+    build_trajectory,
+    trajectory_for,
 )
 from repro.campaign.outcomes import (
     BENIGN,
@@ -45,14 +53,20 @@ from repro.campaign.report import (
 
 __all__ = [
     "CAMPAIGN_TASK",
+    "FULL_RUN_TARGETS",
     "CampaignConfig",
     "CampaignResult",
     "campaign_chunk_task",
+    "fault_runner",
     "run_campaign",
     "FAULT_KINDS",
     "FaultOverlay",
     "FaultSpec",
     "generate_population",
+    "iter_population",
+    "BackgroundTrajectory",
+    "build_trajectory",
+    "trajectory_for",
     "BENIGN",
     "ESCAPED",
     "FALSE_POSITIVE",

@@ -20,17 +20,31 @@ Three targets are supported:
   :class:`~repro.sim.faults.FaultInjector` pulses (``seu`` / ``delay``
   kinds only — droop and correlated slowdowns are cycle-level notions).
 
-Every fault runs in its own simulation with variability pinned to 1.0,
-so the only violations (canary's intentional guard-band predictions
-aside) are the injected ones — attribution is exact, and the per-fault
-event stream is bit-identical between the scalar and vector kernel
-paths because injected cycles always replay through the scalar state
-machine (see :mod:`repro.pipeline.hooks`).
+Every fault runs with variability pinned to 1.0, so the only
+violations (canary's intentional guard-band predictions aside) are the
+injected ones — attribution is exact, and the per-fault event stream
+is bit-identical between the scalar and vector kernel paths because
+injected cycles always replay through the scalar state machine (see
+:mod:`repro.pipeline.hooks`).
+
+Cycle-level targets evaluate faults by **snapshot forking**: the
+fault-free background trajectory is simulated once per configuration
+(:mod:`repro.campaign.trajectory`, warm-cache kind ``"trajectory"``),
+and each fault restores the nearest stride snapshot at or before its
+injection cycle and simulates only ``[snapshot, window_end]`` instead
+of the whole prefix from cycle 0 — O(window) per fault instead of
+O(num_cycles).  The full-run evaluators are preserved as an executable
+spec (``full_run_pipeline_fault`` / ``full_run_graph_fault``), pinned
+against the forked path by hypothesis properties and a golden campaign
+capture; ``REPRO_CAMPAIGN_FULL_RUNS=1`` forces them everywhere.  The
+netlist target has no cycle-level carried-state snapshot and always
+takes the full-run path (its stimulus is rebuilt per fault anyway).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 import typing
 
@@ -40,7 +54,12 @@ from repro.campaign.faults import (
     FAULT_KINDS,
     FaultOverlay,
     FaultSpec,
-    generate_population,
+    iter_population,
+)
+from repro.campaign.trajectory import (
+    build_trajectory,
+    trajectory_for,
+    trajectory_rows_for,
 )
 from repro.campaign.outcomes import (
     CaptureEvent,
@@ -66,6 +85,16 @@ _TARGETS = ("pipeline", "graph", "netlist")
 #: Kinds with an event-driven (pulse/transition) realisation.
 _NETLIST_KINDS = ("seu", "delay")
 
+#: Environment variable forcing the full-run reference evaluators
+#: (fresh simulation from cycle 0 per fault) instead of snapshot
+#: forking — the executable spec the forked path is pinned against.
+FULL_RUNS_ENV = "REPRO_CAMPAIGN_FULL_RUNS"
+
+
+def full_runs_forced() -> bool:
+    """Is the full-run reference path forced via the environment?"""
+    return os.environ.get(FULL_RUNS_ENV, "") not in ("", "0")
+
 # Per-fault observability.  The outcome counter is semantic (classes
 # are a pure function of the seeded population and the simulators);
 # the latency histogram is wall-clock, hence the ``_seconds`` suffix
@@ -79,6 +108,17 @@ _OBS_FAULT_SECONDS = obs.REGISTRY.histogram(
     "Wall time to simulate and classify one fault",
     buckets=(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
              0.25, 0.5, 1.0)).labels()
+# Snapshot-fork effectiveness: prefix cycles the fork skipped (the
+# work the full-run path would have re-simulated) and the length of
+# each actually-simulated fork window.
+_OBS_PREFIX_SAVED = obs.REGISTRY.counter(
+    "repro_campaign_prefix_cycles_saved_total",
+    "Fault-free prefix cycles skipped by forking from a trajectory "
+    "snapshot").labels()
+_OBS_FORK_WINDOW = obs.REGISTRY.histogram(
+    "repro_campaign_fork_window_cycles",
+    "Cycles simulated per snapshot-forked fault evaluation",
+    buckets=(8, 16, 32, 64, 128, 256, 512, 1024, 2048)).labels()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,6 +143,10 @@ class CampaignConfig:
     kinds: tuple[str, ...] = FAULT_KINDS
     magnitude_range_ps: tuple[int, int] = (20, 220)
     relay_horizon: int = 4
+    #: Cycle distance between the background trajectory's snapshots.
+    #: Smaller strides shorten fork windows but cost more snapshot
+    #: memory; the default keeps windows a few hundred cycles.
+    snapshot_stride: int = 256
 
     def __post_init__(self) -> None:
         if self.target not in _TARGETS:
@@ -116,6 +160,8 @@ class CampaignConfig:
             raise ConfigurationError("need at least two stages")
         if self.relay_horizon < 1:
             raise ConfigurationError("relay_horizon must be >= 1")
+        if self.snapshot_stride < 1:
+            raise ConfigurationError("snapshot_stride must be >= 1")
         if self.target == "pipeline":
             try:
                 architecture_by_key(self.scheme)
@@ -157,15 +203,50 @@ class CampaignConfig:
         allowed = tuple(k for k in self.kinds if k in _NETLIST_KINDS)
         return allowed or _NETLIST_KINDS
 
-    def population(self) -> list[FaultSpec]:
-        return generate_population(
-            num_faults=self.num_faults,
+    def iter_population(self, start: int = 0,
+                        stop: int | None = None
+                        ) -> typing.Iterator[FaultSpec]:
+        """Stream faults ``[start, stop)`` — counter-based, so any
+        slice is byte-identical to the same range of the full
+        population, and workers never materialize more than their own
+        chunk."""
+        stop = self.num_faults if stop is None else stop
+        if stop > self.num_faults:
+            raise ConfigurationError(
+                f"stop {stop} past population end {self.num_faults}")
+        return iter_population(
+            num_faults=stop,
             sites=self.sites(),
             num_cycles=self.num_cycles,
             seed=self.seed,
             kinds=self.effective_kinds(),
             magnitude_range_ps=self.magnitude_range_ps,
+            start=start,
         )
+
+    def population(self) -> list[FaultSpec]:
+        return list(self.iter_population())
+
+    def background_params(self) -> dict:
+        """Everything the fault-free background trajectory depends on.
+
+        The content-hash key of warm-cache kind ``"trajectory"`` (and
+        the on-disk trajectory cache) — any change to these parameters
+        hashes to a new key, so stale trajectories can never alias.
+        Fault and chunking parameters are deliberately absent: the
+        background is fault-free and shared by the whole population.
+        """
+        return {
+            "target": self.target,
+            "scheme": self.scheme,
+            "num_cycles": self.num_cycles,
+            "period_ps": self.period_ps,
+            "checking_percent": self.checking_percent,
+            "num_stages": self.num_stages,
+            "sensitization_prob": self.sensitization_prob,
+            "seed": self.seed,
+            "snapshot_stride": self.snapshot_stride,
+        }
 
     # -- (de)serialisation ----------------------------------------------
     def to_params(self) -> dict:
@@ -218,12 +299,13 @@ def _collecting_observer(
     return observe
 
 
-def _run_pipeline_fault(config: CampaignConfig,
-                        spec: FaultSpec) -> tuple[FaultOutcome, int]:
+def _build_pipeline_sim(config: CampaignConfig, *,
+                        faults: "FaultOverlay | None" = None,
+                        capture_observer: typing.Callable | None = None):
+    """A fresh linear-pipeline simulation for this campaign config."""
     from repro.pipeline.pipeline import PipelineSimulation
     from repro.pipeline.stage import PipelineStage
 
-    sites = config.sites()
     stages = [
         PipelineStage(
             name=site,
@@ -232,25 +314,23 @@ def _run_pipeline_fault(config: CampaignConfig,
             sensitization_prob=config.sensitization_prob,
             seed=config.seed + index,
         )
-        for index, site in enumerate(sites)
+        for index, site in enumerate(config.sites())
     ]
     policy = architecture_by_key(config.scheme).build_policy(
         config.num_stages, config.period_ps, config.checking_percent)
-    events: list[CaptureEvent] = []
-    simulation = PipelineSimulation(
+    return PipelineSimulation(
         stages, policy,
         period_ps=config.period_ps,
         variability=ConstantVariation(1.0),
-        faults=FaultOverlay([spec], sites),
-        capture_observer=_collecting_observer(config, spec, events,
-                                              sites),
+        faults=faults,
+        capture_observer=capture_observer,
     )
-    result = simulation.run(_window_end(config, spec) + 1)
-    return outcome_from_events(spec, events), result.captures
 
 
-def _run_graph_fault(config: CampaignConfig,
-                     spec: FaultSpec) -> tuple[FaultOutcome, int]:
+def _build_graph_sim(config: CampaignConfig, *,
+                     faults: "FaultOverlay | None" = None,
+                     capture_observer: typing.Callable | None = None):
+    """A fresh whole-graph simulation on the synthetic chain."""
     from repro.pipeline.graph_sim import GraphPipelineSimulation
     from repro.timing.graph import TimingGraph
 
@@ -260,16 +340,46 @@ def _run_graph_fault(config: CampaignConfig,
         graph.add_ff(f"g{index}")
         graph.add_edge(f"g{index - 1}", f"g{index}",
                        int(config.period_ps * 0.9))
-    sites = config.sites()
-    events: list[CaptureEvent] = []
-    simulation = GraphPipelineSimulation(
+    return GraphPipelineSimulation(
         graph,
         scheme=config.scheme,
         percent_checking=config.checking_percent,
         sensitization_prob=config.sensitization_prob,
         variability=ConstantVariation(1.0),
         seed=config.seed,
+        faults=faults,
+        capture_observer=capture_observer,
+    )
+
+
+_SIM_BUILDERS = {
+    "pipeline": _build_pipeline_sim,
+    "graph": _build_graph_sim,
+}
+
+
+def full_run_pipeline_fault(config: CampaignConfig,
+                            spec: FaultSpec) -> tuple[FaultOutcome, int]:
+    """Full-run reference: fresh simulation from cycle 0 (spec)."""
+    sites = config.sites()
+    events: list[CaptureEvent] = []
+    simulation = _build_pipeline_sim(
+        config,
         faults=FaultOverlay([spec], sites),
+        capture_observer=_collecting_observer(config, spec, events,
+                                              sites),
+    )
+    result = simulation.run(_window_end(config, spec) + 1)
+    return outcome_from_events(spec, events), result.captures
+
+
+def full_run_graph_fault(config: CampaignConfig,
+                         spec: FaultSpec) -> tuple[FaultOutcome, int]:
+    """Full-run reference: fresh simulation from cycle 0 (spec)."""
+    events: list[CaptureEvent] = []
+    simulation = _build_graph_sim(
+        config,
+        faults=FaultOverlay([spec], config.sites()),
         capture_observer=_collecting_observer(config, spec, events,
                                               None),
     )
@@ -278,8 +388,8 @@ def _run_graph_fault(config: CampaignConfig,
             result.cycles * result.num_ffs)
 
 
-def _run_netlist_fault(config: CampaignConfig,
-                       spec: FaultSpec) -> tuple[FaultOutcome, int]:
+def full_run_netlist_fault(config: CampaignConfig,
+                           spec: FaultSpec) -> tuple[FaultOutcome, int]:
     from repro.circuit.logic import Logic
     from repro.sequential.flipflop import DFlipFlop
     from repro.sequential.timber_ff import TimberFlipFlop
@@ -353,20 +463,127 @@ def _run_netlist_fault(config: CampaignConfig,
     return outcome_from_events(spec, events), sim.events_processed
 
 
-_TARGET_RUNNERS = {
-    "pipeline": _run_pipeline_fault,
-    "graph": _run_graph_fault,
-    "netlist": _run_netlist_fault,
+#: The preserved full-run evaluators — the executable spec the
+#: snapshot-forked path is pinned against (hypothesis properties and a
+#: golden campaign capture compare the two streams byte-for-byte).
+FULL_RUN_TARGETS = {
+    "pipeline": full_run_pipeline_fault,
+    "graph": full_run_graph_fault,
+    "netlist": full_run_netlist_fault,
 }
 
 
-def run_one_fault(config: CampaignConfig,
-                  spec: FaultSpec) -> tuple[FaultOutcome, int]:
-    """Simulate one fault; returns (outcome, simulated-work units)."""
+class _FullRunEvaluator:
+    """Per-fault evaluation through the full-run reference functions."""
+
+    forked = False
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self.config = config
+        self._fn = FULL_RUN_TARGETS[config.target]
+
+    def evaluate(self, spec: FaultSpec) -> tuple[FaultOutcome, int]:
+        return self._fn(self.config, spec)
+
+    def evaluation_order(self,
+                         specs: typing.Sequence[FaultSpec]) -> range:
+        return range(len(specs))
+
+
+class _ForkedEvaluator:
+    """Per-fault evaluation forked from the background trajectory.
+
+    One long-lived simulation per evaluator: each fault swaps in its
+    own overlay and observer (plain attributes on the simulators),
+    restores the nearest snapshot at or before ``spec.cycle``, and
+    simulates only ``[snapshot, window_end]``.  The overlay adds zero
+    delay before ``spec.cycle`` and every draw is addressed by
+    absolute cycle, so the captured event stream is byte-identical to
+    the full-run reference's.
+    """
+
+    forked = True
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self.config = config
+        self.sites = config.sites()
+        self.site_names = (self.sites if config.target == "pipeline"
+                           else None)
+        build = _SIM_BUILDERS[config.target]
+        self.sim = build(config)
+        self.trajectory = trajectory_for(
+            config.background_params(),
+            lambda: build_trajectory(
+                lambda: build(config),
+                num_cycles=config.num_cycles,
+                stride=config.snapshot_stride,
+            ),
+        )
+        # Shared fault-free background rows (delay/sensitization plus
+        # the screen's verdicts) so forks index precomputed arrays
+        # instead of re-running the block kernel per fault.  Scalar
+        # mode skips them: the reference path stays row-free.
+        from repro import kernels
+        self.rows = (trajectory_rows_for(
+            config.background_params(),
+            lambda: self.sim.background_rows(config.num_cycles))
+            if kernels.vectorized_enabled() else None)
+
+    def evaluate(self, spec: FaultSpec) -> tuple[FaultOutcome, int]:
+        config = self.config
+        end = _window_end(config, spec)
+        start, state = self.trajectory.fork_point(spec.cycle)
+        events: list[CaptureEvent] = []
+        sim = self.sim
+        sim.faults = FaultOverlay([spec], self.sites)
+        sim.capture_observer = _collecting_observer(
+            config, spec, events, self.site_names)
+        sim.restore(state)
+        result = sim.run(end + 1, start_cycle=start, rows=self.rows)
+        if obs.REGISTRY.enabled:
+            _OBS_PREFIX_SAVED.inc(start)
+            _OBS_FORK_WINDOW.observe(end + 1 - start)
+        units = (result.captures if config.target == "pipeline"
+                 else result.cycles * result.num_ffs)
+        return outcome_from_events(spec, events), units
+
+    def evaluation_order(
+            self, specs: typing.Sequence[FaultSpec]) -> list[int]:
+        """Visit faults grouped by fork snapshot (chunk-local).
+
+        Faults sharing a snapshot stride run back to back so restores
+        stay cache-warm; ties keep population order.  The caller
+        scatters results back to population positions, so the visible
+        outcome stream is order-independent.
+        """
+        stride = self.trajectory.stride
+        return sorted(range(len(specs)),
+                      key=lambda i: (specs[i].cycle // stride, i))
+
+
+def fault_runner(
+        config: CampaignConfig
+) -> "_FullRunEvaluator | _ForkedEvaluator":
+    """The per-fault evaluator for ``config``.
+
+    Cycle-level targets fork from the shared background trajectory;
+    the netlist target — and everything when ``REPRO_CAMPAIGN_FULL_RUNS``
+    is set — takes the preserved full-run reference path behind the
+    same interface.
+    """
+    if config.target == "netlist" or full_runs_forced():
+        return _FullRunEvaluator(config)
+    return _ForkedEvaluator(config)
+
+
+def _classify(config: CampaignConfig,
+              runner: "_FullRunEvaluator | _ForkedEvaluator",
+              spec: FaultSpec) -> tuple[FaultOutcome, int]:
+    """Evaluate one fault through ``runner`` with obs accounting."""
     if not obs.REGISTRY.enabled:
-        return _TARGET_RUNNERS[config.target](config, spec)
+        return runner.evaluate(spec)
     started = time.perf_counter()
-    outcome, units = _TARGET_RUNNERS[config.target](config, spec)
+    outcome, units = runner.evaluate(spec)
     _OBS_FAULT_SECONDS.observe(time.perf_counter() - started)
     _OBS_OUTCOMES.labels(
         target=config.target, scheme=config.scheme,
@@ -375,37 +592,62 @@ def run_one_fault(config: CampaignConfig,
     return outcome, units
 
 
+def run_one_fault(config: CampaignConfig,
+                  spec: FaultSpec) -> tuple[FaultOutcome, int]:
+    """Simulate one fault; returns (outcome, simulated-work units)."""
+    return _classify(config, fault_runner(config), spec)
+
+
 # ---------------------------------------------------------------------------
 # Exec-layer integration
 # ---------------------------------------------------------------------------
 
-def _warm_population(config_params: dict, config: CampaignConfig) -> list:
-    """The config's fault population, via the process warm cache.
+def _warm_population_slice(config: CampaignConfig, start: int,
+                           stop: int) -> list:
+    """Faults ``[start, stop)`` of the population, via the warm cache.
 
-    Population expansion is pure in the config and the specs are frozen,
-    so every chunk task of a campaign shares one expansion per worker
-    instead of regenerating the full population per chunk.
+    Generation is pure in the population parameters and the specs are
+    frozen, so re-dispatched chunks — and chunks of *other schemes*
+    sharing the same target — reuse one expansion per worker.  Only
+    population-relevant parameters enter the key (the scheme, for one,
+    does not change the draws), and only the slice is materialized:
+    soak-scale populations never exist in memory at once.
     """
     from repro.exec.cache import stable_key
     from repro.exec.worker import WARM
 
+    key = stable_key("campaign-population", {
+        "sites": config.sites(),
+        "num_cycles": config.num_cycles,
+        "seed": config.seed,
+        "kinds": list(config.effective_kinds()),
+        "magnitude_range_ps": list(config.magnitude_range_ps),
+    }, start, stop)
     return WARM.get_or_build(
-        "population", stable_key("campaign-population", config_params),
-        config.population)
+        "population", key,
+        lambda: list(config.iter_population(start, stop)))
 
 
 def campaign_chunk_task(params: dict) -> TaskPayload:
-    """Sweep task: classify one contiguous chunk of the population."""
+    """Sweep task: classify one contiguous chunk of the population.
+
+    Forked evaluators visit the chunk grouped by snapshot stride (see
+    :meth:`_ForkedEvaluator.evaluation_order`) and scatter results
+    back, so the payload's outcome order always matches the population
+    order regardless of evaluation path.
+    """
     config = CampaignConfig.from_params(params["config"])
-    population = _warm_population(params["config"], config)
-    outcomes: list[FaultOutcome] = []
+    specs = _warm_population_slice(config, params["start"],
+                                   params["stop"])
+    runner = fault_runner(config)
+    outcomes: list[FaultOutcome | None] = [None] * len(specs)
     work = 0
     with obs.trace_span("campaign.chunk", target=config.target,
                         scheme=config.scheme, start=params["start"],
                         stop=params["stop"]):
-        for spec in population[params["start"]:params["stop"]]:
-            outcome, units = run_one_fault(config, spec)
-            outcomes.append(outcome)
+        for index in runner.evaluation_order(specs):
+            outcome, units = _classify(config, runner, specs[index])
+            outcomes[index] = outcome
             work += units
     return TaskPayload(value=outcomes, events_processed=work)
 

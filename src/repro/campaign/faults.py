@@ -101,7 +101,7 @@ def _draw(seed_lanes: tuple[int, int], fault_id: int, field: int) -> int:
     return mix32(_POPULATION_SALT, lo, hi, fault_id, field)
 
 
-def generate_population(
+def iter_population(
     *,
     num_faults: int,
     sites: typing.Sequence[str],
@@ -111,16 +111,27 @@ def generate_population(
     magnitude_range_ps: tuple[int, int] = (20, 220),
     max_duration_cycles: int = 3,
     max_span: int = 3,
-) -> list[FaultSpec]:
-    """Generate a deterministic population of ``num_faults`` faults.
+    start: int = 0,
+) -> typing.Iterator[FaultSpec]:
+    """Stream faults ``[start, num_faults)`` of a deterministic population.
 
     Faults land on cycles ``[1, num_cycles - max_duration_cycles)`` so
     every injection window fits inside the run.  All draws are
-    counter-based: fault ``i`` is independent of every other fault and
-    of the order of generation.
+    counter-based: fault ``i`` is a pure function of ``(seed, i)``,
+    independent of every other fault and of the order — or the chunking
+    — of generation, so a stream starting at ``start`` is byte-identical
+    to the same slice of the full population.  Streaming keeps
+    soak-scale populations out of memory: workers materialize only the
+    chunk they are classifying.
+
+    Arguments are validated eagerly (this is a plain function returning
+    a generator), so a bad configuration raises at call time.
     """
     if num_faults < 1:
         raise ConfigurationError("need at least one fault")
+    if not 0 <= start <= num_faults:
+        raise ConfigurationError(
+            f"start {start} outside [0, {num_faults}]")
     if not sites:
         raise ConfigurationError("need at least one injection site")
     for kind in kinds:
@@ -135,30 +146,71 @@ def generate_population(
             f"{num_cycles} cycles leave no room for a "
             f"{max_duration_cycles}-cycle fault window")
     lanes = split64(seed)
-    population: list[FaultSpec] = []
-    for fault_id in range(num_faults):
-        kind = kinds[_draw(lanes, fault_id, _FIELD_KIND) % len(kinds)]
-        span = 1
-        if kind == "correlated" and len(sites) > 1:
-            span = 2 + _draw(lanes, fault_id, _FIELD_SPAN) % (max_span - 1)
-            span = min(span, len(sites))
-        # Correlated faults need `span` consecutive sites after the
-        # primary one, so clamp the start index accordingly.
-        site_slots = len(sites) - span + 1
-        site = sites[_draw(lanes, fault_id, _FIELD_SITE) % site_slots]
-        if kind == "seu":
-            duration = 1
-        else:
-            duration = 1 + (_draw(lanes, fault_id, _FIELD_DURATION)
-                            % max_duration_cycles)
-        cycle = 1 + _draw(lanes, fault_id, _FIELD_CYCLE) % (last_start - 1)
-        magnitude = lo_ps + (_draw(lanes, fault_id, _FIELD_MAGNITUDE)
-                             % (hi_ps - lo_ps + 1))
-        population.append(FaultSpec(
-            fault_id=fault_id, kind=kind, site=site, cycle=cycle,
-            duration_cycles=duration, magnitude_ps=magnitude, span=span,
-        ))
-    return population
+
+    def generate() -> typing.Iterator[FaultSpec]:
+        for fault_id in range(start, num_faults):
+            yield _spec_for(
+                lanes, fault_id, sites=sites, kinds=kinds,
+                lo_ps=lo_ps, hi_ps=hi_ps, last_start=last_start,
+                max_duration_cycles=max_duration_cycles,
+                max_span=max_span)
+
+    return generate()
+
+
+def _spec_for(
+    lanes: tuple[int, int],
+    fault_id: int,
+    *,
+    sites: typing.Sequence[str],
+    kinds: typing.Sequence[str],
+    lo_ps: int,
+    hi_ps: int,
+    last_start: int,
+    max_duration_cycles: int,
+    max_span: int,
+) -> FaultSpec:
+    """Draw fault ``fault_id`` — pure in ``(lanes, fault_id)``."""
+    kind = kinds[_draw(lanes, fault_id, _FIELD_KIND) % len(kinds)]
+    span = 1
+    if kind == "correlated" and len(sites) > 1:
+        span = 2 + _draw(lanes, fault_id, _FIELD_SPAN) % (max_span - 1)
+        span = min(span, len(sites))
+    # Correlated faults need `span` consecutive sites after the
+    # primary one, so clamp the start index accordingly.
+    site_slots = len(sites) - span + 1
+    site = sites[_draw(lanes, fault_id, _FIELD_SITE) % site_slots]
+    if kind == "seu":
+        duration = 1
+    else:
+        duration = 1 + (_draw(lanes, fault_id, _FIELD_DURATION)
+                        % max_duration_cycles)
+    cycle = 1 + _draw(lanes, fault_id, _FIELD_CYCLE) % (last_start - 1)
+    magnitude = lo_ps + (_draw(lanes, fault_id, _FIELD_MAGNITUDE)
+                         % (hi_ps - lo_ps + 1))
+    return FaultSpec(
+        fault_id=fault_id, kind=kind, site=site, cycle=cycle,
+        duration_cycles=duration, magnitude_ps=magnitude, span=span,
+    )
+
+
+def generate_population(
+    *,
+    num_faults: int,
+    sites: typing.Sequence[str],
+    num_cycles: int,
+    seed: int,
+    kinds: typing.Sequence[str] = FAULT_KINDS,
+    magnitude_range_ps: tuple[int, int] = (20, 220),
+    max_duration_cycles: int = 3,
+    max_span: int = 3,
+) -> list[FaultSpec]:
+    """Materialize the full population (see :func:`iter_population`)."""
+    return list(iter_population(
+        num_faults=num_faults, sites=sites, num_cycles=num_cycles,
+        seed=seed, kinds=kinds, magnitude_range_ps=magnitude_range_ps,
+        max_duration_cycles=max_duration_cycles, max_span=max_span,
+    ))
 
 
 class FaultOverlay:

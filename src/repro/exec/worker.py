@@ -21,8 +21,13 @@ functions (every variability model's draws are pure in
 The cache capacity comes from ``REPRO_WARM_CACHE_SIZE`` (default 64
 entries) and can be overridden per pool through the runner's worker
 initializer.  Hit/miss counters are kept per *kind* (``task-func``,
-``compiled``, ``variability``, ``population``) so the exec layer can
-ship per-batch deltas back to the parent's telemetry.
+``compiled``, ``variability``, ``population``, ``criticality``,
+``trajectory``) so the exec layer can ship per-batch deltas back to
+the parent's telemetry.  ``trajectory`` entries — fault-free campaign
+background trajectories with their stride snapshots — follow the same
+invalidation discipline as ``criticality``: the key is a content hash
+of everything the trajectory depends on, so a changed configuration
+can never alias a stale entry.
 """
 
 from __future__ import annotations

@@ -85,6 +85,39 @@ def screen_block(
     return interesting
 
 
+def background_rows(
+    compiled: "CompiledStages",
+    variability: "VariabilityModel",
+    num_cycles: int,
+    period_ps: int,
+    threshold_ps: int,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Fault-free delay rows and screen verdicts for a whole trajectory.
+
+    One vectorized prefix-advance over ``[0, num_cycles)`` in
+    fixed-size blocks: returns ``(delays, interesting)`` where row
+    ``c`` of ``delays`` is the ``(S,)`` stage-delay vector of absolute
+    cycle ``c`` (bit-equal to ``delay_ps``) and ``interesting[c]`` is
+    the block screen's verdict on the *fault-free* cycle.  Snapshot-
+    forked campaign evaluations share these rows across every fault of
+    a configuration instead of re-evaluating their window per fault —
+    a fork then only ORs its own forced cycles into the screen slice.
+    """
+    from repro.kernels.schedule import MAX_BLOCK
+
+    delay_parts = []
+    interesting_parts = []
+    for pos in range(0, num_cycles, MAX_BLOCK):
+        cycles = np.arange(pos, min(pos + MAX_BLOCK, num_cycles),
+                           dtype=np.int64)
+        delays = compiled.delay_block(cycles, variability)
+        delay_parts.append(delays)
+        interesting_parts.append(
+            screen_block(delays, period_ps, threshold_ps))
+    return (np.concatenate(delay_parts),
+            np.concatenate(interesting_parts))
+
+
 class CompiledStages:
     """Flat-array view of a pipeline's stages for blocked evaluation."""
 

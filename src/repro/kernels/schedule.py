@@ -13,6 +13,9 @@ machinery are shared:
 * :func:`slow_cycles_between` — exact count of slowed cycles inside a
   bulk-skipped range, from the controller's (non-overlapping, sorted)
   slowdown windows, without calling ``period_at`` per cycle.
+* :func:`block_spans` — the blocked walk over an arbitrary cycle window
+  ``[start, stop)``, re-reading the sizer each step so snapshot-forked
+  windows and full runs share one advance loop.
 """
 
 from __future__ import annotations
@@ -44,6 +47,26 @@ class BlockSizer:
             self.size = max(MIN_BLOCK, self.size // 2)
         elif interesting_fraction < SPARSE:
             self.size = min(MAX_BLOCK, self.size * 2)
+
+
+def block_spans(
+    start: int,
+    stop: int,
+    sizer: BlockSizer,
+) -> "typing.Iterator[tuple[int, int]]":
+    """Yield ``(pos, count)`` blocks covering cycles ``[start, stop)``.
+
+    The sizer is consulted lazily at each step, so ``sizer.update``
+    calls made by the consumer between blocks take effect on the next
+    span.  Both vector main loops — full runs from cycle 0 and windowed
+    runs forked from a trajectory snapshot — advance through this one
+    generator.
+    """
+    pos = start
+    while pos < stop:
+        count = min(sizer.size, stop - pos)
+        yield pos, count
+        pos += count
 
 
 def slow_cycles_between(

@@ -216,6 +216,12 @@ class GraphPipelineSimulation:
         self._num_edges = flat
         self._sens_threshold = int(self.sensitization_prob * 2**32)
         self._compiled = None
+        # Inter-cycle carried state (borrowed launch offsets and relay
+        # selects by FF name).  Reset at the top of every full run;
+        # windowed runs (``start_cycle > 0``) continue from whatever a
+        # :meth:`restore` installed.
+        self._borrow: dict[str, int] = {}
+        self._select_out: dict[str, int] = {}
 
     # -- per-cycle machinery -----------------------------------------------
     def _sens_threshold_at(self, cycle: int) -> int:
@@ -248,31 +254,82 @@ class GraphPipelineSimulation:
             return timber_latch_capture(lateness, self.cp)
         return plain_ff_capture(lateness)
 
-    def run(self, num_cycles: int) -> GraphPipelineResult:
+    def run(self, num_cycles: int, *, start_cycle: int = 0,
+            rows=None) -> GraphPipelineResult:
+        """Simulate cycles ``[start_cycle, num_cycles)`` and aggregate.
+
+        A full run (``start_cycle == 0``) starts from idle carried
+        state; a windowed run continues from whatever :meth:`restore`
+        installed, and — because every sensitization and variability
+        draw is addressed by absolute cycle — captures bit-identically
+        to the same window of a full run.  ``rows`` optionally supplies
+        precomputed background rows from :meth:`background_rows` so
+        repeated forked windows skip the per-run block evaluation;
+        ignored in scalar-kernel mode.
+        """
         if num_cycles < 1:
             raise ConfigurationError("need at least one cycle")
+        if not 0 <= start_cycle < num_cycles:
+            raise ConfigurationError(
+                f"start_cycle {start_cycle} outside [0, {num_cycles})")
+        if (start_cycle or rows is not None) and self.controller is not None:
+            raise ConfigurationError(
+                "windowed runs do not support a central controller "
+                "(its window state is not part of the snapshot)")
+        if start_cycle == 0:
+            self._borrow = {}
+            self._select_out = {}
         result = GraphPipelineResult(
             scheme=self.scheme,
-            cycles=num_cycles,
+            cycles=num_cycles - start_cycle,
             num_ffs=self.graph.num_ffs,
             num_protected=len(self.protected),
             candidate_edges=self._num_edges,
         )
         with obs.trace_span("graph.run", scheme=self.scheme,
-                            cycles=num_cycles,
+                            cycles=num_cycles - start_cycle,
                             kernel=kernels.kernel_mode()):
             if kernels.vectorized_enabled() and self._vectorizable():
-                self._run_vector(num_cycles, result)
+                if rows is not None:
+                    self._run_rows(start_cycle, num_cycles, result, rows)
+                else:
+                    self._run_vector(num_cycles, result,
+                                     start_cycle=start_cycle)
             else:
-                borrow: dict[str, int] = {}
-                select_out: dict[str, int] = {}
-                for cycle in range(num_cycles):
+                borrow, select_out = self._borrow, self._select_out
+                for cycle in range(start_cycle, num_cycles):
                     borrow, select_out = self._simulate_cycle(
                         cycle, result, borrow, select_out, None, None)
+                self._borrow, self._select_out = borrow, select_out
         # Captures that saw no (evaluated) violation were clean.
         result.clean_captures = (
-            num_cycles * self.graph.num_ffs - result.violations)
+            (num_cycles - start_cycle) * self.graph.num_ffs
+            - result.violations)
         return result
+
+    # -- snapshot/fork ---------------------------------------------------
+    def snapshot(self):
+        """Opaque snapshot of all state carried between cycles.
+
+        Sensitization, variability, and arrival draws are pure
+        functions of the absolute cycle number, so the carried state is
+        just the borrow offsets and relay selects by FF name.
+        Controller-attached simulations are rejected: slowdown windows
+        accumulate outside the snapshot.
+        """
+        if self.controller is not None:
+            raise ConfigurationError(
+                "snapshots do not cover central-controller state")
+        return (dict(self._borrow), dict(self._select_out))
+
+    def restore(self, state) -> None:
+        """Install a state previously returned by :meth:`snapshot`."""
+        if self.controller is not None:
+            raise ConfigurationError(
+                "snapshots do not cover central-controller state")
+        borrow, select_out = state
+        self._borrow = dict(borrow)
+        self._select_out = dict(select_out)
 
     def _vectorizable(self) -> bool:
         """Can this configuration run on the block kernel?
@@ -388,33 +445,97 @@ class GraphPipelineSimulation:
             self.controller.notify_flag(cycle)
         return new_borrow, new_select_out
 
-    # -- vector main loop ------------------------------------------------
-    def _run_vector(self, num_cycles: int,
-                    result: GraphPipelineResult) -> None:
+    def background_rows(self, num_cycles: int):
+        """Precomputed fault-free sens/arrival rows + screen verdicts.
+
+        One vectorized prefix-advance over ``[0, num_cycles)`` (see
+        :func:`repro.kernels.graph.background_rows`); the overlay is
+        deliberately excluded — forked runs force their own fault
+        cycles into the screen slice per fault.
+        """
         import numpy as np
 
-        from repro.kernels.graph import (
-            CompiledEdges,
-            REPLAYED_CARRYOVER,
-            screen_block,
-        )
-        from repro.kernels.schedule import BlockSizer, slow_cycles_between
+        from repro.kernels.graph import background_rows
+
+        self._ensure_compiled()
+        if self.trace is None:
+            thresholds = np.full(num_cycles, self._sens_threshold,
+                                 dtype=np.int64)
+        else:
+            thresholds = np.array(
+                [self._sens_threshold_at(cycle)
+                 for cycle in range(num_cycles)], dtype=np.int64)
+        return background_rows(self._compiled, self.variability,
+                               num_cycles, self.graph.period_ps,
+                               thresholds)
+
+    def _run_rows(self, start: int, stop: int,
+                  result: GraphPipelineResult, rows) -> None:
+        """The vector inner walk fed precomputed background rows.
+
+        Bit-identical to :meth:`_run_vector` over the same window —
+        same compiled kernel rows, same idle-skip / carryover-replay
+        policy — minus the per-run block evaluation.
+        """
+        import numpy as np
+
+        from repro.kernels.graph import REPLAYED_CARRYOVER
+
+        sens, arrival, interesting = rows
+        count = stop - start
+        window = interesting[start:stop]
+        if self.faults is not None:
+            window = window.copy()
+            for cycle in self.faults.active_cycles():
+                if start <= cycle < stop:
+                    window[cycle - start] = True
+        borrow, select_out = self._borrow, self._select_out
+        k = 0
+        while k < count:
+            if not borrow and not select_out:
+                ahead = np.flatnonzero(window[k:])
+                nxt = k + int(ahead[0]) if ahead.size else count
+                if nxt > k:
+                    k = nxt
+                    if k >= count:
+                        break
+            if not window[k]:
+                REPLAYED_CARRYOVER.inc()
+            borrow, select_out = self._simulate_cycle(
+                start + k, result, borrow, select_out, sens[start + k],
+                arrival[start + k])
+            k += 1
+        self._borrow, self._select_out = borrow, select_out
+
+    def _ensure_compiled(self) -> None:
+        from repro.kernels.graph import CompiledEdges
 
         if self._compiled is None:
             self._compiled = CompiledEdges.for_entries(
-                [(edge.delay_ps, f"{edge.src}->{edge.dst}#{edge.delay_ps}",
-                  path)
+                [(edge.delay_ps,
+                  f"{edge.src}->{edge.dst}#{edge.delay_ps}", path)
                  for _, entries in self._rows
                  for _, edge, _, path in entries],
                 self.seed,
             )
+
+    # -- vector main loop ------------------------------------------------
+    def _run_vector(self, num_cycles: int, result: GraphPipelineResult,
+                    *, start_cycle: int = 0) -> None:
+        import numpy as np
+
+        from repro.kernels.graph import REPLAYED_CARRYOVER, screen_block
+        from repro.kernels.schedule import (
+            BlockSizer,
+            block_spans,
+            slow_cycles_between,
+        )
+
+        self._ensure_compiled()
         nominal = self.graph.period_ps
-        borrow: dict[str, int] = {}
-        select_out: dict[str, int] = {}
+        borrow, select_out = self._borrow, self._select_out
         sizer = BlockSizer()
-        pos = 0
-        while pos < num_cycles:
-            count = min(sizer.size, num_cycles - pos)
+        for pos, count in block_spans(start_cycle, num_cycles, sizer):
             cycles = np.arange(pos, pos + count, dtype=np.int64)
             if self.trace is None:
                 thresholds = np.full(count, self._sens_threshold,
@@ -462,4 +583,4 @@ class GraphPipelineSimulation:
             # interesting fraction alone grew blocks during exactly the
             # error storms that degrade to scalar stepping.
             sizer.update(replayed / count if count else 0.0)
-            pos += count
+        self._borrow, self._select_out = borrow, select_out

@@ -148,26 +148,134 @@ class PipelineSimulation:
         self._borrow = [0] * len(stages)
         self._compiled = None
 
-    def run(self, num_cycles: int) -> PipelineResult:
-        """Simulate ``num_cycles`` and aggregate the outcomes."""
+    def run(self, num_cycles: int, *, start_cycle: int = 0,
+            rows=None) -> PipelineResult:
+        """Simulate cycles ``[start_cycle, num_cycles)`` and aggregate.
+
+        ``start_cycle`` resumes the cycle counter mid-trajectory — the
+        counter-based RNG addresses every draw by absolute cycle, so a
+        run forked from a :meth:`snapshot` taken at ``start_cycle``
+        produces captures bit-identical to the same window of a full
+        run from cycle 0.  The result's aggregates cover only the
+        simulated window.
+
+        ``rows`` optionally supplies precomputed background rows from
+        :meth:`background_rows` so repeated forked windows skip the
+        per-run block evaluation; ignored in scalar-kernel mode (the
+        scalar reference stays the plain per-cycle loop).
+        """
         if num_cycles < 1:
             raise ConfigurationError("need at least one cycle")
+        if not 0 <= start_cycle < num_cycles:
+            raise ConfigurationError(
+                f"start_cycle {start_cycle} outside [0, {num_cycles})")
+        if (start_cycle or rows is not None) and self.controller is not None:
+            raise ConfigurationError(
+                "windowed runs do not support a central controller "
+                "(its window state is not part of the snapshot)")
         result = PipelineResult(
-            scheme=self.policy.name, cycles=num_cycles,
+            scheme=self.policy.name, cycles=num_cycles - start_cycle,
             period_ps=self.period_ps,
         )
         with obs.trace_span("pipeline.run", scheme=self.policy.name,
-                            cycles=num_cycles,
+                            cycles=num_cycles - start_cycle,
                             kernel=kernels.kernel_mode()):
             if kernels.vectorized_enabled() and self._vectorizable():
-                self._run_vector(num_cycles, result)
+                if rows is not None:
+                    self._run_rows(start_cycle, num_cycles, result, rows)
+                else:
+                    self._run_vector(num_cycles, result,
+                                     start_cycle=start_cycle)
             else:
                 chain = 0
-                for cycle in range(num_cycles):
+                for cycle in range(start_cycle, num_cycles):
                     chain = self._simulate_cycle(cycle, result, chain,
                                                  None)
         result.total_time_ps += result.replay_cycles * self.period_ps
         return result
+
+    def background_rows(self, num_cycles: int):
+        """Precomputed fault-free delay rows + screen for forked runs.
+
+        One vectorized prefix-advance over ``[0, num_cycles)`` (see
+        :func:`repro.kernels.pipeline.background_rows`); the overlay is
+        deliberately excluded — forked runs force their own fault
+        cycles into the screen slice per fault.
+        """
+        from repro.kernels.pipeline import CompiledStages, background_rows
+
+        if self._compiled is None:
+            self._compiled = CompiledStages.for_stages(self.stages)
+        return background_rows(
+            self._compiled, self.variability, num_cycles,
+            self.period_ps, self.policy.clean_lateness_threshold_ps())
+
+    def _run_rows(self, start: int, stop: int, result: PipelineResult,
+                  rows) -> None:
+        """The vector inner walk fed precomputed background rows.
+
+        Bit-identical to :meth:`_run_vector` over the same window: the
+        rows come from the same compiled kernel, and the walk applies
+        the same idle-skip / scalar-replay policy — only the per-run
+        block evaluation is skipped.
+        """
+        import numpy as np
+
+        delays, interesting = rows
+        count = stop - start
+        window = interesting[start:stop]
+        if self.faults is not None:
+            window = window.copy()
+            for cycle in self.faults.active_cycles():
+                if start <= cycle < stop:
+                    window[cycle - start] = True
+        num_stages = len(self.stages)
+        chain = 0
+        k = 0
+        while k < count:
+            if self._idle():
+                ahead = np.flatnonzero(window[k:])
+                nxt = k + int(ahead[0]) if ahead.size else count
+                if nxt > k:
+                    clean = nxt - k
+                    result.clean += clean * num_stages
+                    result.total_time_ps += clean * self.period_ps
+                    chain = 0
+                    k = nxt
+                    if k >= count:
+                        break
+            chain = self._simulate_cycle(start + k, result, chain,
+                                         delays[start + k])
+            k += 1
+
+    # -- snapshot/fork ---------------------------------------------------
+    def snapshot(self):
+        """Opaque snapshot of all state carried between cycles.
+
+        Stage delays and variability factors are pure functions of the
+        absolute cycle number (counter-based RNG), so the only mutable
+        inter-cycle state is the borrow vector and the policy's relay
+        machine.  Controller-attached simulations are rejected: the
+        controller accumulates slowdown windows that a snapshot does
+        not capture.
+        """
+        if self.controller is not None:
+            raise ConfigurationError(
+                "snapshots do not cover central-controller state")
+        return (tuple(self._borrow), self.policy.relay_state())
+
+    def restore(self, state) -> None:
+        """Install a state previously returned by :meth:`snapshot`."""
+        if self.controller is not None:
+            raise ConfigurationError(
+                "snapshots do not cover central-controller state")
+        borrow, relay = state
+        if len(borrow) != len(self.stages):
+            raise ConfigurationError(
+                f"snapshot covers {len(borrow)} boundaries but the "
+                f"pipeline has {len(self.stages)} stages")
+        self._borrow = list(borrow)
+        self.policy.restore_relay_state(relay)
 
     def _vectorizable(self) -> bool:
         """Can this configuration run on the block kernel?
@@ -262,11 +370,16 @@ class PipelineSimulation:
         """No carried state: every lateness equals delay - period."""
         return not any(self._borrow) and self.policy.relay_idle()
 
-    def _run_vector(self, num_cycles: int, result: PipelineResult) -> None:
+    def _run_vector(self, num_cycles: int, result: PipelineResult,
+                    *, start_cycle: int = 0) -> None:
         import numpy as np
 
         from repro.kernels.pipeline import CompiledStages, screen_block
-        from repro.kernels.schedule import BlockSizer, slow_cycles_between
+        from repro.kernels.schedule import (
+            BlockSizer,
+            block_spans,
+            slow_cycles_between,
+        )
 
         if self._compiled is None:
             self._compiled = CompiledStages.for_stages(self.stages)
@@ -277,9 +390,7 @@ class PipelineSimulation:
             if self.controller is not None else self.period_ps)
         sizer = BlockSizer()
         chain = 0
-        pos = 0
-        while pos < num_cycles:
-            count = min(sizer.size, num_cycles - pos)
+        for pos, count in block_spans(start_cycle, num_cycles, sizer):
             cycles = np.arange(pos, pos + count, dtype=np.int64)
             delays = self._compiled.delay_block(cycles, self.variability)
             # Screen against the *nominal* period: slowdown windows only
@@ -315,7 +426,6 @@ class PipelineSimulation:
                                              delays[k])
                 k += 1
             sizer.update(float(interesting.mean()))
-            pos += count
 
     @staticmethod
     def _account(result: PipelineResult, outcome: CaptureOutcome) -> None:

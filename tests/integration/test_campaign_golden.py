@@ -1,0 +1,39 @@
+"""Golden test: snapshot forking must not change campaign output.
+
+``tests/golden/campaign_outcomes.json`` was captured with
+``REPRO_CAMPAIGN_FULL_RUNS=1`` — every fault simulated from cycle 0
+through the full-run reference functions, the executable spec the
+forked evaluator must reproduce.  The forked path (the default) must
+match the capture byte for byte: same outcomes, same capture events,
+same coverage report.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.campaign import CampaignConfig, run_campaign
+from repro.campaign.engine import FULL_RUNS_ENV
+from repro.exec.cache import encode_result
+from repro.kernels import HAVE_NUMPY
+
+GOLDEN = (pathlib.Path(__file__).parent.parent / "golden"
+          / "campaign_outcomes.json")
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="forked evaluation needs the vector kernels")
+
+
+def _captures():
+    return json.loads(GOLDEN.read_text())["captures"]
+
+
+@pytest.mark.parametrize("capture", _captures(),
+                         ids=lambda c: "{target}-{scheme}".format(
+                             **c["config"]))
+def test_forked_campaign_matches_full_run_golden(capture, monkeypatch):
+    monkeypatch.delenv(FULL_RUNS_ENV, raising=False)
+    result = run_campaign(CampaignConfig(**capture["config"]))
+    assert encode_result(result.outcomes) == capture["outcomes"]
+    assert encode_result(result.report) == capture["report"]
