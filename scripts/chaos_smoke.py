@@ -22,6 +22,19 @@ The drill (run from the repo root with ``PYTHONPATH=src``):
    report the trajectory corruption on stderr, leave a valid rebuilt
    trajectory entry behind, and its coverage reports must be
    byte-identical to the reference.
+
+A second drill covers the soak mode:
+
+1. A reference soak runs uninterrupted for a fixed number of rounds and
+   its journal is kept as the byte-exact target.
+2. The same soak runs open-ended (no stop condition) with a state
+   checkpoint.  Mid-stream one worker is SIGKILLed (the exec layer must
+   absorb it), then the driver itself is SIGKILLed.
+3. The journal's last record is truncated — the torn-tail shape a crash
+   can leave, which also strands the checkpoint *ahead* of the journal
+   (the reconciliation path: the journal must win).
+4. The soak resumes to the reference round count.  The journal must be
+   byte-identical to the uninterrupted reference.
 """
 
 from __future__ import annotations
@@ -69,6 +82,24 @@ def _env() -> dict:
     return env
 
 
+#: Soak drill geometry: the reference runs SOAK_ROUNDS rounds; the
+#: chaos run is killed once SOAK_KILL_AT rounds are journaled, leaving
+#: plenty of headroom below the reference count.
+SOAK_ROUNDS = 12
+SOAK_KILL_AT = 3
+
+
+def _soak_cli(journal: pathlib.Path, *extra: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro.cli", "soak",
+        "--target", "pipeline", "--scheme", SCHEME,
+        "--cycles", "1500", "--chunk", "10",
+        "--faults-per-round", "60", "--magnitude-bins", "2",
+        "--seed", str(SEED), "--workers", "2",
+        "--journal", str(journal), "--quiet", *extra,
+    ]
+
+
 def _worker_pids(pid: int) -> list[int]:
     """Direct children of ``pid``, minus multiprocessing bookkeeping."""
     workers = []
@@ -101,6 +132,87 @@ def _completed_records(checkpoint: pathlib.Path) -> int:
             checkpoint.read_text(encoding="utf-8"))["completed"])
     except (OSError, ValueError, KeyError):
         return 0
+
+
+def _journal_rounds(journal: pathlib.Path) -> int:
+    """Complete round records currently on disk (header excluded)."""
+    try:
+        raw = journal.read_bytes()
+    except OSError:
+        return 0
+    return max(0, len(raw.split(b"\n")[:-1]) - 1)
+
+
+def _soak_drill(workdir: pathlib.Path, env: dict) -> None:
+    reference = workdir / "soak-reference.jsonl"
+    journal = workdir / "soak.jsonl"
+    checkpoint = workdir / "soak-cp.json"
+
+    print("[soak 1/4] reference soak (uninterrupted)")
+    subprocess.run(
+        _soak_cli(reference, "--rounds", str(SOAK_ROUNDS)),
+        cwd=REPO_ROOT, env=env, check=True,
+        stdout=subprocess.DEVNULL)
+    reference_bytes = reference.read_bytes()
+
+    print("[soak 2/4] chaos soak: SIGKILL a worker, then the driver")
+    proc = subprocess.Popen(
+        _soak_cli(journal, "--checkpoint", str(checkpoint)),
+        cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + KILL_DEADLINE_S
+    worker_killed = False
+    interrupted = False
+    orphans: list[int] = []
+    while time.monotonic() < deadline and proc.poll() is None:
+        rounds = _journal_rounds(journal)
+        if rounds >= 1 and not worker_killed:
+            for worker in _worker_pids(proc.pid)[:1]:
+                try:
+                    os.kill(worker, signal.SIGKILL)
+                    worker_killed = True
+                    print(f"      killed worker {worker}")
+                except OSError:
+                    pass
+        if rounds >= SOAK_KILL_AT:
+            orphans = _worker_pids(proc.pid)
+            proc.kill()
+            interrupted = True
+            print(f"      killed soak driver {proc.pid} after "
+                  f"{rounds} journaled round(s)")
+            break
+        time.sleep(0.02)
+    proc.wait()
+    for orphan in orphans:
+        try:
+            os.kill(orphan, signal.SIGKILL)
+        except OSError:
+            pass
+    assert interrupted, "soak never journaled enough rounds to kill"
+    if not worker_killed:
+        print("      WARNING: no soak worker was killed")
+    survived = _journal_rounds(journal)
+    assert survived >= 1, "no journaled soak progress survived"
+    assert survived < SOAK_ROUNDS, \
+        "soak outran the kill; raise SOAK_ROUNDS"
+
+    print("[soak 3/4] truncating the journal's last record")
+    lines = journal.read_bytes().splitlines(keepends=True)
+    journal.write_bytes(b"".join(lines[:-1]))
+    # The checkpoint may now cover more rounds than the journal holds
+    # — resume must notice and let the journal win.
+
+    print("[soak 4/4] resume and verify byte-identity")
+    subprocess.run(
+        _soak_cli(journal, "--checkpoint", str(checkpoint),
+                  "--resume", "--rounds", str(SOAK_ROUNDS)),
+        cwd=REPO_ROOT, env=env, check=True,
+        stdout=subprocess.DEVNULL)
+    resumed_bytes = journal.read_bytes()
+    assert resumed_bytes == reference_bytes, (
+        "resumed soak journal diverged from the reference "
+        f"({_journal_rounds(journal)} vs {SOAK_ROUNDS} rounds)")
+    print("      resumed soak journal byte-identical to reference")
 
 
 def main() -> int:
@@ -230,6 +342,8 @@ def main() -> int:
         assert {"version", "result", "checksum"} <= set(rebuilt), \
             "corrupted trajectory entry was not rebuilt"
         print("      trajectory entry rebuilt with a valid checksum")
+
+        _soak_drill(workdir, env)
         print("chaos smoke PASSED: resumed results byte-identical")
         return 0
     finally:

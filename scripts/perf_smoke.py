@@ -18,8 +18,12 @@ fork gate finally pits snapshot-forked fault evaluation against the
 full-run reference on an X12-scale graph campaign (byte-identical
 outcomes required, forked must be >= 5x faults/s, scalar baseline
 recorded) and merges the result into ``BENCH_x12_campaign_perf.json``.
-CI runs this on every push; it is also a convenient local sanity
-check:
+A soak gate runs a 10-second bounded soak against a batched campaign
+on the same config (streamed throughput must hold >= 0.8x of the batch
+rate) and an adaptive-vs-uniform arm on a fixed round budget (adaptive
+must end with a strictly narrower widest CI, with compatible overall
+estimates), writing ``BENCH_soak.json``.  CI runs this on every push;
+it is also a convenient local sanity check:
 
     PYTHONPATH=src python scripts/perf_smoke.py
 
@@ -82,6 +86,21 @@ CAMPAIGN_CYCLES = 4_000
 CAMPAIGN_FAULTS = 200
 CAMPAIGN_SCALAR_FAULTS = 20
 CAMPAIGN_SPEEDUP_FLOOR = 5.0
+
+#: Soak gate: a 10-second bounded soak must sustain at least this
+#: fraction of the batched campaign's faults/s on the same config (the
+#: round loop, ring, estimator, and fsync-per-round journal are the
+#: only additions), and on a fixed round budget the adaptive sampler
+#: must leave a strictly narrower widest CI than uniform sampling while
+#: the two overall estimates stay statistically compatible (the
+#: uniform-stratum combination is unbiased under any allocation).
+SOAK_CYCLES = 2_000
+SOAK_BATCH_FAULTS = 400
+SOAK_RUNTIME_S = 10.0
+SOAK_THROUGHPUT_FLOOR = 0.8
+SOAK_CI_CYCLES = 800
+SOAK_CI_ROUNDS = 20
+SOAK_CI_FAULTS_PER_ROUND = 100
 
 
 def _run_sweep():
@@ -385,6 +404,120 @@ def _campaign_fork_bench(now: str) -> tuple[dict | None, str | None]:
     return payload, None
 
 
+def _soak_bench(now: str) -> tuple[dict | None, str | None]:
+    """Soak-mode gates: streaming throughput and adaptive CI narrowing.
+
+    Arm one times a batched campaign and a 10-second bounded soak on
+    the same target/scheme/cycle config (both serial and in-process, so
+    the comparison isolates the soak loop's overhead) and gates soak
+    throughput at ``SOAK_THROUGHPUT_FLOOR`` of the batch rate.  Arm two
+    runs an adaptive and a uniform soak on an identical fixed round
+    budget: the adaptive run's widest per-stratum Wilson CI must end
+    strictly narrower, and the two overall escape-rate estimates must
+    agree within their combined half-widths (adaptive allocation shifts
+    variance between strata, never the estimate's center).  Returns
+    ``(bench_payload, failure_message)`` for ``BENCH_soak.json``.
+    """
+    import tempfile
+
+    from repro.campaign import CampaignConfig, run_campaign
+    from repro.exec import SweepRunner
+    from repro.soak import SoakConfig, run_soak
+
+    campaign = CampaignConfig(
+        target="graph", scheme="timber-ff",
+        num_faults=SOAK_BATCH_FAULTS, num_cycles=SOAK_CYCLES)
+    with SweepRunner(workers=1, cache=None) as runner:
+        start = time.perf_counter()
+        run_campaign(campaign, runner=runner)
+        batch_wall = time.perf_counter() - start
+    batch_rate = SOAK_BATCH_FAULTS / batch_wall
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="soak-bench-"))
+    try:
+        soak = SoakConfig(campaign=campaign,
+                          faults_per_round=SOAK_BATCH_FAULTS // 2)
+        with SweepRunner(workers=1, cache=None) as runner:
+            streamed = run_soak(
+                soak, journal_path=workdir / "throughput.jsonl",
+                runner=runner, max_runtime_s=SOAK_RUNTIME_S)
+        soak_rate = streamed.faults_per_second
+
+        ci_campaign = CampaignConfig(
+            target="graph", scheme="timber-ff", num_faults=1,
+            num_cycles=SOAK_CI_CYCLES)
+        arms = {}
+        for label, adaptive in (("adaptive", True), ("uniform", False)):
+            arm = SoakConfig(
+                campaign=ci_campaign, adaptive=adaptive,
+                faults_per_round=SOAK_CI_FAULTS_PER_ROUND)
+            with SweepRunner(workers=1, cache=None) as runner:
+                arms[label] = run_soak(
+                    arm, journal_path=workdir / f"{label}.jsonl",
+                    runner=runner, max_rounds=SOAK_CI_ROUNDS)
+        adaptive_result, uniform_result = (arms["adaptive"],
+                                           arms["uniform"])
+    finally:
+        import shutil
+
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    ratio = soak_rate / batch_rate if batch_rate > 0 else float("inf")
+    adaptive_widest = adaptive_result.widest["ci_width"]
+    uniform_widest = uniform_result.widest["ci_width"]
+    overall_gap = abs(adaptive_result.overall["escape_rate"]
+                      - uniform_result.overall["escape_rate"])
+    compatible_within = (adaptive_result.overall["ci_half_width"]
+                         + uniform_result.overall["ci_half_width"])
+    payload = {
+        "bench": "soak",
+        "schema_version": 1,
+        "recorded_at": now,
+        "target": campaign.target,
+        "scheme": campaign.scheme,
+        "throughput": {
+            "num_cycles": SOAK_CYCLES,
+            "batch_faults": SOAK_BATCH_FAULTS,
+            "batch_wall_s": round(batch_wall, 4),
+            "batch_faults_per_second": round(batch_rate, 1),
+            "soak_runtime_s": SOAK_RUNTIME_S,
+            "soak_faults": streamed.total_faults,
+            "soak_rounds": streamed.rounds,
+            "soak_faults_per_second": round(soak_rate, 1),
+            "ratio": round(ratio, 3),
+            "ratio_floor": SOAK_THROUGHPUT_FLOOR,
+        },
+        "adaptive_gate": {
+            "num_cycles": SOAK_CI_CYCLES,
+            "rounds": SOAK_CI_ROUNDS,
+            "faults_per_round": SOAK_CI_FAULTS_PER_ROUND,
+            "adaptive_widest_ci": round(adaptive_widest, 6),
+            "uniform_widest_ci": round(uniform_widest, 6),
+            "adaptive_overall": adaptive_result.overall,
+            "uniform_overall": uniform_result.overall,
+            "overall_gap": round(overall_gap, 6),
+            "compatible_within": round(compatible_within, 6),
+        },
+    }
+    if ratio < SOAK_THROUGHPUT_FLOOR:
+        return payload, (
+            f"soak sustained only {ratio:.2f}x of the batched campaign "
+            f"rate (floor {SOAK_THROUGHPUT_FLOOR:.2f}; batch "
+            f"{batch_rate:.1f} f/s, soak {soak_rate:.1f} f/s)")
+    if not adaptive_widest < uniform_widest:
+        return payload, (
+            f"adaptive sampling did not narrow the widest CI below "
+            f"uniform on {SOAK_CI_ROUNDS} rounds (adaptive "
+            f"{adaptive_widest:.4f}, uniform {uniform_widest:.4f})")
+    if overall_gap > compatible_within:
+        return payload, (
+            f"adaptive and uniform overall escape-rate estimates "
+            f"diverged beyond their combined CI half-widths "
+            f"({overall_gap:.4f} > {compatible_within:.4f}) — "
+            "reweighting looks biased")
+    return payload, None
+
+
 def main() -> int:
     scalar_points, scalar_wall = _measure("scalar")
     vector_points, vector_wall = _measure("vector")
@@ -509,6 +642,17 @@ def main() -> int:
         return 1
     assert campaign is not None
 
+    # -- soak throughput + adaptive-sampling gate ------------------------
+    soak, soak_failure = _soak_bench(now)
+    if soak is not None:
+        soak_path = REPO_ROOT / "BENCH_soak.json"
+        soak_path.write_text(json.dumps(soak, indent=2) + "\n",
+                             encoding="utf-8")
+    if soak_failure is not None:
+        print(f"FAIL: {soak_failure}")
+        return 1
+    assert soak is not None
+
     speedup = scalar_wall / vector_wall if vector_wall > 0 else float("inf")
     print(f"perf smoke OK: {len(scalar_points)} grid points x "
           f"{NUM_CYCLES} cycles identical in both kernel modes "
@@ -536,9 +680,18 @@ def main() -> int:
           f"{forked_run['faults_per_second']:.0f} faults/s forked "
           f"({campaign['speedup']:.1f}x at {CAMPAIGN_CYCLES} cycles, "
           "outcomes byte-identical)")
+    throughput = soak["throughput"]
+    gate = soak["adaptive_gate"]
+    print(f"  soak: {throughput['batch_faults_per_second']:.0f} f/s "
+          f"batched vs {throughput['soak_faults_per_second']:.0f} f/s "
+          f"streamed ({throughput['ratio']:.2f}x, floor "
+          f"{SOAK_THROUGHPUT_FLOOR:.2f}); widest CI "
+          f"{gate['uniform_widest_ci']:.4f} uniform -> "
+          f"{gate['adaptive_widest_ci']:.4f} adaptive on "
+          f"{SOAK_CI_ROUNDS} rounds")
     print(f"  trajectories written to {path.name}, {obs_path.name}, "
-          "BENCH_dispatch.json, BENCH_fig8_relay.json and "
-          "BENCH_x12_campaign_perf.json")
+          "BENCH_dispatch.json, BENCH_fig8_relay.json, "
+          "BENCH_x12_campaign_perf.json and BENCH_soak.json")
     return 0
 
 

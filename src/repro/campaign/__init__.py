@@ -17,6 +17,7 @@ from repro.campaign.engine import (
     CampaignConfig,
     CampaignResult,
     campaign_chunk_task,
+    evaluate_fault,
     fault_runner,
     run_campaign,
 )
@@ -24,6 +25,7 @@ from repro.campaign.faults import (
     FAULT_KINDS,
     FaultOverlay,
     FaultSpec,
+    draw_spec,
     generate_population,
     iter_population,
 )
@@ -57,11 +59,13 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "campaign_chunk_task",
+    "evaluate_fault",
     "fault_runner",
     "run_campaign",
     "FAULT_KINDS",
     "FaultOverlay",
     "FaultSpec",
+    "draw_spec",
     "generate_population",
     "iter_population",
     "BackgroundTrajectory",

@@ -592,6 +592,20 @@ def _classify(config: CampaignConfig,
     return outcome, units
 
 
+def evaluate_fault(config: CampaignConfig,
+                   runner: "_FullRunEvaluator | _ForkedEvaluator",
+                   spec: FaultSpec) -> tuple[FaultOutcome, int]:
+    """Classify one fault through an existing evaluator (obs included).
+
+    The public face of :func:`_classify` for callers that keep one
+    evaluator alive across many faults — the soak driver's chunk task
+    evaluates stratified draws through exactly this path, so a soak
+    outcome is bit-identical to a batch campaign outcome for the same
+    spec and configuration.
+    """
+    return _classify(config, runner, spec)
+
+
 def run_one_fault(config: CampaignConfig,
                   spec: FaultSpec) -> tuple[FaultOutcome, int]:
     """Simulate one fault; returns (outcome, simulated-work units)."""

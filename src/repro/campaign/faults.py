@@ -149,7 +149,7 @@ def iter_population(
 
     def generate() -> typing.Iterator[FaultSpec]:
         for fault_id in range(start, num_faults):
-            yield _spec_for(
+            yield draw_spec(
                 lanes, fault_id, sites=sites, kinds=kinds,
                 lo_ps=lo_ps, hi_ps=hi_ps, last_start=last_start,
                 max_duration_cycles=max_duration_cycles,
@@ -158,9 +158,9 @@ def iter_population(
     return generate()
 
 
-def _spec_for(
+def draw_spec(
     lanes: tuple[int, int],
-    fault_id: int,
+    draw_index: int,
     *,
     sites: typing.Sequence[str],
     kinds: typing.Sequence[str],
@@ -169,27 +169,37 @@ def _spec_for(
     last_start: int,
     max_duration_cycles: int,
     max_span: int,
+    fault_id: int | None = None,
 ) -> FaultSpec:
-    """Draw fault ``fault_id`` — pure in ``(lanes, fault_id)``."""
-    kind = kinds[_draw(lanes, fault_id, _FIELD_KIND) % len(kinds)]
+    """Draw one fault — pure in ``(lanes, draw_index)``.
+
+    ``fault_id`` defaults to ``draw_index`` (the population case, where
+    the position in the population is also the draw counter).  Streaming
+    stratified sources (:mod:`repro.soak.generator`) separate the two:
+    each stratum keeps its own draw counter (so a stratum's stream is
+    independent of how rounds interleave strata) while ``fault_id``
+    carries the global injection sequence number.
+    """
+    kind = kinds[_draw(lanes, draw_index, _FIELD_KIND) % len(kinds)]
     span = 1
     if kind == "correlated" and len(sites) > 1:
-        span = 2 + _draw(lanes, fault_id, _FIELD_SPAN) % (max_span - 1)
+        span = 2 + _draw(lanes, draw_index, _FIELD_SPAN) % (max_span - 1)
         span = min(span, len(sites))
     # Correlated faults need `span` consecutive sites after the
     # primary one, so clamp the start index accordingly.
     site_slots = len(sites) - span + 1
-    site = sites[_draw(lanes, fault_id, _FIELD_SITE) % site_slots]
+    site = sites[_draw(lanes, draw_index, _FIELD_SITE) % site_slots]
     if kind == "seu":
         duration = 1
     else:
-        duration = 1 + (_draw(lanes, fault_id, _FIELD_DURATION)
+        duration = 1 + (_draw(lanes, draw_index, _FIELD_DURATION)
                         % max_duration_cycles)
-    cycle = 1 + _draw(lanes, fault_id, _FIELD_CYCLE) % (last_start - 1)
-    magnitude = lo_ps + (_draw(lanes, fault_id, _FIELD_MAGNITUDE)
+    cycle = 1 + _draw(lanes, draw_index, _FIELD_CYCLE) % (last_start - 1)
+    magnitude = lo_ps + (_draw(lanes, draw_index, _FIELD_MAGNITUDE)
                          % (hi_ps - lo_ps + 1))
     return FaultSpec(
-        fault_id=fault_id, kind=kind, site=site, cycle=cycle,
+        fault_id=draw_index if fault_id is None else fault_id,
+        kind=kind, site=site, cycle=cycle,
         duration_cycles=duration, magnitude_ps=magnitude, span=span,
     )
 

@@ -13,15 +13,26 @@ Gives quick terminal access to the headline experiments:
 * ``campaign``   — randomized fault-injection campaign with per-scheme
   coverage reports (``--resume`` continues a killed run from its
   checkpoint).
+* ``soak``       — continuous streaming fault injection with adaptive
+  stratified sampling, an append-only replay journal, and crash-safe
+  checkpoints (``--resume`` continues a killed soak byte-identically).
 * ``obs``        — render or merge observability trace files (JSONL
   spans in, Chrome trace-event JSON and/or a terminal flame summary
-  out).  ``sweep`` and ``campaign`` take ``--obs-out DIR`` to collect
-  metrics and spans while they run.
+  out).  ``sweep``, ``campaign``, and ``soak`` take ``--obs-out DIR``
+  to collect metrics and spans while they run.
+
+The long-running commands (``sweep``, ``campaign``, ``soak``) install a
+graceful-shutdown handler: the first SIGTERM/SIGINT requests a drain —
+queued work is dropped, in-flight batches finish and are checkpointed,
+observability output is still written — and the process exits with the
+conventional ``128 + signum``.  A second signal interrupts immediately.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 
 from repro import __version__
@@ -220,6 +231,50 @@ def _make_runner(args: argparse.Namespace, *,
     )
 
 
+class _DrainState:
+    """Which signal (if any) requested a graceful drain."""
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+
+    @property
+    def exit_code(self) -> int:
+        return 128 + (self.signum or signal.SIGTERM)
+
+
+@contextlib.contextmanager
+def _graceful_drain(runner):
+    """Route SIGTERM/SIGINT into a graceful runner drain.
+
+    The first signal only sets the runner's drain flag (handler-safe):
+    queued tasks are dropped, in-flight batches finish and land in the
+    checkpoint, and the command's normal teardown (obs flush, summary)
+    still runs.  A second signal falls back to ``KeyboardInterrupt``
+    for users who really mean *now*.  Previous handlers are restored on
+    exit, so nested uses (tests calling :func:`main` in-process) are
+    safe.
+    """
+    state = _DrainState()
+
+    def handler(signum: int, frame) -> None:
+        if state.signum is not None:
+            raise KeyboardInterrupt
+        state.signum = signum
+        runner.request_drain()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        yield state
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
 def _obs_begin(args: argparse.Namespace) -> bool:
     """Enable observability when ``--obs-out`` was given.
 
@@ -246,10 +301,21 @@ def _obs_finish(args: argparse.Namespace) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.exec import SweepDrained
+
     observing = _obs_begin(args)
     runner = _make_runner(args)
     try:
-        return _run_sweep(args, runner, observing)
+        with _graceful_drain(runner) as drain:
+            try:
+                return _run_sweep(args, runner, observing)
+            except SweepDrained as drained:
+                completed = len(drained.result.outcomes)
+                print(f"\ndrained: {completed} task(s) completed and "
+                      f"checkpointed before shutdown", file=sys.stderr)
+                if observing:
+                    _obs_finish(args)
+                return drain.exit_code
     finally:
         runner.close()
 
@@ -330,50 +396,189 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # One runner — hence one warm worker pool and one adaptive sizer —
     # shared across every scheme phase; only the checkpoint is
     # per-scheme, so each phase stays independently resumable.
-    runner = _make_runner(args)
-    try:
-        for scheme in schemes:
-            try:
-                config = CampaignConfig(
-                    target=args.target, scheme=scheme,
-                    num_faults=args.faults, num_cycles=args.cycles,
-                    checking_percent=args.checking,
-                    num_stages=args.stages, seed=args.seed,
-                    faults_per_task=args.chunk,
-                    snapshot_stride=args.snapshot_stride,
-                )
-            except ConfigurationError as error:
-                print(f"error: {error}", file=sys.stderr)
-                return 2
-            runner.checkpoint = None
-            if args.checkpoint:
-                from repro.exec import SweepCheckpoint
+    from repro.exec import SweepDrained
 
-                runner.checkpoint = SweepCheckpoint(
-                    _campaign_checkpoint_path(args.checkpoint, scheme),
-                    resume=args.resume)
-            result = run_campaign(config, runner=runner)
-            reports.append(result.report)
-            summary = result.summary
-            poisoned = summary.get("poisoned", [])
-            line = (f"{scheme}: "
-                    f"{len(result.outcomes)}/{config.num_faults} "
-                    f"faults classified in {summary['wall_time_s']:.2f}s")
-            if summary.get("resumed_tasks"):
-                line += f" ({summary['resumed_tasks']} task(s) resumed)"
-            if poisoned:
-                line += f" ({len(poisoned)} chunk(s) poisoned)"
-            print(line)
+    runner = _make_runner(args)
+    drained_exit: int | None = None
+    try:
+        with _graceful_drain(runner) as drain:
+            for scheme in schemes:
+                try:
+                    config = CampaignConfig(
+                        target=args.target, scheme=scheme,
+                        num_faults=args.faults, num_cycles=args.cycles,
+                        checking_percent=args.checking,
+                        num_stages=args.stages, seed=args.seed,
+                        faults_per_task=args.chunk,
+                        snapshot_stride=args.snapshot_stride,
+                    )
+                except ConfigurationError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 2
+                runner.checkpoint = None
+                if args.checkpoint:
+                    from repro.exec import SweepCheckpoint
+
+                    runner.checkpoint = SweepCheckpoint(
+                        _campaign_checkpoint_path(args.checkpoint,
+                                                  scheme),
+                        resume=args.resume)
+                try:
+                    result = run_campaign(config, runner=runner)
+                except SweepDrained as drained:
+                    completed = len(drained.result.outcomes)
+                    print(f"{scheme}: drained after {completed} "
+                          f"chunk(s); re-run with --resume to continue",
+                          file=sys.stderr)
+                    drained_exit = drain.exit_code
+                    break
+                reports.append(result.report)
+                summary = result.summary
+                poisoned = summary.get("poisoned", [])
+                line = (f"{scheme}: "
+                        f"{len(result.outcomes)}/{config.num_faults} "
+                        f"faults classified in "
+                        f"{summary['wall_time_s']:.2f}s")
+                if summary.get("resumed_tasks"):
+                    line += (f" ({summary['resumed_tasks']} task(s) "
+                             f"resumed)")
+                if poisoned:
+                    line += f" ({len(poisoned)} chunk(s) poisoned)"
+                print(line)
     finally:
         runner.close()
-    print()
-    print(render_reports(reports))
-    if args.out:
+    if reports:
+        print()
+        print(render_reports(reports))
+    if args.out and drained_exit is None:
         write_campaign_bench(args.out, reports, config=config,
                              telemetry=summary)
         print(f"wrote {args.out}")
     if observing:
         _obs_finish(args)
+    return drained_exit if drained_exit is not None else 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.campaign import CampaignConfig
+    from repro.errors import ConfigurationError, ExecutionError
+    from repro.soak import SoakConfig, run_soak
+
+    observing = _obs_begin(args)
+    if args.cache_dir and not args.no_cache:
+        import os
+
+        from repro.campaign.trajectory import TRAJECTORY_CACHE_ENV
+
+        os.environ.setdefault(
+            TRAJECTORY_CACHE_ENV,
+            os.path.join(args.cache_dir, "trajectories"))
+    try:
+        campaign = CampaignConfig(
+            target=args.target, scheme=args.scheme,
+            num_faults=1,  # soak draws are stratified, not population
+            num_cycles=args.cycles, checking_percent=args.checking,
+            num_stages=args.stages, seed=args.seed,
+            faults_per_task=args.chunk,
+            snapshot_stride=args.snapshot_stride,
+        )
+        soak = SoakConfig(
+            campaign=campaign,
+            faults_per_round=args.faults_per_round,
+            magnitude_bins=args.magnitude_bins,
+            min_weight=args.min_weight,
+            adaptive=not args.uniform,
+            ring_capacity=args.ring_capacity,
+            checkpoint_every_rounds=args.checkpoint_every,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    # The soak checkpoint is the soak loop's own (``--checkpoint``
+    # names it); the sweep-level checkpoint machinery stays off, and so
+    # does the result cache — soak draws never repeat, so caching them
+    # would only burn disk.
+    runner = _make_runner(args, checkpoint_path="")
+    runner.cache = None
+    if args.watchdog is not None and args.timeout is None:
+        runner.task_timeout_s = args.watchdog
+    status = None
+    if not args.quiet:
+        def status(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
+
+    try:
+        with _graceful_drain(runner) as drain:
+            try:
+                result = run_soak(
+                    soak,
+                    journal_path=args.journal,
+                    checkpoint_path=args.checkpoint or None,
+                    runner=runner,
+                    resume=args.resume,
+                    max_faults=args.max_faults,
+                    max_runtime_s=args.max_runtime,
+                    target_ci_width=args.target_ci_width,
+                    max_rounds=args.rounds,
+                    status=status,
+                )
+            except ConfigurationError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            except ExecutionError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+    finally:
+        runner.close()
+
+    rows = [
+        [s["stratum"], s["n"], s["escaped"],
+         f"{s['escape_rate']:.4f}",
+         f"[{s['ci_low']:.4f}, {s['ci_high']:.4f}]",
+         f"{s['ci_width']:.4f}"]
+        for s in result.per_stratum
+    ]
+    print(format_table(
+        ["stratum", "n", "escaped", "escape rate", "95% CI", "width"],
+        rows))
+    overall = result.overall
+    print()
+    print(f"overall escape rate {overall['escape_rate']:.4f} "
+          f"[{overall['ci_low']:.4f}, {overall['ci_high']:.4f}] "
+          f"over {result.total_faults} fault(s), "
+          f"{result.rounds} round(s)")
+    print(f"stopped: {result.stop_reason}; "
+          f"{result.faults_evaluated:.0f} fault(s) evaluated this "
+          f"process in {result.wall_time_s:.2f}s "
+          f"({result.faults_per_second:.1f} faults/s)")
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump({
+                "schema_version": 1,
+                "soak": soak.to_params(),
+                "run_key": soak.run_key(),
+                "rounds": result.rounds,
+                "total_faults": result.total_faults,
+                "stop_reason": result.stop_reason,
+                "drained": result.drained,
+                "overall": result.overall,
+                "widest": result.widest,
+                "per_stratum": result.per_stratum,
+                "wall_time_s": result.wall_time_s,
+                "faults_evaluated": result.faults_evaluated,
+                "faults_per_second": result.faults_per_second,
+            }, handle, indent=2)
+        print(f"wrote {args.out}")
+    if observing:
+        _obs_finish(args)
+    if result.drained:
+        print("drained: journal and checkpoint are consistent; "
+              "re-run with --resume to continue", file=sys.stderr)
+        return drain.exit_code
     return 0
 
 
@@ -458,7 +663,13 @@ def build_parser() -> argparse.ArgumentParser:
     energy.add_argument("--checking", type=float, default=30.0)
     energy.set_defaults(func=_cmd_energy)
 
-    def add_exec_flags(cmd: argparse.ArgumentParser) -> None:
+    def add_exec_flags(
+        cmd: argparse.ArgumentParser, *,
+        checkpoint_help: str = ("periodically persist completed tasks "
+                                "to this file"),
+        resume_help: str = ("replay completed tasks from the "
+                            "checkpoint file instead of re-running"),
+    ) -> None:
         cmd.add_argument("--workers", type=_positive_int, default=1,
                          help="process-pool size (1 = serial, default)")
         cmd.add_argument("--timeout", type=float, default=None,
@@ -491,11 +702,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="base retry backoff; grows exponentially "
                               "with seeded jitter (default 0 = none)")
         cmd.add_argument("--checkpoint", metavar="PATH",
-                         help="periodically persist completed tasks to "
-                              "this file")
+                         help=checkpoint_help)
         cmd.add_argument("--resume", action="store_true",
-                         help="replay completed tasks from the "
-                              "checkpoint file instead of re-running")
+                         help=resume_help)
         cmd.add_argument("--obs-out", metavar="DIR",
                          help="enable observability and write metrics "
                               "(Prometheus text + JSON snapshot) and "
@@ -545,6 +754,85 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--out", metavar="PATH",
                       help="write the BENCH_campaign.json artefact")
     camp.set_defaults(func=_cmd_campaign)
+
+    soak = sub.add_parser(
+        "soak",
+        help="continuous streaming fault injection with adaptive "
+             "sampling and crash-safe replay")
+    soak.add_argument("--target", default="pipeline",
+                      choices=("pipeline", "graph", "netlist"))
+    soak.add_argument("--scheme", default="timber-ff",
+                      help="one scheme per soak stream "
+                           "(default: timber-ff)")
+    soak.add_argument("--cycles", type=_positive_int, default=2000,
+                      help="cycle range faults land in (default 2000)")
+    soak.add_argument("--checking", type=float, default=30.0,
+                      help="checking period, %% of the clock period")
+    soak.add_argument("--stages", type=_positive_int, default=5,
+                      help="pipeline depth / chain length (default 5)")
+    soak.add_argument("--seed", type=int, default=2010,
+                      help="soak root seed (default 2010)")
+    soak.add_argument("--chunk", type=_positive_int, default=25,
+                      help="faults per sweep task (default 25)")
+    soak.add_argument("--snapshot-stride", type=_positive_int,
+                      default=256,
+                      help="cycles between background-trajectory "
+                           "snapshots (default 256)")
+    soak.add_argument("--faults-per-round", type=_positive_int,
+                      default=200, metavar="N",
+                      help="draws per adaptive round (default 200)")
+    soak.add_argument("--magnitude-bins", type=_positive_int,
+                      default=3, metavar="N",
+                      help="magnitude bins per fault kind; strata = "
+                           "kinds x bins (default 3)")
+    soak.add_argument("--min-weight", type=float, default=None,
+                      metavar="W",
+                      help="per-stratum sampling weight floor "
+                           "(default: half the uniform share)")
+    soak.add_argument("--uniform", action="store_true",
+                      help="disable adaptive reweighting (uniform "
+                           "allocation; the control arm for benches)")
+    soak.add_argument("--ring-capacity", type=_positive_int,
+                      default=4096, metavar="N",
+                      help="bounded draw-ring capacity — caps "
+                           "generator run-ahead (default 4096)")
+    soak.add_argument("--checkpoint-every", type=_positive_int,
+                      default=1, metavar="ROUNDS",
+                      help="rounds between checkpoint writes "
+                           "(default 1)")
+    soak.add_argument("--journal", required=True, metavar="PATH",
+                      help="append-only replay journal (fsync per "
+                           "round; --resume continues it)")
+    soak.add_argument("--max-faults", type=_positive_int, default=None,
+                      help="stop after this many total faults")
+    soak.add_argument("--max-runtime", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop after this much wall time")
+    soak.add_argument("--target-ci-width", type=float, default=None,
+                      metavar="W",
+                      help="stop when every stratum's escape-rate CI "
+                           "is at most this wide")
+    soak.add_argument("--rounds", type=_positive_int, default=None,
+                      help="stop after this many rounds (mostly for "
+                           "tests and benches)")
+    soak.add_argument("--watchdog", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-fault-chunk stall watchdog: alias for "
+                           "--timeout (stalled workers are abandoned, "
+                           "their work re-dispatched, late results "
+                           "adopted)")
+    soak.add_argument("--quiet", action="store_true",
+                      help="suppress the per-round status line")
+    add_exec_flags(
+        soak,
+        checkpoint_help=("soak-state checkpoint file (atomic "
+                         "tmp+rename+fsync; speeds up --resume)"),
+        resume_help=("continue a previous soak from its journal "
+                     "(and checkpoint, if given) byte-identically"))
+    soak.add_argument("--out", metavar="PATH",
+                      help="write the machine-readable soak result "
+                           "JSON")
+    soak.set_defaults(func=_cmd_soak)
 
     obs_cmd = sub.add_parser(
         "obs", help="render or merge observability trace files")

@@ -35,9 +35,14 @@ from repro.exec.cache import (
     result_checksum,
     stable_key,
 )
-from repro.exec.checkpoint import SweepCheckpoint, compute_run_key
+from repro.exec.checkpoint import (
+    SweepCheckpoint,
+    atomic_write_json,
+    compute_run_key,
+)
 from repro.exec.runner import (
     DispatchSizer,
+    SweepDrained,
     SweepRunner,
     SweepRunResult,
     SweepTask,
@@ -55,6 +60,7 @@ __all__ = [
     "ResultCache",
     "RunTelemetry",
     "SweepCheckpoint",
+    "SweepDrained",
     "SweepRunResult",
     "SweepRunner",
     "SweepTask",
@@ -62,6 +68,7 @@ __all__ = [
     "TaskPayload",
     "WARM",
     "WarmCache",
+    "atomic_write_json",
     "compute_run_key",
     "decode_result",
     "derive_seed",

@@ -12,9 +12,13 @@ and ignored (logged, never silently mixed in).
 Resumed values round-trip through the same tagged JSON encoding as the
 result cache (:func:`repro.exec.cache.encode_result`), which
 reconstructs exact dataclasses — a resumed sweep is byte-identical to
-an uninterrupted one.  Writes are atomic (temp file + rename) and
-throttled to every ``every`` completions plus one final flush, keeping
-checkpoint overhead negligible for sweeps of thousands of tasks.
+an uninterrupted one.  Writes go through :func:`atomic_write_json`
+(temp file in the target directory, ``fsync``, atomic rename, directory
+``fsync`` — a SIGKILL at any instant leaves either the old or the new
+complete document, never a torn one) and are throttled to every
+``every`` completions plus one final flush, keeping checkpoint overhead
+negligible for sweeps of thousands of tasks.  The soak driver's
+checkpoints (:mod:`repro.soak.driver`) reuse the same helper.
 """
 
 from __future__ import annotations
@@ -35,6 +39,44 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 logger = logging.getLogger("repro.exec.checkpoint")
 
 CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def atomic_write_json(path: pathlib.Path, data: typing.Any) -> None:
+    """Durably replace ``path`` with the JSON encoding of ``data``.
+
+    The sequence a kill must never be able to corrupt: write to a
+    temporary file in the *same directory*, flush and ``fsync`` it (the
+    bytes are on disk before the name exists), atomically ``rename``
+    over the target, then ``fsync`` the directory so the rename itself
+    is durable.  At every instant the target path holds either the old
+    complete document or the new complete document — a SIGKILL mid-write
+    leaves the temp file behind, never a torn target.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - directories not fsync-able
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def compute_run_key(tasks: "typing.Sequence[SweepTask]",
@@ -136,28 +178,15 @@ class SweepCheckpoint:
             self.flush()
 
     def flush(self) -> None:
-        """Atomically write the current completion set to disk."""
+        """Durably write the current completion set (atomic + fsync)."""
         if self._run_key is None:
             raise RuntimeError("checkpoint used before load()")
         self._pending_writes = 0
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        data = {
+        atomic_write_json(self.path, {
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "run_key": self._run_key,
             "completed": self._completed,
-        }
-        fd, tmp_name = tempfile.mkstemp(dir=self.path.parent,
-                                        suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(data, handle)
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        })
 
     # -- rehydration -------------------------------------------------------
     @staticmethod

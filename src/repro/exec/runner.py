@@ -225,6 +225,25 @@ class RemoteTaskError(ExecutionError):
     """
 
 
+class SweepDrained(Exception):
+    """A run stopped early because a graceful drain was requested.
+
+    Raised by :meth:`SweepRunner.run` after :meth:`SweepRunner.
+    request_drain` when some tasks were left unexecuted: queued work
+    was dropped, in-flight batches were allowed to finish, every
+    completed outcome was recorded (and checkpointed, when a checkpoint
+    is attached), and :attr:`result` carries the partial
+    :class:`SweepRunResult` with ``summary["drained"] = True``.
+    Raising — rather than returning a short list — keeps callers that
+    post-process a full grid from silently consuming a partial one.
+    """
+
+    def __init__(self, result: "SweepRunResult") -> None:
+        completed = len(result.outcomes)
+        super().__init__(f"sweep drained after {completed} task(s)")
+        self.result = result
+
+
 def task_key(experiment: str, point: typing.Mapping) -> str:
     """Render a stable human-readable task key for a grid point."""
     name = experiment.rpartition(":")[2].strip("_")
@@ -440,6 +459,17 @@ class _Dispatcher:
     def run(self, tasks: typing.Sequence[SweepTask]) -> None:
         self.pending.extend((task, 1) for task in tasks)
         while self.pending or self.retries or self.in_flight:
+            if self.runner._drain_requested:
+                # Graceful drain: drop everything not yet dispatched and
+                # stop waiting on abandoned (timed-out) batches, but let
+                # batches already on a worker finish and be recorded —
+                # their results are about to arrive and recording them
+                # keeps the checkpoint as complete as possible.
+                self.pending.clear()
+                self.retries.clear()
+                self.ghosts.clear()
+                if not self.in_flight:
+                    break
             now = time.monotonic()
             self._promote_retries(now)
             broken = self._fill(now)
@@ -652,6 +682,8 @@ class _Dispatcher:
             _, _, task, attempt = heapq.heappop(self.retries)
             leftovers.append((task, attempt))
         for task, _ in sorted(leftovers, key=lambda item: item[0].index):
+            if self.runner._drain_requested:
+                return
             if task.index in self.recorded:
                 continue
             self.recorded.add(task.index)
@@ -716,6 +748,30 @@ class SweepRunner:
         self._sizer = DispatchSizer(batch_target_s, max_batch)
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._pool_finalizer: weakref.finalize | None = None
+        self._drain_requested = False
+
+    # -- graceful drain ----------------------------------------------------
+    @property
+    def drain_requested(self) -> bool:
+        """Whether :meth:`request_drain` has been called (and not cleared)."""
+        return self._drain_requested
+
+    def request_drain(self) -> None:
+        """Ask the current (or next) :meth:`run` to stop gracefully.
+
+        Safe to call from a signal handler: it only sets a flag.  The
+        runner drops queued work, lets in-flight batches finish so their
+        outcomes are recorded and checkpointed, then raises
+        :class:`SweepDrained` with the partial result.  The flag is
+        sticky across :meth:`run` calls — multi-phase drivers (campaign
+        per-scheme sweeps, soak rounds) stop at the next phase boundary
+        too — until :meth:`clear_drain`.
+        """
+        self._drain_requested = True
+
+    def clear_drain(self) -> None:
+        """Re-arm the runner after a drain (mostly for tests)."""
+        self._drain_requested = False
 
     # -- pool lifecycle ----------------------------------------------------
     def _ensure_pool(self):
@@ -832,12 +888,26 @@ class SweepRunner:
                     self._run_pool(misses, record)
                 else:
                     for task in misses:
+                        if self._drain_requested:
+                            break
                         record(self._run_serial(task))
         finally:
             # Flush even when a task ultimately fails: everything that
             # completed before the failure stays resumable.
             if self.checkpoint is not None:
                 self.checkpoint.flush()
+
+        if any(task.index not in outcomes for task in tasks):
+            # Only a requested drain leaves gaps (every other early exit
+            # raises); surface the partial result as an exception so no
+            # caller mistakes it for a full grid.
+            ordered = [outcomes[task.index] for task in tasks
+                       if task.index in outcomes]
+            summary = self.telemetry.finish()
+            summary["drained"] = True
+            result = SweepRunResult(outcomes=ordered, summary=summary)
+            self.last_run = result
+            raise SweepDrained(result)
 
         ordered = [outcomes[task.index] for task in tasks]
         result = SweepRunResult(outcomes=ordered,

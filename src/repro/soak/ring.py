@@ -1,0 +1,80 @@
+"""Bounded draw ring between the fault generator and chunk assembly.
+
+The soak generator can mint draws far faster than workers evaluate
+them; the ring is the explicit bound on that run-ahead.  The driver
+pumps it in a strict alternation — fill until full or the round's
+draws are exhausted, then drain whole chunks to the dispatcher — so
+memory is capped at ``capacity`` pending draws regardless of round
+size, and the backpressure point is visible in the code (and in the
+``repro_soak_ring_depth`` gauge) rather than hidden in queue growth.
+
+Single-threaded by design, like the rest of the driver: the exec layer
+owns all parallelism, so the ring needs no locks — ``push`` simply
+refuses when full and the caller switches to draining.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.errors import ConfigurationError
+
+
+class SoakRing:
+    """A bounded FIFO of pending draws with explicit backpressure."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self._items: collections.deque = collections.deque()
+        #: Total draws ever accepted (monotonic; telemetry only).
+        self.accepted = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item: typing.Any) -> bool:
+        """Accept one draw; ``False`` (backpressure) when full."""
+        if self.full:
+            return False
+        self._items.append(item)
+        self.accepted += 1
+        return True
+
+    def fill_from(self, source: typing.Iterator) -> int:
+        """Pull from ``source`` until the ring is full or it is dry.
+
+        Returns the number of draws accepted.  The generator's
+        position advances exactly that far — the un-pulled remainder
+        stays in ``source`` for the next fill, which is the
+        backpressure contract.
+        """
+        accepted = 0
+        while not self.full:
+            try:
+                item = next(source)
+            except StopIteration:
+                break
+            self._items.append(item)
+            accepted += 1
+        self.accepted += accepted
+        return accepted
+
+    def take(self, count: int) -> list:
+        """Remove and return up to ``count`` draws, FIFO order."""
+        if count < 0:
+            raise ConfigurationError("take count must be >= 0")
+        out = []
+        while self._items and len(out) < count:
+            out.append(self._items.popleft())
+        return out

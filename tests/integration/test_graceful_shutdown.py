@@ -1,0 +1,130 @@
+"""Graceful drain: in-process SweepDrained semantics and the CLI's
+SIGTERM handler (checkpoint + journal flushed before exit 143)."""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exec import (
+    SweepCheckpoint,
+    SweepDrained,
+    SweepRunner,
+    expand_grid,
+)
+from repro.soak import SoakJournal
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SQUARE = "repro.exec.testing:square_task"
+
+
+class TestSweepDrained:
+    def test_drain_stops_dispatch_but_keeps_finished_work(
+            self, tmp_path):
+        tasks = expand_grid(SQUARE, {"x": list(range(8))}, root_seed=3)
+        path = tmp_path / "cp.json"
+        runner = SweepRunner(checkpoint=SweepCheckpoint(path, every=1))
+        record = runner.telemetry.record_task
+
+        def drain_after_two(outcome):
+            record(outcome)
+            if outcome.task.index == 1:
+                runner.request_drain()
+
+        runner.telemetry.record_task = drain_after_two
+        with pytest.raises(SweepDrained) as excinfo:
+            runner.run(tasks)
+        result = excinfo.value.result
+        assert result.summary["drained"] is True
+        assert 0 < len(result.outcomes) < len(tasks)
+        # Every completed task made it to the checkpoint...
+        runner.close()
+        resumed = SweepRunner(
+            checkpoint=SweepCheckpoint(path, resume=True)).run(tasks)
+        # ...and the resume finishes the grid without recomputing them.
+        assert resumed.summary["resumed_tasks"] == len(result.outcomes)
+        assert resumed.values == [x * x for x in range(8)]
+        resumed_flags = [o.resumed for o in resumed.outcomes]
+        assert sum(resumed_flags) == len(result.outcomes)
+
+    def test_drain_flag_is_sticky_until_cleared(self):
+        tasks = expand_grid(SQUARE, {"x": [1, 2]}, root_seed=3)
+        runner = SweepRunner()
+        runner.request_drain()
+        with pytest.raises(SweepDrained) as excinfo:
+            runner.run(tasks)
+        assert excinfo.value.result.outcomes == []
+        with pytest.raises(SweepDrained):
+            runner.run(tasks)  # still draining
+        runner.clear_drain()
+        assert runner.run(tasks).values == [1, 4]
+        runner.close()
+
+
+def _soak_cli(journal: pathlib.Path, *extra: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro.cli", "soak",
+        "--target", "graph", "--scheme", "timber-ff",
+        "--cycles", "300", "--chunk", "10",
+        "--faults-per-round", "40", "--magnitude-bins", "2",
+        "--seed", "7", "--journal", str(journal), "--quiet", *extra,
+    ]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (f"{src}{os.pathsep}{existing}"
+                         if existing else src)
+    return env
+
+
+class TestCliSigterm:
+    def test_sigterm_drains_flushes_and_exits_143(self, tmp_path):
+        """An open-ended soak, SIGTERMed mid-stream, must exit with
+        128+SIGTERM, leave a parseable journal, and resume cleanly."""
+        journal = tmp_path / "soak.jsonl"
+        proc = subprocess.Popen(
+            _soak_cli(journal),  # no stop condition: open-ended
+            cwd=REPO_ROOT, env=_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if journal.exists() and len(
+                        journal.read_bytes().splitlines()) >= 3:
+                    break  # header + >= 2 round records on disk
+                if proc.poll() is not None:
+                    pytest.fail("open-ended soak exited on its own: "
+                                + proc.stderr.read().decode())
+                time.sleep(0.05)
+            else:
+                pytest.fail("soak never journaled a round")
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=120.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        stderr = proc.stderr.read().decode("utf-8", errors="replace")
+        assert proc.returncode == 128 + signal.SIGTERM, stderr
+        assert "drained" in stderr
+
+        header, records = SoakJournal.read(journal)
+        assert header is not None and records
+        rounds_before = len(records)
+
+        # The drained journal is a valid prefix: resume extends it.
+        resume = subprocess.run(
+            _soak_cli(journal, "--resume",
+                      "--rounds", str(rounds_before + 2)),
+            cwd=REPO_ROOT, env=_env(), capture_output=True)
+        assert resume.returncode == 0, resume.stderr.decode()
+        _header, extended = SoakJournal.read(journal)
+        assert len(extended) == rounds_before + 2
+        assert extended[:rounds_before] == records

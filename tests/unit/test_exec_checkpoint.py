@@ -2,6 +2,7 @@
 
 import json
 import logging
+import os
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro.exec import (
     SweepCheckpoint,
     SweepRunner,
     SweepTask,
+    atomic_write_json,
     compute_run_key,
     expand_grid,
 )
@@ -113,6 +115,84 @@ class TestCheckpointFile:
         checkpoint = SweepCheckpoint(tmp_path / "cp.json")
         with pytest.raises(RuntimeError):
             checkpoint.flush()
+
+
+class TestAtomicWriteJson:
+    def test_round_trip_and_no_droppings(self, tmp_path):
+        path = tmp_path / "data.json"
+        atomic_write_json(path, {"a": [1, 2, 3]})
+        assert json.loads(path.read_text(encoding="utf-8")) == \
+            {"a": [1, 2, 3]}
+        atomic_write_json(path, {"a": [4]})
+        assert json.loads(path.read_text(encoding="utf-8")) == \
+            {"a": [4]}
+        # No temp files survive a successful write.
+        assert [p.name for p in tmp_path.iterdir()] == ["data.json"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "data.json"
+        atomic_write_json(path, 7)
+        assert json.loads(path.read_text(encoding="utf-8")) == 7
+
+    def test_torn_write_never_corrupts_the_target(self, tmp_path,
+                                                  monkeypatch):
+        """A crash mid-write leaves the old complete document intact.
+
+        Simulated by making the data unserializable partway through:
+        ``json.dump`` streams, so by the time it raises, bytes have
+        already been written — to the temp file, never the target.
+        """
+        path = tmp_path / "cp.json"
+        atomic_write_json(path, {"generation": 1, "pad": "x" * 4096})
+        before = path.read_bytes()
+
+        class Exploding:
+            def __iter__(self):
+                raise RuntimeError("simulated crash mid-encode")
+
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"generation": 2,
+                                     "bad": Exploding()})
+        assert path.read_bytes() == before
+        assert json.loads(path.read_text(encoding="utf-8"))[
+            "generation"] == 1
+        # The failed write's temp file was cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["cp.json"]
+
+    def test_torn_replace_leaves_old_or_new_never_mixed(
+            self, tmp_path, monkeypatch):
+        """Killing between fsync and rename keeps the old document."""
+        path = tmp_path / "cp.json"
+        atomic_write_json(path, {"generation": 1})
+        real_replace = os.replace
+
+        def crash_replace(src, dst):
+            raise RuntimeError("simulated SIGKILL before rename")
+
+        monkeypatch.setattr(os, "replace", crash_replace)
+        with pytest.raises(RuntimeError):
+            atomic_write_json(path, {"generation": 2})
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert json.loads(path.read_text(encoding="utf-8"))[
+            "generation"] == 1
+
+    def test_flush_goes_through_atomic_write(self, tmp_path,
+                                             monkeypatch):
+        """SweepCheckpoint.flush persists via the atomic helper."""
+        calls = []
+        import repro.exec.checkpoint as checkpoint_module
+
+        real = checkpoint_module.atomic_write_json
+
+        def spy(path, data):
+            calls.append(path)
+            real(path, data)
+
+        monkeypatch.setattr(checkpoint_module, "atomic_write_json",
+                            spy)
+        path = tmp_path / "cp.json"
+        SweepRunner(checkpoint=SweepCheckpoint(path)).run(_tasks())
+        assert calls and all(p == path for p in calls)
 
 
 class TestPoisonedResume:
