@@ -35,6 +35,15 @@ A second drill covers the soak mode:
    (the reconciliation path: the journal must win).
 4. The soak resumes to the reference round count.  The journal must be
    byte-identical to the uninterrupted reference.
+
+A third drill covers stale-run detection in the live event stream:
+
+1. A soak runs open-ended with ``--events`` and a short heartbeat.
+2. ``repro-timber monitor --once --json`` must report the run as
+   ``running`` and not stale while the driver is alive.
+3. The driver is SIGKILLed — no ``run_end`` is ever written.
+4. One heartbeat interval later the monitor must report ``stale``:
+   the liveness contract a dashboard's "is it dead?" badge relies on.
 """
 
 from __future__ import annotations
@@ -215,6 +224,73 @@ def _soak_drill(workdir: pathlib.Path, env: dict) -> None:
     print("      resumed soak journal byte-identical to reference")
 
 
+#: Stale-drill heartbeat: short, so the drill completes in seconds.
+STALE_HEARTBEAT_S = 1.0
+
+
+def _monitor_health(spool: pathlib.Path, env: dict) -> dict:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "monitor", str(spool),
+         "--once", "--json"],
+        cwd=REPO_ROOT, env=env, check=True, capture_output=True)
+    return json.loads(result.stdout)
+
+
+def _stale_drill(workdir: pathlib.Path, env: dict) -> None:
+    spool = workdir / "stale-events.jsonl"
+    journal = workdir / "stale.jsonl"
+
+    print("[stale 1/3] open-ended soak with a live event stream")
+    proc = subprocess.Popen(
+        _soak_cli(journal, "--events", str(spool),
+                  "--heartbeat", str(STALE_HEARTBEAT_S)),
+        cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.monotonic() + KILL_DEADLINE_S
+        health = None
+        while time.monotonic() < deadline and proc.poll() is None:
+            if spool.exists():
+                health = _monitor_health(spool, env)
+                if health["status"] == "running":
+                    break
+            time.sleep(0.1)
+        assert proc.poll() is None, "soak died before the drill"
+        assert health is not None and health["status"] == "running", \
+            f"monitor never saw the run go live (last: {health})"
+        assert not health["stale"], health
+        print(f"      monitor: status={health['status']} "
+              f"heartbeat={health['heartbeat_s']}s")
+
+        print("[stale 2/3] SIGKILL the driver (no run_end written)")
+        orphans = _worker_pids(proc.pid)
+        killed_at = time.monotonic()
+        proc.kill()
+        proc.wait()
+        for orphan in orphans:
+            try:
+                os.kill(orphan, signal.SIGKILL)
+            except OSError:
+                pass
+
+        print("[stale 3/3] one heartbeat later the run must be stale")
+        time.sleep(max(0.0, killed_at + STALE_HEARTBEAT_S + 0.3
+                       - time.monotonic()))
+        health = _monitor_health(spool, env)
+        assert health["stale"] and health["status"] == "stale", (
+            "monitor did not flag the dead run as stale within one "
+            f"heartbeat interval: {health['status']!r}, "
+            f"age {health['last_event_age_s']}s")
+        assert "stalled_heartbeat" in health["flags"], health["flags"]
+        assert health["lifecycle"] == "running", health["lifecycle"]
+        print(f"      monitor: status={health['status']} "
+              f"(last event {health['last_event_age_s']:.2f}s ago)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
 def main() -> int:
     workdir = pathlib.Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
     env = _env()
@@ -344,7 +420,9 @@ def main() -> int:
         print("      trajectory entry rebuilt with a valid checksum")
 
         _soak_drill(workdir, env)
-        print("chaos smoke PASSED: resumed results byte-identical")
+        _stale_drill(workdir, env)
+        print("chaos smoke PASSED: resumed results byte-identical, "
+              "dead run detected as stale")
         return 0
     finally:
         shutil.rmtree(workdir, ignore_errors=True)

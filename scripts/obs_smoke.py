@@ -13,6 +13,14 @@ Three checks, exercising the full ``--obs-out`` path end to end:
    and assert :func:`repro.obs.semantic_snapshot` is bit-identical —
    the determinism contract the property suite pins, checked here on
    every CI push without hypothesis in the loop.
+4. Lint every metric family the campaign registered
+   (:func:`repro.obs.exporters.lint_metric_names`) — counters must end
+   in ``_total``, histograms must declare a unit suffix, every family
+   needs help text.
+5. Run a live sweep with the event stream enabled, then fold it back
+   through ``repro-timber monitor --once --json`` and validate the
+   RunHealth schema: the stream the dashboards trust must round-trip
+   through the real CLI.
 
     PYTHONPATH=src python scripts/obs_smoke.py
 """
@@ -115,6 +123,56 @@ def _semantic_snapshot_identity() -> int:
     return len(json.loads(snapshots["vector"]))
 
 
+def _lint_live_registry() -> int:
+    from repro import obs
+    from repro.obs.exporters import lint_metric_names
+
+    # The campaign above ran in a subprocess; register the same
+    # families here by importing every instrumented module.
+    import repro.core.relay   # noqa: F401
+    import repro.exec.runner  # noqa: F401
+    import repro.soak.driver  # noqa: F401
+
+    problems = lint_metric_names(obs.REGISTRY)
+    if problems:
+        raise SystemExit("metric naming lint failed:\n  "
+                         + "\n  ".join(problems))
+    return len(list(obs.REGISTRY.families()))
+
+
+#: Keys scripts and dashboards rely on; removing or renaming one is a
+#: breaking change and must bump the health schema version.
+HEALTH_KEYS = (
+    "schema", "run_id", "kind", "lifecycle", "status", "stale",
+    "flags", "heartbeat_s", "unit", "total", "done", "executed",
+    "cached", "retries", "crashes", "poisoned", "workers",
+    "utilization", "cache_hit_rate", "throughput", "eta_s",
+    "last_event_age_s", "soak",
+)
+
+
+def _check_monitor_roundtrip(tmp: pathlib.Path) -> None:
+    spool = tmp / "events.jsonl"
+    _cli("sweep", "fig1", "--cycles", "300", "--no-cache",
+         "--events", str(spool))
+    if not spool.exists():
+        raise SystemExit(f"{spool}: sweep wrote no event stream")
+    out = _cli("monitor", str(spool), "--once", "--json")
+    health = json.loads(out)
+    missing = [key for key in HEALTH_KEYS if key not in health]
+    if missing:
+        raise SystemExit(f"monitor JSON missing keys {missing}")
+    if health["schema"] != 1:
+        raise SystemExit(f"unexpected health schema {health['schema']}")
+    if health["status"] != "done" or health["stale"]:
+        raise SystemExit(
+            f"finished sweep reports status={health['status']!r} "
+            f"stale={health['stale']!r}")
+    if health["done"] != health["total"] or not health["done"]:
+        raise SystemExit(
+            f"monitor counted {health['done']}/{health['total']} tasks")
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
         obs_dir = pathlib.Path(tmp) / "obs"
@@ -129,9 +187,13 @@ def main() -> int:
         if "campaign.run" not in out:
             raise SystemExit("flame summary missing campaign.run span")
 
+        _check_monitor_roundtrip(pathlib.Path(tmp))
+
+    linted = _lint_live_registry()
     metrics = _semantic_snapshot_identity()
     print(f"obs smoke OK: {events} trace event(s), "
-          f"{families} metric families, "
+          f"{families} metric families, {linted} families lint-clean, "
+          f"monitor round-trip validated, "
           f"{metrics} semantic metrics identical across kernel modes")
     return 0
 

@@ -22,7 +22,10 @@ A soak gate runs a 10-second bounded soak against a batched campaign
 on the same config (streamed throughput must hold >= 0.8x of the batch
 rate) and an adaptive-vs-uniform arm on a fixed round budget (adaptive
 must end with a strictly narrower widest CI, with compatible overall
-estimates), writing ``BENCH_soak.json``.  CI runs this on every push;
+estimates), writing ``BENCH_soak.json``.  An event-stream gate finally
+re-times the sweep with a live ``EventPublisher`` spooling to disk
+(min-of-repeats both arms; the stream must cost < 2% of sweep wall
+time), writing ``BENCH_monitor.json``.  CI runs this on every push;
 it is also a convenient local sanity check:
 
     PYTHONPATH=src python scripts/perf_smoke.py
@@ -101,6 +104,13 @@ SOAK_THROUGHPUT_FLOOR = 0.8
 SOAK_CI_CYCLES = 800
 SOAK_CI_ROUNDS = 20
 SOAK_CI_FAULTS_PER_ROUND = 100
+
+#: Event-stream overhead gate: the same sweep with and without a live
+#: ``EventPublisher`` spooling to disk, min-of-repeats each (the min is
+#: the least-noisy location statistic on a shared runner); the stream
+#: must cost under this percent of sweep wall time.
+MONITOR_REPEATS = 3
+MONITOR_OVERHEAD_LIMIT_PERCENT = 2.0
 
 
 def _run_sweep():
@@ -518,6 +528,84 @@ def _soak_bench(now: str) -> tuple[dict | None, str | None]:
     return payload, None
 
 
+def _monitor_bench(now: str) -> tuple[dict | None, str | None]:
+    """Event-stream overhead gate on the perf-smoke sweep.
+
+    Runs the standard resilience sweep ``MONITOR_REPEATS`` times bare
+    and ``MONITOR_REPEATS`` times with a live :class:`EventPublisher`
+    attached to the runner's telemetry and spooling to a real file
+    (flush per event, heartbeat thread running — the exact ``--events``
+    configuration), compares the per-arm minima, and gates the stream's
+    cost at ``MONITOR_OVERHEAD_LIMIT_PERCENT`` of sweep wall time.
+    Returns ``(bench_payload, failure_message)`` for
+    ``BENCH_monitor.json``.
+    """
+    import tempfile
+
+    from repro.analysis.experiments import resilience_sweep
+    from repro.exec.runner import SweepRunner
+    from repro.obs.stream import EventPublisher
+
+    def run_once(spool: pathlib.Path | None) -> float:
+        with SweepRunner(workers=1, cache=None) as runner:
+            publisher = None
+            if spool is not None:
+                publisher = EventPublisher(spool, kind="sweep")
+                publisher.attach(runner.telemetry)
+                publisher.open()
+                publisher.run_start(unit="tasks")
+            start = time.perf_counter()
+            resilience_sweep(
+                techniques=TECHNIQUES,
+                droop_amplitudes=AMPLITUDES,
+                num_cycles=NUM_CYCLES,
+                runner=runner,
+            )
+            wall = time.perf_counter() - start
+            if publisher is not None:
+                publisher.run_end("ok")
+                publisher.close()
+        return wall
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="monitor-bench-"))
+    try:
+        bare = [run_once(None) for _ in range(MONITOR_REPEATS)]
+        streamed = [run_once(workdir / f"events-{i}.jsonl")
+                    for i in range(MONITOR_REPEATS)]
+        spool_bytes = max((workdir / f"events-{i}.jsonl").stat().st_size
+                          for i in range(MONITOR_REPEATS))
+    finally:
+        import shutil
+
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    bare_min, streamed_min = min(bare), min(streamed)
+    overhead = (100.0 * (streamed_min - bare_min) / bare_min
+                if bare_min > 0 else 0.0)
+    payload = {
+        "bench": "monitor",
+        "schema_version": 1,
+        "recorded_at": now,
+        "overhead_percent": round(overhead, 3),
+        "overhead_limit_percent": MONITOR_OVERHEAD_LIMIT_PERCENT,
+        "repeats": MONITOR_REPEATS,
+        "spool_bytes": spool_bytes,
+        "runs": [
+            {"events": False, "wall_time_s": [round(w, 4) for w in bare],
+             "min_wall_s": round(bare_min, 4)},
+            {"events": True,
+             "wall_time_s": [round(w, 4) for w in streamed],
+             "min_wall_s": round(streamed_min, 4)},
+        ],
+    }
+    if overhead > MONITOR_OVERHEAD_LIMIT_PERCENT:
+        return payload, (
+            f"event stream costs {overhead:.2f}% of sweep wall time "
+            f"(limit {MONITOR_OVERHEAD_LIMIT_PERCENT:.0f}%; bare "
+            f"{bare_min:.3f}s, streamed {streamed_min:.3f}s)")
+    return payload, None
+
+
 def main() -> int:
     scalar_points, scalar_wall = _measure("scalar")
     vector_points, vector_wall = _measure("vector")
@@ -653,6 +741,17 @@ def main() -> int:
         return 1
     assert soak is not None
 
+    # -- event-stream overhead gate --------------------------------------
+    monitor, monitor_failure = _monitor_bench(now)
+    if monitor is not None:
+        monitor_path = REPO_ROOT / "BENCH_monitor.json"
+        monitor_path.write_text(json.dumps(monitor, indent=2) + "\n",
+                                encoding="utf-8")
+    if monitor_failure is not None:
+        print(f"FAIL: {monitor_failure}")
+        return 1
+    assert monitor is not None
+
     speedup = scalar_wall / vector_wall if vector_wall > 0 else float("inf")
     print(f"perf smoke OK: {len(scalar_points)} grid points x "
           f"{NUM_CYCLES} cycles identical in both kernel modes "
@@ -689,9 +788,14 @@ def main() -> int:
           f"{gate['uniform_widest_ci']:.4f} uniform -> "
           f"{gate['adaptive_widest_ci']:.4f} adaptive on "
           f"{SOAK_CI_ROUNDS} rounds")
+    print(f"  event stream: {monitor['overhead_percent']:+.2f}% sweep "
+          f"overhead (limit {MONITOR_OVERHEAD_LIMIT_PERCENT:.0f}%, "
+          f"min of {MONITOR_REPEATS}, spool "
+          f"{monitor['spool_bytes']} bytes)")
     print(f"  trajectories written to {path.name}, {obs_path.name}, "
           "BENCH_dispatch.json, BENCH_fig8_relay.json, "
-          "BENCH_x12_campaign_perf.json and BENCH_soak.json")
+          "BENCH_x12_campaign_perf.json, BENCH_soak.json and "
+          "BENCH_monitor.json")
     return 0
 
 

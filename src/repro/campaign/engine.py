@@ -698,11 +698,21 @@ class CampaignResult:
 
 
 def run_campaign(config: CampaignConfig, *,
-                 runner: SweepRunner | None = None) -> CampaignResult:
-    """Run the full campaign through the exec layer and classify it."""
+                 runner: SweepRunner | None = None,
+                 publisher: typing.Any = None) -> CampaignResult:
+    """Run the full campaign through the exec layer and classify it.
+
+    ``publisher`` (an opened, telemetry-attached
+    :class:`~repro.obs.stream.EventPublisher`) gets the scheme named as
+    the current phase, so the ``phase_start``/``phase_end`` events the
+    runner's telemetry emits are labelled with the scheme boundary a
+    multi-scheme campaign is crossing.
+    """
     from repro.campaign.report import build_report
 
     runner = runner or SweepRunner()
+    if publisher is not None:
+        publisher.set_phase(config.scheme)
     with obs.trace_span("campaign.run", target=config.target,
                         scheme=config.scheme,
                         faults=config.num_faults):

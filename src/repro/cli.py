@@ -20,6 +20,14 @@ Gives quick terminal access to the headline experiments:
   spans in, Chrome trace-event JSON and/or a terminal flame summary
   out).  ``sweep``, ``campaign``, and ``soak`` take ``--obs-out DIR``
   to collect metrics and spans while they run.
+* ``monitor``    — watch a live (or finished) run through its durable
+  obs event stream: ``--follow`` tails the spool as a terminal status
+  feed, ``--once --json`` emits the machine-readable run health, and
+  ``--html OUT`` writes a static report.  The long-running commands
+  spool ``events.jsonl`` into their ``--obs-out`` directory (or
+  wherever ``--events`` points), and their own live status lines are
+  folded from the *same* event stream, so CLI progress and ``monitor``
+  can never disagree.
 
 The long-running commands (``sweep``, ``campaign``, ``soak``) install a
 graceful-shutdown handler: the first SIGTERM/SIGINT requests a drain —
@@ -243,7 +251,7 @@ class _DrainState:
 
 
 @contextlib.contextmanager
-def _graceful_drain(runner):
+def _graceful_drain(runner, publisher=None):
     """Route SIGTERM/SIGINT into a graceful runner drain.
 
     The first signal only sets the runner's drain flag (handler-safe):
@@ -252,7 +260,8 @@ def _graceful_drain(runner):
     still runs.  A second signal falls back to ``KeyboardInterrupt``
     for users who really mean *now*.  Previous handlers are restored on
     exit, so nested uses (tests calling :func:`main` in-process) are
-    safe.
+    safe.  ``publisher`` gets the drain noted the same handler-safe way
+    (the actual ``drain`` event is written off the heartbeat thread).
     """
     state = _DrainState()
 
@@ -261,6 +270,8 @@ def _graceful_drain(runner):
             raise KeyboardInterrupt
         state.signum = signum
         runner.request_drain()
+        if publisher is not None:
+            publisher.note_drain(signum)
 
     previous = {}
     for sig in (signal.SIGTERM, signal.SIGINT):
@@ -300,27 +311,115 @@ def _obs_finish(args: argparse.Namespace) -> None:
         print(f"wrote {path}")
 
 
+class _LiveStatus:
+    """Folds published events into the shared CLI status line.
+
+    The fold (:class:`repro.obs.health.HealthFold`) and the renderer
+    (:func:`repro.obs.render.format_status_line`) are exactly what
+    ``repro-timber monitor`` applies to the on-disk spool, so the live
+    line a command prints and the line the monitor shows are the same
+    function of the same events — they cannot disagree.
+    """
+
+    #: Event types that always produce a printed line.
+    _PRINT_ON = frozenset({"round", "phase_end", "quarantine", "crash",
+                           "drain", "run_end"})
+
+    def __init__(self, *, quiet: bool = False,
+                 progress: bool = True) -> None:
+        from repro.obs.health import HealthFold
+
+        self.fold = HealthFold()
+        self._quiet = quiet
+        self._progress = progress
+
+    def __call__(self, event: dict) -> None:
+        self.fold.apply(event)
+        if self._quiet:
+            return
+        etype = event.get("type")
+        if (etype in self._PRINT_ON
+                or (self._progress and etype == "progress")):
+            print(self.line(), file=sys.stderr, flush=True)
+
+    def line(self) -> str:
+        import time
+
+        from repro.obs.render import format_status_line
+
+        return format_status_line(
+            self.fold.health(now_wall=time.time()))
+
+
+def _publisher_begin(args: argparse.Namespace, kind: str,
+                     observing: bool, *, meta: dict | None = None,
+                     progress_lines: bool = True):
+    """Open the run's event publisher plus its live status printer.
+
+    The spool lands at ``--events`` when given, else
+    ``<obs-out>/events.jsonl``; with neither, the publisher still runs
+    listener-only so the status line works without any file output.
+    """
+    from repro import obs
+    from repro.obs.stream import EVENTS_FILENAME, EventPublisher
+
+    path = getattr(args, "events", None)
+    if not path and getattr(args, "obs_out", None):
+        import os
+
+        path = os.path.join(args.obs_out, EVENTS_FILENAME)
+    publisher = EventPublisher(
+        path, kind=kind,
+        heartbeat_s=getattr(args, "heartbeat", 5.0),
+        registry=obs.REGISTRY if observing else None,
+        meta=meta or {},
+    )
+    live = _LiveStatus(quiet=getattr(args, "quiet", False),
+                       progress=progress_lines)
+    publisher.add_listener(live)
+    publisher.open()
+    return publisher, live
+
+
+def _checkpoint_events(runner, publisher) -> None:
+    """Emit a ``checkpoint`` event on every durable checkpoint flush."""
+    if runner.checkpoint is not None:
+        checkpoint = runner.checkpoint
+        checkpoint.on_flush = lambda records: publisher.checkpoint(
+            records=records, path=str(checkpoint.path))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.exec import SweepDrained
 
     observing = _obs_begin(args)
     runner = _make_runner(args)
+    publisher, live = _publisher_begin(
+        args, "sweep", observing,
+        meta={"experiment": args.experiment})
+    publisher.attach(runner.telemetry)
+    _checkpoint_events(runner, publisher)
     try:
-        with _graceful_drain(runner) as drain:
+        with _graceful_drain(runner, publisher) as drain:
             try:
-                return _run_sweep(args, runner, observing)
+                return _run_sweep(args, runner, observing, publisher)
             except SweepDrained as drained:
                 completed = len(drained.result.outcomes)
+                publisher.run_end("drained", completed=completed)
                 print(f"\ndrained: {completed} task(s) completed and "
                       f"checkpointed before shutdown", file=sys.stderr)
                 if observing:
                     _obs_finish(args)
                 return drain.exit_code
     finally:
+        # No-op when run_end already went out; otherwise the run died
+        # on an exception and the stream should say so.
+        publisher.close(status="error")
         runner.close()
 
 
-def _run_sweep(args: argparse.Namespace, runner, observing: bool) -> int:
+def _run_sweep(args: argparse.Namespace, runner, observing: bool,
+               publisher) -> int:
     from repro.analysis import experiments
     from repro.analysis.tables import format_table
     from repro.exec.telemetry import format_summary
@@ -341,7 +440,9 @@ def _run_sweep(args: argparse.Namespace, runner, observing: bool) -> int:
         "fig1": experiments.fig1_experiment,
         "fig8": experiments.fig8_experiment,
     }[args.experiment]
+    publisher.run_start(unit="tasks", experiment=args.experiment)
     values = sweep(runner=runner, **extra)
+    publisher.run_end("ok")
 
     headers, rows = _sweep_rows(args.experiment, values)
     print(format_table(headers, rows))
@@ -399,9 +500,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.exec import SweepDrained
 
     runner = _make_runner(args)
+    publisher, live = _publisher_begin(
+        args, "campaign", observing,
+        meta={"target": args.target, "schemes": schemes,
+              "faults": args.faults})
+    publisher.attach(runner.telemetry)
+    publisher.run_start(unit="tasks", schemes=schemes)
     drained_exit: int | None = None
     try:
-        with _graceful_drain(runner) as drain:
+        with _graceful_drain(runner, publisher) as drain:
             for scheme in schemes:
                 try:
                     config = CampaignConfig(
@@ -423,10 +530,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                         _campaign_checkpoint_path(args.checkpoint,
                                                   scheme),
                         resume=args.resume)
+                _checkpoint_events(runner, publisher)
                 try:
-                    result = run_campaign(config, runner=runner)
+                    result = run_campaign(config, runner=runner,
+                                          publisher=publisher)
                 except SweepDrained as drained:
                     completed = len(drained.result.outcomes)
+                    publisher.run_end("drained", scheme=scheme,
+                                      completed=completed)
                     print(f"{scheme}: drained after {completed} "
                           f"chunk(s); re-run with --resume to continue",
                           file=sys.stderr)
@@ -434,18 +545,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     break
                 reports.append(result.report)
                 summary = result.summary
-                poisoned = summary.get("poisoned", [])
+                # Scheme-boundary result line: campaign domain facts up
+                # front, then the shared RunHealth status (the same fold
+                # ``monitor`` renders — see _LiveStatus).
                 line = (f"{scheme}: "
                         f"{len(result.outcomes)}/{config.num_faults} "
-                        f"faults classified in "
-                        f"{summary['wall_time_s']:.2f}s")
+                        f"faults classified")
                 if summary.get("resumed_tasks"):
                     line += (f" ({summary['resumed_tasks']} task(s) "
                              f"resumed)")
-                if poisoned:
-                    line += f" ({len(poisoned)} chunk(s) poisoned)"
-                print(line)
+                print(f"{line} — {live.line()}")
+            if drained_exit is None:
+                publisher.run_end("ok")
     finally:
+        publisher.close(status="error")
         runner.close()
     if reports:
         print()
@@ -504,13 +617,19 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     runner.cache = None
     if args.watchdog is not None and args.timeout is None:
         runner.task_timeout_s = args.watchdog
-    status = None
-    if not args.quiet:
-        def status(line: str) -> None:
-            print(line, file=sys.stderr, flush=True)
+    # The per-round status line is the RunHealth fold over the soak's
+    # own ``round`` events (not runner-task progress — a soak's unit
+    # is faults), printed by the publisher's listener.
+    publisher, live = _publisher_begin(
+        args, "soak", observing,
+        meta={"target": args.target, "scheme": args.scheme},
+        progress_lines=False)
+    publisher.attach(runner.telemetry, track_phases=False)
+    publisher.run_start(unit="faults", total=args.max_faults,
+                        scheme=args.scheme, target=args.target)
 
     try:
-        with _graceful_drain(runner) as drain:
+        with _graceful_drain(runner, publisher) as drain:
             try:
                 result = run_soak(
                     soak,
@@ -522,15 +641,22 @@ def _cmd_soak(args: argparse.Namespace) -> int:
                     max_runtime_s=args.max_runtime,
                     target_ci_width=args.target_ci_width,
                     max_rounds=args.rounds,
-                    status=status,
+                    publisher=publisher,
                 )
             except ConfigurationError as error:
+                publisher.run_end("error", detail=str(error))
                 print(f"error: {error}", file=sys.stderr)
                 return 2
             except ExecutionError as error:
+                publisher.run_end("error", detail=str(error))
                 print(f"error: {error}", file=sys.stderr)
                 return 1
+        publisher.run_end(
+            "drained" if result.drained else "ok",
+            stop_reason=result.stop_reason,
+            rounds=result.rounds, faults=result.total_faults)
     finally:
+        publisher.close(status="error")
         runner.close()
 
     rows = [
@@ -579,6 +705,95 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         print("drained: journal and checkpoint are consistent; "
               "re-run with --resume to continue", file=sys.stderr)
         return drain.exit_code
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.obs.health import HealthFold
+    from repro.obs.render import (
+        format_status_line,
+        render_dashboard,
+        write_html,
+    )
+    from repro.obs.stream import (
+        EventStreamReader,
+        StreamCorrupt,
+        events_path,
+    )
+
+    try:
+        path = events_path(args.run_dir)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    fold = HealthFold(stale_after_s=args.stale_after)
+    events: list[dict] = []
+    header_seen = False
+
+    def drain_reader() -> None:
+        nonlocal header_seen
+        batch = reader.poll()
+        # poll() keeps the header on the reader rather than yielding
+        # it; the fold wants it first, as written to the spool.
+        if not header_seen and reader.header is not None:
+            fold.apply(reader.header)
+            header_seen = True
+        for event in batch:
+            fold.apply(event)
+            events.append(event)
+
+    try:
+        reader = EventStreamReader(path)
+        drain_reader()
+    except StreamCorrupt as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+
+    if not args.follow:
+        health = fold.health(now_wall=time.time())
+        if args.html:
+            write_html(args.html, health, events=events)
+            print(f"wrote {args.html}")
+        if args.json:
+            print(json.dumps(health.to_json(), indent=2))
+        elif not args.html:
+            print(render_dashboard(health))
+        return 0
+
+    # --follow: poll the spool, reprint the status line whenever the
+    # fold's view changes, and leave once the run reaches a terminal
+    # lifecycle (a stale run never terminates on its own — ^C exits).
+    last_line = ""
+    try:
+        while True:
+            try:
+                drain_reader()
+            except StreamCorrupt as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            health = fold.health(now_wall=time.time())
+            line = format_status_line(health)
+            if line != last_line:
+                print(line, flush=True)
+                last_line = line
+            if health.lifecycle in ("done", "drained", "error"):
+                break
+            time.sleep(max(0.05, args.interval))
+    except KeyboardInterrupt:
+        print("", file=sys.stderr)
+    health = fold.health(now_wall=time.time())
+    if args.html:
+        write_html(args.html, health, events=events)
+        print(f"wrote {args.html}")
+    if args.json:
+        print(json.dumps(health.to_json(), indent=2))
     return 0
 
 
@@ -709,6 +924,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable observability and write metrics "
                               "(Prometheus text + JSON snapshot) and "
                               "spans (JSONL + Chrome trace) to DIR")
+        cmd.add_argument("--events", metavar="PATH",
+                         help="append the live run-event stream "
+                              "(JSONL) here for `repro-timber "
+                              "monitor` (default: "
+                              "<obs-out>/events.jsonl when --obs-out "
+                              "is given, else disabled)")
+        cmd.add_argument("--heartbeat", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="event-stream heartbeat interval; a "
+                              "reader treats a silence longer than "
+                              "this as a stale run (default 5)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -833,6 +1059,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the machine-readable soak result "
                            "JSON")
     soak.set_defaults(func=_cmd_soak)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="inspect or follow a run's live event stream")
+    mon.add_argument("run_dir", metavar="RUN",
+                     help="events.jsonl path, or a directory holding "
+                          "events.jsonl or obs/events.jsonl")
+    mon.add_argument("--follow", action="store_true",
+                     help="keep polling and reprint the status line "
+                          "until the run ends (^C to stop)")
+    mon.add_argument("--once", action="store_true",
+                     help="read the stream once and exit (the default; "
+                          "kept explicit for scripts)")
+    mon.add_argument("--json", action="store_true",
+                     help="print the RunHealth JSON instead of the "
+                          "dashboard")
+    mon.add_argument("--html", metavar="PATH",
+                     help="write a static HTML report")
+    mon.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="--follow poll interval (default 1)")
+    mon.add_argument("--stale-after", type=float, default=None,
+                     metavar="SECONDS",
+                     help="override the staleness threshold (default: "
+                          "the stream's own heartbeat interval)")
+    mon.set_defaults(func=_cmd_monitor)
 
     obs_cmd = sub.add_parser(
         "obs", help="render or merge observability trace files")

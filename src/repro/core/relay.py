@@ -43,7 +43,7 @@ _OBS_SELECTS = obs.REGISTRY.counter(
     "repro_relay_selects_applied_total",
     "Non-zero selects applied by the event-driven error relay").labels()
 _OBS_SELECT_DEPTH = obs.REGISTRY.histogram(
-    "repro_relay_select_depth",
+    "repro_relay_select_depth_intervals",
     "Select values applied by the event-driven relay (non-zero only)",
     buckets=(1, 2, 3, 4, 6, 8)).labels()
 

@@ -115,6 +115,10 @@ class SweepCheckpoint:
         self._run_key: str | None = None
         self._completed: dict[str, dict] = {}
         self._pending_writes = 0
+        #: Called after every durable flush with the number of
+        #: completed records now on disk — the obs event stream's
+        #: ``checkpoint`` events hang off this.
+        self.on_flush: typing.Callable[[int], None] | None = None
 
     # -- load --------------------------------------------------------------
     def load(self, tasks: "typing.Sequence[SweepTask]",
@@ -187,6 +191,12 @@ class SweepCheckpoint:
             "run_key": self._run_key,
             "completed": self._completed,
         })
+        if self.on_flush is not None:
+            try:
+                self.on_flush(len(self._completed))
+            except Exception:  # pragma: no cover - defensive
+                logger.warning("checkpoint on_flush hook failed",
+                               exc_info=True)
 
     # -- rehydration -------------------------------------------------------
     @staticmethod

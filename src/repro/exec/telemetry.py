@@ -99,6 +99,24 @@ class RunTelemetry:
         self.kernel_mode: str | None = None
         self._started: float | None = None
         self._wall_time_s = 0.0
+        #: Live observers: ``listener(kind, payload)`` called from the
+        #: same sites that feed the summary, so a subscriber (the obs
+        #: event publisher) sees exactly what the summary will say.
+        #: Kinds: ``start`` (dict), ``task`` (:class:`TaskRecord`),
+        #: ``batch``/``retry``/``crash``/``fallback`` (dict),
+        #: ``finish`` (summary dict).  A listener that raises is
+        #: logged and skipped — telemetry fan-out must never abort
+        #: the run it narrates.
+        self.listeners: list[typing.Callable[[str, typing.Any],
+                                             None]] = []
+
+    def _notify(self, kind: str, payload: typing.Any) -> None:
+        for listener in list(self.listeners):
+            try:
+                listener(kind, payload)
+            except Exception:  # pragma: no cover - defensive
+                logger.warning("telemetry listener failed on %r", kind,
+                               exc_info=True)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self, *, workers: int, num_tasks: int) -> None:
@@ -117,6 +135,8 @@ class RunTelemetry:
         self.kernel_mode = kernel_mode()
         _OBS_WORKERS.set(workers)
         self._started = time.perf_counter()
+        self._notify("start", {"workers": workers,
+                               "num_tasks": num_tasks})
         logger.info(
             "sweep start: %d task(s) on %d worker(s)", num_tasks, workers,
             extra={"repro_sweep": {"tasks": num_tasks,
@@ -150,6 +170,7 @@ class RunTelemetry:
             _OBS_EXECUTED.inc()
             _OBS_EVENTS.inc(record.events_processed)
             _OBS_TASK_SECONDS.observe(record.wall_time_s)
+        self._notify("task", record)
         logger.info(
             "task %s: %s in %.3fs (%d events, attempt %d, pid %d)",
             record.key, verb,
@@ -164,6 +185,7 @@ class RunTelemetry:
         self.batch_sizes.append(size)
         _OBS_BATCHES.inc()
         _OBS_BATCH_TASKS.observe(size)
+        self._notify("batch", {"size": size})
         logger.debug(
             "batch of %d task(s) returned", size,
             extra={"repro_batch": {"size": size, "warm": warm or {}}},
@@ -188,6 +210,7 @@ class RunTelemetry:
         self.retries.append({"key": task.key, "error": repr(error),
                              "backoff_s": backoff_s})
         _OBS_RETRIES.inc()
+        self._notify("retry", self.retries[-1])
         logger.warning(
             "task %s failed (%s); retrying after %.3fs backoff",
             task.key, error, backoff_s,
@@ -201,6 +224,7 @@ class RunTelemetry:
         """One definite worker death attributed to ``task``."""
         self.crashes.append({"key": task.key, "error": repr(error)})
         _OBS_CRASHES.inc()
+        self._notify("crash", self.crashes[-1])
         logger.warning(
             "task %s killed its worker (%s)", task.key, error,
             extra={"repro_crash": {"key": task.key,
@@ -210,6 +234,7 @@ class RunTelemetry:
     def record_fallback(self, error: BaseException) -> None:
         self.fallbacks.append(repr(error))
         _OBS_FALLBACKS.inc()
+        self._notify("fallback", {"error": repr(error)})
         logger.warning(
             "process pool unavailable (%s); falling back to serial",
             error,
@@ -222,6 +247,7 @@ class RunTelemetry:
             self._wall_time_s = time.perf_counter() - self._started
             self._started = None
         summary = self.summary()
+        self._notify("finish", summary)
         logger.info(
             "sweep done: %d task(s) in %.3fs — %d cache hit(s), "
             "%d miss(es), %.0f%% worker utilization",

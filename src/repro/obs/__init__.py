@@ -35,10 +35,26 @@ from __future__ import annotations
 import os
 import typing
 
+from repro.obs.health import (
+    HEALTH_SCHEMA_VERSION,
+    HealthFold,
+    RunHealth,
+    fold_events,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
     snapshot_delta,
+)
+from repro.obs.stream import (
+    DEFAULT_HEARTBEAT_S,
+    EVENTS_FILENAME,
+    STREAM_SCHEMA_VERSION,
+    EventPublisher,
+    EventStreamReader,
+    StreamCorrupt,
+    events_path,
+    read_events,
 )
 from repro.obs.tracing import NOOP_SPAN, Span, Tracer
 
@@ -108,10 +124,15 @@ def begin_capture() -> tuple | None:
 
 
 def end_capture(token: tuple) -> tuple[dict, list]:
-    """Close a capture window: (metric deltas, span records) since."""
+    """Close a capture window: (metric deltas, span records) since.
+
+    Records carry this process's wall-clock anchor so the parent can
+    align them with its own spans on one absolute timeline.
+    """
     metrics_before, spans_before = token
     delta = snapshot_delta(metrics_before, REGISTRY.snapshot())
-    records = [span.to_record() for span in TRACER.spans[spans_before:]]
+    records = [span.to_record(TRACER.wall_anchor_ns)
+               for span in TRACER.spans[spans_before:]]
     return delta, records
 
 
@@ -137,7 +158,16 @@ if env_enabled():  # pragma: no cover - exercised via subprocess workers
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_HEARTBEAT_S",
+    "EVENTS_FILENAME",
+    "EventPublisher",
+    "EventStreamReader",
+    "HEALTH_SCHEMA_VERSION",
+    "HealthFold",
     "MetricsRegistry",
+    "RunHealth",
+    "STREAM_SCHEMA_VERSION",
+    "StreamCorrupt",
     "NON_SEMANTIC_PREFIXES",
     "NON_SEMANTIC_SUFFIXES",
     "NOOP_SPAN",
@@ -152,6 +182,9 @@ __all__ = [
     "enable",
     "enabled",
     "env_enabled",
+    "events_path",
+    "fold_events",
+    "read_events",
     "reset",
     "semantic_snapshot",
     "snapshot_delta",

@@ -106,6 +106,53 @@ def write_prometheus(registry: "MetricsRegistry",
 
 
 # ---------------------------------------------------------------------------
+# Metric naming lint
+# ---------------------------------------------------------------------------
+
+#: Unit suffixes a histogram name may declare.  Prometheus convention
+#: wants the unit in the name so dashboards and recording rules never
+#: have to guess what a bucket boundary of ``0.25`` means.
+HISTOGRAM_UNIT_SUFFIXES = (
+    "_seconds", "_bytes", "_cycles", "_tasks", "_intervals",
+    "_events", "_faults", "_ratio",
+)
+
+
+def lint_metric_names(registry: "MetricsRegistry") -> list[str]:
+    """Naming-convention violations for every registered family.
+
+    Enforced conventions (each violation is one human-readable line,
+    sorted by family name; an empty list means the registry is clean):
+
+    * counters end in ``_total``;
+    * histograms declare their unit via one of
+      :data:`HISTOGRAM_UNIT_SUFFIXES`;
+    * every family has a non-empty help string (the ``# HELP`` line is
+      only emitted when one exists, so an empty help silently drops
+      metadata from the exposition).
+
+    Gauges are levels, not accumulations — they have no mandated
+    suffix.  ``scripts/obs_smoke.py`` runs this lint over the live
+    registry after a real campaign, so a misnamed metric fails CI.
+    """
+    problems: list[str] = []
+    for family in sorted(registry.families(), key=lambda f: f.name):
+        if family.kind == "counter" and not family.name.endswith("_total"):
+            problems.append(
+                f"{family.name}: counter must end in '_total'")
+        if (family.kind == "histogram"
+                and not family.name.endswith(HISTOGRAM_UNIT_SUFFIXES)):
+            problems.append(
+                f"{family.name}: histogram must declare a unit suffix "
+                f"(one of {', '.join(HISTOGRAM_UNIT_SUFFIXES)})")
+        if not family.help:
+            problems.append(
+                f"{family.name}: missing help text (no # HELP line "
+                f"will be emitted)")
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Span loading and Chrome trace-event export
 # ---------------------------------------------------------------------------
 
@@ -130,14 +177,29 @@ def chrome_trace(spans: typing.Sequence[dict]) -> dict:
     traces merged from several processes share one origin.  Each span
     becomes a complete event (``"ph": "X"``); attribute dicts ride in
     ``args``.
+
+    When **every** record carries the tracer's wall-clock ``anchor_ns``
+    (see :class:`~repro.obs.tracing.Tracer`), spans are first shifted
+    onto the absolute wall-clock timeline (``start_ns + anchor_ns``)
+    before the common origin is subtracted — this is what makes traces
+    merged across worker processes line up, since each process's raw
+    monotonic clock has its own origin.  If any record lacks an anchor
+    (e.g. pre-anchor trace files), the export falls back to raw
+    monotonic alignment rather than mixing the two timelines.
     """
-    origin_ns = min((span["start_ns"] for span in spans), default=0)
+    anchored = bool(spans) and all(
+        span.get("anchor_ns") is not None for span in spans)
+
+    def absolute(span: dict) -> int:
+        return span["start_ns"] + (span["anchor_ns"] if anchored else 0)
+
+    origin_ns = min((absolute(span) for span in spans), default=0)
     events = []
     for span in spans:
         events.append({
             "name": span["name"],
             "ph": "X",
-            "ts": (span["start_ns"] - origin_ns) / 1000.0,
+            "ts": (absolute(span) - origin_ns) / 1000.0,
             "dur": max(0, span["end_ns"] - span["start_ns"]) / 1000.0,
             "pid": span.get("pid", 0),
             "tid": 1,

@@ -12,6 +12,15 @@ same call sequence); the only non-deterministic fields are the
 checks over observability output compare the metrics registry, never
 spans (see the determinism contract in DESIGN.md).
 
+Monotonic timestamps are meaningless *across* processes — each worker's
+``perf_counter_ns`` has its own arbitrary origin, so merged traces used
+to mis-align by however far apart those origins sat.  Every tracer
+therefore records a per-process **wall-clock anchor** at construction
+(``time.time_ns() - time.perf_counter_ns()``) and attaches it to every
+exported record as ``anchor_ns``; ``start_ns + anchor_ns`` is an
+absolute wall-clock nanosecond, which is what the Chrome trace export
+aligns on when every record carries an anchor.
+
 When tracing is disabled, :meth:`Tracer.span` returns one shared no-op
 context manager — no span object, list append, or timestamp read
 happens.  (The caller's ``**attrs`` dict is the only allocation, which
@@ -42,9 +51,14 @@ class Span:
     def duration_ns(self) -> int:
         return max(0, self.end_ns - self.start_ns)
 
-    def to_record(self) -> dict:
-        """JSON-able projection (the JSONL line format)."""
-        return {
+    def to_record(self, anchor_ns: int | None = None) -> dict:
+        """JSON-able projection (the JSONL line format).
+
+        ``anchor_ns`` is the owning tracer's wall-clock anchor; when
+        given, it rides along so multi-process exports can place this
+        span on an absolute timeline.
+        """
+        record = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -53,6 +67,9 @@ class Span:
             "attrs": self.attrs,
             "pid": os.getpid(),
         }
+        if anchor_ns is not None:
+            record["anchor_ns"] = anchor_ns
+        return record
 
 
 class _NoopSpan:
@@ -124,6 +141,12 @@ class Tracer:
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_id = 1
+        #: Wall-clock anchor: ``start_ns + wall_anchor_ns`` is an
+        #: absolute ``time.time_ns()`` instant.  Captured once per
+        #: process so records exported from different workers share a
+        #: timeline (back-to-back reads; the sub-microsecond skew
+        #: between them is far below scheduling noise).
+        self.wall_anchor_ns = time.time_ns() - time.perf_counter_ns()
         #: Records shipped home from worker processes (already dicts).
         #: Span ids may repeat across processes; the ``pid`` field keeps
         #: them distinct in every export.
@@ -159,8 +182,10 @@ class Tracer:
     def records(self) -> list[dict]:
         """Finished spans as JSON-able records, in completion order.
 
-        Foreign (worker-shipped) records follow the local ones."""
-        return [span.to_record() for span in self.spans] + list(self.foreign)
+        Foreign (worker-shipped) records follow the local ones; they
+        already carry their own process's ``anchor_ns``."""
+        return ([span.to_record(self.wall_anchor_ns)
+                 for span in self.spans] + list(self.foreign))
 
     def write_jsonl(self, path: str | os.PathLike) -> None:
         """Write one JSON record per finished span to ``path``."""

@@ -490,6 +490,7 @@ def run_soak(
     target_ci_width: float | None = None,
     max_rounds: int | None = None,
     status: typing.Callable[[str], None] | None = None,
+    publisher: typing.Any = None,
 ) -> SoakResult:
     """Run (or resume) a soak stream until a stop condition fires.
 
@@ -498,7 +499,12 @@ def run_soak(
     stop condition only ends on a signal, which is almost never what a
     script wants (the CLI allows it explicitly for true open-ended
     soaks).  ``status`` receives a one-line progress string after every
-    round.
+    round.  ``publisher`` (an opened
+    :class:`~repro.obs.stream.EventPublisher`) receives one ``round``
+    event per journaled round and a ``checkpoint`` event per durable
+    checkpoint — the live feed ``repro-timber monitor`` folds; its
+    ``run_start``/``run_end`` framing stays with the caller, who owns
+    the publisher's lifecycle.
     """
     strata = soak.strata()
     keys = [stratum.key for stratum in strata]
@@ -615,6 +621,25 @@ def run_soak(
                     == 0):
                 state["estimator"] = estimator.snapshot()
                 checkpoint.save(run_key, state)
+                if publisher is not None:
+                    publisher.checkpoint(path=str(checkpoint.path),
+                                         round=state["round"])
+            if publisher is not None:
+                overall = estimator.overall()
+                publisher.emit(
+                    "round",
+                    round=state["round"],
+                    faults=estimator.total_faults(),
+                    escape_rate=overall["escape_rate"],
+                    ci_low=overall["ci_low"],
+                    ci_high=overall["ci_high"],
+                    widest_stratum=widest.key,
+                    widest_ci_width=widest.ci_width,
+                    per_stratum=[
+                        {"stratum": stats.key, "samples": stats.n,
+                         "width": stats.ci_width}
+                        for stats in estimator.all_stats()],
+                )
             if status is not None:
                 elapsed = time.monotonic() - started
                 rate = evaluated / elapsed if elapsed > 0 else 0.0

@@ -95,3 +95,62 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "effective speedup" in out
         assert "2 worker(s)" in out
+
+
+class TestMonitorCommand:
+    def run_dir(self, tmp_path):
+        spool = str(tmp_path / "events.jsonl")
+        assert main(["sweep", "fig1", "--cycles", "200", "--no-cache",
+                     "--events", spool]) == 0
+        return tmp_path
+
+    def test_monitor_once_dashboard(self, tmp_path, capsys):
+        run_dir = self.run_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["monitor", str(run_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "progress" in out
+
+    def test_monitor_json_schema(self, tmp_path, capsys):
+        run_dir = self.run_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["monitor", str(run_dir), "--once",
+                     "--json"]) == 0
+        import json
+
+        body = json.loads(capsys.readouterr().out)
+        assert body["schema"] == 1
+        assert body["status"] == "done"
+        assert body["kind"] == "sweep"
+        assert body["done"] == body["total"] == 3
+        assert body["run_id"].startswith("sweep-")
+
+    def test_monitor_html_report(self, tmp_path, capsys):
+        run_dir = self.run_dir(tmp_path)
+        capsys.readouterr()
+        report = tmp_path / "report.html"
+        assert main(["monitor", str(run_dir), "--once",
+                     "--html", str(report)]) == 0
+        page = report.read_text(encoding="utf-8")
+        assert "<html" in page
+        assert "sweep-" in page
+
+    def test_monitor_missing_stream_exits_2(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path / "absent")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_monitor_corrupt_stream_exits_2(self, tmp_path, capsys):
+        spool = tmp_path / "events.jsonl"
+        spool.write_text("not json\n{}\n", encoding="utf-8")
+        assert main(["monitor", str(spool)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_follow_terminates_on_finished_run(self, tmp_path,
+                                               capsys):
+        run_dir = self.run_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["monitor", str(run_dir), "--follow",
+                     "--interval", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out

@@ -8,6 +8,7 @@ from repro import obs
 from repro.errors import ConfigurationError
 from repro.obs.exporters import (
     chrome_trace,
+    lint_metric_names,
     load_spans_jsonl,
     render_flame,
     render_prometheus,
@@ -112,6 +113,49 @@ class TestRegistry:
         parent.counter("c_total").labels().inc(1)
         parent.merge(snapshot_delta(before, registry.snapshot()))
         assert parent.snapshot()["c_total"]["series"][0]["value"] == 8
+
+
+class TestSnapshotDeltaEdges:
+    """Merge/delta corners the process-pool aggregation path hits."""
+
+    def test_pid_reuse_across_pool_restarts_adds(self):
+        # A restarted pool can hand a new worker a recycled OS pid, so
+        # two *different* worker lifetimes ship deltas for identically
+        # labelled series.  Merging must add them (counters are
+        # increments), never clobber one lifetime with the other.
+        main = MetricsRegistry(enabled=True)
+        for inc in (3, 2):  # two worker lifetimes, same pid label
+            worker = MetricsRegistry(enabled=True)
+            family = worker.counter("tasks_total",
+                                    labelnames=("pid",))
+            before = worker.snapshot()
+            family.labels(pid="100").inc(inc)
+            main.merge(snapshot_delta(before, worker.snapshot()))
+        series = main.snapshot()["tasks_total"]["series"]
+        assert series == [{"labels": {"pid": "100"}, "value": 5}]
+
+    def test_series_only_in_after_passes_through(self, registry):
+        before = registry.snapshot()
+        registry.counter("late_total").labels().inc(4)
+        hist = registry.histogram("lat_seconds", buckets=(1.0,))
+        hist.labels().observe(0.5)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["late_total"]["series"][0]["value"] == 4
+        assert delta["lat_seconds"]["series"][0]["counts"] == [1, 0]
+        main = MetricsRegistry(enabled=True)
+        main.merge(delta)  # families unknown to the target registry
+        assert main.snapshot()["late_total"]["series"][0]["value"] == 4
+
+    def test_empty_registry_delta_is_empty(self):
+        registry = MetricsRegistry(enabled=True)
+        assert snapshot_delta(registry.snapshot(),
+                              registry.snapshot()) == {}
+
+    def test_merge_of_empty_delta_changes_nothing(self, registry):
+        registry.counter("c_total").labels().inc(2)
+        before = registry.snapshot()
+        registry.merge({})
+        assert registry.snapshot() == before
 
 
 class TestTracer:
@@ -242,6 +286,96 @@ def live_obs():
     yield
     obs.disable()
     obs.reset()
+
+
+class TestMetricLint:
+    def test_clean_registry_passes(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("runs_total", "Completed runs")
+        registry.gauge("queue_depth", "Live queue depth")
+        registry.histogram("task_seconds", "Task wall time",
+                           buckets=(1.0,))
+        assert lint_metric_names(registry) == []
+
+    def test_counter_without_total_suffix(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("runs", "Completed runs")
+        problems = lint_metric_names(registry)
+        assert len(problems) == 1
+        assert "_total" in problems[0]
+
+    def test_histogram_without_unit_suffix(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.histogram("task_latency", "Task wall time",
+                           buckets=(1.0,))
+        problems = lint_metric_names(registry)
+        assert len(problems) == 1
+        assert "unit suffix" in problems[0]
+
+    def test_missing_help(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("runs_total")
+        problems = lint_metric_names(registry)
+        assert len(problems) == 1
+        assert "help" in problems[0]
+
+    def test_gauges_need_no_suffix(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("workers", "Pool size")
+        assert lint_metric_names(registry) == []
+
+    def test_violations_sorted_by_family(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("zeta", "Z")
+        registry.counter("alpha", "A")
+        problems = lint_metric_names(registry)
+        assert [p.split(":")[0] for p in problems] == ["alpha", "zeta"]
+
+    def test_live_registry_is_clean(self):
+        # Import the instrumented modules so their families register,
+        # then lint the real registry — the same check obs_smoke runs.
+        import repro.core.relay   # noqa: F401
+        import repro.exec.runner  # noqa: F401
+        import repro.soak.driver  # noqa: F401
+
+        assert lint_metric_names(obs.REGISTRY) == []
+
+
+class TestTraceAnchors:
+    def test_tracer_has_wall_anchor(self):
+        tracer = Tracer(enabled=True)
+        assert isinstance(tracer.wall_anchor_ns, int)
+        with tracer.span("s"):
+            pass
+        (record,) = tracer.records()
+        assert record["anchor_ns"] == tracer.wall_anchor_ns
+
+    def test_merged_processes_align_on_wall_clock(self):
+        # Two "processes" whose monotonic clocks have wildly different
+        # origins but whose anchors place them 1 ms apart in wall time.
+        spans = [
+            {"name": "a", "start_ns": 7_000_000, "end_ns": 8_000_000,
+             "anchor_ns": 1_000_000_000, "pid": 1},
+            {"name": "b", "start_ns": 2_000_000, "end_ns": 3_000_000,
+             "anchor_ns": 1_006_000_000, "pid": 2},
+        ]
+        doc = chrome_trace(spans)
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        assert by_name["a"]["ts"] == 0.0
+        assert by_name["b"]["ts"] == 1000.0  # +1 ms in wall time
+
+    def test_missing_anchor_falls_back_to_monotonic(self):
+        spans = [
+            {"name": "a", "start_ns": 7_000_000, "end_ns": 8_000_000,
+             "anchor_ns": 1_000_000_000, "pid": 1},
+            {"name": "b", "start_ns": 2_000_000, "end_ns": 3_000_000,
+             "pid": 2},  # pre-anchor record
+        ]
+        doc = chrome_trace(spans)
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        # Raw monotonic alignment: b starts first.
+        assert by_name["b"]["ts"] == 0.0
+        assert by_name["a"]["ts"] == 5000.0
 
 
 class TestInstrumentation:
