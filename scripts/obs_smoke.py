@@ -147,6 +147,7 @@ HEALTH_KEYS = (
     "flags", "heartbeat_s", "unit", "total", "done", "executed",
     "cached", "retries", "crashes", "poisoned", "workers",
     "utilization", "cache_hit_rate", "throughput", "eta_s",
+    "faults_classified", "faults_per_second",
     "last_event_age_s", "soak",
 )
 
@@ -162,7 +163,7 @@ def _check_monitor_roundtrip(tmp: pathlib.Path) -> None:
     missing = [key for key in HEALTH_KEYS if key not in health]
     if missing:
         raise SystemExit(f"monitor JSON missing keys {missing}")
-    if health["schema"] != 1:
+    if health["schema"] != 2:
         raise SystemExit(f"unexpected health schema {health['schema']}")
     if health["status"] != "done" or health["stale"]:
         raise SystemExit(

@@ -17,7 +17,10 @@ and merges the result into ``BENCH_fig8_relay.json``.  A campaign
 fork gate finally pits snapshot-forked fault evaluation against the
 full-run reference on an X12-scale graph campaign (byte-identical
 outcomes required, forked must be >= 5x faults/s, scalar baseline
-recorded) and merges the result into ``BENCH_x12_campaign_perf.json``.
+recorded) and merges the result into ``BENCH_x12_campaign_perf.json``,
+followed by a batch gate that requires fault-lane batched evaluation
+(the default path) to beat per-fault forking by >= 3x faults/s on the
+same campaign, again byte-identical and warm-cache-served.
 A soak gate runs a 10-second bounded soak against a batched campaign
 on the same config (streamed throughput must hold >= 0.8x of the batch
 rate) and an adaptive-vs-uniform arm on a fixed round budget (adaptive
@@ -89,6 +92,12 @@ CAMPAIGN_CYCLES = 4_000
 CAMPAIGN_FAULTS = 200
 CAMPAIGN_SCALAR_FAULTS = 20
 CAMPAIGN_SPEEDUP_FLOOR = 5.0
+
+#: Batch gate: fault-lane batched evaluation (the default) must beat
+#: the per-fault forked evaluator by at least this factor on the same
+#: X12-scale campaign, with byte-identical outcomes and the second
+#: runner served from the warm trajectory cache.
+BATCH_SPEEDUP_FLOOR = 3.0
 
 #: Soak gate: a 10-second bounded soak must sustain at least this
 #: fraction of the batched campaign's faults/s on the same config (the
@@ -328,8 +337,9 @@ def _campaign_fork_bench(now: str) -> tuple[dict | None, str | None]:
     the payload is merged into ``BENCH_x12_campaign_perf.json``
     alongside the campaign-shootout trajectory.
     """
-    from repro.campaign import CampaignConfig, fault_runner
-    from repro.campaign.engine import FULL_RUN_TARGETS
+    from repro.campaign import CampaignConfig
+    from repro.campaign.engine import (FULL_RUN_TARGETS,
+                                       _ForkedEvaluator)
     from repro.exec.cache import encode_result
     from repro.exec.worker import WARM
     from repro.kernels import SCALAR_ENV
@@ -362,12 +372,14 @@ def _campaign_fork_bench(now: str) -> tuple[dict | None, str | None]:
 
     before = WARM.counters()
     start = time.perf_counter()
-    runner = fault_runner(config)
+    # Pinned to the per-fault forked evaluator: this gate measures the
+    # fork itself; the batch gate below measures lane batching on top.
+    runner = _ForkedEvaluator(config)
     forked: list = [None] * len(population)
     for index in runner.evaluation_order(population):
         forked[index] = runner.evaluate(population[index])[0]
     forked_wall = time.perf_counter() - start
-    fault_runner(config)  # same config again: must hit the warm cache
+    _ForkedEvaluator(config)  # same config: must hit the warm cache
     delta = WARM.stats_delta(before)
 
     if encoded(scalar) != encoded(full[:CAMPAIGN_SCALAR_FAULTS]):
@@ -411,6 +423,97 @@ def _campaign_fork_bench(now: str) -> tuple[dict | None, str | None]:
         return payload, (
             "second evaluator did not hit the warm trajectory cache "
             f"(warm stats delta: {delta})")
+    return payload, None
+
+
+def _campaign_batch_bench(now: str) -> tuple[dict | None, str | None]:
+    """Fault-lane batching gate on the same X12-scale campaign.
+
+    Times one chunk of the seeded population through the per-fault
+    forked evaluator and through the lane-batched default
+    (``fault_runner``), asserts the encoded outcome streams are
+    byte-identical, and gates batched against forked faults/s.  The
+    batched runner must actually be the batched evaluator, must batch
+    (not replay) the overwhelming share of its lanes, and a second
+    ``fault_runner`` call must be served from the warm trajectory
+    cache.  The payload lands next to the fork gate in
+    ``BENCH_x12_campaign_perf.json``.
+    """
+    from repro.campaign import CampaignConfig, fault_runner
+    from repro.campaign.engine import (_BatchedEvaluator,
+                                       _ForkedEvaluator)
+    from repro.exec.cache import encode_result
+    from repro.exec.worker import WARM
+
+    config = CampaignConfig(
+        target="graph", scheme="timber-ff",
+        num_faults=CAMPAIGN_FAULTS, num_cycles=CAMPAIGN_CYCLES)
+    population = list(config.iter_population())
+
+    def encoded(outcomes):
+        return json.dumps(encode_result(outcomes), sort_keys=True)
+
+    start = time.perf_counter()
+    forked_outcomes, _work = (
+        _ForkedEvaluator(config).evaluate_chunk(population))
+    forked_wall = time.perf_counter() - start
+
+    before = WARM.counters()
+    runner = fault_runner(config)
+    if not isinstance(runner, _BatchedEvaluator):
+        return None, (
+            "fault_runner did not return the batched evaluator "
+            f"(got {type(runner).__name__})")
+    start = time.perf_counter()
+    batched_outcomes, _work = runner.evaluate_chunk(population)
+    batched_wall = time.perf_counter() - start
+    fault_runner(config)  # same config again: must hit the warm cache
+    delta = WARM.stats_delta(before)
+
+    if encoded(batched_outcomes) != encoded(forked_outcomes):
+        return None, ("lane-batched campaign outcomes diverged from "
+                      "the forked evaluator")
+
+    speedup = (forked_wall / batched_wall if batched_wall > 0
+               else float("inf"))
+    runs = []
+    for label, wall in (("vector_forked", forked_wall),
+                        ("vector_batched", batched_wall)):
+        runs.append({
+            "evaluation": label,
+            "recorded_at": now,
+            "wall_time_s": round(wall, 4),
+            "faults": CAMPAIGN_FAULTS,
+            "num_cycles": CAMPAIGN_CYCLES,
+            "faults_per_second": round(CAMPAIGN_FAULTS / wall, 1),
+        })
+    payload = {
+        "recorded_at": now,
+        "target": config.target,
+        "scheme": config.scheme,
+        "snapshot_stride": config.snapshot_stride,
+        "speedup": round(speedup, 1),
+        "speedup_floor": BATCH_SPEEDUP_FLOOR,
+        "lanes_batched": runner.lanes_batched,
+        "lanes_replayed": runner.lanes_replayed,
+        "warm_cache": delta,
+        "runs": runs,
+    }
+    if runner.lanes_batched < runner.lanes_replayed:
+        return payload, (
+            f"batched evaluator replayed more lanes than it batched "
+            f"({runner.lanes_replayed} replayed vs "
+            f"{runner.lanes_batched} batched)")
+    if speedup < BATCH_SPEEDUP_FLOOR:
+        return payload, (
+            f"lane-batched evaluation only {speedup:.1f}x faster than "
+            f"per-fault forking (floor {BATCH_SPEEDUP_FLOOR:.0f}x; "
+            f"forked {forked_wall:.3f}s, batched {batched_wall:.3f}s)")
+    hits = delta.get("trajectory", [0, 0])[0]
+    if hits < 1:
+        return payload, (
+            "second batched runner did not hit the warm trajectory "
+            f"cache (warm stats delta: {delta})")
     return payload, None
 
 
@@ -730,6 +833,20 @@ def main() -> int:
         return 1
     assert campaign is not None
 
+    # -- campaign fault-lane batching gate -------------------------------
+    batch, batch_failure = _campaign_batch_bench(now)
+    if batch is not None:
+        campaign_path = REPO_ROOT / "BENCH_x12_campaign_perf.json"
+        campaign_doc = json.loads(
+            campaign_path.read_text(encoding="utf-8"))
+        campaign_doc["batch_gate"] = batch
+        campaign_path.write_text(
+            json.dumps(campaign_doc, indent=2) + "\n", encoding="utf-8")
+    if batch_failure is not None:
+        print(f"FAIL: {batch_failure}")
+        return 1
+    assert batch is not None
+
     # -- soak throughput + adaptive-sampling gate ------------------------
     soak, soak_failure = _soak_bench(now)
     if soak is not None:
@@ -779,6 +896,15 @@ def main() -> int:
           f"{forked_run['faults_per_second']:.0f} faults/s forked "
           f"({campaign['speedup']:.1f}x at {CAMPAIGN_CYCLES} cycles, "
           "outcomes byte-identical)")
+    batched_run = next(r for r in batch["runs"]
+                       if r["evaluation"] == "vector_batched")
+    batch_forked_run = next(r for r in batch["runs"]
+                            if r["evaluation"] == "vector_forked")
+    print(f"  lane batching: {batch_forked_run['faults_per_second']:.0f}"
+          f" -> {batched_run['faults_per_second']:.0f} faults/s batched "
+          f"({batch['speedup']:.1f}x, floor {BATCH_SPEEDUP_FLOOR:.0f}x; "
+          f"{batch['lanes_batched']} lanes batched, "
+          f"{batch['lanes_replayed']} replayed)")
     throughput = soak["throughput"]
     gate = soak["adaptive_gate"]
     print(f"  soak: {throughput['batch_faults_per_second']:.0f} f/s "

@@ -16,9 +16,11 @@ from repro.campaign.engine import (
     FULL_RUN_TARGETS,
     CampaignConfig,
     CampaignResult,
+    batching_disabled,
     campaign_chunk_task,
     evaluate_fault,
     fault_runner,
+    full_runs_forced,
     run_campaign,
 )
 from repro.campaign.faults import (
@@ -32,6 +34,7 @@ from repro.campaign.faults import (
 from repro.campaign.trajectory import (
     BackgroundTrajectory,
     build_trajectory,
+    fork_window_groups,
     trajectory_for,
 )
 from repro.campaign.outcomes import (
@@ -45,6 +48,7 @@ from repro.campaign.outcomes import (
     CaptureEvent,
     FaultOutcome,
     classify_events,
+    classify_flags,
 )
 from repro.campaign.report import (
     CoverageReport,
@@ -58,9 +62,11 @@ __all__ = [
     "FULL_RUN_TARGETS",
     "CampaignConfig",
     "CampaignResult",
+    "batching_disabled",
     "campaign_chunk_task",
     "evaluate_fault",
     "fault_runner",
+    "full_runs_forced",
     "run_campaign",
     "FAULT_KINDS",
     "FaultOverlay",
@@ -70,6 +76,7 @@ __all__ = [
     "iter_population",
     "BackgroundTrajectory",
     "build_trajectory",
+    "fork_window_groups",
     "trajectory_for",
     "BENIGN",
     "ESCAPED",
@@ -81,6 +88,7 @@ __all__ = [
     "CaptureEvent",
     "FaultOutcome",
     "classify_events",
+    "classify_flags",
     "CoverageReport",
     "build_report",
     "render_reports",

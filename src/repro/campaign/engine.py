@@ -58,6 +58,7 @@ from repro.campaign.faults import (
 )
 from repro.campaign.trajectory import (
     build_trajectory,
+    fork_window_groups,
     trajectory_for,
     trajectory_rows_for,
 )
@@ -94,6 +95,18 @@ FULL_RUNS_ENV = "REPRO_CAMPAIGN_FULL_RUNS"
 def full_runs_forced() -> bool:
     """Is the full-run reference path forced via the environment?"""
     return os.environ.get(FULL_RUNS_ENV, "") not in ("", "0")
+
+
+#: Environment variable disabling fault-lane batching
+#: (``REPRO_CAMPAIGN_BATCH=0``): campaigns evaluate per fault through
+#: the forked path the batch is pinned against.  ``FULL_RUNS_ENV``
+#: disables batching too — the full-run reference stays the spec.
+BATCH_ENV = "REPRO_CAMPAIGN_BATCH"
+
+
+def batching_disabled() -> bool:
+    """Is fault-lane batching disabled via the environment?"""
+    return os.environ.get(BATCH_ENV, "1") == "0"
 
 # Per-fault observability.  The outcome counter is semantic (classes
 # are a pure function of the seeded population and the simulators);
@@ -473,10 +486,42 @@ FULL_RUN_TARGETS = {
 }
 
 
-class _FullRunEvaluator:
-    """Per-fault evaluation through the full-run reference functions."""
+class _EvaluatorBase:
+    """Shared chunk walk: visit, classify, scatter back.
+
+    ``evaluate_chunk`` is the one entry point chunk-shaped callers
+    (campaign tasks, soak rounds) use, so every evaluator — including
+    the group-batched one, which overrides it — produces outcomes in
+    population order with identical per-fault obs accounting.
+    """
 
     forked = False
+    batched = False
+    config: "CampaignConfig"
+
+    def evaluate(self, spec: FaultSpec) -> tuple[FaultOutcome, int]:
+        raise NotImplementedError
+
+    def evaluation_order(
+            self, specs: typing.Sequence[FaultSpec],
+    ) -> "typing.Sequence[int]":
+        return range(len(specs))
+
+    def evaluate_chunk(
+            self, specs: typing.Sequence[FaultSpec],
+    ) -> "tuple[list[FaultOutcome], int]":
+        """Classify ``specs``; outcomes in population order + work."""
+        outcomes: list[FaultOutcome | None] = [None] * len(specs)
+        work = 0
+        for index in self.evaluation_order(specs):
+            outcome, units = _classify(self.config, self, specs[index])
+            outcomes[index] = outcome
+            work += units
+        return typing.cast("list[FaultOutcome]", outcomes), work
+
+
+class _FullRunEvaluator(_EvaluatorBase):
+    """Per-fault evaluation through the full-run reference functions."""
 
     def __init__(self, config: CampaignConfig) -> None:
         self.config = config
@@ -485,12 +530,8 @@ class _FullRunEvaluator:
     def evaluate(self, spec: FaultSpec) -> tuple[FaultOutcome, int]:
         return self._fn(self.config, spec)
 
-    def evaluation_order(self,
-                         specs: typing.Sequence[FaultSpec]) -> range:
-        return range(len(specs))
 
-
-class _ForkedEvaluator:
+class _ForkedEvaluator(_EvaluatorBase):
     """Per-fault evaluation forked from the background trajectory.
 
     One long-lived simulation per evaluator: each fault swaps in its
@@ -561,18 +602,198 @@ class _ForkedEvaluator:
                       key=lambda i: (specs[i].cycle // stride, i))
 
 
-def fault_runner(
-        config: CampaignConfig
-) -> "_FullRunEvaluator | _ForkedEvaluator":
+class _BatchedEvaluator(_ForkedEvaluator):
+    """Fault-lane batched evaluation over shared fork windows.
+
+    Faults sharing a fork snapshot are near-identical perturbations of
+    one background, so :func:`fork_window_groups` decides *eligibility*
+    per shared snapshot (idle fork state, quiet prefix) and every lane
+    that qualifies — across all of a chunk's groups — runs as one numpy
+    batch: per-lane disturbance deltas on the shared background rows, a
+    vectorized borrow/select/relay machine advancing every lane per
+    cycle (:mod:`repro.kernels.fault_batch`), per-lane outcome folds
+    feeding :class:`FaultOutcome` directly.  Lanes carry absolute cycle
+    indices into the one background, so merging groups into a single
+    machine call changes arithmetic batch shape only, never lane
+    semantics — and amortizes the per-call setup that dominates at
+    realistic stride/window sizes.
+
+    A lane batches only when equivalence to the forked path is provable
+    — idle fork snapshot, background quiet up to the injection cycle,
+    window within the lane cap, and a capture policy with pure array
+    semantics.  Everything else (and every lane, when the machine
+    cannot be built at all) drops to :meth:`_ForkedEvaluator.evaluate`,
+    the preserved executable spec.  ``lanes_batched``/``lanes_replayed``
+    mirror the obs lane counters for in-process callers.
+    """
+
+    batched = True
+
+    def __init__(self, config: CampaignConfig) -> None:
+        super().__init__(config)
+        from repro.kernels import fault_batch
+
+        self._fault_batch = fault_batch
+        self.machine = (fault_batch.pipeline_machine(self.sim)
+                        if config.target == "pipeline"
+                        else fault_batch.graph_machine(self.sim))
+        self._units_per_cycle = (len(self.sim.stages)
+                                 if config.target == "pipeline"
+                                 else self.sim.graph.num_ffs)
+        self.lanes_batched = 0
+        self.lanes_replayed = 0
+        #: (kind, site, span) -> machine column tuple.  The affected
+        #: sites are a pure function of those three spec fields (plus
+        #: the fixed site list), and populations draw from a handful of
+        #: combinations — memoizing skips the per-lane name lookups.
+        self._lane_cols: dict = {}
+
+    def _lane_columns(self, spec: FaultSpec) -> "tuple[int, ...]":
+        key = (spec.kind, spec.site, spec.span)
+        cols = self._lane_cols.get(key)
+        if cols is None:
+            cols = self._lane_cols[key] = self.machine.lane_columns(
+                spec.sites_affected(self.sites))
+        return cols
+
+    def evaluate(self, spec: FaultSpec) -> tuple[FaultOutcome, int]:
+        return self._evaluate_merged([spec], [[0]])[0]
+
+    def evaluate_chunk(
+            self, specs: typing.Sequence[FaultSpec],
+    ) -> "tuple[list[FaultOutcome], int]":
+        started = time.perf_counter()
+        results = self._evaluate_merged(
+            specs, fork_window_groups(
+                self.trajectory, [spec.cycle for spec in specs]))
+        if obs.REGISTRY.enabled and specs:
+            # The chunk shares one wall clock; per-fault latency is the
+            # amortized share.  The outcome counter increments exactly
+            # as the per-fault walk would have.
+            elapsed = (time.perf_counter() - started) / len(specs)
+            for outcome, _ in results:
+                _OBS_FAULT_SECONDS.observe(elapsed)
+                _OBS_OUTCOMES.labels(
+                    target=self.config.target,
+                    scheme=self.config.scheme,
+                    classification=outcome.classification,
+                ).inc()
+        return [outcome for outcome, _ in results], sum(
+            units for _, units in results)
+
+    def _evaluate_merged(
+            self, specs: typing.Sequence[FaultSpec],
+            groups: "typing.Iterable[typing.Sequence[int]]",
+    ) -> "list[tuple[FaultOutcome, int]]":
+        """Batch every eligible lane across ``groups`` in one machine call.
+
+        Eligibility is judged per group (shared fork snapshot, quiet
+        prefix) but evaluation merges all eligible lanes into a single
+        :meth:`evaluate` on the lane machine: each lane addresses the
+        one shared background by absolute cycle, so group identity
+        affects only which lanes qualify, never what a lane computes —
+        and one big batch amortizes per-call setup that per-group
+        batches pay once per snapshot.
+        """
+        machine = self.machine
+        results: list[tuple[FaultOutcome, int] | None] = (
+            [None] * len(specs))
+        lanes: list = []
+        lane_meta: list[tuple[int, int, int]] = []
+        replay: list[int] = []
+        for group in groups:
+            self._plan_group(specs, group, lanes, lane_meta, replay)
+        if lanes:
+            lane_outcomes = machine.evaluate(lanes, self.rows)
+            obs_on = obs.REGISTRY.enabled
+            for (index, start, end), lane_outcome in zip(lane_meta,
+                                                         lane_outcomes):
+                spec = specs[index]
+                if obs_on:
+                    _OBS_PREFIX_SAVED.inc(start)
+                    _OBS_FORK_WINDOW.observe(end + 1 - start)
+                outcome = FaultOutcome(
+                    fault_id=spec.fault_id,
+                    kind=spec.kind,
+                    site=spec.site,
+                    cycle=spec.cycle,
+                    magnitude_ps=spec.magnitude_ps,
+                    classification=lane_outcome.classification,
+                    events=lane_outcome.events,
+                    worst_lateness_ps=lane_outcome.worst_lateness_ps,
+                    max_borrowed_intervals=(
+                        lane_outcome.max_borrowed_intervals),
+                )
+                results[index] = (
+                    outcome, (end + 1 - start) * self._units_per_cycle)
+            self.lanes_batched += len(lanes)
+        if replay:
+            if machine is not None:
+                machine.note_replayed(len(replay))
+            self.lanes_replayed += len(replay)
+            for index in replay:
+                results[index] = super().evaluate(specs[index])
+        return typing.cast("list[tuple[FaultOutcome, int]]", results)
+
+    def _plan_group(self, specs: typing.Sequence[FaultSpec],
+                    group: typing.Sequence[int], lanes: list,
+                    lane_meta: "list[tuple[int, int, int]]",
+                    replay: "list[int]") -> None:
+        """Sort one shared-fork-window group into lanes vs. replays."""
+        import numpy as np
+
+        fault_batch = self._fault_batch
+        machine = self.machine
+        start, state = self.trajectory.fork_point(specs[group[0]].cycle)
+        if (machine is None or self.rows is None
+                or not machine.state_is_idle(state)):
+            replay.extend(group)
+            return
+        # A lane is provably equivalent to its forked replay when the
+        # background screen shows nothing interesting between the fork
+        # start and its injection cycle: the fork enters the window
+        # idle, with zero prior events or counter increments.
+        # Interesting background cycles *inside* the window are fine —
+        # the machine models the real rows and those events belong to
+        # the outcome on every path.
+        interesting = self.rows[-1]
+        max_cycle = max(specs[index].cycle for index in group)
+        ahead = np.flatnonzero(interesting[start:max_cycle])
+        quiet_until = (start + int(ahead[0]) if ahead.size
+                       else max_cycle)
+        for index in group:
+            spec = specs[index]
+            end = _window_end(self.config, spec)
+            steps = end + 1 - spec.cycle
+            if (spec.cycle <= quiet_until
+                    and steps <= fault_batch.MAX_LANE_WINDOW):
+                lane_meta.append((index, start, end))
+                lanes.append(fault_batch.Lane(
+                    cycle=spec.cycle,
+                    steps=steps,
+                    duration=spec.duration_cycles,
+                    magnitude_ps=spec.magnitude_ps,
+                    cols=self._lane_columns(spec),
+                ))
+            else:
+                replay.append(index)
+
+
+def fault_runner(config: CampaignConfig) -> "_EvaluatorBase":
     """The per-fault evaluator for ``config``.
 
-    Cycle-level targets fork from the shared background trajectory;
-    the netlist target — and everything when ``REPRO_CAMPAIGN_FULL_RUNS``
-    is set — takes the preserved full-run reference path behind the
-    same interface.
+    Cycle-level targets fork from the shared background trajectory —
+    lane-batched over shared fork windows when the vector kernels are
+    on and ``REPRO_CAMPAIGN_BATCH`` is not ``0``.  The netlist target —
+    and everything when ``REPRO_CAMPAIGN_FULL_RUNS`` is set — takes
+    the preserved full-run reference path behind the same interface
+    (full runs also disable batching: the reference stays the spec).
     """
     if config.target == "netlist" or full_runs_forced():
         return _FullRunEvaluator(config)
+    from repro import kernels
+    if kernels.vectorized_enabled() and not batching_disabled():
+        return _BatchedEvaluator(config)
     return _ForkedEvaluator(config)
 
 
@@ -654,15 +875,10 @@ def campaign_chunk_task(params: dict) -> TaskPayload:
     specs = _warm_population_slice(config, params["start"],
                                    params["stop"])
     runner = fault_runner(config)
-    outcomes: list[FaultOutcome | None] = [None] * len(specs)
-    work = 0
     with obs.trace_span("campaign.chunk", target=config.target,
                         scheme=config.scheme, start=params["start"],
                         stop=params["stop"]):
-        for index in runner.evaluation_order(specs):
-            outcome, units = _classify(config, runner, specs[index])
-            outcomes[index] = outcome
-            work += units
+        outcomes, work = runner.evaluate_chunk(specs)
     return TaskPayload(value=outcomes, events_processed=work)
 
 

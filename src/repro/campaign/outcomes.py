@@ -80,25 +80,42 @@ class FaultOutcome:
     max_borrowed_intervals: int = 0
 
 
-def classify_events(events: typing.Sequence[CaptureEvent]) -> str:
-    """Collapse a fault's capture events into one taxonomy class.
+def classify_flags(*, any_failed: bool, any_relayed: bool,
+                   any_masked_ed: bool, any_masked: bool,
+                   any_warned: bool) -> str:
+    """Severity-ordered classification from pre-folded event flags.
 
-    ``escaped`` dominates (any silent corruption is fatal), then
-    ``relayed`` (a >= 2-interval borrow proves the relay fired), then
-    the flagged/silent masking split, then pure warnings."""
-    if any(event.failed for event in events):
+    The precedence ladder shared by the per-event stream
+    (:func:`classify_events`) and the batched lane machines
+    (:mod:`repro.kernels.fault_batch`), which fold the same flags out
+    of arrays: ``escaped`` dominates (any silent corruption is fatal),
+    then ``relayed`` (a >= 2-interval borrow proves the relay fired),
+    then the flagged/silent masking split, then pure warnings."""
+    if any_failed:
         return ESCAPED
-    if any(event.masked and event.borrowed_intervals >= 2
-           for event in events):
+    if any_relayed:
         return RELAYED
-    if any(event.masked and event.flagged for event in events) or any(
-            event.detected for event in events):
+    if any_masked_ed:
         return MASKED_ED
-    if any(event.masked for event in events):
+    if any_masked:
         return MASKED_TB
-    if any(event.predicted or event.flagged for event in events):
+    if any_warned:
         return FALSE_POSITIVE
     return BENIGN
+
+
+def classify_events(events: typing.Sequence[CaptureEvent]) -> str:
+    """Collapse a fault's capture events into one taxonomy class."""
+    return classify_flags(
+        any_failed=any(event.failed for event in events),
+        any_relayed=any(event.masked and event.borrowed_intervals >= 2
+                        for event in events),
+        any_masked_ed=any((event.masked and event.flagged)
+                          or event.detected for event in events),
+        any_masked=any(event.masked for event in events),
+        any_warned=any(event.predicted or event.flagged
+                       for event in events),
+    )
 
 
 def outcome_from_events(spec: typing.Any,

@@ -74,6 +74,27 @@ class BackgroundTrajectory:
         return len(self.snapshots)
 
 
+def fork_window_groups(trajectory: BackgroundTrajectory,
+                       cycles: "typing.Sequence[int]",
+                       ) -> "list[list[int]]":
+    """Group indices of ``cycles`` by the fork snapshot they share.
+
+    Every cycle in one group has the same :meth:`fork_point` (the
+    last-snapshot clamp included), so the group's faults can be
+    evaluated as one lane batch over one restored background.  Groups
+    come back in ascending snapshot order with indices ascending inside
+    each group — the exact visit order ``evaluation_order`` produces,
+    so batched and per-fault evaluation touch faults in the same
+    sequence.
+    """
+    last = trajectory.num_snapshots - 1
+    groups: dict[int, list[int]] = {}
+    for index, cycle in enumerate(cycles):
+        groups.setdefault(min(cycle // trajectory.stride, last),
+                          []).append(index)
+    return [groups[key] for key in sorted(groups)]
+
+
 def build_trajectory(make_sim: "typing.Callable[[], typing.Any]", *,
                      num_cycles: int, stride: int) -> BackgroundTrajectory:
     """Run the fault-free background once, snapshotting every stride.

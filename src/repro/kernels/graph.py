@@ -176,3 +176,79 @@ class CompiledEdges:
         arrival = np.rint(self.delays * factor).astype(np.int64)
         shape = (len(cycles), self.num_edges)
         return sens, np.broadcast_to(arrival, shape)
+
+
+# ---------------------------------------------------------------------------
+# Flat topology view (shared with the fault-lane batcher)
+# ---------------------------------------------------------------------------
+
+class CompiledTopology:
+    """Segment layout of a graph simulator's candidate-edge rows.
+
+    Flattens the ``(dst_ff, [edges])`` rows of a
+    :class:`~repro.pipeline.graph_sim.GraphPipelineSimulation` into
+    reduceat-ready arrays so per-destination maxima (arrival lateness,
+    relay select inputs) collapse in one numpy call per cycle instead
+    of a Python loop per edge.  Column ``num_dsts`` is a sentinel that
+    always carries zero state — sources and relay inputs that are not
+    candidate destinations map there, mirroring the scalar loop's
+    ``dict.get(name, 0)``.
+    """
+
+    def __init__(
+        self,
+        dst_names: "typing.Sequence[str]",
+        edge_src_names: "typing.Sequence[str]",
+        edges_per_dst: "typing.Sequence[int]",
+        protected: "typing.Sequence[bool]",
+        relay_srcs_per_dst: "typing.Sequence[typing.Sequence[str]]",
+    ) -> None:
+        self.num_dsts = len(dst_names)
+        self.num_edges = len(edge_src_names)
+        col = {name: index for index, name in enumerate(dst_names)}
+        sentinel = self.num_dsts
+        self.src_cols = np.array(
+            [col.get(src, sentinel) for src in edge_src_names],
+            dtype=np.int64)
+        self.dst_starts = np.cumsum([0] + list(edges_per_dst[:-1]),
+                                    dtype=np.int64)
+        self.protected = np.array(protected, dtype=bool)
+        # Relay segments need at least one element for reduceat; empty
+        # source lists are padded with the sentinel column (select 0).
+        relay_cols: list[int] = []
+        relay_starts: list[int] = []
+        for srcs in relay_srcs_per_dst:
+            relay_starts.append(len(relay_cols))
+            cols = [col.get(src, sentinel) for src in srcs]
+            relay_cols.extend(cols or [sentinel])
+        self.relay_cols = np.array(relay_cols, dtype=np.int64)
+        self.relay_starts = np.array(relay_starts, dtype=np.int64)
+
+    @classmethod
+    def from_sim(cls, sim: "typing.Any") -> "CompiledTopology":
+        """Compile a ``GraphPipelineSimulation``'s candidate rows."""
+        dst_names = [ff for ff, _ in sim._rows]
+        return cls(
+            dst_names=dst_names,
+            edge_src_names=[edge.src for _, entries in sim._rows
+                            for _, edge, _, _ in entries],
+            edges_per_dst=[len(entries) for _, entries in sim._rows],
+            protected=[ff in sim.protected for ff in dst_names],
+            relay_srcs_per_dst=[sim._relay_srcs.get(ff, ())
+                                for ff in dst_names],
+        )
+
+    def per_dst_max(self, per_edge: "np.ndarray") -> "np.ndarray":
+        """Per-destination maximum over a ``(..., E)`` edge array."""
+        return np.maximum.reduceat(per_edge, self.dst_starts, axis=-1)
+
+    def per_dst_any(self, per_edge: "np.ndarray") -> "np.ndarray":
+        """Per-destination OR over a ``(..., E)`` bool edge array."""
+        return np.logical_or.reduceat(per_edge, self.dst_starts, axis=-1)
+
+    def relay_select_in(self, select: "np.ndarray") -> "np.ndarray":
+        """Per-destination relay input from a ``(..., F+1)`` select
+        array (sentinel column included): the max select over each
+        destination's relay sources, 0 when it has none."""
+        return np.maximum.reduceat(select[..., self.relay_cols],
+                                   self.relay_starts, axis=-1)

@@ -19,11 +19,13 @@ the result is bit-equal to a fully scalar run.
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 import numpy as np
 
 from repro import obs
+from repro.errors import ConfigurationError
 from repro.kernels.rng import (
     cycle_lanes,
     key_id,
@@ -34,6 +36,8 @@ from repro.kernels.rng import (
 from repro.pipeline.stage import SENS_SALT
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.checking_period import CheckingPeriod
+    from repro.pipeline.schemes import CapturePolicy
     from repro.pipeline.stage import PipelineStage
     from repro.variability.base import VariabilityModel
 
@@ -176,3 +180,142 @@ class CompiledStages:
         delays = np.rint(nominal * factor)
         return np.broadcast_to(delays.astype(np.int64),
                                (len(cycles), len(self.names)))
+
+
+# ---------------------------------------------------------------------------
+# Vectorized capture semantics (shared with the fault-lane batcher)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class CaptureParams:
+    """Flat parameters of one capture scheme, for array evaluation.
+
+    The analytic counterpart of a :class:`~repro.pipeline.schemes.
+    CapturePolicy` with the per-boundary state factored out: everything
+    :func:`capture_block` needs to classify a whole array of latenesses
+    with the exact element semantics of :mod:`repro.core.masking`.
+    Only the schemes whose capture functions are pure in
+    ``(lateness, select_in)`` compile — :meth:`for_policy` returns
+    ``None`` for anything else (and for subclasses, which may override
+    ``capture``), so callers fall back to the scalar state machine.
+    """
+
+    kind: str
+    interval_ps: int = 0
+    num_intervals: int = 0
+    num_tb: int = 0
+    checking_ps: int = 0
+    tb_ps: int = 0
+    window_ps: int = 0
+    guard_ps: int = 0
+
+    @classmethod
+    def from_checking_period(cls, kind: str,
+                             cp: "CheckingPeriod") -> "CaptureParams":
+        """Params for the TIMBER schemes, from a checking period."""
+        return cls(kind=kind, interval_ps=cp.interval_ps,
+                   num_intervals=cp.num_intervals, num_tb=cp.num_tb,
+                   checking_ps=cp.checking_ps, tb_ps=cp.tb_ps)
+
+    @classmethod
+    def for_policy(cls, policy: "CapturePolicy") -> "CaptureParams | None":
+        from repro.pipeline.schemes import (
+            CanaryPolicy,
+            PlainPolicy,
+            RazorPolicy,
+            TimberFFPolicy,
+            TimberLatchPolicy,
+        )
+
+        # Exact types only: a subclass may override ``capture`` with
+        # semantics this block does not model.
+        policy_type = type(policy)
+        if policy_type is PlainPolicy:
+            return cls(kind="plain")
+        if policy_type is TimberFFPolicy:
+            return cls.from_checking_period("timber-ff", policy.cp)
+        if policy_type is TimberLatchPolicy:
+            return cls.from_checking_period("timber-latch", policy.cp)
+        if policy_type is RazorPolicy:
+            return cls(kind="razor", window_ps=policy.window_ps)
+        if policy_type is CanaryPolicy:
+            return cls(kind="canary", guard_ps=policy.guard_ps)
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureArrays:
+    """Per-element capture outcomes over an array of latenesses.
+
+    The array projection of :class:`repro.core.masking.CaptureOutcome`;
+    every field holds the same shape as the input lateness array.
+    """
+
+    masked: "np.ndarray"
+    detected: "np.ndarray"
+    predicted: "np.ndarray"
+    flagged: "np.ndarray"
+    failed: "np.ndarray"
+    borrowed_ps: "np.ndarray"
+    borrowed_intervals: "np.ndarray"
+
+    @property
+    def event(self) -> "np.ndarray":
+        """The capture-observer condition: anything but CLEAN."""
+        return (self.masked | self.detected | self.predicted
+                | self.flagged | self.failed)
+
+
+def capture_block(
+    params: CaptureParams,
+    lateness: "np.ndarray",
+    select_in: "np.ndarray | None" = None,
+) -> CaptureArrays:
+    """Classify an array of latenesses under ``params``'s scheme.
+
+    Element-for-element identical to the scalar capture functions in
+    :mod:`repro.core.masking`; ``select_in`` is required for
+    ``timber-ff`` (the relay input per element) and ignored elsewhere.
+    """
+    viol = lateness > 0
+    false_ = np.zeros(lateness.shape, dtype=bool)
+    zero = np.zeros(lateness.shape, dtype=np.int64)
+    if params.kind == "plain":
+        return CaptureArrays(masked=false_, detected=false_,
+                             predicted=false_, flagged=false_,
+                             failed=viol, borrowed_ps=zero,
+                             borrowed_intervals=zero)
+    if params.kind == "timber-ff":
+        effective = np.minimum(select_in, params.num_intervals - 1)
+        delta_ps = (effective + 1) * params.interval_ps
+        masked = viol & (lateness <= delta_ps)
+        intervals = np.where(masked, effective + 1, 0)
+        return CaptureArrays(
+            masked=masked, detected=false_, predicted=false_,
+            flagged=masked & (intervals > params.num_tb),
+            failed=viol & ~masked,
+            borrowed_ps=np.where(masked, delta_ps, 0),
+            borrowed_intervals=intervals)
+    if params.kind == "timber-latch":
+        masked = viol & (lateness <= params.checking_ps)
+        failed = viol & ~masked
+        return CaptureArrays(
+            masked=masked, detected=false_, predicted=false_,
+            flagged=(masked & (lateness > params.tb_ps)) | failed,
+            failed=failed,
+            borrowed_ps=np.where(masked, lateness, 0),
+            borrowed_intervals=zero)
+    if params.kind == "razor":
+        detected = viol & (lateness <= params.window_ps)
+        return CaptureArrays(
+            masked=false_, detected=detected, predicted=false_,
+            flagged=detected, failed=viol & ~detected,
+            borrowed_ps=zero, borrowed_intervals=zero)
+    if params.kind == "canary":
+        predicted = ~viol & (lateness > -params.guard_ps)
+        return CaptureArrays(
+            masked=false_, detected=false_, predicted=predicted,
+            flagged=predicted, failed=viol,
+            borrowed_ps=zero, borrowed_intervals=zero)
+    raise ConfigurationError(
+        f"no vectorized capture semantics for {params.kind!r}")

@@ -15,6 +15,11 @@ Derived signals
 * **Throughput** — EMA over per-``progress`` (or per-``round``, for
   soak) instantaneous rates on the writer's monotonic clock; the peak
   EMA is retained so collapse is detectable.
+* **Fault throughput** — campaign/soak ``metrics`` events carry
+  snapshot deltas of ``repro_campaign_outcomes_total``; summing them
+  counts classified faults, and dividing by the writer's monotonic
+  elapsed time yields ``faults_per_second`` — campaign speed in the
+  unit the benches gate on, independent of task sizing.
 * **ETA** — remaining units over the throughput EMA, when a total is
   known.
 * **Staleness** — the writer heartbeats at least every
@@ -36,7 +41,11 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-HEALTH_SCHEMA_VERSION = 1
+HEALTH_SCHEMA_VERSION = 2
+
+#: Counter family whose snapshot deltas (in ``metrics`` events) count
+#: classified faults — the source of ``faults_per_second``.
+_FAULT_OUTCOME_FAMILY = "repro_campaign_outcomes_total"
 
 #: EMA smoothing for instantaneous rate samples.
 _EMA_ALPHA = 0.3
@@ -95,6 +104,8 @@ class RunHealth:
     throughput: float | None = None
     throughput_peak: float | None = None
     eta_s: float | None = None
+    faults_classified: int = 0
+    faults_per_second: float | None = None
     #: Soak-only block (``None`` for sweep/campaign runs).
     soak: dict | None = None
 
@@ -141,6 +152,7 @@ class HealthFold:
         self._rate_samples = 0
         self._uses_rounds = False
         self._soak: dict | None = None
+        self._faults_classified = 0
 
     # -- folding -----------------------------------------------------------
     def apply(self, event: dict) -> None:
@@ -218,6 +230,16 @@ class HealthFold:
                 self._counts[key] = max(self._counts.get(key, 0), total)
             else:  # pragma: no cover - defensive
                 self._counts[key] = self._counts.get(key, 0) + 1
+        elif etype == "metrics":
+            # Metrics events ship snapshot *deltas*; each outcome
+            # counter increment is one classified fault, whatever the
+            # target/scheme/classification labels say.
+            record = (event.get("delta") or {}).get(
+                _FAULT_OUTCOME_FAMILY)
+            if record:
+                self._faults_classified += sum(
+                    int(entry.get("value", 0))
+                    for entry in record.get("series", ()))
         elif etype == "checkpoint":
             if event.get("total") is not None:
                 self._counts["checkpoints"] = event["total"]
@@ -228,7 +250,7 @@ class HealthFold:
             status = event.get("status", "ok")
             self._end_status = status
             self._lifecycle = {"ok": "done"}.get(status, status)
-        # heartbeat / metrics / phase_end only refresh last-event state.
+        # heartbeat / phase_end only refresh last-event state.
 
     def apply_all(self, events: typing.Iterable[dict]) -> "HealthFold":
         for event in events:
@@ -343,6 +365,10 @@ class HealthFold:
             throughput=self._ema,
             throughput_peak=self._ema_peak,
             eta_s=eta_s,
+            faults_classified=self._faults_classified,
+            faults_per_second=(
+                self._faults_classified / elapsed_s
+                if self._faults_classified and elapsed_s > 0 else None),
             soak=dict(self._soak) if self._soak else None,
         )
 

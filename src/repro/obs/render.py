@@ -53,6 +53,8 @@ def format_status_line(health: "RunHealth") -> str:
     else:
         parts.append(f"{health.done} {health.unit}")
     parts.append(_fmt_rate(health.throughput, health.unit))
+    if health.faults_per_second is not None and health.unit != "faults":
+        parts.append(_fmt_rate(health.faults_per_second, "faults"))
     if health.eta_s is not None:
         parts.append(f"eta {_fmt_duration(health.eta_s)}")
     if soak.get("escape_rate") is not None:
@@ -95,6 +97,10 @@ def render_dashboard(health: "RunHealth") -> str:
            if health.throughput_peak else "")
         + (f"   eta {_fmt_duration(health.eta_s)}"
            if health.eta_s is not None else ""))
+    if health.faults_classified:
+        lines.append(
+            f"  faults      classified {health.faults_classified}   "
+            f"{_fmt_rate(health.faults_per_second, 'faults')}")
     cache = ("-" if health.cache_hit_rate is None
              else f"{100.0 * health.cache_hit_rate:.1f}%")
     util = ("-" if health.utilization is None
@@ -170,6 +176,9 @@ def render_html(health: "RunHealth",
              f"{health.done}/{health.total or '?'} {health.unit}"),
             ("throughput",
              _fmt_rate(health.throughput, health.unit)),
+            ("faults classified", health.faults_classified),
+            ("fault throughput",
+             _fmt_rate(health.faults_per_second, "faults")),
             ("eta", _fmt_duration(health.eta_s)),
             ("workers", health.workers),
             ("utilization",

@@ -43,7 +43,11 @@ from repro.core.masking import (
 from repro.errors import ConfigurationError
 from repro.kernels.rng import key_id, mix32, split64
 from repro.pipeline.controller import CentralErrorController
-from repro.pipeline.hooks import CaptureObserver, FaultOverlayLike
+from repro.pipeline.hooks import (
+    CaptureObserver,
+    FaultOverlayLike,
+    active_cycles_between as _active_cycles_between,
+)
 from repro.timing.graph import TimingEdge, TimingGraph
 from repro.variability.base import (
     ConstantVariation,
@@ -485,9 +489,10 @@ class GraphPipelineSimulation:
         count = stop - start
         window = interesting[start:stop]
         if self.faults is not None:
-            window = window.copy()
-            for cycle in self.faults.active_cycles():
-                if start <= cycle < stop:
+            active = _active_cycles_between(self.faults, start, stop)
+            if active:
+                window = window.copy()
+                for cycle in active:
                     window[cycle - start] = True
         borrow, select_out = self._borrow, self._select_out
         k = 0

@@ -31,7 +31,11 @@ from repro import kernels, obs
 from repro.core.masking import CaptureOutcome
 from repro.errors import ConfigurationError, TimingViolationError
 from repro.pipeline.controller import CentralErrorController
-from repro.pipeline.hooks import CaptureObserver, FaultOverlayLike
+from repro.pipeline.hooks import (
+    CaptureObserver,
+    FaultOverlayLike,
+    active_cycles_between as _active_cycles_between,
+)
 from repro.pipeline.schemes import CapturePolicy
 from repro.pipeline.stage import PipelineStage
 from repro.variability.base import (
@@ -225,9 +229,10 @@ class PipelineSimulation:
         count = stop - start
         window = interesting[start:stop]
         if self.faults is not None:
-            window = window.copy()
-            for cycle in self.faults.active_cycles():
-                if start <= cycle < stop:
+            active = _active_cycles_between(self.faults, start, stop)
+            if active:
+                window = window.copy()
+                for cycle in active:
                     window[cycle - start] = True
         num_stages = len(self.stages)
         chain = 0

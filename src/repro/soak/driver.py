@@ -277,11 +277,11 @@ def soak_chunk_task(params: dict) -> TaskPayload:
     """Sweep task: evaluate one chunk of stratified soak draws.
 
     Regenerates each draw's spec with :func:`spec_for_draw` and
-    classifies it through :func:`repro.campaign.engine.evaluate_fault`
-    — the identical per-fault path a batch campaign takes, which is
-    what makes soak outcomes bit-comparable to campaign outcomes.
-    Forked evaluators visit the chunk grouped by snapshot stride and
-    results are scattered back to draw order.
+    classifies the chunk through the campaign evaluator's
+    ``evaluate_chunk`` — the identical (lane-batched, when enabled)
+    path a batch campaign chunk takes, which is what makes soak
+    outcomes bit-comparable to campaign outcomes.  Outcomes come back
+    scattered to draw order.
     """
     config = CampaignConfig.from_params(params["config"])
     strata = {key: Stratum.from_params(key, stratum_params)
@@ -291,15 +291,9 @@ def soak_chunk_task(params: dict) -> TaskPayload:
                            int(fault_id))
              for key, counter, fault_id in draws]
     runner = fault_runner(config)
-    outcomes: list[FaultOutcome | None] = [None] * len(specs)
-    work = 0
     with obs.trace_span("soak.chunk", target=config.target,
                         scheme=config.scheme, draws=len(specs)):
-        for index in runner.evaluation_order(specs):
-            outcome, units = evaluate_fault(config, runner,
-                                            specs[index])
-            outcomes[index] = outcome
-            work += units
+        outcomes, work = runner.evaluate_chunk(specs)
     return TaskPayload(value=outcomes, events_processed=work)
 
 

@@ -3,9 +3,10 @@
 ``tests/golden/campaign_outcomes.json`` was captured with
 ``REPRO_CAMPAIGN_FULL_RUNS=1`` — every fault simulated from cycle 0
 through the full-run reference functions, the executable spec the
-forked evaluator must reproduce.  The forked path (the default) must
-match the capture byte for byte: same outcomes, same capture events,
-same coverage report.
+snapshot-forked evaluators must reproduce.  Both derived paths — the
+lane-batched default and the per-fault forked fallback
+(``REPRO_CAMPAIGN_BATCH=0``) — must match the capture byte for byte:
+same outcomes, same capture events, same coverage report.
 """
 
 import json
@@ -13,8 +14,12 @@ import pathlib
 
 import pytest
 
-from repro.campaign import CampaignConfig, run_campaign
-from repro.campaign.engine import FULL_RUNS_ENV
+from repro.campaign import CampaignConfig, fault_runner, run_campaign
+from repro.campaign.engine import (
+    BATCH_ENV,
+    FULL_RUNS_ENV,
+    _BatchedEvaluator,
+)
 from repro.exec.cache import encode_result
 from repro.kernels import HAVE_NUMPY
 
@@ -29,11 +34,28 @@ def _captures():
     return json.loads(GOLDEN.read_text())["captures"]
 
 
-@pytest.mark.parametrize("capture", _captures(),
-                         ids=lambda c: "{target}-{scheme}".format(
-                             **c["config"]))
+def _ids(capture):
+    return "{target}-{scheme}".format(**capture["config"])
+
+
+@pytest.mark.parametrize("capture", _captures(), ids=_ids)
+def test_batched_campaign_matches_full_run_golden(capture, monkeypatch):
+    monkeypatch.delenv(FULL_RUNS_ENV, raising=False)
+    monkeypatch.delenv(BATCH_ENV, raising=False)
+    config = CampaignConfig(**capture["config"])
+    # The default evaluator is the lane-batched one: this golden pins
+    # the batched path, not just "whatever fault_runner returns".
+    if config.target != "netlist":
+        assert isinstance(fault_runner(config), _BatchedEvaluator)
+    result = run_campaign(config)
+    assert encode_result(result.outcomes) == capture["outcomes"]
+    assert encode_result(result.report) == capture["report"]
+
+
+@pytest.mark.parametrize("capture", _captures(), ids=_ids)
 def test_forked_campaign_matches_full_run_golden(capture, monkeypatch):
     monkeypatch.delenv(FULL_RUNS_ENV, raising=False)
+    monkeypatch.setenv(BATCH_ENV, "0")
     result = run_campaign(CampaignConfig(**capture["config"]))
     assert encode_result(result.outcomes) == capture["outcomes"]
     assert encode_result(result.report) == capture["report"]

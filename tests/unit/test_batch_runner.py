@@ -1,0 +1,119 @@
+"""Unit tests for the fault-lane batched evaluator's wiring.
+
+Covers the evaluator-selection matrix (``REPRO_CAMPAIGN_BATCH``,
+``REPRO_CAMPAIGN_FULL_RUNS``, ``REPRO_SCALAR_KERNELS``), the
+batched/replayed lane accounting, and the per-lane fallback rules —
+the byte-identity of the outcomes themselves is pinned by
+``tests/property/test_batch_props.py`` and the campaign golden.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignConfig, fault_runner
+from repro.campaign.engine import (
+    BATCH_ENV,
+    FULL_RUNS_ENV,
+    _BatchedEvaluator,
+    _ForkedEvaluator,
+    _FullRunEvaluator,
+    batching_disabled,
+)
+from repro.exec.cache import encode_result
+from repro.kernels import HAVE_NUMPY, SCALAR_ENV
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="lane batching needs the vector kernels")
+
+
+def _config(**overrides):
+    base = dict(num_faults=8, num_cycles=200, faults_per_task=8,
+                seed=99, snapshot_stride=64)
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _encoded(value) -> str:
+    return json.dumps(encode_result(value), sort_keys=True)
+
+
+class TestRunnerSelectionMatrix:
+    def test_default_vector_runner_is_batched(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV, raising=False)
+        monkeypatch.delenv(FULL_RUNS_ENV, raising=False)
+        monkeypatch.delenv(SCALAR_ENV, raising=False)
+        runner = fault_runner(_config())
+        assert isinstance(runner, _BatchedEvaluator)
+        assert runner.batched and runner.forked
+
+    def test_batch_env_zero_falls_back_to_forked(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV, "0")
+        monkeypatch.delenv(FULL_RUNS_ENV, raising=False)
+        assert batching_disabled()
+        runner = fault_runner(_config())
+        assert isinstance(runner, _ForkedEvaluator)
+        assert not isinstance(runner, _BatchedEvaluator)
+        assert not runner.batched
+
+    def test_full_runs_env_disables_batching_too(self, monkeypatch):
+        # The full-run reference stays the executable spec: forcing it
+        # must win over batching even when batching is explicitly on.
+        monkeypatch.setenv(FULL_RUNS_ENV, "1")
+        monkeypatch.setenv(BATCH_ENV, "1")
+        runner = fault_runner(_config())
+        assert isinstance(runner, _FullRunEvaluator)
+        assert not runner.forked and not runner.batched
+
+    def test_scalar_kernels_disable_batching(self, monkeypatch):
+        monkeypatch.setenv(SCALAR_ENV, "1")
+        monkeypatch.delenv(BATCH_ENV, raising=False)
+        monkeypatch.delenv(FULL_RUNS_ENV, raising=False)
+        runner = fault_runner(_config())
+        assert isinstance(runner, _ForkedEvaluator)
+        assert not isinstance(runner, _BatchedEvaluator)
+
+    def test_netlist_always_takes_full_runs(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV, raising=False)
+        monkeypatch.delenv(FULL_RUNS_ENV, raising=False)
+        runner = fault_runner(_config(target="netlist", scheme="plain",
+                                      num_faults=2))
+        assert isinstance(runner, _FullRunEvaluator)
+
+    def test_batch_env_other_values_keep_batching(self, monkeypatch):
+        for value in ("", "1", "yes"):
+            monkeypatch.setenv(BATCH_ENV, value)
+            assert not batching_disabled()
+
+
+class TestLaneAccounting:
+    def test_every_fault_is_batched_or_replayed(self):
+        config = _config()
+        runner = _BatchedEvaluator(config)
+        specs = config.population()
+        runner.evaluate_chunk(specs)
+        assert runner.lanes_batched + runner.lanes_replayed == len(specs)
+        assert runner.lanes_batched > 0
+
+    def test_unsupported_policy_has_no_machine_and_replays(self):
+        # ``logical`` has no pure array capture semantics: the machine
+        # factory refuses, every lane replays, outcomes still match the
+        # plain forked evaluator.
+        config = _config(scheme="logical")
+        runner = _BatchedEvaluator(config)
+        assert runner.machine is None
+        specs = config.population()
+        outcomes, _ = runner.evaluate_chunk(specs)
+        assert runner.lanes_batched == 0
+        assert runner.lanes_replayed == len(specs)
+        forked, _ = _ForkedEvaluator(config).evaluate_chunk(specs)
+        assert _encoded(outcomes) == _encoded(forked)
+
+    def test_single_fault_evaluate_uses_one_lane_group(self):
+        config = _config()
+        runner = _BatchedEvaluator(config)
+        spec = config.population()[0]
+        outcome, units = runner.evaluate(spec)
+        assert runner.lanes_batched + runner.lanes_replayed == 1
+        assert outcome.fault_id == spec.fault_id
+        assert units > 0

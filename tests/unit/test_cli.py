@@ -120,7 +120,7 @@ class TestMonitorCommand:
         import json
 
         body = json.loads(capsys.readouterr().out)
-        assert body["schema"] == 1
+        assert body["schema"] == 2
         assert body["status"] == "done"
         assert body["kind"] == "sweep"
         assert body["done"] == body["total"] == 3

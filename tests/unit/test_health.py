@@ -292,3 +292,73 @@ class TestProjection:
         assert "<html" in page
         assert "run-1" in page
         assert "seu/0-10" in page
+
+
+def metrics(seq, t, faults_by_class):
+    """A ``metrics`` event carrying outcome-counter snapshot deltas."""
+    return ev(seq, "metrics", t, delta={
+        "repro_campaign_outcomes_total": {
+            "kind": "counter",
+            "series": [
+                {"labels": {"target": "pipeline", "scheme": "timber-ff",
+                            "classification": cls}, "value": value}
+                for cls, value in faults_by_class.items()
+            ],
+        },
+    })
+
+
+class TestFaultThroughput:
+    def test_metrics_deltas_sum_into_faults_per_second(self):
+        health = fold_events([
+            header(), ev(1, "run_start", 0.0, total=10),
+            metrics(2, 1.0, {"masked_tb": 70, "escaped": 50}),
+            metrics(3, 3.0, {"masked_tb": 60, "benign": 20}),
+            ev(4, "run_end", 4.0, status="ok"),
+        ])
+        assert health.faults_classified == 200
+        assert abs(health.faults_per_second - 50.0) < 1e-9
+
+    def test_no_metrics_means_no_fault_rate(self):
+        health = fold_events([
+            header(), ev(1, "run_start", 0.0, total=10),
+            progress(2, 1.0, 5),
+        ])
+        assert health.faults_classified == 0
+        assert health.faults_per_second is None
+
+    def test_unrelated_metrics_families_are_ignored(self):
+        health = fold_events([
+            header(), ev(1, "run_start", 0.0),
+            ev(2, "metrics", 1.0, delta={
+                "repro_pipeline_outcomes_total": {
+                    "kind": "counter",
+                    "series": [{"labels": {"outcome": "masked"},
+                                "value": 9}],
+                },
+            }),
+        ])
+        assert health.faults_classified == 0
+
+    def test_schema_and_json_round_trip(self):
+        health = fold_events([
+            header(), ev(1, "run_start", 0.0),
+            metrics(2, 2.0, {"relayed": 10}),
+        ])
+        body = health.to_json()
+        assert body["schema"] == HEALTH_SCHEMA_VERSION == 2
+        assert body["faults_classified"] == 10
+        assert abs(body["faults_per_second"] - 5.0) < 1e-9
+
+    def test_renderers_surface_fault_rate(self):
+        health = fold_events([
+            header(), ev(1, "run_start", 0.0, total=10),
+            progress(2, 1.0, 5),
+            metrics(3, 2.0, {"masked_tb": 100}),
+        ])
+        assert "faults/s" in format_status_line(health)
+        dashboard = render_dashboard(health)
+        assert "classified 100" in dashboard
+        assert "faults/s" in dashboard
+        html = render_html(health)
+        assert "fault throughput" in html
